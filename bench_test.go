@@ -1,0 +1,406 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus ablations for the design choices DESIGN.md calls
+// out. Each benchmark regenerates its experiment at a laptop-scale
+// configuration and reports the paper's metric (regret, targeted nodes,
+// seconds, MB) via b.ReportMetric, so `go test -bench=. -benchmem` prints
+// the same series the paper plots. EXPERIMENTS.md records the paper-vs-
+// measured comparison; cmd/exprun prints the full tables at larger scales.
+package socialads_test
+
+import (
+	"fmt"
+	"testing"
+
+	socialads "repro"
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/rrset"
+	"repro/internal/xrand"
+)
+
+// benchCfg is the shared scaled-down configuration (see DESIGN.md §4 for
+// the scale note).
+func benchCfg() exp.Config {
+	return exp.Config{
+		Seed:     1,
+		Scale:    0.02,
+		EvalRuns: 500,
+		TIRM:     core.TIRMOptions{Eps: 0.3, MinTheta: 5000, MaxTheta: 50000},
+	}
+}
+
+// BenchmarkFig1Toy regenerates the running example: Algorithm 1 (exact
+// oracle) on the Figure 1 gadget, reporting the regret it achieves next to
+// the paper's hand allocations (6.6 for A, 2.7 for B).
+func BenchmarkFig1Toy(b *testing.B) {
+	var regret float64
+	for i := 0; i < b.N; i++ {
+		inst := socialads.Fig1Instance(0)
+		res, err := socialads.AllocateGreedyExact(inst, socialads.GreedyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := socialads.Evaluate(inst, res.Alloc, 20000, 3)
+		regret = out.TotalRegret
+	}
+	b.ReportMetric(regret, "regret")
+}
+
+// BenchmarkTable1Datasets times generation of the four dataset analogues
+// and reports their sizes.
+func BenchmarkTable1Datasets(b *testing.B) {
+	var nodes, edges float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes, edges = 0, 0
+		for _, r := range rows {
+			nodes += float64(r.Nodes)
+			edges += float64(r.Edges)
+		}
+	}
+	b.ReportMetric(nodes, "nodes")
+	b.ReportMetric(edges, "edges")
+}
+
+// BenchmarkTable2Budgets regenerates the advertiser-parameter summary.
+func BenchmarkTable2Budgets(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = rows[0].BudgetMean
+	}
+	b.ReportMetric(mean, "flixster-budget-mean")
+}
+
+// BenchmarkFig3RegretVsAttention runs the κ sweep (λ=0, κ∈{1,5}) on the
+// FLIXSTER analogue with all four algorithms and reports the endpoint
+// regrets relative to budget. Paper shape: TIRM lowest and decreasing in
+// κ; MYOPIC/MYOPIC+ far above and increasing in κ.
+func BenchmarkFig3RegretVsAttention(b *testing.B) {
+	cfg := benchCfg()
+	var tirm1, tirm5, myopic5 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.QualitySweep(exp.Flixster, cfg, []int{1, 5}, []float64{0}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch {
+			case r.Algo == exp.AlgoTIRM && r.Kappa == 1:
+				tirm1 = 100 * r.RegretOverBudget
+			case r.Algo == exp.AlgoTIRM && r.Kappa == 5:
+				tirm5 = 100 * r.RegretOverBudget
+			case r.Algo == exp.AlgoMyopic && r.Kappa == 5:
+				myopic5 = 100 * r.RegretOverBudget
+			}
+		}
+	}
+	b.ReportMetric(tirm1, "tirm-k1-%budget")
+	b.ReportMetric(tirm5, "tirm-k5-%budget")
+	b.ReportMetric(myopic5, "myopic-k5-%budget")
+}
+
+// BenchmarkFig4RegretVsLambda runs the λ sweep (κ=1, λ∈{0,1}).
+// Paper shape: regret grows with λ for every algorithm, TIRM stays lowest.
+func BenchmarkFig4RegretVsLambda(b *testing.B) {
+	cfg := benchCfg()
+	var tirm0, tirm1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.QualitySweep(exp.Flixster, cfg, []int{1}, []float64{0, 1}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algo == exp.AlgoTIRM {
+				if r.Lambda == 0 {
+					tirm0 = r.TotalRegret
+				} else {
+					tirm1 = r.TotalRegret
+				}
+			}
+		}
+	}
+	b.ReportMetric(tirm0, "tirm-l0-regret")
+	b.ReportMetric(tirm1, "tirm-l1-regret")
+}
+
+// BenchmarkFig5IndividualRegrets regenerates the per-ad overshoot
+// distribution (λ=0, κ=5) and reports the skew statistic the paper uses to
+// argue TIRM's distribution is more uniform than GREEDY-IRIE's.
+func BenchmarkFig5IndividualRegrets(b *testing.B) {
+	cfg := benchCfg()
+	var tirmSkew, irieSkew float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig5(exp.Flixster, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tirmSkew = exp.Fig5Skew(rows, exp.AlgoTIRM)
+		irieSkew = exp.Fig5Skew(rows, exp.AlgoGreedyIRIE)
+	}
+	b.ReportMetric(tirmSkew, "tirm-skew")
+	b.ReportMetric(irieSkew, "irie-skew")
+}
+
+// BenchmarkTable3TargetedNodes reports distinct targeted nodes at κ=1 and
+// κ=5 for TIRM (decreasing in κ) and MYOPIC (always n).
+func BenchmarkTable3TargetedNodes(b *testing.B) {
+	cfg := benchCfg()
+	var tirm1, tirm5, myopic float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.QualitySweep(exp.Flixster, cfg, []int{1, 5}, []float64{0},
+			[]exp.Algo{exp.AlgoTIRM, exp.AlgoMyopic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch {
+			case r.Algo == exp.AlgoTIRM && r.Kappa == 1:
+				tirm1 = float64(r.DistinctTargeted)
+			case r.Algo == exp.AlgoTIRM && r.Kappa == 5:
+				tirm5 = float64(r.DistinctTargeted)
+			case r.Algo == exp.AlgoMyopic && r.Kappa == 1:
+				myopic = float64(r.DistinctTargeted)
+			}
+		}
+	}
+	b.ReportMetric(tirm1, "tirm-k1-targeted")
+	b.ReportMetric(tirm5, "tirm-k5-targeted")
+	b.ReportMetric(myopic, "myopic-targeted")
+}
+
+// BenchmarkFig6Scalability regenerates the running-time curves: TIRM on
+// the DBLP analogue for h ∈ {1, 5} (Fig. 6a) and for two budgets
+// (Fig. 6b). Paper shape: near-linear in h, flat-ish in budget.
+func BenchmarkFig6Scalability(b *testing.B) {
+	cfg := benchCfg()
+	var h1, h5, b1, b2 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig6VaryH(exp.DBLP, cfg, []int{1, 5}, []exp.Algo{exp.AlgoTIRM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h1, h5 = rows[0].WallSeconds, rows[1].WallSeconds
+		bud, err := exp.Fig6VaryBudget(exp.DBLP, cfg, []float64{5000, 20000}, []exp.Algo{exp.AlgoTIRM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b1, b2 = bud[0].WallSeconds, bud[1].WallSeconds
+	}
+	b.ReportMetric(h5/h1, "time-ratio-h5/h1")
+	b.ReportMetric(b2/b1, "time-ratio-B4x")
+}
+
+// BenchmarkTable4Memory reports TIRM's RR-index footprint growth with h.
+func BenchmarkTable4Memory(b *testing.B) {
+	cfg := benchCfg()
+	var m1, m5 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(exp.DBLP, cfg, []int{1, 5}, []exp.Algo{exp.AlgoTIRM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m1 = float64(rows[0].MemBytes) / 1e6
+		m5 = float64(rows[1].MemBytes) / 1e6
+	}
+	b.ReportMetric(m1, "h1-MB")
+	b.ReportMetric(m5, "h5-MB")
+}
+
+// BenchmarkAblationBoostedBudget regenerates the §3-Discussion ablation:
+// allocate against boosted budgets B' = (1+β)B, score against the
+// originals; overshoot (free service) should grow with β while undershoot
+// shrinks.
+func BenchmarkAblationBoostedBudget(b *testing.B) {
+	cfg := benchCfg()
+	var freeService float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Boost(exp.Flixster, cfg, []float64{0, 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		freeService = rows[1].Overshoot - rows[0].Overshoot
+	}
+	b.ReportMetric(freeService, "extra-free-service")
+}
+
+// BenchmarkAblationSoftCoverage runs the ABL-SOFT ablation: the paper's
+// hard set-removal bookkeeping against the TIRM-W CTP-weighted extension.
+// The reported calibration error is the gap between TIRM's internal
+// revenue estimate and the neutral MC evaluation — the first-seed-credit
+// bias that makes hard mode overshoot budgets at high seed density.
+func BenchmarkAblationSoftCoverage(b *testing.B) {
+	cfg := benchCfg()
+	var hardErr, softErr, hardPct, softPct float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.SoftAblation(exp.Flixster, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hardErr, softErr = rows[0].CalibrationErr, rows[1].CalibrationErr
+		hardPct, softPct = 100*rows[0].RegretOverBudget, 100*rows[1].RegretOverBudget
+	}
+	b.ReportMetric(hardErr, "hard-calib-err")
+	b.ReportMetric(softErr, "soft-calib-err")
+	b.ReportMetric(hardPct, "hard-%budget")
+	b.ReportMetric(softPct, "soft-%budget")
+}
+
+// BenchmarkAblationRRCvsRR compares the two CTP treatments of §5.2: plain
+// RR-sets with δ-scaled marginals (Theorem 5, what TIRM uses) versus RRC
+// sets with node coins. The paper argues RRC needs ~1/δ more samples for
+// the same signal: with CTP ≈ 0.02, an RRC set is ~50× less likely to
+// register a given seed, so its per-set information is proportionally
+// lower while its sampling cost is the same.
+func BenchmarkAblationRRCvsRR(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 1, Scale: 0.02})
+	ad := inst.Ads[0]
+	s := rrset.NewSampler(inst.G, ad.Params.Probs, ad.Params.CTPs)
+	const batch = 20000
+	b.Run("RR", func(b *testing.B) {
+		var nonEmpty int
+		for i := 0; i < b.N; i++ {
+			sets := s.SampleBatchRR(batch, xrand.New(uint64(i)), 0)
+			nonEmpty = 0
+			for _, set := range sets {
+				if len(set) > 0 {
+					nonEmpty++
+				}
+			}
+		}
+		b.ReportMetric(float64(nonEmpty)/batch, "nonempty-frac")
+	})
+	b.Run("RRC", func(b *testing.B) {
+		var nonEmpty int
+		for i := 0; i < b.N; i++ {
+			sets := s.SampleBatchRRC(batch, xrand.New(uint64(i)), 0)
+			nonEmpty = 0
+			for _, set := range sets {
+				if len(set) > 0 {
+					nonEmpty++
+				}
+			}
+		}
+		b.ReportMetric(float64(nonEmpty)/batch, "nonempty-frac")
+	})
+}
+
+// BenchmarkAblationCELF measures the lazy-evaluation saving of the CELF
+// queue inside Algorithm 1: marginal evaluations per committed seed versus
+// the naive h·n scan the textbook greedy would pay.
+func BenchmarkAblationCELF(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 2, Scale: 0.01, Kappa: 2})
+	var evalsPerSeed, naivePerSeed float64
+	for i := 0; i < b.N; i++ {
+		res, err := socialads.AllocateGreedyIRIE(inst, socialads.IRIEOptions{}, socialads.GreedyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Iterations > 0 {
+			evalsPerSeed = float64(res.Evals) / float64(res.Iterations)
+			naivePerSeed = float64(inst.G.N() * len(inst.Ads))
+		}
+	}
+	b.ReportMetric(evalsPerSeed, "evals/seed")
+	b.ReportMetric(naivePerSeed, "naive-evals/seed")
+}
+
+// BenchmarkAblationCandidateDepth compares the paper's depth-1
+// SelectBestNode against the CandidateDepth extension (score the top-4
+// coverage candidates by regret drop). Depth helps near budget boundaries
+// where the max-coverage node overshoots.
+func BenchmarkAblationCandidateDepth(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 7, Scale: 0.02, Kappa: 1})
+	var r1, r4 float64
+	for i := 0; i < b.N; i++ {
+		for _, depth := range []int{1, 4} {
+			res, err := socialads.AllocateTIRM(inst, 42, socialads.TIRMOptions{
+				Eps: 0.3, MinTheta: 5000, MaxTheta: 50000, CandidateDepth: depth,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := socialads.Evaluate(inst, res.Alloc, 500, 7)
+			if depth == 1 {
+				r1 = out.TotalRegret
+			} else {
+				r4 = out.TotalRegret
+			}
+		}
+	}
+	b.ReportMetric(r1, "depth1-regret")
+	b.ReportMetric(r4, "depth4-regret")
+}
+
+// --- Micro-benchmarks for the substrates -------------------------------
+
+// BenchmarkDiffusionMC measures parallel TIC-CTP cascade throughput.
+func BenchmarkDiffusionMC(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 3, Scale: 0.05})
+	sim := diffusion.NewSimulator(inst.G, inst.Ads[0].Params)
+	seeds := make([]int32, 50)
+	for i := range seeds {
+		seeds[i] = int32(i * 7)
+	}
+	rng := xrand.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.SpreadMCParallel(seeds, 10000, rng)
+	}
+}
+
+// BenchmarkRRSampling measures RR-set sampling throughput.
+func BenchmarkRRSampling(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 4, Scale: 0.05})
+	s := rrset.NewSampler(inst.G, inst.Ads[0].Params.Probs, nil)
+	rng := xrand.New(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleBatchRR(50000, rng, uint64(i))
+	}
+}
+
+// BenchmarkTIRMAllocate measures a full TIRM run on the FLIXSTER analogue.
+func BenchmarkTIRMAllocate(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 5, Scale: 0.02})
+	b.ResetTimer()
+	var seeds int
+	for i := 0; i < b.N; i++ {
+		res, err := socialads.AllocateTIRM(inst, uint64(i), socialads.TIRMOptions{
+			Eps: 0.3, MinTheta: 5000, MaxTheta: 50000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seeds = res.Alloc.NumSeeds()
+	}
+	b.ReportMetric(float64(seeds), "seeds")
+}
+
+// BenchmarkGreedyIRIEAllocate measures a full GREEDY-IRIE run.
+func BenchmarkGreedyIRIEAllocate(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 6, Scale: 0.02})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := socialads.AllocateGreedyIRIE(inst, socialads.IRIEOptions{}, socialads.GreedyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example of reading a benchmark row (keeps godoc lively and guards the
+// fmt import).
+func ExampleFig1() {
+	inst := socialads.Fig1Instance(0)
+	out := socialads.Evaluate(inst, socialads.Fig1AllocationB(), 400000, 2)
+	fmt.Printf("allocation B regret ≈ %.1f\n", out.TotalRegret)
+	// Output: allocation B regret ≈ 2.7
+}

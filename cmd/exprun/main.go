@@ -1,0 +1,256 @@
+// Command exprun regenerates the paper's tables and figures from the
+// synthetic dataset analogues. Each experiment prints the same rows/series
+// the paper reports (see EXPERIMENTS.md for the recorded comparison).
+//
+// Usage:
+//
+//	exprun -exp fig3 -dataset flixster [-scale 0.05] [-seed 1] [-evalruns 2000] [-v]
+//	exprun -exp all -quick
+//
+// Experiments: table1 table2 fig1 fig3 fig4 fig5 table3 fig6h fig6b table4
+// boost all. Datasets: flixster epinions dblp livejournal (where relevant).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName  = flag.String("exp", "all", "experiment id (table1,table2,fig1,fig3,fig4,fig5,table3,fig6h,fig6b,table4,boost,soft,all)")
+		dataset  = flag.String("dataset", "", "dataset (flixster,epinions,dblp,livejournal); default per experiment")
+		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size)")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		evalRuns = flag.Int("evalruns", 2000, "Monte Carlo evaluation cascades (paper: 10000)")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		format   = flag.String("format", "table", "output format (table|json|csv)")
+		soft     = flag.Bool("soft", false, "run TIRM with the soft-coverage extension (TIRM-W)")
+		depth    = flag.Int("depth", 1, "TIRM candidate depth (1 = paper's Algorithm 3)")
+		verbose  = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+	outFormat, err := exp.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exprun:", err)
+		os.Exit(1)
+	}
+
+	cfg := exp.Config{
+		Seed:     *seed,
+		Scale:    *scale,
+		EvalRuns: *evalRuns,
+		Verbose:  *verbose,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format, args...)
+		},
+	}
+	cfg.TIRM.SoftCoverage = *soft
+	cfg.TIRM.CandidateDepth = *depth
+	if err := run(strings.ToLower(*expName), strings.ToLower(*dataset), cfg, *quick, outFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "exprun:", err)
+		os.Exit(1)
+	}
+}
+
+func parseDataset(name string, def exp.Dataset) (exp.Dataset, error) {
+	switch name {
+	case "":
+		return def, nil
+	case "flixster":
+		return exp.Flixster, nil
+	case "epinions":
+		return exp.Epinions, nil
+	case "dblp":
+		return exp.DBLP, nil
+	case "livejournal", "lj":
+		return exp.LiveJournal, nil
+	}
+	return "", fmt.Errorf("unknown dataset %q", name)
+}
+
+func run(name, dsName string, cfg exp.Config, quick bool, format exp.Format) error {
+	w := os.Stdout
+	hs := []int{1, 5, 10, 15, 20}
+	if quick {
+		hs = []int{1, 5}
+	}
+	switch name {
+	case "table1":
+		rows, err := exp.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		if format == exp.FormatJSON {
+			return exp.WriteJSON(w, "table1", rows)
+		}
+		exp.PrintTable1(w, rows)
+	case "table2":
+		rows, err := exp.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		if format == exp.FormatJSON {
+			return exp.WriteJSON(w, "table2", rows)
+		}
+		exp.PrintTable2(w, rows)
+	case "fig1":
+		rows, err := exp.Fig1(cfg)
+		if err != nil {
+			return err
+		}
+		if format == exp.FormatJSON {
+			return exp.WriteJSON(w, "fig1", rows)
+		}
+		exp.PrintFig1(w, rows)
+	case "fig3", "fig4", "table3", "fig5":
+		ds, err := parseDataset(dsName, exp.Flixster)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig3":
+			rows, err := exp.Fig3(ds, cfg)
+			if err != nil {
+				return err
+			}
+			switch format {
+			case exp.FormatJSON:
+				return exp.WriteJSON(w, "fig3", rows)
+			case exp.FormatCSV:
+				return exp.WriteQualityCSV(w, rows)
+			}
+			exp.PrintQuality(w, fmt.Sprintf("FIG3 %s: total regret vs κ", ds), rows, exp.RegretColumn)
+		case "fig4":
+			rows, err := exp.Fig4(ds, cfg)
+			if err != nil {
+				return err
+			}
+			switch format {
+			case exp.FormatJSON:
+				return exp.WriteJSON(w, "fig4", rows)
+			case exp.FormatCSV:
+				return exp.WriteQualityCSV(w, rows)
+			}
+			exp.PrintQuality(w, fmt.Sprintf("FIG4 %s: total regret vs λ", ds), rows, exp.RegretColumn)
+		case "table3":
+			rows, err := exp.Table3(ds, cfg)
+			if err != nil {
+				return err
+			}
+			switch format {
+			case exp.FormatJSON:
+				return exp.WriteJSON(w, "table3", rows)
+			case exp.FormatCSV:
+				return exp.WriteQualityCSV(w, rows)
+			}
+			exp.PrintQuality(w, fmt.Sprintf("TABLE3 %s: distinct targeted nodes vs κ (λ=0)", ds), rows, exp.TargetedColumn)
+		case "fig5":
+			rows, err := exp.Fig5(ds, cfg)
+			if err != nil {
+				return err
+			}
+			switch format {
+			case exp.FormatJSON:
+				return exp.WriteJSON(w, "fig5", rows)
+			case exp.FormatCSV:
+				return exp.WriteFig5CSV(w, rows)
+			}
+			exp.PrintFig5(w, rows)
+		}
+	case "fig6h", "table4":
+		ds, err := parseDataset(dsName, exp.DBLP)
+		if err != nil {
+			return err
+		}
+		algos := []exp.Algo{exp.AlgoTIRM, exp.AlgoGreedyIRIE}
+		if ds == exp.LiveJournal {
+			// The paper could not finish GREEDY-IRIE on LiveJournal for h≥5.
+			algos = []exp.Algo{exp.AlgoTIRM}
+		}
+		rows, err := exp.Fig6VaryH(ds, cfg, hs, algos)
+		if err != nil {
+			return err
+		}
+		switch format {
+		case exp.FormatJSON:
+			return exp.WriteJSON(w, name, rows)
+		case exp.FormatCSV:
+			return exp.WriteScaleCSV(w, rows)
+		}
+		title := fmt.Sprintf("FIG6 %s: running time vs number of advertisers", ds)
+		if name == "table4" {
+			title = fmt.Sprintf("TABLE4 %s: memory usage vs number of advertisers", ds)
+		}
+		exp.PrintScale(w, title, rows)
+	case "fig6b":
+		ds, err := parseDataset(dsName, exp.DBLP)
+		if err != nil {
+			return err
+		}
+		algos := []exp.Algo{exp.AlgoTIRM, exp.AlgoGreedyIRIE}
+		if ds == exp.LiveJournal {
+			algos = []exp.Algo{exp.AlgoTIRM}
+		}
+		var budgets []float64
+		if quick {
+			if ds == exp.LiveJournal {
+				budgets = []float64{50000, 150000}
+			} else {
+				budgets = []float64{5000, 15000}
+			}
+		}
+		rows, err := exp.Fig6VaryBudget(ds, cfg, budgets, algos)
+		if err != nil {
+			return err
+		}
+		switch format {
+		case exp.FormatJSON:
+			return exp.WriteJSON(w, "fig6b", rows)
+		case exp.FormatCSV:
+			return exp.WriteScaleCSV(w, rows)
+		}
+		exp.PrintScale(w, fmt.Sprintf("FIG6 %s: running time vs per-ad budget (h=5)", ds), rows)
+	case "soft":
+		ds, err := parseDataset(dsName, exp.Flixster)
+		if err != nil {
+			return err
+		}
+		rows, err := exp.SoftAblation(ds, cfg)
+		if err != nil {
+			return err
+		}
+		if format == exp.FormatJSON {
+			return exp.WriteJSON(w, "soft", rows)
+		}
+		exp.PrintSoft(w, rows)
+	case "boost":
+		ds, err := parseDataset(dsName, exp.Flixster)
+		if err != nil {
+			return err
+		}
+		rows, err := exp.Boost(ds, cfg, nil)
+		if err != nil {
+			return err
+		}
+		if format == exp.FormatJSON {
+			return exp.WriteJSON(w, "boost", rows)
+		}
+		exp.PrintBoost(w, rows)
+	case "all":
+		order := []string{"table1", "table2", "fig1", "fig3", "fig4", "fig5", "table3", "fig6h", "fig6b", "table4", "boost", "soft"}
+		for _, e := range order {
+			if err := run(e, dsName, cfg, quick, format); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Fprintln(w)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Influencemax runs the TIM substrate standalone: classical influence
+// maximization (Kempe et al.) with the two-phase RR-set algorithm of Tang
+// et al. that TIRM builds on. It selects k seeds on the EPINIONS analogue,
+// validates the RR-sample spread estimate against Monte Carlo simulation,
+// and shows the submodular diminishing returns the paper's analysis leans
+// on throughout.
+package main
+
+import (
+	"fmt"
+
+	socialads "repro"
+)
+
+func main() {
+	inst := socialads.NewEpinions(socialads.DatasetOptions{Seed: 1, Scale: 0.05})
+	g := inst.G
+	// Use ad 0's mixed edge probabilities as the IC instance.
+	probs := inst.Ads[0].Params.Probs
+	fmt.Printf("EPINIONS analogue: %d nodes, %d edges; IC probabilities of ad %q\n\n",
+		g.N(), g.M(), inst.Ads[0].Name)
+
+	fmt.Printf("%4s %14s %16s %14s\n", "k", "est. spread", "MC spread", "gain per seed")
+	prev, prevK := 0.0, 0
+	for _, k := range []int{1, 2, 5, 10, 20, 50} {
+		res := socialads.MaximizeInfluence(g, probs, k, 42)
+		// Validate the RR estimate with an independent MC simulation of the
+		// classical IC model (CTP = 1: seeds always activate).
+		mc := socialads.Spread(g, socialads.ItemParams{
+			Probs: probs,
+			CTPs:  socialads.ConstCTP(g.N(), 1),
+		}, res.Seeds, 20000, 7)
+		fmt.Printf("%4d %14.1f %16.1f %+14.1f\n", k, res.EstSpread, mc, (mc-prev)/float64(k-prevK))
+		prev, prevK = mc, k
+	}
+	fmt.Println("\nDiminishing per-seed gains illustrate the submodularity that")
+	fmt.Println("underpins the paper's Theorems 2–4 and TIRM's seed-size estimation.")
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a small social graph by hand, describe two advertisers,
+// and let TIRM allocate seed users so each campaign's expected revenue
+// lands on its budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	socialads "repro"
+)
+
+func main() {
+	// A 12-user network: two communities bridged by user 5.
+	// Arc (u,v) means v follows u, so influence flows u -> v.
+	b := socialads.NewGraphBuilder(12)
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, // community 1
+		{5, 6},                                           // bridge
+		{6, 7}, {6, 8}, {7, 9}, {8, 9}, {9, 10}, {9, 11}, // community 2
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Influence probabilities per edge (single topic for simplicity).
+	probs := make([]float32, g.M())
+	for i := range probs {
+		probs[i] = 0.4
+	}
+
+	// Two advertisers with different budgets; everyone clicks a promoted
+	// post with probability 0.3.
+	ctp := socialads.ConstCTP(g.N(), 0.3)
+	inst := &socialads.Instance{
+		G: g,
+		Ads: []socialads.Ad{
+			{Name: "sneakers", Budget: 3.0, CPE: 1, Params: socialads.ItemParams{Probs: probs, CTPs: ctp}},
+			{Name: "headphones", Budget: 1.5, CPE: 1, Params: socialads.ItemParams{Probs: probs, CTPs: ctp}},
+		},
+		Kappa:  socialads.ConstKappa(1), // at most one promoted ad per user
+		Lambda: 0.01,                    // tiny penalty per seed
+	}
+
+	// SoftCoverage keeps the revenue estimator unbiased when seed reach
+	// overlaps — on a 12-user graph overlap is unavoidable (see README,
+	// "The TIRM-W extension").
+	res, err := socialads.AllocateTIRM(inst, 42, socialads.TIRMOptions{
+		MinTheta:     20000,
+		SoftCoverage: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := socialads.Evaluate(inst, res.Alloc, 20000, 7)
+	fmt.Println("TIRM allocation:")
+	for i, ad := range inst.Ads {
+		fmt.Printf("  %-10s budget=%.1f revenue=%.2f seeds=%v\n",
+			ad.Name, ad.Budget, out.Ads[i].Revenue, res.Alloc.Seeds[i])
+	}
+	fmt.Printf("total regret: %.3f (%.1f%% of total budget)\n",
+		out.TotalRegret, 100*out.RegretOverBudget)
+}

@@ -1,0 +1,107 @@
+// Package baselines implements the paper's non-viral allocation baselines
+// (§6): MYOPIC, which matches each user with her most relevant ads by
+// expected direct revenue and ignores both budgets and virality, and
+// MYOPIC+, which adds budget awareness (but still no virality) by filling
+// each ad's budget with the highest-CTP users in round-robin order.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Myopic assigns to every user u her κ_u most relevant ads — the ads
+// maximizing the virality-blind expected revenue δ(u,i)·cpe(i). This is the
+// paper's MYOPIC baseline (allocation A of Figure 1 follows it). Budgets
+// are ignored entirely.
+func Myopic(inst *core.Instance) *core.Allocation {
+	h := len(inst.Ads)
+	alloc := core.NewAllocation(h)
+	type scored struct {
+		ad    int
+		score float64
+	}
+	scores := make([]scored, h)
+	for u := int32(0); u < int32(inst.G.N()); u++ {
+		for i, ad := range inst.Ads {
+			scores[i] = scored{ad: i, score: ad.Params.CTPs.At(u) * ad.CPE}
+		}
+		sort.SliceStable(scores, func(a, b int) bool { return scores[a].score > scores[b].score })
+		k := inst.Kappa.At(u)
+		if k > h {
+			k = h
+		}
+		for j := 0; j < k; j++ {
+			if scores[j].score <= 0 {
+				break
+			}
+			i := scores[j].ad
+			alloc.Seeds[i] = append(alloc.Seeds[i], u)
+		}
+	}
+	return alloc
+}
+
+// MyopicPlus is the budget-conscious variant: for each ad it ranks users by
+// CTP δ(u,i) (descending, node id breaking ties) and assigns seeds in
+// round-robin over the ads, skipping users whose attention bound is
+// exhausted, until the ad's virality-blind revenue estimate
+// Σ_{u∈S_i} δ(u,i)·cpe(i) reaches its budget B_i.
+func MyopicPlus(inst *core.Instance) *core.Allocation {
+	n := inst.G.N()
+	h := len(inst.Ads)
+	alloc := core.NewAllocation(h)
+	attention := core.NewAttention(n, inst.Kappa)
+
+	// Per-ad CTP ranking.
+	order := make([][]int32, h)
+	for i, ad := range inst.Ads {
+		ord := make([]int32, n)
+		for u := range ord {
+			ord[u] = int32(u)
+		}
+		ctp := ad.Params.CTPs
+		sort.SliceStable(ord, func(a, b int) bool {
+			return ctp.At(ord[a]) > ctp.At(ord[b])
+		})
+		order[i] = ord
+	}
+
+	cursor := make([]int, h)
+	estRev := make([]float64, h)
+	done := make([]bool, h)
+	remaining := h
+	for remaining > 0 {
+		progressed := false
+		for i := 0; i < h && remaining > 0; i++ {
+			if done[i] {
+				continue
+			}
+			if estRev[i] >= inst.Ads[i].Budget {
+				done[i] = true
+				remaining--
+				continue
+			}
+			// Advance to the next user with spare attention.
+			for cursor[i] < n && !attention.CanTake(order[i][cursor[i]]) {
+				cursor[i]++
+			}
+			if cursor[i] >= n {
+				done[i] = true
+				remaining--
+				continue
+			}
+			u := order[i][cursor[i]]
+			cursor[i]++
+			attention.Take(u)
+			alloc.Seeds[i] = append(alloc.Seeds[i], u)
+			estRev[i] += inst.Ads[i].Params.CTPs.At(u) * inst.Ads[i].CPE
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/diffusion"
+)
+
+// BruteForceOptions bounds the exhaustive search.
+type BruteForceOptions struct {
+	// MaxStates caps the number of enumerated allocations (default 2^20).
+	MaxStates int64
+}
+
+// BruteForce enumerates every valid allocation of a tiny instance and
+// returns one minimizing the exact total regret (possible-world revenue
+// evaluation, so the graph must have ≤ diffusion.MaxExactEdges edges and at
+// most 30 nodes). It is the ground-truth oracle used to measure the
+// optimality gap of Greedy and TIRM on toy instances and to check the
+// premises of Theorems 3–4.
+//
+// The search assigns each user independently to one of the ≤ C(h, ≤κ_u)
+// admissible ad subsets, so the state space is Π_u Σ_{j≤κ_u} C(h,j);
+// exact ad revenues are memoized by (ad, seed-set bitmask).
+func BruteForce(inst *Instance, opts BruteForceOptions) (*Allocation, float64, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := inst.G.N()
+	h := len(inst.Ads)
+	if n > 30 {
+		return nil, 0, fmt.Errorf("core: BruteForce supports ≤30 nodes, got %d", n)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+
+	// Admissible ad subsets per user: all subsets of size ≤ κ_u.
+	subsetsFor := func(kappa int) []uint32 {
+		var out []uint32
+		for mask := uint32(0); mask < 1<<h; mask++ {
+			if popcount32(mask) <= kappa {
+				out = append(out, mask)
+			}
+		}
+		return out
+	}
+	userSubsets := make([][]uint32, n)
+	var states float64 = 1
+	for u := 0; u < n; u++ {
+		userSubsets[u] = subsetsFor(inst.Kappa.At(int32(u)))
+		states *= float64(len(userSubsets[u]))
+		if states > float64(maxStates) {
+			return nil, 0, fmt.Errorf("core: BruteForce state space ~%g exceeds cap %d", states, maxStates)
+		}
+	}
+
+	// Memoized exact revenue per (ad, seed bitmask).
+	sims := make([]*diffusion.Simulator, h)
+	for i, ad := range inst.Ads {
+		sims[i] = diffusion.NewSimulator(inst.G, ad.Params)
+	}
+	memo := make([]map[uint32]float64, h)
+	for i := range memo {
+		memo[i] = map[uint32]float64{0: 0}
+	}
+	revenue := func(i int, seedMask uint32) float64 {
+		if v, ok := memo[i][seedMask]; ok {
+			return v
+		}
+		var seeds []int32
+		for u := 0; u < n; u++ {
+			if seedMask&(1<<u) != 0 {
+				seeds = append(seeds, int32(u))
+			}
+		}
+		v := inst.Ads[i].CPE * diffusion.ExactSpread(sims[i], seeds)
+		memo[i][seedMask] = v
+		return v
+	}
+
+	bestRegret := math.Inf(1)
+	var bestMasks []uint32
+	cur := make([]uint32, h) // per-ad seed bitmasks
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			var total float64
+			for i := 0; i < h; i++ {
+				total += RegretTerm(inst.Ads[i].Budget, revenue(i, cur[i]), inst.Lambda, popcount32(cur[i]))
+				if total >= bestRegret {
+					return // partial sums only grow
+				}
+			}
+			if total < bestRegret {
+				bestRegret = total
+				bestMasks = append([]uint32{}, cur...)
+			}
+			return
+		}
+		for _, adMask := range userSubsets[u] {
+			for i := 0; i < h; i++ {
+				if adMask&(1<<i) != 0 {
+					cur[i] |= 1 << u
+				}
+			}
+			rec(u + 1)
+			for i := 0; i < h; i++ {
+				if adMask&(1<<i) != 0 {
+					cur[i] &^= 1 << u
+				}
+			}
+		}
+	}
+	rec(0)
+
+	alloc := NewAllocation(h)
+	for i, mask := range bestMasks {
+		for u := 0; u < n; u++ {
+			if mask&(1<<u) != 0 {
+				alloc.Seeds[i] = append(alloc.Seeds[i], int32(u))
+			}
+		}
+	}
+	return alloc, bestRegret, nil
+}
+
+// MinSeedsToReachBudget returns s_opt for one ad: the smallest number of
+// seeds whose exact revenue reaches or exceeds the budget, or (0, false) if
+// no seed set does. Used to evaluate the seed-regret term of Theorem 2.
+func MinSeedsToReachBudget(inst *Instance, adIdx int) (int, bool) {
+	n := inst.G.N()
+	if n > 20 {
+		panic("core: MinSeedsToReachBudget supports ≤20 nodes")
+	}
+	sim := diffusion.NewSimulator(inst.G, inst.Ads[adIdx].Params)
+	budget := inst.Ads[adIdx].Budget
+	cpe := inst.Ads[adIdx].CPE
+	for size := 1; size <= n; size++ {
+		found := false
+		var rec func(start int, cur []int32)
+		rec = func(start int, cur []int32) {
+			if found {
+				return
+			}
+			if len(cur) == size {
+				if cpe*diffusion.ExactSpread(sim, cur) >= budget {
+					found = true
+				}
+				return
+			}
+			for v := start; v < n; v++ {
+				rec(v+1, append(cur, int32(v)))
+			}
+		}
+		rec(0, nil)
+		if found {
+			return size, true
+		}
+	}
+	return 0, false
+}
+
+func popcount32(x uint32) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}

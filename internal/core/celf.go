@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+)
+
+// celfQueue implements lazy best-candidate selection for one ad (the CELF
+// optimization of Leskovec et al., adapted to regret drops). It maintains a
+// max-heap of (node, marginal-revenue) entries where stored values may be
+// stale; submodularity of Π makes every stale value a valid upper bound, so
+// the true argmax of the regret drop can be certified after refreshing only
+// a few entries.
+//
+// The drop of a candidate with marginal revenue mg at budget gap g is
+// |g| − |g − mg| − λ ≤ min(mg, |g|) − λ (RegretDrop). The queue pops
+// entries in stale-mg order, re-evaluates them, and stops as soon as the
+// best refreshed drop is at least the upper bound min(next-stale-mg, |g|) − λ
+// of everything still unrefreshed. Because the drop is not monotone in mg
+// (an overshooting candidate loses to a smaller one near the budget), the
+// queue keeps scanning past fresh entries whose drop is below their own
+// bound — this implements Algorithm 1's exact argmax over (user, ad) pairs
+// rather than the "largest marginal gain" shortcut.
+type celfQueue struct {
+	h       mgHeap
+	removed []bool
+	// freshness: value for node u is current iff freshTag[u] == commits.
+	freshTag []int
+	freshMg  []float64
+	commits  int
+	evals    int // total estimator evaluations (ablation metric)
+}
+
+func newCELFQueue(n int) *celfQueue {
+	q := &celfQueue{
+		removed:  make([]bool, n),
+		freshTag: make([]int, n),
+		freshMg:  make([]float64, n),
+	}
+	q.h = make(mgHeap, 0, n)
+	for u := 0; u < n; u++ {
+		q.freshTag[u] = -1
+		q.h = append(q.h, mgEntry{node: int32(u), mg: math.Inf(1)})
+	}
+	// All +Inf: already a valid heap.
+	return q
+}
+
+// remove permanently excludes a node (committed to this ad, or attention
+// bound exhausted — both monotone).
+func (q *celfQueue) remove(u int32) { q.removed[u] = true }
+
+// noteCommit invalidates cached evaluations after the ad's seed set grew.
+func (q *celfQueue) noteCommit() { q.commits++ }
+
+// bestDrop returns the eligible node maximizing RegretDrop(gap, mg, λ)
+// together with its marginal revenue and drop. ok is false when the heap is
+// exhausted. Callers must still check drop > 0 before committing.
+func (q *celfQueue) bestDrop(est AdEstimator, gap, lambda float64, eligible func(int32) bool) (bestU int32, bestMg, bestDrop float64, ok bool) {
+	bestU, bestDrop = -1, math.Inf(-1)
+	ubound := func(mg float64) float64 { return math.Min(mg, math.Abs(gap)) - lambda }
+	var aside []mgEntry
+	for len(q.h) > 0 {
+		top := q.h[0]
+		if q.removed[top.node] {
+			heap.Pop(&q.h)
+			continue
+		}
+		if eligible != nil && !eligible(top.node) {
+			q.removed[top.node] = true
+			heap.Pop(&q.h)
+			continue
+		}
+		if bestU >= 0 && bestDrop >= ubound(top.mg) {
+			break // nothing left can beat the incumbent
+		}
+		heap.Pop(&q.h)
+		mg := top.mg
+		if q.freshTag[top.node] != q.commits {
+			mg = est.MarginalRevenue(top.node)
+			q.evals++
+			q.freshTag[top.node] = q.commits
+			q.freshMg[top.node] = mg
+		}
+		if d := RegretDrop(gap, mg, lambda); d > bestDrop {
+			bestU, bestMg, bestDrop = top.node, mg, d
+		}
+		aside = append(aside, mgEntry{node: top.node, mg: mg})
+	}
+	for _, e := range aside {
+		heap.Push(&q.h, e)
+	}
+	if bestU < 0 {
+		return 0, 0, 0, false
+	}
+	return bestU, bestMg, bestDrop, true
+}
+
+type mgEntry struct {
+	node int32
+	mg   float64
+}
+
+type mgHeap []mgEntry
+
+func (h mgHeap) Len() int            { return len(h) }
+func (h mgHeap) Less(i, j int) bool  { return h[i].mg > h[j].mg }
+func (h mgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mgHeap) Push(x interface{}) { *h = append(*h, x.(mgEntry)) }
+func (h *mgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestTIRMCandidateDepthFindsSmallerNode reproduces the Algorithm 3
+// limitation the extension targets: ad d (budget 1, δ=0.6) overshoots with
+// the hub v3 (mg ≈ 1.26, drop ≈ 0.74) but profits more from v1
+// (mg ≈ 0.85). Depth-1 TIRM may still allocate v3 to d or saturate d; with
+// depth ≥ 4 the allocation regret must be no worse.
+func TestTIRMCandidateDepthNoWorse(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	shallow, err := TIRM(inst, xrand.New(2), TIRMOptions{Eps: 0.1, MinTheta: 60000, MaxTheta: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := TIRM(inst, xrand.New(2), TIRMOptions{Eps: 0.1, MinTheta: 60000, MaxTheta: 200000, CandidateDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := exactTotalRegret(inst, shallow.Alloc)
+	rd := exactTotalRegret(inst, deep.Alloc)
+	if rd > rs+0.05 {
+		t.Errorf("depth-6 regret %.4f worse than depth-1 %.4f", rd, rs)
+	}
+	t.Logf("fig1 regret: depth1=%.4f depth6=%.4f", rs, rd)
+}
+
+func TestTIRMCandidateDepthValid(t *testing.T) {
+	for _, depth := range []int{2, 4} {
+		inst := randomInstance(400+uint64(depth), 40, 160, 3, 2, 0.01)
+		res, err := TIRM(inst, xrand.New(uint64(depth)), TIRMOptions{
+			MinTheta: 8000, MaxTheta: 40000, CandidateDepth: depth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Alloc.Validate(inst); err != nil {
+			t.Errorf("depth %d: %v", depth, err)
+		}
+	}
+}
+
+func TestTIRMCandidateDepthWithSoftCoverage(t *testing.T) {
+	// The two extensions compose.
+	inst := fig1Instance(t, 0)
+	res, err := TIRM(inst, xrand.New(3), TIRMOptions{
+		MinTheta: 30000, CandidateDepth: 4, SoftCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Alloc.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	if regret := exactTotalRegret(inst, res.Alloc); regret > 3.2 {
+		t.Errorf("combined extensions regret %.4f", regret)
+	}
+}

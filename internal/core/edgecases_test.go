@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// TestZeroAttentionAllocatesNothing: with κ_u = 0 everywhere, every valid
+// allocation is empty and every algorithm must return one.
+func TestZeroAttentionAllocatesNothing(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	inst.Kappa = VecKappa{0, 0, 0, 0, 0, 0}
+	g, err := Greedy(inst, NewExactFactory(inst), GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Alloc.NumSeeds() != 0 {
+		t.Errorf("greedy seeded %d users despite κ=0", g.Alloc.NumSeeds())
+	}
+	tr, err := TIRM(inst, xrand.New(1), TIRMOptions{MinTheta: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Alloc.NumSeeds() != 0 {
+		t.Errorf("TIRM seeded %d users despite κ=0", tr.Alloc.NumSeeds())
+	}
+}
+
+// TestMixedAttention: κ = 0 for some users must exclude exactly them.
+func TestMixedAttention(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	// Only v3 (index 2) may be seeded.
+	inst.Kappa = VecKappa{0, 0, 3, 0, 0, 0}
+	res, err := TIRM(inst, xrand.New(2), TIRMOptions{MinTheta: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seeds := range res.Alloc.Seeds {
+		for _, u := range seeds {
+			if u != 2 {
+				t.Errorf("ad %d seeded forbidden node %d", i, u)
+			}
+		}
+	}
+	if err := res.Alloc.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleNodeGraph: a one-node instance must terminate and either seed
+// that node or not, without panicking.
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.NewBuilder(1).MustBuild()
+	inst := &Instance{
+		G: g,
+		Ads: []Ad{{
+			Name:   "solo",
+			Budget: 0.5,
+			CPE:    1,
+			Params: topic.ItemParams{Probs: nil, CTPs: topic.ConstCTP{Nodes: 1, P: 0.4}},
+		}},
+		Kappa: ConstKappa(1),
+	}
+	res, err := TIRM(inst, xrand.New(3), TIRMOptions{MinTheta: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Alloc.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy(inst, NewExactFactory(inst), GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeding the node gives Π = 0.4, regret 0.1 < 0.5: greedy must take it.
+	if gr.Alloc.NumSeeds() != 1 {
+		t.Errorf("greedy left the profitable solo node unseeded")
+	}
+}
+
+// TestOversizedSingleNodeSpread reproduces the paper's §4.1 "practical
+// considerations" pathology: when any single seed's revenue more than
+// doubles the budget, the empty allocation is optimal and the algorithms
+// must return it.
+func TestOversizedSingleNodeSpread(t *testing.T) {
+	g := graph.NewBuilder(3).MustBuild() // no edges: spread = CTP per seed
+	inst := &Instance{
+		G: g,
+		Ads: []Ad{{
+			Name:   "tiny",
+			Budget: 0.3,
+			CPE:    1,
+			Params: topic.ItemParams{Probs: nil, CTPs: topic.ConstCTP{Nodes: 3, P: 1.0}},
+		}},
+		Kappa: ConstKappa(1),
+	}
+	// Any seed yields Π = 1 ⇒ |0.3 − 1| = 0.7 > 0.3: worse than empty.
+	gr, err := Greedy(inst, NewExactFactory(inst), GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Alloc.NumSeeds() != 0 {
+		t.Errorf("greedy accepted a regret-increasing seed")
+	}
+	tr, err := TIRM(inst, xrand.New(4), TIRMOptions{MinTheta: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Alloc.NumSeeds() != 0 {
+		t.Errorf("TIRM accepted a regret-increasing seed")
+	}
+}
+
+// TestManyAdsFewUsers: more ads than seedable users — round termination
+// and validity under heavy competition.
+func TestManyAdsFewUsers(t *testing.T) {
+	r := xrand.New(9)
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	probs := []float32{0.3, 0.3, 0.3}
+	ads := make([]Ad, 8)
+	for i := range ads {
+		ads[i] = Ad{
+			Name:   string(rune('a' + i)),
+			Budget: r.Uniform(0.5, 2),
+			CPE:    1,
+			Params: topic.ItemParams{Probs: probs, CTPs: topic.ConstCTP{Nodes: 4, P: 0.5}},
+		}
+	}
+	inst := &Instance{G: g, Ads: ads, Kappa: ConstKappa(1)}
+	res, err := TIRM(inst, xrand.New(10), TIRMOptions{MinTheta: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Alloc.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc.NumSeeds() > 4 {
+		t.Errorf("more seeds than users: %d", res.Alloc.NumSeeds())
+	}
+}

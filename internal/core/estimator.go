@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/diffusion"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// AdEstimator is the pluggable revenue oracle behind Algorithm 1: it tracks
+// one ad's growing seed set and estimates Π_i. Implementations in this
+// repository: Monte Carlo (this file), exact enumeration (this file, tiny
+// graphs only), IRIE (package irie), and TIRM's RR-set coverage (tirm.go,
+// used directly rather than through Greedy).
+//
+// Greedy's CELF machinery requires MarginalRevenue to be submodular in the
+// committed set: the value reported for u must never increase after a
+// Commit. All provided implementations satisfy this (up to MC noise).
+type AdEstimator interface {
+	// MarginalRevenue estimates Π(S ∪ {u}) − Π(S) for the current seed set.
+	// u must not already be committed.
+	MarginalRevenue(u int32) float64
+	// Commit adds u to the seed set.
+	Commit(u int32)
+	// Revenue returns the current estimate of Π(S).
+	Revenue() float64
+}
+
+// MCEstimator estimates revenue with Monte Carlo simulation of the TIC-CTP
+// model. Marginal evaluations are deterministic functions of (base seed,
+// |S|, u), so Greedy runs are reproducible regardless of evaluation order.
+type MCEstimator struct {
+	sim     *diffusion.Simulator
+	cpe     float64
+	runs    int
+	rng     *xrand.Rand
+	seeds   []int32
+	revenue float64
+}
+
+// NewMCEstimator builds an MC revenue oracle with the given number of
+// cascades per spread evaluation.
+func NewMCEstimator(sim *diffusion.Simulator, cpe float64, runs int, rng *xrand.Rand) *MCEstimator {
+	if runs <= 0 {
+		panic("core: MCEstimator needs runs > 0")
+	}
+	return &MCEstimator{sim: sim, cpe: cpe, runs: runs, rng: rng}
+}
+
+func (e *MCEstimator) evalRNG(u int32) *xrand.Rand {
+	return e.rng.Split(uint64(len(e.seeds))<<32 | uint64(uint32(u)))
+}
+
+// MarginalRevenue implements AdEstimator. Negative MC noise is clamped to
+// zero (the true marginal is non-negative by monotonicity).
+func (e *MCEstimator) MarginalRevenue(u int32) float64 {
+	with := e.sim.SpreadMCParallel(append(e.seeds[:len(e.seeds):len(e.seeds)], u), e.runs, e.evalRNG(u))
+	mg := e.cpe*with - e.revenue
+	return math.Max(0, mg)
+}
+
+// Commit implements AdEstimator.
+func (e *MCEstimator) Commit(u int32) {
+	e.seeds = append(e.seeds, u)
+	e.revenue = e.cpe * e.sim.SpreadMCParallel(e.seeds, e.runs, e.evalRNG(-1))
+}
+
+// Revenue implements AdEstimator.
+func (e *MCEstimator) Revenue() float64 { return e.revenue }
+
+// Seeds returns the committed seeds (aliases internal storage).
+func (e *MCEstimator) Seeds() []int32 { return e.seeds }
+
+// ExactEstimator evaluates revenue by exhaustive possible-world enumeration
+// (diffusion.ExactSpread). Only usable on graphs with ≤ diffusion.MaxExactEdges
+// edges; it is the ground-truth oracle for unit tests and the Figure 1 gadget.
+type ExactEstimator struct {
+	sim     *diffusion.Simulator
+	cpe     float64
+	seeds   []int32
+	revenue float64
+}
+
+// NewExactEstimator builds the exact oracle.
+func NewExactEstimator(sim *diffusion.Simulator, cpe float64) *ExactEstimator {
+	return &ExactEstimator{sim: sim, cpe: cpe}
+}
+
+// MarginalRevenue implements AdEstimator.
+func (e *ExactEstimator) MarginalRevenue(u int32) float64 {
+	with := diffusion.ExactSpread(e.sim, append(e.seeds[:len(e.seeds):len(e.seeds)], u))
+	return e.cpe*with - e.revenue
+}
+
+// Commit implements AdEstimator.
+func (e *ExactEstimator) Commit(u int32) {
+	e.seeds = append(e.seeds, u)
+	e.revenue = e.cpe * diffusion.ExactSpread(e.sim, e.seeds)
+}
+
+// Revenue implements AdEstimator.
+func (e *ExactEstimator) Revenue() float64 { return e.revenue }
+
+// NewMCFactory returns an estimator factory for Greedy that builds one
+// MCEstimator per ad, each with an independent deterministic RNG stream.
+func NewMCFactory(inst *Instance, runs int, rng *xrand.Rand) func(i int) AdEstimator {
+	return func(i int) AdEstimator {
+		ad := inst.Ads[i]
+		sim := diffusion.NewSimulator(inst.G, ad.Params)
+		return NewMCEstimator(sim, ad.CPE, runs, rng.Split(uint64(i)))
+	}
+}
+
+// NewExactFactory returns an estimator factory for Greedy using exact
+// enumeration (tiny graphs only).
+func NewExactFactory(inst *Instance) func(i int) AdEstimator {
+	return func(i int) AdEstimator {
+		ad := inst.Ads[i]
+		sim := diffusion.NewSimulator(inst.G, ad.Params)
+		return NewExactEstimator(sim, ad.CPE)
+	}
+}
+
+// ensure interface compliance
+var (
+	_ AdEstimator = (*MCEstimator)(nil)
+	_ AdEstimator = (*ExactEstimator)(nil)
+	_ topic.CTP   = topic.ConstCTP{}
+)

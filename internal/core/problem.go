@@ -1,0 +1,206 @@
+// Package core implements the paper's primary contribution: the
+// REGRET-MINIMIZATION problem (Problem 1), its greedy algorithm
+// (Algorithm 1) with pluggable spread estimators, and the scalable
+// Two-phase Iterative Regret Minimization algorithm TIRM (Algorithm 2).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/topic"
+)
+
+// Ad describes one advertiser's campaign: the monetary agreement (budget
+// B_i, cost-per-engagement cpe(i)) plus the runtime form of its topic
+// distribution (mixed edge probabilities and CTP vector, see topic.Mix).
+type Ad struct {
+	// Name labels the ad in reports.
+	Name string
+	// Budget is B_i: the maximum amount the advertiser will pay.
+	Budget float64
+	// CPE is cpe(i): the payment per click.
+	CPE float64
+	// Params carries the ad's mixed edge probabilities p^i and CTPs δ(·,i).
+	Params topic.ItemParams
+}
+
+// AttentionBounds exposes the per-user attention bound κ_u: the maximum
+// number of ads the host may promote directly to user u.
+type AttentionBounds interface {
+	At(u int32) int
+}
+
+// ConstKappa is a uniform attention bound (the paper's experiments use
+// κ_u ∈ {1..5} for all users).
+type ConstKappa int
+
+// At implements AttentionBounds.
+func (k ConstKappa) At(int32) int { return int(k) }
+
+// VecKappa is a per-user attention bound vector.
+type VecKappa []int32
+
+// At implements AttentionBounds.
+func (v VecKappa) At(u int32) int { return int(v[u]) }
+
+// Instance is a full REGRET-MINIMIZATION problem (Problem 1).
+type Instance struct {
+	G      *graph.Graph
+	Ads    []Ad
+	Kappa  AttentionBounds
+	Lambda float64 // seed-penalty λ ≥ 0
+}
+
+// Validate checks structural consistency of the instance.
+func (inst *Instance) Validate() error {
+	if inst.G == nil {
+		return fmt.Errorf("core: instance has no graph")
+	}
+	if len(inst.Ads) == 0 {
+		return fmt.Errorf("core: instance has no ads")
+	}
+	if inst.Kappa == nil {
+		return fmt.Errorf("core: instance has no attention bounds")
+	}
+	if inst.Lambda < 0 || math.IsNaN(inst.Lambda) {
+		return fmt.Errorf("core: λ = %v must be ≥ 0", inst.Lambda)
+	}
+	for i, ad := range inst.Ads {
+		if ad.Budget <= 0 {
+			return fmt.Errorf("core: ad %d (%s) budget %v must be > 0", i, ad.Name, ad.Budget)
+		}
+		if ad.CPE <= 0 {
+			return fmt.Errorf("core: ad %d (%s) CPE %v must be > 0", i, ad.Name, ad.CPE)
+		}
+		if int64(len(ad.Params.Probs)) != inst.G.M() {
+			return fmt.Errorf("core: ad %d (%s) has %d edge probabilities, graph has %d edges",
+				i, ad.Name, len(ad.Params.Probs), inst.G.M())
+		}
+		if ad.Params.CTPs == nil || ad.Params.CTPs.N() != inst.G.N() {
+			return fmt.Errorf("core: ad %d (%s) CTP vector does not cover %d nodes", i, ad.Name, inst.G.N())
+		}
+	}
+	return nil
+}
+
+// TotalBudget returns Σ_i B_i, the denominator of the paper's
+// regret-relative-to-budget reporting and of Theorems 2–4.
+func (inst *Instance) TotalBudget() float64 {
+	var b float64
+	for _, ad := range inst.Ads {
+		b += ad.Budget
+	}
+	return b
+}
+
+// Allocation is a seed-set assignment S = (S_1, …, S_h).
+type Allocation struct {
+	// Seeds[i] lists ad i's seed users in selection order.
+	Seeds [][]int32
+}
+
+// NewAllocation returns an empty allocation for h ads.
+func NewAllocation(h int) *Allocation {
+	return &Allocation{Seeds: make([][]int32, h)}
+}
+
+// NumSeeds returns Σ_i |S_i|.
+func (a *Allocation) NumSeeds() int {
+	total := 0
+	for _, s := range a.Seeds {
+		total += len(s)
+	}
+	return total
+}
+
+// DistinctTargeted returns |∪_i S_i| — the "number of nodes targeted at
+// least once" statistic of the paper's Table 3.
+func (a *Allocation) DistinctTargeted() int {
+	seen := map[int32]bool{}
+	for _, s := range a.Seeds {
+		for _, u := range s {
+			seen[u] = true
+		}
+	}
+	return len(seen)
+}
+
+// Validate checks that the allocation is valid for the instance: every
+// seed is a real node, no ad seeds the same user twice, and no user exceeds
+// her attention bound (Problem 1's validity condition).
+func (a *Allocation) Validate(inst *Instance) error {
+	if len(a.Seeds) != len(inst.Ads) {
+		return fmt.Errorf("core: allocation covers %d ads, instance has %d", len(a.Seeds), len(inst.Ads))
+	}
+	n := int32(inst.G.N())
+	counts := make(map[int32]int)
+	for i, s := range a.Seeds {
+		inAd := make(map[int32]bool, len(s))
+		for _, u := range s {
+			if u < 0 || u >= n {
+				return fmt.Errorf("core: ad %d seeds out-of-range node %d", i, u)
+			}
+			if inAd[u] {
+				return fmt.Errorf("core: ad %d seeds node %d twice", i, u)
+			}
+			inAd[u] = true
+			counts[u]++
+		}
+	}
+	for u, c := range counts {
+		if c > inst.Kappa.At(u) {
+			return fmt.Errorf("core: node %d promoted %d ads, attention bound is %d", u, c, inst.Kappa.At(u))
+		}
+	}
+	return nil
+}
+
+// RegretTerm computes one advertiser's regret (Eq. 3):
+// |B − Π| + λ·|S|.
+func RegretTerm(budget, revenue, lambda float64, numSeeds int) float64 {
+	return math.Abs(budget-revenue) + lambda*float64(numSeeds)
+}
+
+// RegretDrop computes the decrease in R_i from adding a seed with marginal
+// revenue mg when the current budget gap is gap = B_i − Π_i(S_i):
+//
+//	drop = |gap| − |gap − mg| − λ
+//
+// Positive iff the addition strictly reduces regret. For gap > 0 the drop
+// equals min(mg, 2·gap − mg) − λ, the quantity bounded in Theorem 2's
+// Claims 1–2; for gap ≤ 0 (budget already met) it is −mg − λ ≤ −λ, so an
+// overshooting ad can never accept another seed.
+func RegretDrop(gap, mg, lambda float64) float64 {
+	return math.Abs(gap) - math.Abs(gap-mg) - lambda
+}
+
+// Attention tracks how many ads each user has been allocated and enforces
+// κ_u. Shared by every allocation algorithm in the repository.
+type Attention struct {
+	counts []int32
+	bounds AttentionBounds
+}
+
+// NewAttention creates a tracker for n users.
+func NewAttention(n int, bounds AttentionBounds) *Attention {
+	return &Attention{counts: make([]int32, n), bounds: bounds}
+}
+
+// CanTake reports whether u can accept one more promoted ad.
+func (at *Attention) CanTake(u int32) bool {
+	return int(at.counts[u]) < at.bounds.At(u)
+}
+
+// Take records one more promoted ad for u. It panics if the bound is
+// already reached (callers must check CanTake).
+func (at *Attention) Take(u int32) {
+	if !at.CanTake(u) {
+		panic(fmt.Sprintf("core: attention bound of node %d exceeded", u))
+	}
+	at.counts[u]++
+}
+
+// Count returns the number of ads currently promoted to u.
+func (at *Attention) Count(u int32) int { return int(at.counts[u]) }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// AllocationFile is the JSON on-disk form of an allocation, carrying enough
+// metadata to re-evaluate it later (adalloc -save / -load): the instance is
+// regenerable from (dataset, seed, scale), so only seeds are stored.
+type AllocationFile struct {
+	// Format tags the schema for forward compatibility.
+	Format int `json:"format"`
+	// Dataset/Seed/Scale/Kappa/Lambda identify the generating instance.
+	Dataset string  `json:"dataset,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Kappa   int     `json:"kappa,omitempty"`
+	Lambda  float64 `json:"lambda,omitempty"`
+	// Algo names the algorithm that produced the allocation.
+	Algo string `json:"algo,omitempty"`
+	// Ads lists per-ad seed sets in ad order, keyed by ad name.
+	Ads []AllocationFileAd `json:"ads"`
+}
+
+// AllocationFileAd is one ad's entry in an AllocationFile.
+type AllocationFileAd struct {
+	Name  string  `json:"name"`
+	Seeds []int32 `json:"seeds"`
+}
+
+// currentFormat is the AllocationFile schema version.
+const currentFormat = 1
+
+// WriteAllocation serializes an allocation with its provenance metadata.
+func WriteAllocation(w io.Writer, inst *Instance, alloc *Allocation, meta AllocationFile) error {
+	if len(alloc.Seeds) != len(inst.Ads) {
+		return fmt.Errorf("core: allocation has %d ads, instance %d", len(alloc.Seeds), len(inst.Ads))
+	}
+	meta.Format = currentFormat
+	meta.Ads = make([]AllocationFileAd, len(inst.Ads))
+	for i, ad := range inst.Ads {
+		seeds := alloc.Seeds[i]
+		if seeds == nil {
+			seeds = []int32{}
+		}
+		meta.Ads[i] = AllocationFileAd{Name: ad.Name, Seeds: seeds}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(meta)
+}
+
+// ReadAllocation parses an AllocationFile and validates the allocation
+// against the instance (ad count, node ranges, attention bounds).
+func ReadAllocation(r io.Reader, inst *Instance) (*Allocation, *AllocationFile, error) {
+	var file AllocationFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, nil, fmt.Errorf("core: parsing allocation: %w", err)
+	}
+	if file.Format != currentFormat {
+		return nil, nil, fmt.Errorf("core: unsupported allocation format %d", file.Format)
+	}
+	if len(file.Ads) != len(inst.Ads) {
+		return nil, nil, fmt.Errorf("core: allocation file has %d ads, instance %d", len(file.Ads), len(inst.Ads))
+	}
+	alloc := NewAllocation(len(inst.Ads))
+	for i, ad := range file.Ads {
+		if want := inst.Ads[i].Name; want != "" && ad.Name != want {
+			return nil, nil, fmt.Errorf("core: ad %d name %q does not match instance %q", i, ad.Name, want)
+		}
+		alloc.Seeds[i] = ad.Seeds
+	}
+	if err := alloc.Validate(inst); err != nil {
+		return nil, nil, err
+	}
+	return alloc, &file, nil
+}

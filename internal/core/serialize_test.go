@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllocationRoundTrip(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	alloc := &Allocation{Seeds: [][]int32{{0, 1}, {2}, {3, 4}, nil}}
+	meta := AllocationFile{Dataset: "fig1", Seed: 7, Scale: 1, Kappa: 1, Algo: "test"}
+	var buf bytes.Buffer
+	if err := WriteAllocation(&buf, inst, alloc, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, file, err := ReadAllocation(&buf, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Dataset != "fig1" || file.Seed != 7 || file.Algo != "test" {
+		t.Errorf("metadata lost: %+v", file)
+	}
+	for i := range alloc.Seeds {
+		if len(got.Seeds[i]) != len(alloc.Seeds[i]) {
+			t.Fatalf("ad %d: %v vs %v", i, got.Seeds[i], alloc.Seeds[i])
+		}
+		for j := range alloc.Seeds[i] {
+			if got.Seeds[i][j] != alloc.Seeds[i][j] {
+				t.Fatalf("ad %d seed %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadAllocationRejectsInvalid(t *testing.T) {
+	inst := fig1Instance(t, 0)
+
+	// Attention violation (node 0 in two ads with κ=1).
+	bad := &Allocation{Seeds: [][]int32{{0}, {0}, nil, nil}}
+	var buf bytes.Buffer
+	if err := WriteAllocation(&buf, inst, bad, AllocationFile{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadAllocation(&buf, inst); err == nil {
+		t.Error("attention-violating file accepted")
+	}
+
+	// Wrong ad count.
+	if _, _, err := ReadAllocation(strings.NewReader(`{"format":1,"ads":[{"name":"a","seeds":[]}]}`), inst); err == nil {
+		t.Error("short ad list accepted")
+	}
+
+	// Wrong format version.
+	if _, _, err := ReadAllocation(strings.NewReader(`{"format":99,"ads":[]}`), inst); err == nil {
+		t.Error("future format accepted")
+	}
+
+	// Garbage JSON.
+	if _, _, err := ReadAllocation(strings.NewReader(`{nope`), inst); err == nil {
+		t.Error("garbage accepted")
+	}
+
+	// Mismatched ad name.
+	wrong := `{"format":1,"ads":[{"name":"x","seeds":[]},{"name":"b","seeds":[]},{"name":"c","seeds":[]},{"name":"d","seeds":[]}]}`
+	if _, _, err := ReadAllocation(strings.NewReader(wrong), inst); err == nil {
+		t.Error("mismatched ad name accepted")
+	}
+}
+
+func TestWriteAllocationRejectsSizeMismatch(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	var buf bytes.Buffer
+	if err := WriteAllocation(&buf, inst, NewAllocation(2), AllocationFile{}); err == nil {
+		t.Error("ad-count mismatch accepted")
+	}
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rrset"
+	"repro/internal/xrand"
+)
+
+// TIRMOptions configures Two-phase Iterative Regret Minimization
+// (Algorithm 2).
+type TIRMOptions struct {
+	// Eps is ε of Eq. 5 (paper: 0.1 quality, 0.2 scalability). Default 0.1.
+	Eps float64
+	// Ell sets the n^(−ℓ) failure bound. Default 1.
+	Ell float64
+	// MinTheta floors each ad's RR sample (also the pilot-sample size used
+	// for width-based KPT refreshes). Default 4096.
+	MinTheta int
+	// MaxTheta caps each ad's RR sample (0 = uncapped). Paper-scale θ runs
+	// to tens of millions of sets; scaled-down runs cap it to bound memory,
+	// trading guarantee slack that does not change who-wins shapes.
+	MaxTheta int
+	// MaxSeedsPerAd caps |S_i| (0 = number of nodes).
+	MaxSeedsPerAd int
+	// CandidateDepth extends SelectBestNode (Algorithm 3): instead of
+	// scoring only the single max-coverage node per ad, the top
+	// CandidateDepth eligible nodes are scored by regret drop and the best
+	// one proposed. Depth 1 (default) is the paper's algorithm; deeper
+	// search helps near the budget boundary, where the max-coverage node
+	// can overshoot while a smaller node still reduces regret (the same
+	// non-monotonicity Algorithm 1's exact argmax handles, cf. celfQueue).
+	CandidateDepth int
+	// SoftCoverage enables the TIRM-W extension: instead of removing an
+	// RR-set once any seed covers it (the paper's Algorithm 2, which
+	// credits each set to its first seed and therefore underestimates
+	// revenue when seeds' reach overlaps), per-set weights Π(1−δ_u) are
+	// maintained so marginal gains and revenue match the exact expectation
+	// over CTP coins (see rrset.WeightedCollection). Off by default —
+	// the paper's semantics — and compared in the ABL-SOFT ablation bench.
+	SoftCoverage bool
+}
+
+func (o TIRMOptions) withDefaults() TIRMOptions {
+	if o.Eps <= 0 {
+		o.Eps = 0.1
+	}
+	if o.Ell <= 0 {
+		o.Ell = 1
+	}
+	if o.MinTheta <= 0 {
+		o.MinTheta = 4096
+	}
+	if o.CandidateDepth <= 0 {
+		o.CandidateDepth = 1
+	}
+	return o
+}
+
+// TIRMResult reports the allocation plus the algorithm's internal
+// estimates and sampling statistics (Table 4 instrumentation).
+type TIRMResult struct {
+	Alloc      *Allocation
+	EstRevenue []float64
+	// FinalTheta is the per-ad RR-sample size at termination.
+	FinalTheta []int
+	// FinalSeedTarget is the per-ad s_i estimate at termination.
+	FinalSeedTarget []int
+	// TotalSetsSampled counts RR-sets drawn across all ads.
+	TotalSetsSampled int64
+	// MemBytes estimates the peak footprint of the per-ad RR-set indexes
+	// (Table 4 instrumentation).
+	MemBytes   int64
+	Iterations int
+}
+
+// covIndex abstracts the two coverage-bookkeeping modes: the paper's hard
+// removal (rrset.Collection) and the TIRM-W soft weights
+// (rrset.WeightedCollection). Scores are in "set mass" units: a candidate's
+// marginal revenue is cpe·n·δ(u)·score/θ, and Commit/CreditFrom return the
+// δ-scaled mass actually claimed (= δ·score at commit time).
+type covIndex interface {
+	AddBatch(sets [][]int32)
+	NumSets() int
+	BestNode(eligible func(int32) bool) (node int32, score float64, ok bool)
+	TopNodes(k int, eligible func(int32) bool) (nodes []int32, scores []float64)
+	Commit(u int32, delta float64) float64
+	CreditFrom(u int32, delta float64, firstID int) float64
+	CoveredMass() float64
+	Drop(u int32)
+	MemBytes() int64
+}
+
+// hardIndex adapts rrset.Collection (Algorithm 2 semantics) to covIndex.
+type hardIndex struct{ c *rrset.Collection }
+
+func (h hardIndex) AddBatch(sets [][]int32) { h.c.AddBatch(sets) }
+func (h hardIndex) NumSets() int            { return h.c.NumSets() }
+func (h hardIndex) BestNode(eligible func(int32) bool) (int32, float64, bool) {
+	u, cov, ok := h.c.BestNode(eligible)
+	return u, float64(cov), ok
+}
+func (h hardIndex) TopNodes(k int, eligible func(int32) bool) ([]int32, []float64) {
+	nodes, covs := h.c.TopNodes(k, eligible)
+	scores := make([]float64, len(covs))
+	for i, c := range covs {
+		scores[i] = float64(c)
+	}
+	return nodes, scores
+}
+func (h hardIndex) Commit(u int32, delta float64) float64 {
+	return delta * float64(h.c.CoverNode(u))
+}
+func (h hardIndex) CreditFrom(u int32, delta float64, firstID int) float64 {
+	return delta * float64(h.c.CountAndCoverFrom(u, firstID))
+}
+func (h hardIndex) CoveredMass() float64 { return float64(h.c.NumCovered()) }
+func (h hardIndex) Drop(u int32)         { h.c.Drop(u) }
+func (h hardIndex) MemBytes() int64      { return h.c.MemBytes() }
+
+// softIndex adapts rrset.WeightedCollection (TIRM-W) to covIndex.
+type softIndex struct{ c *rrset.WeightedCollection }
+
+func (s softIndex) AddBatch(sets [][]int32) { s.c.AddBatch(sets) }
+func (s softIndex) NumSets() int            { return s.c.NumSets() }
+func (s softIndex) BestNode(eligible func(int32) bool) (int32, float64, bool) {
+	return s.c.BestNode(eligible)
+}
+func (s softIndex) TopNodes(k int, eligible func(int32) bool) ([]int32, []float64) {
+	return s.c.TopNodes(k, eligible)
+}
+func (s softIndex) Commit(u int32, delta float64) float64 { return s.c.Commit(u, delta) }
+func (s softIndex) CreditFrom(u int32, delta float64, firstID int) float64 {
+	return s.c.CreditFrom(u, delta, firstID)
+}
+func (s softIndex) CoveredMass() float64 { return s.c.CoveredMass() }
+func (s softIndex) Drop(u int32)         { s.c.Drop(u) }
+func (s softIndex) MemBytes() int64      { return s.c.MemBytes() }
+
+// tirmAd is the per-advertiser state of Algorithm 2.
+type tirmAd struct {
+	cpe       float64
+	budget    float64
+	delta     func(u int32) float64
+	col       covIndex
+	sampler   *rrset.Sampler
+	rng       *xrand.Rand
+	salt      uint64
+	theta     int
+	sTarget   int
+	widths    []int64 // pilot widths for KPT(s) refreshes
+	revenue   float64
+	seeds     []int32
+	seedMass  []float64 // δ-scaled claimed set mass per seed
+	saturated bool
+}
+
+// kptFromWidths evaluates TIM's width statistic KPT(s) = n·mean(κ_s(R))/2
+// with κ_s(R) = 1 − (1 − ω(R)/m)^s over the fixed pilot sample, floored at
+// max(s, 1). The paper sizes θ with L(s, ε) at every seed-target revision;
+// re-running full KPT estimation each time would resample from scratch, so
+// we keep the pilot widths and recompute the statistic for the new s — the
+// same estimator on a fixed sample (documented substitution, DESIGN.md §3.5).
+func kptFromWidths(widths []int64, s int, n int, m int64) float64 {
+	floor := math.Max(1, float64(s))
+	if len(widths) == 0 || m == 0 {
+		return floor
+	}
+	var sum float64
+	for _, w := range widths {
+		sum += 1 - math.Pow(1-float64(w)/float64(m), float64(s))
+	}
+	kpt := float64(n) * (sum / float64(len(widths))) / 2
+	return math.Max(kpt, floor)
+}
+
+// TIRM implements Algorithm 2: per-ad RR-set collections sized by Eq. 5,
+// greedy (user, ad) selection by maximum regret drop with marginal revenues
+// cpe(i)·n·δ(u,i)·F_R(u) (Theorem 5), iterative seed-set-size estimation
+// with sample growth, and UpdateEstimates re-calibration (Algorithm 4).
+func TIRM(inst *Instance, rng *xrand.Rand, opts TIRMOptions) (*TIRMResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	g := inst.G
+	n := g.N()
+	m := g.M()
+	h := len(inst.Ads)
+	maxSeeds := opts.MaxSeedsPerAd
+	if maxSeeds <= 0 {
+		maxSeeds = n
+	}
+
+	res := &TIRMResult{
+		Alloc:           NewAllocation(h),
+		EstRevenue:      make([]float64, h),
+		FinalTheta:      make([]int, h),
+		FinalSeedTarget: make([]int, h),
+	}
+
+	// Initialization (Algorithm 2 lines 1–3): s_j = 1, θ_j = L(s_j, ε),
+	// R_j = Sample(G, γ_j, θ_j). The pilot batch doubles as the width
+	// sample for KPT refreshes.
+	ads := make([]*tirmAd, h)
+	for j := 0; j < h; j++ {
+		spec := inst.Ads[j]
+		var col covIndex
+		if opts.SoftCoverage {
+			col = softIndex{rrset.NewWeightedCollection(n)}
+		} else {
+			col = hardIndex{rrset.NewCollection(n)}
+		}
+		a := &tirmAd{
+			cpe:     spec.CPE,
+			budget:  spec.Budget,
+			delta:   spec.Params.CTPs.At,
+			col:     col,
+			sampler: rrset.NewSampler(g, spec.Params.Probs, nil),
+			rng:     rng.Split(uint64(j)),
+			sTarget: 1,
+		}
+		pilot := a.sampler.SampleBatchRR(opts.MinTheta, a.rng, a.salt)
+		a.salt += uint64(len(pilot))
+		a.widths = make([]int64, len(pilot))
+		for i, set := range pilot {
+			a.widths[i] = rrset.Width(g, set)
+		}
+		a.col.AddBatch(pilot)
+		a.theta = len(pilot)
+		res.TotalSetsSampled += int64(len(pilot))
+
+		kpt := kptFromWidths(a.widths, 1, n, m)
+		want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
+		if want > a.theta {
+			extra := a.sampler.SampleBatchRR(want-a.theta, a.rng, a.salt)
+			a.salt += uint64(len(extra))
+			a.col.AddBatch(extra)
+			a.theta = want
+			res.TotalSetsSampled += int64(len(extra))
+		}
+		ads[j] = a
+	}
+
+	attention := NewAttention(n, inst.Kappa)
+	eligible := func(u int32) bool { return attention.CanTake(u) }
+
+	// Main loop (Algorithm 2 lines 4–19).
+	for {
+		bestAd := -1
+		var bestU int32
+		var bestScore float64
+		var bestMg float64
+		bestDrop := 0.0
+		for j, a := range ads {
+			if a.saturated {
+				continue
+			}
+			// SelectBestNode (Algorithm 3): max residual coverage among
+			// eligible nodes — extended to the top CandidateDepth nodes
+			// scored by regret drop (depth 1 = the paper).
+			nodes, scores := a.col.TopNodes(opts.CandidateDepth, eligible)
+			if len(nodes) == 0 {
+				a.saturated = true
+				continue
+			}
+			improved := false
+			for c, u := range nodes {
+				mg := a.cpe * float64(n) * a.delta(u) * scores[c] / float64(a.theta)
+				d := RegretDrop(a.budget-a.revenue, mg, inst.Lambda)
+				if d <= 0 {
+					continue
+				}
+				improved = true
+				if bestAd < 0 || d > bestDrop {
+					bestAd, bestU, bestScore, bestMg, bestDrop = j, u, scores[c], mg, d
+				}
+			}
+			if !improved {
+				// No strict improvement possible for this ad: its candidate
+				// pool only shrinks and Π only changes when it commits, so
+				// the saturation is permanent.
+				a.saturated = true
+				continue
+			}
+		}
+		if bestAd < 0 {
+			break // line 14: no (user, ad) pair reduces regret
+		}
+
+		// Commit (lines 10–12): allocate, record the claimed mass, and
+		// retire it (hard mode removes covered sets; soft mode decays their
+		// weights by 1−δ).
+		a := ads[bestAd]
+		mass := a.col.Commit(bestU, a.delta(bestU))
+		a.col.Drop(bestU)
+		attention.Take(bestU)
+		a.seeds = append(a.seeds, bestU)
+		a.seedMass = append(a.seedMass, mass)
+		a.revenue += bestMg
+		res.Iterations++
+		if diff := mass - a.delta(bestU)*bestScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
+			// BestNode and Commit disagree only on a bug.
+			panic("core: TIRM coverage bookkeeping out of sync")
+		}
+
+		if len(a.seeds) >= maxSeeds {
+			a.saturated = true
+			continue
+		}
+
+		// Iterative seed-set-size estimation (lines 14–18): when |S_i|
+		// reaches s_i, extend s_i by the regret still outstanding divided
+		// by the latest seed's marginal revenue — a lower bound on the
+		// seeds still needed, by submodularity — then grow θ_i to L(s_i, ε)
+		// and re-calibrate existing seeds on the enlarged sample.
+		if len(a.seeds) == a.sTarget {
+			gap := a.budget - a.revenue
+			if gap <= 0 || bestMg <= 0 {
+				continue
+			}
+			growth := int(math.Floor(gap / bestMg))
+			if growth < 1 {
+				continue
+			}
+			a.sTarget += growth
+			kpt := kptFromWidths(a.widths, a.sTarget, n, m)
+			// The achieved spread n·(covered/θ) is itself a lower bound on
+			// OPT_{s_i}; take the larger of the two (conservatively shrunk).
+			achieved := float64(n) * a.col.CoveredMass() / float64(a.theta) * (1 - opts.Eps)
+			optLB := math.Max(kpt, achieved)
+			want := rrset.Theta(int64(n), int64(a.sTarget), opts.Eps, opts.Ell, optLB, opts.MinTheta, opts.MaxTheta)
+			if want > a.theta {
+				boundary := a.col.NumSets()
+				extra := a.sampler.SampleBatchRR(want-a.theta, a.rng, a.salt)
+				a.salt += uint64(len(extra))
+				a.col.AddBatch(extra)
+				a.theta = want
+				res.TotalSetsSampled += int64(len(extra))
+				// UpdateEstimates (Algorithm 4): credit existing seeds, in
+				// selection order, with their coverage among the appended
+				// sets (retiring the claimed mass as we go so nothing is
+				// double-counted), then recompute Π against the new θ.
+				a.revenue = 0
+				for k, seed := range a.seeds {
+					a.seedMass[k] += a.col.CreditFrom(seed, a.delta(seed), boundary)
+					a.revenue += a.cpe * float64(n) * a.seedMass[k] / float64(a.theta)
+				}
+			}
+		}
+	}
+
+	for j, a := range ads {
+		res.Alloc.Seeds[j] = a.seeds
+		res.EstRevenue[j] = a.revenue
+		res.FinalTheta[j] = a.theta
+		res.FinalSeedTarget[j] = a.sTarget
+		res.MemBytes += a.col.MemBytes()
+	}
+	return res, nil
+}
+
+// EstRegret computes total regret under TIRM's own revenue estimates.
+func (r *TIRMResult) EstRegret(inst *Instance) float64 {
+	var total float64
+	for i, ad := range inst.Ads {
+		total += RegretTerm(ad.Budget, r.EstRevenue[i], inst.Lambda, len(r.Alloc.Seeds[i]))
+	}
+	return total
+}

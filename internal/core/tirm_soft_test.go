@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestTIRMSoftCoverageOnFig1(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	res, err := TIRM(inst, xrand.New(1), TIRMOptions{
+		Eps: 0.1, MinTheta: 60000, MaxTheta: 200000, SoftCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Alloc.Validate(inst); err != nil {
+		t.Fatalf("invalid allocation: %v", err)
+	}
+	regret := exactTotalRegret(inst, res.Alloc)
+	if regret > 3.2 {
+		t.Errorf("TIRM-soft regret %.4f on Fig1", regret)
+	}
+}
+
+// TestTIRMSoftCalibration is the extension's core claim: the soft-coverage
+// revenue estimate is unbiased, so it must track the exact revenue of the
+// chosen seeds much more tightly than the hard (first-seed-credit)
+// estimate when seeds overlap. The Fig1 hub structure with high CTPs makes
+// the overlap visible even on six nodes.
+func TestTIRMSoftCalibration(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	// Let every ad chase a big budget so seed sets overlap heavily.
+	ads := append([]Ad{}, inst.Ads...)
+	for i := range ads {
+		ads[i].Budget = 5
+	}
+	inst.Ads = ads
+	inst.Kappa = ConstKappa(4)
+
+	var errs [2]float64
+	for i, soft := range []bool{false, true} {
+		res, err := TIRM(inst, xrand.New(9), TIRMOptions{
+			Eps: 0.1, MinTheta: 80000, MaxTheta: 200000, SoftCoverage: soft,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var totalErr float64
+		for j := range inst.Ads {
+			exact := exactRevenue(inst, j, res.Alloc.Seeds[j])
+			totalErr += math.Abs(exact - res.EstRevenue[j])
+		}
+		errs[i] = totalErr
+	}
+	if errs[1] > errs[0]+1e-9 {
+		t.Errorf("soft-coverage estimate error %.4f not below hard %.4f", errs[1], errs[0])
+	}
+	t.Logf("revenue estimate |error|: hard=%.4f soft=%.4f", errs[0], errs[1])
+}
+
+func TestTIRMSoftDeterministic(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	a, err := TIRM(inst, xrand.New(3), TIRMOptions{MinTheta: 5000, SoftCoverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TIRM(inst, xrand.New(3), TIRMOptions{MinTheta: 5000, SoftCoverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Alloc.Seeds {
+		if len(a.Alloc.Seeds[i]) != len(b.Alloc.Seeds[i]) {
+			t.Fatal("non-deterministic")
+		}
+		for j := range a.Alloc.Seeds[i] {
+			if a.Alloc.Seeds[i][j] != b.Alloc.Seeds[i][j] {
+				t.Fatal("non-deterministic seeds")
+			}
+		}
+	}
+}
+
+func TestTIRMSoftValidOnRandomInstances(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		inst := randomInstance(seed+200, 40, 160, 3, 2, 0.01)
+		res, err := TIRM(inst, xrand.New(seed), TIRMOptions{
+			MinTheta: 8000, MaxTheta: 40000, SoftCoverage: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Alloc.Validate(inst); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTIRMSoftNoFewerBudgetsMet checks the allocation-quality direction on
+// a denser random instance: soft coverage should not leave more aggregate
+// budget-regret than hard coverage (it keeps allocating where hard mode's
+// underestimate stops crediting, and stops where hard mode overshoots).
+func TestTIRMSoftUsesNoMoreSeeds(t *testing.T) {
+	inst := randomInstance(321, 60, 300, 2, 2, 0)
+	hard, err := TIRM(inst, xrand.New(5), TIRMOptions{MinTheta: 20000, MaxTheta: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := TIRM(inst, xrand.New(5), TIRMOptions{MinTheta: 20000, MaxTheta: 60000, SoftCoverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unbiased estimator credits overlap, so it reaches the same
+	// internal budget with no more seeds.
+	if soft.Alloc.NumSeeds() > hard.Alloc.NumSeeds() {
+		t.Errorf("soft used %d seeds, hard %d", soft.Alloc.NumSeeds(), hard.Alloc.NumSeeds())
+	}
+}

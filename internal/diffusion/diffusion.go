@@ -1,0 +1,218 @@
+// Package diffusion implements the paper's propagation model (§3): the
+// Topic-aware Independent Cascade model with Click-Through Probabilities
+// (TIC-CTP), reduced per ad to an IC model with mixed edge probabilities
+// (Lemma 1 / Eq. 1) plus a per-seed acceptance coin.
+//
+// Semantics. Given an ad with parameters (Probs, CTPs) and a seed set S:
+//
+//  1. Every u ∈ S independently clicks (becomes active) w.p. δ(u, i).
+//  2. When a node u first becomes active it gets one independent chance to
+//     activate each out-neighbor v, succeeding w.p. p^i_{u,v}.
+//  3. Propagation stops when no new node activates.
+//
+// σ_i(S) is the expected number of active nodes (= expected clicks). The
+// package provides a parallel Monte Carlo estimator and, for tiny graphs, an
+// exact evaluator that enumerates edge possible-worlds — used as ground
+// truth in tests and for the paper's Figure 1 gadget.
+package diffusion
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// Simulator runs TIC-CTP cascades for one ad over a fixed graph. It is safe
+// for concurrent use: all mutable per-cascade state lives in cascadeState
+// values owned by individual goroutines.
+type Simulator struct {
+	g      *graph.Graph
+	params topic.ItemParams
+}
+
+// NewSimulator creates a simulator for one ad. params.Probs must have one
+// entry per edge of g and params.CTPs one entry per node.
+func NewSimulator(g *graph.Graph, params topic.ItemParams) *Simulator {
+	if int64(len(params.Probs)) != g.M() {
+		panic("diffusion: probability vector length != edge count")
+	}
+	if params.CTPs.N() != g.N() {
+		panic("diffusion: CTP length != node count")
+	}
+	return &Simulator{g: g, params: params}
+}
+
+// Graph returns the underlying graph.
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// Params returns the ad parameters the simulator was built with.
+func (s *Simulator) Params() topic.ItemParams { return s.params }
+
+// cascadeState is reusable scratch for one worker. Activation marks use
+// a round counter so the slice is cleared once, not per cascade.
+type cascadeState struct {
+	mark  []uint32
+	round uint32
+	queue []int32
+}
+
+func newCascadeState(n int) *cascadeState {
+	return &cascadeState{mark: make([]uint32, n), queue: make([]int32, 0, 256)}
+}
+
+// runOnce executes a single cascade and returns the number of activated
+// nodes. seedsOnly controls whether the CTP coin is applied to seeds (true
+// in the TIC-CTP model; SpreadIC passes false to get the classical IC model
+// where seeds activate deterministically).
+func (s *Simulator) runOnce(st *cascadeState, seeds []int32, rng *xrand.Rand, useCTP bool) int {
+	st.round++
+	if st.round == 0 { // uint32 wrapped: reset marks
+		for i := range st.mark {
+			st.mark[i] = 0
+		}
+		st.round = 1
+	}
+	active := 0
+	st.queue = st.queue[:0]
+	for _, u := range seeds {
+		if st.mark[u] == st.round {
+			continue // duplicate seed
+		}
+		if useCTP && !rng.Bernoulli(s.params.CTPs.At(u)) {
+			continue // seed declined to click
+		}
+		st.mark[u] = st.round
+		st.queue = append(st.queue, u)
+		active++
+	}
+	probs := s.params.Probs
+	for qi := 0; qi < len(st.queue); qi++ {
+		u := st.queue[qi]
+		targets, first := s.g.OutEdges(u)
+		for i, v := range targets {
+			if st.mark[v] == st.round {
+				continue
+			}
+			if rng.Bernoulli32(probs[first+int64(i)]) {
+				st.mark[v] = st.round
+				st.queue = append(st.queue, v)
+				active++
+			}
+		}
+	}
+	return active
+}
+
+// SpreadMC estimates σ_i(S) with `runs` Monte Carlo cascades using a single
+// goroutine. Deterministic given (seed set, rng seed).
+func (s *Simulator) SpreadMC(seeds []int32, runs int, rng *xrand.Rand) float64 {
+	st := newCascadeState(s.g.N())
+	total := 0
+	for r := 0; r < runs; r++ {
+		total += s.runOnce(st, seeds, rng, true)
+	}
+	return float64(total) / float64(runs)
+}
+
+// SpreadICMC is SpreadMC under the classical IC model (seeds activate with
+// probability 1). Used to validate Lemma 1 and the RR-set estimators.
+func (s *Simulator) SpreadICMC(seeds []int32, runs int, rng *xrand.Rand) float64 {
+	st := newCascadeState(s.g.N())
+	total := 0
+	for r := 0; r < runs; r++ {
+		total += s.runOnce(st, seeds, rng, false)
+	}
+	return float64(total) / float64(runs)
+}
+
+// numChunks fixes the parallel decomposition so results are independent of
+// GOMAXPROCS: work is split into this many deterministic chunks, each with
+// its own derived RNG stream, and chunk sums are reduced in index order.
+const numChunks = 64
+
+// SpreadMCParallel estimates σ_i(S) with `runs` cascades spread across all
+// CPUs. The result is deterministic given (seeds, rng seed) and identical to
+// running the same chunk decomposition sequentially.
+func (s *Simulator) SpreadMCParallel(seeds []int32, runs int, rng *xrand.Rand) float64 {
+	return s.spreadParallel(seeds, runs, rng, true)
+}
+
+// SpreadICMCParallel is the IC (no seed CTP) variant of SpreadMCParallel.
+func (s *Simulator) SpreadICMCParallel(seeds []int32, runs int, rng *xrand.Rand) float64 {
+	return s.spreadParallel(seeds, runs, rng, false)
+}
+
+func (s *Simulator) spreadParallel(seeds []int32, runs int, rng *xrand.Rand, useCTP bool) float64 {
+	mean, _ := s.spreadParallelStats(seeds, runs, rng, useCTP)
+	return mean
+}
+
+// SpreadMCStats estimates σ_i(S) along with the standard error of the
+// estimate (per-cascade sample standard deviation / √runs), letting
+// callers report Monte Carlo confidence intervals next to revenues.
+func (s *Simulator) SpreadMCStats(seeds []int32, runs int, rng *xrand.Rand) (mean, stderr float64) {
+	return s.spreadParallelStats(seeds, runs, rng, true)
+}
+
+func (s *Simulator) spreadParallelStats(seeds []int32, runs int, rng *xrand.Rand, useCTP bool) (mean, stderr float64) {
+	if runs <= 0 {
+		return 0, 0
+	}
+	chunks := numChunks
+	if runs < chunks {
+		chunks = runs
+	}
+	per := runs / chunks
+	extra := runs % chunks
+	sums := make([]int64, chunks)
+	sq := make([]int64, chunks)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	next := make(chan int, chunks)
+	for c := 0; c < chunks; c++ {
+		next <- c
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newCascadeState(s.g.N())
+			for c := range next {
+				cr := per
+				if c < extra {
+					cr++
+				}
+				crng := rng.Split(uint64(c))
+				var sum, sum2 int64
+				for r := 0; r < cr; r++ {
+					v := int64(s.runOnce(st, seeds, crng, useCTP))
+					sum += v
+					sum2 += v * v
+				}
+				sums[c] = sum
+				sq[c] = sum2
+			}
+		}()
+	}
+	wg.Wait()
+	var total, total2 int64
+	for c := range sums {
+		total += sums[c]
+		total2 += sq[c]
+	}
+	n := float64(runs)
+	mean = float64(total) / n
+	if runs > 1 {
+		variance := (float64(total2) - n*mean*mean) / (n - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		stderr = math.Sqrt(variance / n)
+	}
+	return mean, stderr
+}

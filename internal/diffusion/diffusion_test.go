@@ -1,0 +1,360 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// fig1Graph builds the toy network of the paper's Figure 1 (0-indexed:
+// v1..v6 -> 0..5) with the same edge probabilities for every ad.
+func fig1Graph(t testing.TB) (*graph.Graph, []float32) {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 2) // v1->v3 0.2
+	b.AddEdge(1, 2) // v2->v3 0.2
+	b.AddEdge(2, 3) // v3->v4 0.5
+	b.AddEdge(2, 4) // v3->v5 0.5
+	b.AddEdge(3, 5) // v4->v6 0.1
+	b.AddEdge(4, 5) // v5->v6 0.1
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("fig1: %v", err)
+	}
+	// Edge probabilities in canonical (u,v)-sorted EdgeID order.
+	probs := []float32{0.2, 0.2, 0.5, 0.5, 0.1, 0.1}
+	return g, probs
+}
+
+func fig1Sim(t testing.TB, ctp float64) *Simulator {
+	g, probs := fig1Graph(t)
+	return NewSimulator(g, topic.ItemParams{
+		Probs: probs,
+		CTPs:  topic.ConstCTP{Nodes: 6, P: ctp},
+	})
+}
+
+// TestFig1AllocationAExact verifies the exact per-node click probabilities
+// for the paper's allocation A (ad a seeded at every node, δ = 0.9).
+// The paper's reported numbers (0.9, 0.9, 0.93, 0.95, 0.95, 0.92) use an
+// independence approximation at v6; exact possible-world values are
+// 0.9, 0.9, 0.93276, 0.946638, 0.946638, 0.9180365 (sum 5.5440725 ≈ "5.55").
+func TestFig1AllocationAExact(t *testing.T) {
+	sim := fig1Sim(t, 0.9)
+	got := ExactActivationProbs(sim, []int32{0, 1, 2, 3, 4, 5})
+	want := []float64{0.9, 0.9, 0.93276, 0.946638, 0.946638, 0.9180365}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-6) {
+			t.Errorf("node v%d: got %.6f want %.6f", i+1, got[i], want[i])
+		}
+	}
+	spread := ExactSpread(sim, []int32{0, 1, 2, 3, 4, 5})
+	if !AlmostEqual(spread, 5.5440725, 1e-6) {
+		t.Errorf("allocation A spread = %.6f, want 5.5440725", spread)
+	}
+	// Paper's rounded figure.
+	if !AlmostEqual(spread, 5.55, 0.01) {
+		t.Errorf("allocation A spread %.4f not within 0.01 of the paper's 5.55", spread)
+	}
+}
+
+// TestFig1AllocationBExact verifies the per-ad spreads of allocation B:
+// a->{v1,v2}, b->{v3}, c->{v4,v5}, d->{v6} with δ = .9/.8/.7/.6.
+func TestFig1AllocationBExact(t *testing.T) {
+	cases := []struct {
+		name   string
+		ctp    float64
+		seeds  []int32
+		spread float64
+	}{
+		{"a", 0.9, []int32{0, 1}, 2.487141},
+		{"b", 0.8, []int32{2}, 1.678},
+		{"c", 0.7, []int32{3, 4}, 1.5351},
+		{"d", 0.6, []int32{5}, 0.6},
+	}
+	var total float64
+	for _, tc := range cases {
+		sim := fig1Sim(t, tc.ctp)
+		got := ExactSpread(sim, tc.seeds)
+		if !AlmostEqual(got, tc.spread, 1e-6) {
+			t.Errorf("ad %s: spread %.6f, want %.6f", tc.name, got, tc.spread)
+		}
+		total += got
+	}
+	// Paper: "The overall number of expected clicks under allocation B is 6.3."
+	if !AlmostEqual(total, 6.3, 0.01) {
+		t.Errorf("allocation B total clicks %.4f, want ≈6.3", total)
+	}
+}
+
+func TestMCMatchesExact(t *testing.T) {
+	sim := fig1Sim(t, 0.9)
+	seeds := []int32{0, 1, 2, 3, 4, 5}
+	exact := ExactSpread(sim, seeds)
+	mc := sim.SpreadMC(seeds, 200000, xrand.New(1))
+	if !AlmostEqual(mc, exact, 0.02) {
+		t.Errorf("MC %.4f vs exact %.4f", mc, exact)
+	}
+}
+
+func TestMCParallelMatchesExact(t *testing.T) {
+	sim := fig1Sim(t, 0.8)
+	seeds := []int32{0, 1}
+	exact := ExactSpread(sim, seeds)
+	mc := sim.SpreadMCParallel(seeds, 200000, xrand.New(2))
+	if !AlmostEqual(mc, exact, 0.02) {
+		t.Errorf("parallel MC %.4f vs exact %.4f", mc, exact)
+	}
+}
+
+func TestMCParallelDeterministic(t *testing.T) {
+	sim := fig1Sim(t, 0.9)
+	seeds := []int32{0, 2, 5}
+	a := sim.SpreadMCParallel(seeds, 50000, xrand.New(7))
+	b := sim.SpreadMCParallel(seeds, 50000, xrand.New(7))
+	if a != b {
+		t.Errorf("parallel MC not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSpreadEmptySeeds(t *testing.T) {
+	sim := fig1Sim(t, 0.9)
+	if s := sim.SpreadMC(nil, 100, xrand.New(1)); s != 0 {
+		t.Errorf("empty-seed MC spread %v", s)
+	}
+	if s := ExactSpread(sim, nil); s != 0 {
+		t.Errorf("empty-seed exact spread %v", s)
+	}
+	if s := sim.SpreadMCParallel(nil, 0, xrand.New(1)); s != 0 {
+		t.Errorf("zero-run parallel spread %v", s)
+	}
+}
+
+func TestDuplicateSeedsIgnored(t *testing.T) {
+	sim := fig1Sim(t, 1.0)
+	a := ExactSpread(sim, []int32{0, 0, 0})
+	b := ExactSpread(sim, []int32{0})
+	if !AlmostEqual(a, b, 1e-12) {
+		t.Errorf("duplicate seeds changed exact spread: %v vs %v", a, b)
+	}
+	mcA := sim.SpreadMC([]int32{0, 0}, 50000, xrand.New(3))
+	mcB := sim.SpreadMC([]int32{0}, 50000, xrand.New(3))
+	if !AlmostEqual(mcA, mcB, 0.03) {
+		t.Errorf("duplicate seeds changed MC spread: %v vs %v", mcA, mcB)
+	}
+}
+
+func TestCTPZeroMeansNoSpread(t *testing.T) {
+	sim := fig1Sim(t, 0)
+	if s := sim.SpreadMC([]int32{0, 1, 2}, 1000, xrand.New(4)); s != 0 {
+		t.Errorf("CTP=0 spread %v", s)
+	}
+	if s := ExactSpread(sim, []int32{0, 1, 2}); s != 0 {
+		t.Errorf("CTP=0 exact spread %v", s)
+	}
+}
+
+func TestICSeedsAlwaysActive(t *testing.T) {
+	// Under the IC variant the CTP is ignored and every seed activates.
+	sim := fig1Sim(t, 0.0)
+	s := sim.SpreadICMC([]int32{5}, 100, xrand.New(5))
+	if s != 1 {
+		t.Errorf("IC spread of sink seed = %v, want 1", s)
+	}
+	if e := ExactSpreadIC(sim, []int32{5}); !AlmostEqual(e, 1, 1e-12) {
+		t.Errorf("IC exact spread of sink seed = %v", e)
+	}
+}
+
+// randomTinySim builds a random simulator small enough for exact evaluation.
+func randomTinySim(seed uint64) *Simulator {
+	r := xrand.New(seed)
+	n := 4 + r.IntN(4)
+	b := graph.NewBuilder(n)
+	edges := 0
+	for u := 0; u < n && edges < 12; u++ {
+		for v := 0; v < n && edges < 12; v++ {
+			if u != v && r.Bernoulli(0.3) {
+				b.AddEdge(int32(u), int32(v))
+				edges++
+			}
+		}
+	}
+	g := b.MustBuild()
+	probs := make([]float32, g.M())
+	for e := range probs {
+		probs[e] = float32(r.Uniform(0, 1))
+	}
+	ctps := make([]float32, n)
+	for u := range ctps {
+		ctps[u] = float32(r.Uniform(0, 1))
+	}
+	vc, _ := topic.NewVecCTP(ctps)
+	return NewSimulator(g, topic.ItemParams{Probs: probs, CTPs: vc})
+}
+
+// TestSpreadMonotone checks σ(S) ≤ σ(T) for S ⊆ T on random tiny instances
+// (exact evaluation, so this is a hard property, not statistical).
+func TestSpreadMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		sim := randomTinySim(seed)
+		r := xrand.New(seed ^ 0xabc)
+		n := sim.Graph().N()
+		var small, big []int32
+		for u := 0; u < n; u++ {
+			if r.Bernoulli(0.3) {
+				small = append(small, int32(u))
+			}
+		}
+		big = append(big, small...)
+		extra := int32(r.IntN(n))
+		big = append(big, extra)
+		return ExactSpread(sim, big) >= ExactSpread(sim, small)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpreadSubmodular checks σ(S∪{w})−σ(S) ≥ σ(T∪{w})−σ(T) for S ⊆ T.
+func TestSpreadSubmodular(t *testing.T) {
+	f := func(seed uint64) bool {
+		sim := randomTinySim(seed)
+		r := xrand.New(seed ^ 0xdef)
+		n := sim.Graph().N()
+		var s []int32
+		for u := 0; u < n; u++ {
+			if r.Bernoulli(0.25) {
+				s = append(s, int32(u))
+			}
+		}
+		tt := append(append([]int32{}, s...), int32(r.IntN(n)))
+		w := int32(r.IntN(n))
+		gainS := ExactSpread(sim, append(append([]int32{}, s...), w)) - ExactSpread(sim, s)
+		gainT := ExactSpread(sim, append(append([]int32{}, tt...), w)) - ExactSpread(sim, tt)
+		return gainS >= gainT-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma1EmptySet verifies the exact form of Lemma 1 for the first seed:
+// σ({u}) = δ(u)·σ_ic({u}) on random tiny instances.
+func TestLemma1EmptySet(t *testing.T) {
+	f := func(seed uint64) bool {
+		sim := randomTinySim(seed)
+		r := xrand.New(seed ^ 0x123)
+		u := int32(r.IntN(sim.Graph().N()))
+		lhs := ExactTheorem5Marginal(sim, nil, u)
+		rhs := ExactSpread(sim, []int32{u})
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma1LowerBound verifies the general direction of the Theorem-5
+// estimator: δ(u)·[σ_ic(S∪{u})−σ_ic(S)] ≤ σ(S∪{u})−σ(S). See the
+// reproduction note on ExactTheorem5Marginal — for |S|≥1 with CTPs<1 the
+// δ-scaled IC marginal is a lower bound, exact only in special cases.
+func TestLemma1LowerBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		sim := randomTinySim(seed)
+		r := xrand.New(seed ^ 0x456)
+		n := sim.Graph().N()
+		var s []int32
+		for x := 0; x < n; x++ {
+			if r.Bernoulli(0.3) {
+				s = append(s, int32(x))
+			}
+		}
+		u := int32(r.IntN(n))
+		for _, x := range s {
+			if x == u {
+				return true // Lemma 1 concerns u ∉ S
+			}
+		}
+		su := append(append([]int32{}, s...), u)
+		lhs := ExactTheorem5Marginal(sim, s, u)
+		rhs := ExactSpread(sim, su) - ExactSpread(sim, s)
+		return lhs <= rhs+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma1ExactWithUnitCTP verifies that with all CTPs = 1 the identity
+// is exact for any S (classical Kempe et al. marginal-gain decomposition).
+func TestLemma1ExactWithUnitCTP(t *testing.T) {
+	f := func(seed uint64) bool {
+		base := randomTinySim(seed)
+		sim := NewSimulator(base.Graph(), topic.ItemParams{
+			Probs: base.Params().Probs,
+			CTPs:  topic.ConstCTP{Nodes: base.Graph().N(), P: 1},
+		})
+		r := xrand.New(seed ^ 0x789)
+		n := sim.Graph().N()
+		var s []int32
+		for x := 0; x < n; x++ {
+			if r.Bernoulli(0.3) {
+				s = append(s, int32(x))
+			}
+		}
+		u := int32(r.IntN(n))
+		for _, x := range s {
+			if x == u {
+				return true
+			}
+		}
+		su := append(append([]int32{}, s...), u)
+		lhs := ExactTheorem5Marginal(sim, s, u)
+		rhs := ExactSpread(sim, su) - ExactSpread(sim, s)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactPanicsOnLargeGraph(t *testing.T) {
+	b := graph.NewBuilder(30)
+	for i := 0; i < 25; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	g := b.MustBuild()
+	probs := make([]float32, g.M())
+	sim := NewSimulator(g, topic.ItemParams{Probs: probs, CTPs: topic.ConstCTP{Nodes: 30, P: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >MaxExactEdges edges")
+		}
+	}()
+	ExactSpread(sim, []int32{0})
+}
+
+func TestNewSimulatorPanics(t *testing.T) {
+	g, probs := fig1Graph(t)
+	t.Run("probs", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewSimulator(g, topic.ItemParams{Probs: probs[:2], CTPs: topic.ConstCTP{Nodes: 6, P: 1}})
+	})
+	t.Run("ctps", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewSimulator(g, topic.ItemParams{Probs: probs, CTPs: topic.ConstCTP{Nodes: 4, P: 1}})
+	})
+}

@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+func TestEvaluateFig1AllocationA(t *testing.T) {
+	inst := gen.Fig1Instance(0)
+	out := Evaluate(inst, gen.Fig1AllocationA(), 200000, xrand.New(1))
+	// Exact total regret of allocation A is 6.5440725 (Example 1).
+	if math.Abs(out.TotalRegret-6.544) > 0.05 {
+		t.Errorf("regret(A) = %.4f, want ≈6.544", out.TotalRegret)
+	}
+	if out.TotalBudget != 9 {
+		t.Errorf("total budget %v", out.TotalBudget)
+	}
+	if math.Abs(out.RegretOverBudget-6.544/9) > 0.01 {
+		t.Errorf("regret/budget = %v", out.RegretOverBudget)
+	}
+	if out.DistinctTargeted != 6 || out.TotalSeeds != 6 {
+		t.Errorf("targeted %d seeds %d", out.DistinctTargeted, out.TotalSeeds)
+	}
+	// Ad a overshoots (rev ≈ 5.544 > 4); the rest earn nothing.
+	if out.Ads[0].Overshoot < 1.4 || out.Ads[0].Overshoot > 1.7 {
+		t.Errorf("ad a overshoot %.4f, want ≈1.544", out.Ads[0].Overshoot)
+	}
+	for i := 1; i < 4; i++ {
+		if out.Ads[i].Revenue != 0 {
+			t.Errorf("ad %d revenue %v, want 0", i, out.Ads[i].Revenue)
+		}
+		if out.Ads[i].Regret != inst.Ads[i].Budget {
+			t.Errorf("ad %d regret %v, want full budget", i, out.Ads[i].Regret)
+		}
+	}
+}
+
+func TestEvaluateFig1AllocationB(t *testing.T) {
+	inst := gen.Fig1Instance(0)
+	out := Evaluate(inst, gen.Fig1AllocationB(), 200000, xrand.New(2))
+	if math.Abs(out.TotalRegret-2.6998) > 0.05 {
+		t.Errorf("regret(B) = %.4f, want ≈2.6998", out.TotalRegret)
+	}
+}
+
+func TestEvaluateLambdaTerm(t *testing.T) {
+	inst := gen.Fig1Instance(0.1)
+	out := Evaluate(inst, gen.Fig1AllocationB(), 100000, xrand.New(3))
+	// Example 2: regret grows by exactly 0.1 × 6 seeds.
+	if math.Abs(out.TotalRegret-3.2998) > 0.05 {
+		t.Errorf("regret(B, λ=0.1) = %.4f, want ≈3.2998", out.TotalRegret)
+	}
+	var seedRegret float64
+	for _, ao := range out.Ads {
+		seedRegret += ao.SeedRegret
+	}
+	if math.Abs(seedRegret-0.6) > 1e-9 {
+		t.Errorf("seed regret %v, want 0.6", seedRegret)
+	}
+}
+
+func TestEvaluateEmptyAllocation(t *testing.T) {
+	inst := gen.Fig1Instance(0)
+	out := Evaluate(inst, core.NewAllocation(4), 100, xrand.New(4))
+	if out.TotalRegret != inst.TotalBudget() {
+		t.Errorf("empty allocation regret %v, want total budget %v", out.TotalRegret, inst.TotalBudget())
+	}
+	if out.DistinctTargeted != 0 {
+		t.Errorf("targeted %d", out.DistinctTargeted)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	inst := gen.Fig1Instance(0)
+	a := Evaluate(inst, gen.Fig1AllocationB(), 20000, xrand.New(5))
+	b := Evaluate(inst, gen.Fig1AllocationB(), 20000, xrand.New(5))
+	if a.TotalRegret != b.TotalRegret {
+		t.Error("Evaluate not deterministic")
+	}
+}
+
+func TestOutcomeIdentity(t *testing.T) {
+	inst := gen.Fig1Instance(0.25)
+	out := Evaluate(inst, gen.Fig1AllocationB(), 5000, xrand.New(6))
+	var sum float64
+	for _, ao := range out.Ads {
+		if math.Abs(ao.Regret-(ao.BudgetRegret+ao.SeedRegret)) > 1e-9 {
+			t.Errorf("ad %s regret identity broken", ao.Name)
+		}
+		if math.Abs(ao.Overshoot-(ao.Revenue-ao.Budget)) > 1e-9 {
+			t.Errorf("ad %s overshoot identity broken", ao.Name)
+		}
+		if math.Abs(ao.BudgetRegret-math.Abs(ao.Overshoot)) > 1e-9 {
+			t.Errorf("ad %s budget-regret ≠ |overshoot|", ao.Name)
+		}
+		sum += ao.Regret
+	}
+	if math.Abs(sum-out.TotalRegret) > 1e-9 {
+		t.Error("total regret ≠ sum of per-ad regrets")
+	}
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// BoostRow is one point of the budget-boosting ablation (§3 Discussion):
+// the host artificially boosts each budget to B'_i = (1+β)·B_i before
+// allocating, trading some free service for extra revenue. Regret is
+// evaluated against the *original* budgets, split into undershoot and
+// overshoot mass so the trade-off is visible.
+type BoostRow struct {
+	Dataset Dataset
+	Beta    float64
+	// TotalRevenue is the MC revenue summed over ads.
+	TotalRevenue float64
+	// TotalRegret is Σ|B_i − Π_i| (λ = 0) w.r.t. the original budgets.
+	TotalRegret float64
+	// Undershoot is Σ max(0, B_i − Π_i); Overshoot is Σ max(0, Π_i − B_i)
+	// ("free service").
+	Undershoot, Overshoot float64
+	Seeds                 int
+}
+
+// Boost runs TIRM with boosted budgets B' = (1+β)B for each β and scores
+// the result against the original budgets.
+func Boost(ds Dataset, cfg Config, betas []float64) ([]BoostRow, error) {
+	cfg = cfg.withDefaults()
+	if len(betas) == 0 {
+		betas = []float64{-0.2, -0.1, 0, 0.1, 0.2}
+	}
+	base, err := Generate(ds, cfg, gen.Options{Kappa: 1, Lambda: 0})
+	if err != nil {
+		return nil, err
+	}
+	var rows []BoostRow
+	for _, beta := range betas {
+		boosted := *base
+		boosted.Ads = append([]core.Ad{}, base.Ads...)
+		for i := range boosted.Ads {
+			boosted.Ads[i].Budget = (1 + beta) * base.Ads[i].Budget
+		}
+		alloc, _, err := RunAlgo(&boosted, AlgoTIRM, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := EvaluateAlloc(base, alloc, cfg) // score vs original budgets
+		row := BoostRow{Dataset: ds, Beta: beta, TotalRegret: out.TotalRegret, Seeds: out.TotalSeeds}
+		for _, ao := range out.Ads {
+			row.TotalRevenue += ao.Revenue
+			if ao.Overshoot > 0 {
+				row.Overshoot += ao.Overshoot
+			} else {
+				row.Undershoot += -ao.Overshoot
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

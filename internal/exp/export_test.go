@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	for _, s := range []string{"", "table", "json", "csv"} {
+		if _, err := ParseFormat(s); err != nil {
+			t.Errorf("ParseFormat(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rows := []QualityRow{{Dataset: Flixster, Algo: AlgoTIRM, Kappa: 2, TotalRegret: 12.5}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "fig3", rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string       `json:"experiment"`
+		Rows       []QualityRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Experiment != "fig3" || len(doc.Rows) != 1 || doc.Rows[0].TotalRegret != 12.5 {
+		t.Errorf("round trip lost data: %+v", doc)
+	}
+}
+
+func TestWriteQualityCSV(t *testing.T) {
+	rows := []QualityRow{
+		{Dataset: Flixster, Algo: AlgoTIRM, Kappa: 1, Lambda: 0.5, TotalRegret: 10, RegretOverBudget: 0.25, Seeds: 42, DistinctTargeted: 40, Wall: 1.5},
+		{Dataset: Epinions, Algo: AlgoMyopic, Kappa: 5, TotalRegret: 99},
+	}
+	var buf bytes.Buffer
+	if err := WriteQualityCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "dataset" || recs[1][1] != "TIRM" || recs[2][0] != "EPINIONS" {
+		t.Errorf("csv content wrong: %v", recs)
+	}
+}
+
+func TestWriteScaleCSV(t *testing.T) {
+	rows := []ScaleRow{{Dataset: DBLP, Algo: AlgoTIRM, H: 5, Budget: 250, WallSeconds: 1.5, MemBytes: 1 << 20, Seeds: 100, SetsSampled: 5000}}
+	var buf bytes.Buffer
+	if err := WriteScaleCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DBLP") || !strings.Contains(out, "1048576") {
+		t.Errorf("csv content wrong:\n%s", out)
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	rows := []Fig5Row{{Dataset: Flixster, Algo: AlgoGreedyIRIE, Ad: "ad03", Budget: 10, Revenue: 12, Overshoot: 2, Seeds: 7}}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ad03") {
+		t.Errorf("csv content wrong:\n%s", buf.String())
+	}
+}

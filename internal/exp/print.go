@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// PrintQuality renders Fig. 3 / Fig. 4 / Table 3 rows as an aligned table:
+// one line per (λ, κ) with a column per algorithm — the same series the
+// paper plots.
+func PrintQuality(w io.Writer, title string, rows []QualityRow, column func(QualityRow) string) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	algos := map[Algo]bool{}
+	type key struct {
+		lambda float64
+		kappa  int
+	}
+	cells := map[key]map[Algo]string{}
+	var keys []key
+	for _, r := range rows {
+		k := key{r.Lambda, r.Kappa}
+		if cells[k] == nil {
+			cells[k] = map[Algo]string{}
+			keys = append(keys, k)
+		}
+		cells[k][r.Algo] = column(r)
+		algos[r.Algo] = true
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lambda != keys[j].lambda {
+			return keys[i].lambda < keys[j].lambda
+		}
+		return keys[i].kappa < keys[j].kappa
+	})
+	var order []Algo
+	for _, a := range AllAlgos {
+		if algos[a] {
+			order = append(order, a)
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "lambda\tkappa")
+	for _, a := range order {
+		fmt.Fprintf(tw, "\t%s", a)
+	}
+	fmt.Fprintln(tw)
+	for _, k := range keys {
+		fmt.Fprintf(tw, "%.1f\t%d", k.lambda, k.kappa)
+		for _, a := range order {
+			fmt.Fprintf(tw, "\t%s", cells[k][a])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// RegretColumn formats total regret (and % of budget) for PrintQuality.
+func RegretColumn(r QualityRow) string {
+	return fmt.Sprintf("%.1f (%.1f%%)", r.TotalRegret, 100*r.RegretOverBudget)
+}
+
+// TargetedColumn formats the distinct-targeted-node count (Table 3).
+func TargetedColumn(r QualityRow) string { return fmt.Sprintf("%d", r.DistinctTargeted) }
+
+// PrintFig5 renders the per-ad overshoot distribution.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "== FIG5: per-ad revenue − budget (λ=0, κ=5) ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\talgo\tad\tbudget\trevenue\trev−budget\tseeds")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\t%.1f\t%+.1f\t%d\n",
+			r.Dataset, r.Algo, r.Ad, r.Budget, r.Revenue, r.Overshoot, r.Seeds)
+	}
+	tw.Flush()
+	for _, algo := range []Algo{AlgoGreedyIRIE, AlgoTIRM} {
+		if s := Fig5Skew(rows, algo); !math.IsInf(s, 1) {
+			fmt.Fprintf(w, "%s max/min |rev−budget| skew: %.1f\n", algo, s)
+		}
+	}
+}
+
+// PrintTable1 renders dataset statistics.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "== TABLE1: dataset statistics ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\t#nodes\t#edges\ttype\tmax outdeg\tavg outdeg\tgiant comp")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%d\t%.1f\t%.1f%%\n",
+			r.Dataset, r.Nodes, r.Edges, r.Type, r.Stats.MaxOutDeg, r.Stats.AvgOutDeg, 100*r.GiantFrac)
+	}
+	tw.Flush()
+}
+
+// PrintTable2 renders advertiser budget/CPE summaries.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "== TABLE2: advertiser budgets and cost-per-engagement ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tbudget mean\tmin\tmax\tcpe mean\tmin\tmax")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\n",
+			r.Dataset, r.BudgetMean, r.BudgetMin, r.BudgetMax, r.CPEMean, r.CPEMin, r.CPEMax)
+	}
+	tw.Flush()
+}
+
+// PrintScale renders Fig. 6 / Table 4 rows.
+func PrintScale(w io.Writer, title string, rows []ScaleRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\talgo\th\tbudget\ttime (s)\tmem (MB)\tseeds\tRR-sets")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2f\t%.1f\t%d\t%d\n",
+			r.Dataset, r.Algo, r.H, r.Budget, r.WallSeconds,
+			float64(r.MemBytes)/1e6, r.Seeds, r.SetsSampled)
+	}
+	tw.Flush()
+}
+
+// PrintFig1 renders the toy-example rows.
+func PrintFig1(w io.Writer, rows []Fig1Row) {
+	fmt.Fprintln(w, "== FIG1/EXAMPLES 1–2: toy instance regrets ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "allocation\tlambda\tregret (MC)\tpaper")
+	for _, r := range rows {
+		paper := "—"
+		if !math.IsNaN(r.PaperValue) {
+			paper = fmt.Sprintf("%.1f", r.PaperValue)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.3f\t%s\n", r.Allocation, r.Lambda, r.TotalRegret, paper)
+	}
+	tw.Flush()
+}
+
+// PrintBoost renders the budget-boosting ablation.
+func PrintBoost(w io.Writer, rows []BoostRow) {
+	fmt.Fprintln(w, "== BOOST: B' = (1+β)·B ablation (TIRM, λ=0, κ=1) ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tbeta\trevenue\tregret\tundershoot\tovershoot\tseeds")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%+.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%d\n",
+			r.Dataset, r.Beta, r.TotalRevenue, r.TotalRegret, r.Undershoot, r.Overshoot, r.Seeds)
+	}
+	tw.Flush()
+}

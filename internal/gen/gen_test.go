@@ -1,0 +1,232 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diffusion"
+)
+
+func TestFig1InstanceMatchesPaper(t *testing.T) {
+	inst := Fig1Instance(0)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.N() != 6 || inst.G.M() != 6 {
+		t.Fatalf("gadget size %d/%d", inst.G.N(), inst.G.M())
+	}
+	if inst.TotalBudget() != 9 {
+		t.Fatalf("total budget %v", inst.TotalBudget())
+	}
+	// Regrets of the paper's allocations (Example 1) via exact evaluation.
+	regret := func(alloc *core.Allocation) float64 {
+		var total float64
+		for i, ad := range inst.Ads {
+			sim := diffusion.NewSimulator(inst.G, ad.Params)
+			rev := ad.CPE * diffusion.ExactSpread(sim, alloc.Seeds[i])
+			total += core.RegretTerm(ad.Budget, rev, inst.Lambda, len(alloc.Seeds[i]))
+		}
+		return total
+	}
+	if ra := regret(Fig1AllocationA()); math.Abs(ra-6.5440725) > 1e-6 {
+		t.Errorf("regret(A) = %.7f", ra)
+	}
+	if rb := regret(Fig1AllocationB()); math.Abs(rb-2.6997590) > 1e-6 {
+		t.Errorf("regret(B) = %.7f", rb)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Flixster(Options{Seed: 11, Scale: 0.02})
+	b := Flixster(Options{Seed: 11, Scale: 0.02})
+	if a.G.N() != b.G.N() || a.G.M() != b.G.M() {
+		t.Fatal("graph size not deterministic")
+	}
+	for e := int64(0); e < a.G.M(); e += 97 {
+		u1, v1 := a.G.EdgeEndpoints(e)
+		u2, v2 := b.G.EdgeEndpoints(e)
+		if u1 != u2 || v1 != v2 {
+			t.Fatal("edges not deterministic")
+		}
+	}
+	for i := range a.Ads {
+		if a.Ads[i].Budget != b.Ads[i].Budget || a.Ads[i].CPE != b.Ads[i].CPE {
+			t.Fatal("ad parameters not deterministic")
+		}
+		for e := 0; e < len(a.Ads[i].Params.Probs); e += 101 {
+			if a.Ads[i].Params.Probs[e] != b.Ads[i].Params.Probs[e] {
+				t.Fatal("mixed probabilities not deterministic")
+			}
+		}
+	}
+	c := Flixster(Options{Seed: 12, Scale: 0.02})
+	if c.G.M() == a.G.M() && func() bool {
+		for e := int64(0); e < a.G.M(); e++ {
+			u1, v1 := a.G.EdgeEndpoints(e)
+			u2, v2 := c.G.EdgeEndpoints(e)
+			if u1 != u2 || v1 != v2 {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestFlixsterShape(t *testing.T) {
+	inst := Flixster(Options{Seed: 1, Scale: 0.05})
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Ads) != QualityAds {
+		t.Fatalf("ads %d", len(inst.Ads))
+	}
+	st := inst.G.Stats()
+	// Paper ratio: 425K/30K ≈ 14 edges per node; allow generator slack.
+	ratio := float64(st.Edges) / float64(st.Nodes)
+	if ratio < 8 || ratio > 16 {
+		t.Errorf("avg degree %.1f outside Flixster-like range", ratio)
+	}
+	// Power-law-ish: the max degree must dwarf the average.
+	if float64(st.MaxOutDeg) < 5*ratio {
+		t.Errorf("max out-degree %d vs avg %.1f: no heavy tail", st.MaxOutDeg, ratio)
+	}
+	for _, ad := range inst.Ads {
+		// Budgets/CPEs in the paper ranges (budget scaled by 0.05).
+		if ad.Budget < 200*0.05 || ad.Budget > 600*0.05 {
+			t.Errorf("budget %v outside scaled [10,30]", ad.Budget)
+		}
+		if ad.CPE < 5 || ad.CPE > 6 {
+			t.Errorf("CPE %v outside [5,6]", ad.CPE)
+		}
+		// CTPs in [0.01, 0.03].
+		for u := int32(0); u < int32(inst.G.N()); u += 37 {
+			d := ad.Params.CTPs.At(u)
+			if d < 0.01 || d > 0.03 {
+				t.Errorf("CTP %v outside [0.01,0.03]", d)
+			}
+		}
+	}
+}
+
+func TestEpinionsShape(t *testing.T) {
+	inst := Epinions(Options{Seed: 2, Scale: 0.05})
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean mixed probability should be near the Exp(1/30) mean ≈ 0.033.
+	var sum float64
+	var cnt int
+	for _, p := range inst.Ads[0].Params.Probs {
+		sum += float64(p)
+		cnt++
+	}
+	mean := sum / float64(cnt)
+	if mean < 0.02 || mean > 0.05 {
+		t.Errorf("mean probability %.4f, want ≈1/30", mean)
+	}
+	for _, ad := range inst.Ads {
+		if ad.CPE < 2.5 || ad.CPE > 6 {
+			t.Errorf("CPE %v outside [2.5,6]", ad.CPE)
+		}
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	inst := DBLP(Options{Seed: 3, Scale: 0.02})
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := inst.G
+	// Undirected: every edge exists in both directions.
+	checked := 0
+	for e := int64(0); e < g.M() && checked < 500; e += 7 {
+		u, v := g.EdgeEndpoints(e)
+		if !g.HasEdge(v, u) {
+			t.Fatalf("edge (%d,%d) missing reverse", u, v)
+		}
+		checked++
+	}
+	// Weighted cascade: in-edge probabilities of v are all 1/indeg(v).
+	for v := int32(0); v < int32(g.N()); v += 53 {
+		sources, eids := g.InEdges(v)
+		if len(sources) == 0 {
+			continue
+		}
+		want := float32(1) / float32(len(sources))
+		for _, e := range eids {
+			if inst.Ads[0].Params.Probs[e] != want {
+				t.Fatalf("WC probability %v, want %v", inst.Ads[0].Params.Probs[e], want)
+			}
+		}
+	}
+	// Scalability setting: CPE = CTP = 1, identical budgets.
+	for _, ad := range inst.Ads {
+		if ad.CPE != 1 {
+			t.Errorf("CPE %v, want 1", ad.CPE)
+		}
+		if ad.Params.CTPs.At(0) != 1 {
+			t.Errorf("CTP %v, want 1", ad.Params.CTPs.At(0))
+		}
+		if ad.Budget != inst.Ads[0].Budget {
+			t.Error("budgets differ in scalability setting")
+		}
+	}
+	if len(inst.Ads) != ScalabilityAds {
+		t.Errorf("ads %d, want %d", len(inst.Ads), ScalabilityAds)
+	}
+}
+
+func TestLiveJournalShape(t *testing.T) {
+	inst := LiveJournal(Options{Seed: 4, Scale: 0.001})
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := inst.G.Stats()
+	ratio := float64(st.Edges) / float64(st.Nodes)
+	if ratio < 4 {
+		t.Errorf("LJ analogue too sparse: %.1f", ratio)
+	}
+}
+
+func TestBudgetOverrideAndScaling(t *testing.T) {
+	inst := DBLP(Options{Seed: 5, Scale: 0.02, BudgetOverride: 30000})
+	for _, ad := range inst.Ads {
+		if math.Abs(ad.Budget-30000*0.02) > 1e-9 {
+			t.Errorf("budget %v, want 600", ad.Budget)
+		}
+	}
+}
+
+func TestNumAdsOverride(t *testing.T) {
+	inst := DBLP(Options{Seed: 6, Scale: 0.02, NumAds: 20})
+	if len(inst.Ads) != 20 {
+		t.Errorf("ads %d, want 20", len(inst.Ads))
+	}
+}
+
+func TestKappaLambdaOptions(t *testing.T) {
+	inst := Flixster(Options{Seed: 7, Scale: 0.02, Kappa: 5, Lambda: 0.5})
+	if inst.Kappa.At(0) != 5 {
+		t.Errorf("κ = %d", inst.Kappa.At(0))
+	}
+	if inst.Lambda != 0.5 {
+		t.Errorf("λ = %v", inst.Lambda)
+	}
+}
+
+func TestTopicalSeparation(t *testing.T) {
+	// Flixster-like ads with different dominant topics must see different
+	// mixed probabilities (topical competition structure).
+	inst := Flixster(Options{Seed: 8, Scale: 0.02})
+	a, b := inst.Ads[0].Params.Probs, inst.Ads[1].Params.Probs
+	var diff float64
+	for e := range a {
+		diff += math.Abs(float64(a[e] - b[e]))
+	}
+	if diff/float64(len(a)) < 0.005 {
+		t.Errorf("ads 0 and 1 see nearly identical probabilities (mean |Δ| = %v)", diff/float64(len(a)))
+	}
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates directed edges and produces an immutable Graph.
+// Duplicate edges are coalesced; self-loops are rejected at Build time
+// (the propagation models give them no semantics).
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+type edge struct{ u, v int32 }
+
+// NewBuilder creates a builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// NewBuilderHint is NewBuilder with a capacity hint for the edge list.
+func NewBuilderHint(n int, edgeHint int) *Builder {
+	b := NewBuilder(n)
+	b.edges = make([]edge, 0, edgeHint)
+	return b
+}
+
+// N returns the node count the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge records the directed edge u->v ("v follows u"). Out-of-range
+// endpoints cause Build to fail.
+func (b *Builder) AddEdge(u, v NodeID) {
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// AddUndirected records both u->v and v->u (used by the DBLP analogue,
+// where the paper directs all co-authorship edges in both directions).
+func (b *Builder) AddUndirected(u, v NodeID) {
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+}
+
+// Build validates, deduplicates, sorts, and freezes the graph.
+func (b *Builder) Build() (*Graph, error) {
+	n := int32(b.n)
+	for _, e := range b.edges {
+		if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.u, e.v, n)
+		}
+		if e.u == e.v {
+			return nil, fmt.Errorf("graph: self-loop at node %d", e.u)
+		}
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].u != b.edges[j].u {
+			return b.edges[i].u < b.edges[j].u
+		}
+		return b.edges[i].v < b.edges[j].v
+	})
+	// Deduplicate in place.
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	m := int64(len(dedup))
+
+	g := &Graph{
+		n:        n,
+		m:        m,
+		outStart: make([]int64, n+1),
+		outTo:    make([]int32, m),
+		inStart:  make([]int64, n+1),
+		inFrom:   make([]int32, m),
+		inEID:    make([]int64, m),
+	}
+	// Out CSR: edges are already sorted by (u, v), so EdgeID = index.
+	for _, e := range dedup {
+		g.outStart[e.u+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		g.outStart[i+1] += g.outStart[i]
+	}
+	for j, e := range dedup {
+		g.outTo[j] = e.v
+	}
+	// In CSR with EdgeID back-references.
+	for _, e := range dedup {
+		g.inStart[e.v+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		g.inStart[i+1] += g.inStart[i]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.inStart[:n])
+	for j, e := range dedup {
+		k := cursor[e.v]
+		g.inFrom[k] = e.u
+		g.inEID[k] = int64(j)
+		cursor[e.v]++
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// inputs are constructed correctly by design.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,132 @@
+// Package graph provides the directed social-graph substrate shared by every
+// model in this repository.
+//
+// Following the paper's convention, an arc (u, v) means "v follows u": v sees
+// u's posts, so influence flows along the arc from u to v. Forward diffusion
+// (Monte Carlo simulation of the TIC-CTP model) traverses out-edges;
+// reverse-reachable-set sampling traverses in-edges.
+//
+// The graph is stored in compressed sparse row (CSR) form for both
+// directions. Each directed edge has a canonical EdgeID — its position in
+// the out-edge array — which the topic model uses to attach per-topic
+// influence probabilities. The in-edge arrays carry a parallel slice mapping
+// each in-edge back to its canonical EdgeID so both traversal directions can
+// look up the same probability.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are dense integers in [0, N).
+type NodeID = int32
+
+// EdgeID identifies a directed edge; edges are dense integers in [0, M)
+// ordered by (source, target).
+type EdgeID = int64
+
+// Graph is an immutable directed graph in CSR form.
+type Graph struct {
+	n int32
+	m int64
+
+	// Out-direction CSR. Edge j (EdgeID) goes from the unique u with
+	// outStart[u] <= j < outStart[u+1] to outTo[j].
+	outStart []int64
+	outTo    []int32
+
+	// In-direction CSR. inFrom[k] lists the in-neighbors of the unique v
+	// with inStart[v] <= k < inStart[v+1]; inEID[k] is the canonical EdgeID
+	// of that edge.
+	inStart []int64
+	inFrom  []int32
+	inEID   []int64
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return int(g.n) }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int64 { return g.m }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u NodeID) int {
+	return int(g.outStart[u+1] - g.outStart[u])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inStart[v+1] - g.inStart[v])
+}
+
+// OutEdges returns the targets of u's out-edges and the EdgeID of u's first
+// out-edge. The i-th returned target corresponds to EdgeID first+i. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) OutEdges(u NodeID) (targets []int32, first EdgeID) {
+	s, e := g.outStart[u], g.outStart[u+1]
+	return g.outTo[s:e], s
+}
+
+// InEdges returns the sources of v's in-edges along with the canonical
+// EdgeIDs of those edges. The returned slices alias internal storage and
+// must not be modified.
+func (g *Graph) InEdges(v NodeID) (sources []int32, eids []int64) {
+	s, e := g.inStart[v], g.inStart[v+1]
+	return g.inFrom[s:e], g.inEID[s:e]
+}
+
+// EdgeEndpoints returns the (source, target) of a canonical edge. It is
+// O(log n) (binary search over outStart) and intended for tests and
+// diagnostics, not inner loops.
+func (g *Graph) EdgeEndpoints(e EdgeID) (NodeID, NodeID) {
+	if e < 0 || e >= g.m {
+		panic(fmt.Sprintf("graph: EdgeID %d out of range [0,%d)", e, g.m))
+	}
+	// Find u with outStart[u] <= e < outStart[u+1].
+	u := sort.Search(int(g.n), func(i int) bool { return g.outStart[i+1] > e })
+	return int32(u), g.outTo[e]
+}
+
+// HasEdge reports whether the edge u->v exists. O(log outdeg(u)).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.FindEdge(u, v)
+	return ok
+}
+
+// FindEdge returns the canonical EdgeID of u->v if it exists.
+func (g *Graph) FindEdge(u, v NodeID) (EdgeID, bool) {
+	s, e := g.outStart[u], g.outStart[u+1]
+	row := g.outTo[s:e]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	if i < len(row) && row[i] == v {
+		return s + int64(i), true
+	}
+	return 0, false
+}
+
+// Stats summarizes the graph for dataset tables (paper Table 1).
+type Stats struct {
+	Nodes     int
+	Edges     int64
+	MaxOutDeg int
+	MaxInDeg  int
+	AvgOutDeg float64
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	st := Stats{Nodes: g.N(), Edges: g.M()}
+	for u := int32(0); u < g.n; u++ {
+		if d := g.OutDegree(u); d > st.MaxOutDeg {
+			st.MaxOutDeg = d
+		}
+		if d := g.InDegree(u); d > st.MaxInDeg {
+			st.MaxInDeg = d
+		}
+	}
+	if g.n > 0 {
+		st.AvgOutDeg = float64(g.m) / float64(g.n)
+	}
+	return st
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a plain-text edge list: a header line
+// "# nodes <n> edges <m>" followed by one "u v" pair per line in canonical
+// EdgeID order. The format round-trips exactly through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for u := int32(0); u < g.n; u++ {
+		targets, _ := g.OutEdges(u)
+		for _, v := range targets {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored, so SNAP-style edge lists with
+// comment preambles also load (node count is then inferred from the maximum
+// endpoint).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	var maxNode int32 = -1
+	var pending []edge
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var n int
+			var m int64
+			if _, err := fmt.Sscanf(line, "# nodes %d edges %d", &n, &m); err == nil {
+				b = NewBuilderHint(n, int(m))
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+		}
+		u64, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v64, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		u, v := int32(u64), int32(v64)
+		if u > maxNode {
+			maxNode = u
+		}
+		if v > maxNode {
+			maxNode = v
+		}
+		if b != nil {
+			b.AddEdge(u, v)
+		} else {
+			pending = append(pending, edge{u, v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = NewBuilderHint(int(maxNode)+1, len(pending))
+		for _, e := range pending {
+			b.AddEdge(e.u, e.v)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,234 @@
+package irie
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topic"
+)
+
+// star builds a hub with k out-neighbors, all edges with probability p.
+func star(k int, p float32) (*graph.Graph, []float32) {
+	b := graph.NewBuilder(k + 1)
+	for i := 1; i <= k; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	g := b.MustBuild()
+	probs := make([]float32, g.M())
+	for i := range probs {
+		probs[i] = p
+	}
+	return g, probs
+}
+
+func newEst(g *graph.Graph, probs []float32, ctp float64, cpe float64, o Options) *Estimator {
+	return NewEstimator(g, probs, topic.ConstCTP{Nodes: g.N(), P: ctp}, cpe, o)
+}
+
+func TestRankStarGraph(t *testing.T) {
+	// Leaves have rank 1 (no out-edges, ap=0); the hub converges to
+	// 1 + α·k·p·1 after one iteration.
+	g, probs := star(5, 0.2)
+	e := newEst(g, probs, 1, 1, Options{Alpha: 0.7, Iterations: 10})
+	wantHub := 1 + 0.7*5*0.2
+	if math.Abs(e.Rank(0)-wantHub) > 1e-6 {
+		t.Errorf("hub rank %v, want %v", e.Rank(0), wantHub)
+	}
+	for u := int32(1); u <= 5; u++ {
+		if math.Abs(e.Rank(u)-1) > 1e-9 {
+			t.Errorf("leaf %d rank %v, want 1", u, e.Rank(u))
+		}
+	}
+}
+
+func TestRankPathDamping(t *testing.T) {
+	// Path a->b->c with p=0.5: rank(c)=1, rank(b)=1+α/2,
+	// rank(a)=1+α/2·(1+α/2).
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	e := newEst(g, []float32{0.5, 0.5}, 1, 1, Options{Alpha: 0.8, Iterations: 20})
+	rb := 1 + 0.8*0.5
+	ra := 1 + 0.8*0.5*rb
+	if math.Abs(e.Rank(1)-rb) > 1e-6 || math.Abs(e.Rank(0)-ra) > 1e-6 {
+		t.Errorf("ranks (%v, %v), want (%v, %v)", e.Rank(0), e.Rank(1), ra, rb)
+	}
+}
+
+func TestMarginalRevenueScaling(t *testing.T) {
+	g, probs := star(4, 0.25)
+	e := newEst(g, probs, 0.02, 5.5, Options{Alpha: 0.8})
+	want := 5.5 * 0.02 * e.Rank(0)
+	if math.Abs(e.MarginalRevenue(0)-want) > 1e-12 {
+		t.Errorf("marginal %v, want %v", e.MarginalRevenue(0), want)
+	}
+}
+
+func TestCommitAccumulatesRevenue(t *testing.T) {
+	g, probs := star(4, 0.25)
+	e := newEst(g, probs, 0.5, 2, Options{})
+	mg0 := e.MarginalRevenue(0)
+	e.Commit(0)
+	if math.Abs(e.Revenue()-mg0) > 1e-12 {
+		t.Errorf("revenue %v after first commit, want %v", e.Revenue(), mg0)
+	}
+	mg1 := e.MarginalRevenue(1)
+	e.Commit(1)
+	if math.Abs(e.Revenue()-(mg0+mg1)) > 1e-12 {
+		t.Errorf("revenue %v after second commit, want %v", e.Revenue(), mg0+mg1)
+	}
+	if len(e.Seeds()) != 2 {
+		t.Errorf("seeds %v", e.Seeds())
+	}
+}
+
+func TestRanksDecreaseAfterCommit(t *testing.T) {
+	// CELF validity requires monotone non-increasing marginals.
+	g, probs := star(5, 0.4)
+	e := newEst(g, probs, 1, 1, Options{})
+	before := make([]float64, g.N())
+	for u := 0; u < g.N(); u++ {
+		before[u] = e.Rank(int32(u))
+	}
+	e.Commit(0)
+	for u := 0; u < g.N(); u++ {
+		if e.Rank(int32(u)) > before[u]+1e-12 {
+			t.Errorf("rank of %d rose after commit: %v -> %v", u, before[u], e.Rank(int32(u)))
+		}
+	}
+	// The hub's leaves are now partially activated: ap = δ(0)·p = 0.4.
+	for u := int32(1); u <= 5; u++ {
+		if math.Abs(e.AP(u)-0.4) > 1e-6 {
+			t.Errorf("leaf %d ap %v, want 0.4", u, e.AP(u))
+		}
+	}
+	if math.Abs(e.AP(0)-1) > 1e-9 {
+		t.Errorf("seed ap %v, want 1", e.AP(0))
+	}
+}
+
+func TestCommitCTPScalesDiscount(t *testing.T) {
+	// With seed CTP 0.5 the downstream discount is δ·p = 0.5·0.4.
+	g, probs := star(3, 0.4)
+	e := newEst(g, probs, 0.5, 1, Options{})
+	e.Commit(0)
+	for u := int32(1); u <= 3; u++ {
+		if math.Abs(e.AP(u)-0.2) > 1e-6 {
+			t.Errorf("leaf ap %v, want 0.2", e.AP(u))
+		}
+	}
+}
+
+func TestProbePathProduct(t *testing.T) {
+	// a->b->c->d with p=0.5: probe(a) should assign ≈ p, p², p³.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	e := newEst(g, []float32{0.5, 0.5, 0.5}, 1, 1, Options{ProbeDepth: 5})
+	got := map[int32]float64{}
+	e.probe(0, func(x int32, p float64) { got[x] = p })
+	want := map[int32]float64{0: 1, 1: 0.5, 2: 0.25, 3: 0.125}
+	for x, w := range want {
+		if math.Abs(got[x]-w) > 1e-6 {
+			t.Errorf("probe act[%d] = %v, want %v", x, got[x], w)
+		}
+	}
+}
+
+func TestProbeDepthLimit(t *testing.T) {
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	g := b.MustBuild()
+	probs := []float32{1, 1, 1, 1}
+	e := newEst(g, probs, 1, 1, Options{ProbeDepth: 2})
+	got := map[int32]float64{}
+	e.probe(0, func(x int32, p float64) { got[x] = p })
+	if _, ok := got[2]; !ok {
+		t.Error("depth-2 probe missed node 2 (two hops)")
+	}
+	if _, ok := got[3]; ok {
+		t.Error("depth-2 probe reached node 3 (three hops)")
+	}
+}
+
+func TestProbeTolPrunes(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	e := newEst(g, []float32{0.001, 0.001}, 1, 1, Options{ProbeTol: 0.01, ProbeDepth: 5})
+	got := map[int32]float64{}
+	e.probe(0, func(x int32, p float64) { got[x] = p })
+	if len(got) != 1 {
+		t.Errorf("probe visited %v, want only the source", got)
+	}
+}
+
+func TestAPBounded(t *testing.T) {
+	g, probs := star(4, 0.9)
+	e := newEst(g, probs, 1, 1, Options{})
+	for u := int32(0); u < int32(g.N()); u++ {
+		if e.AP(u) != 0 {
+			t.Fatalf("initial ap nonzero")
+		}
+	}
+	e.Commit(0)
+	e.Commit(1)
+	for u := int32(0); u < int32(g.N()); u++ {
+		if e.AP(u) < 0 || e.AP(u) > 1 {
+			t.Errorf("ap[%d] = %v outside [0,1]", u, e.AP(u))
+		}
+	}
+}
+
+func TestCycleTermination(t *testing.T) {
+	// Cyclic graph: rank iteration and probe must terminate.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g := b.MustBuild()
+	e := newEst(g, []float32{0.9, 0.9, 0.9}, 1, 1, Options{Iterations: 50, ProbeDepth: 10})
+	e.Commit(0)
+	if e.Revenue() <= 0 {
+		t.Error("no revenue on cycle")
+	}
+	for u := int32(0); u < 3; u++ {
+		if math.IsNaN(e.Rank(u)) || math.IsInf(e.Rank(u), 0) {
+			t.Errorf("rank[%d] = %v", u, e.Rank(u))
+		}
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	g, probs := star(3, 0.2)
+	t.Run("probs", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewEstimator(g, probs[:1], topic.ConstCTP{Nodes: g.N(), P: 1}, 1, Options{})
+	})
+	t.Run("ctp", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewEstimator(g, probs, nil, 1, Options{})
+	})
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Alpha != 0.8 || o.Iterations != 20 || o.ProbeTol != 1e-4 || o.ProbeDepth != 4 {
+		t.Errorf("defaults %+v", o)
+	}
+}

@@ -1,0 +1,243 @@
+package rrset
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Collection is a mutable coverage index over a growing family of RR-sets.
+// It supports the operations TIM's phase 2 and TIRM's main loop need:
+//
+//   - Add / AddBatch: append newly sampled sets (θ grows over time in TIRM);
+//   - BestNode: argmax residual coverage subject to a caller-supplied
+//     eligibility filter (attention bounds) — implemented with a lazy
+//     max-heap, valid because residual coverage only decreases between
+//     additions and additions push refreshed entries;
+//   - CoverNode: mark every residual set containing a node as covered
+//     (Algorithm 2 line 12) and return how many sets that covered;
+//   - CountAndCoverFrom: credit an existing seed with sets appended after a
+//     given boundary (Algorithm 4, UpdateEstimates).
+type Collection struct {
+	n       int
+	sets    [][]int32 // set id -> member nodes
+	nodeIn  [][]int32 // node -> ids of sets containing it
+	covered []bool    // set id -> already covered by a chosen seed
+	cov     []int32   // node -> residual coverage (uncovered sets containing it)
+	ncov    int       // number of covered sets
+	pq      covHeap
+	dead    []bool // node -> permanently ineligible (dropped from heap)
+}
+
+// NewCollection creates an empty index over n nodes.
+func NewCollection(n int) *Collection {
+	return &Collection{
+		n:      n,
+		nodeIn: make([][]int32, n),
+		cov:    make([]int32, n),
+		dead:   make([]bool, n),
+	}
+}
+
+// N returns the node-universe size.
+func (c *Collection) N() int { return c.n }
+
+// MemBytes estimates the index's resident footprint: member lists, inverted
+// index, coverage counters and per-set flags. TIRM reports it for the
+// paper's Table 4 (memory usage), measuring the structure that actually
+// dominates RR-set algorithms' memory.
+func (c *Collection) MemBytes() int64 {
+	var members int64
+	for _, s := range c.sets {
+		members += int64(len(s))
+	}
+	// Each member appears once in sets and once in nodeIn (4 bytes each),
+	// plus slice headers (24B per set and per node), covered flags (1B per
+	// set), coverage counters (4B per node), dead flags (1B per node), and
+	// live heap entries (8B each).
+	return members*8 +
+		int64(len(c.sets))*25 +
+		int64(c.n)*29 +
+		int64(len(c.pq))*8
+}
+
+// NumSets returns the total number of sets ever added.
+func (c *Collection) NumSets() int { return len(c.sets) }
+
+// NumCovered returns the number of sets already covered by chosen seeds.
+func (c *Collection) NumCovered() int { return c.ncov }
+
+// Add appends one RR-set and updates coverage counts.
+func (c *Collection) Add(set []int32) {
+	id := int32(len(c.sets))
+	c.sets = append(c.sets, set)
+	c.covered = append(c.covered, false)
+	for _, u := range set {
+		c.nodeIn[u] = append(c.nodeIn[u], id)
+		c.cov[u]++
+		if !c.dead[u] {
+			heap.Push(&c.pq, covEntry{node: u, cov: c.cov[u]})
+		}
+	}
+}
+
+// AddBatch appends many sets.
+func (c *Collection) AddBatch(sets [][]int32) {
+	for _, s := range sets {
+		c.Add(s)
+	}
+}
+
+// Coverage returns the residual coverage of u: the number of not-yet-covered
+// sets that contain u. n·cov/θ estimates u's marginal IC spread w.r.t. the
+// already-chosen seeds.
+func (c *Collection) Coverage(u int32) int { return int(c.cov[u]) }
+
+// BestNode returns the eligible node with maximum residual coverage, or
+// ok=false if no eligible node has positive coverage. eligible==nil means
+// every node is eligible. Nodes reported ineligible are dropped permanently
+// (callers use this for exhausted attention bounds, which never recover);
+// use BestNodeKeep if eligibility can change.
+func (c *Collection) BestNode(eligible func(int32) bool) (node int32, cov int, ok bool) {
+	for c.pq.Len() > 0 {
+		top := c.pq.peek()
+		if c.dead[top.node] {
+			heap.Pop(&c.pq)
+			continue
+		}
+		cur := c.cov[top.node]
+		if top.cov != cur {
+			// Stale entry: refresh in place.
+			heap.Pop(&c.pq)
+			if cur > 0 {
+				heap.Push(&c.pq, covEntry{node: top.node, cov: cur})
+			}
+			continue
+		}
+		if cur == 0 {
+			heap.Pop(&c.pq)
+			continue
+		}
+		if eligible != nil && !eligible(top.node) {
+			c.dead[top.node] = true
+			heap.Pop(&c.pq)
+			continue
+		}
+		return top.node, int(cur), true
+	}
+	return 0, 0, false
+}
+
+// Drop permanently removes a node from BestNode consideration (e.g. a node
+// already chosen as a seed for this ad).
+func (c *Collection) Drop(u int32) { c.dead[u] = true }
+
+// TopNodes returns up to k eligible nodes in decreasing residual-coverage
+// order (the candidates TIRM's CandidateDepth extension scores by regret
+// drop). Like BestNode it refreshes stale heap entries lazily and drops
+// ineligible nodes permanently; the heap is left intact.
+func (c *Collection) TopNodes(k int, eligible func(int32) bool) (nodes []int32, covs []int) {
+	var aside []covEntry
+	seen := map[int32]bool{}
+	for c.pq.Len() > 0 && len(nodes) < k {
+		top := c.pq.peek()
+		if seen[top.node] {
+			// Stale-refresh cycles can leave duplicate fresh entries for a
+			// node; collect each node at most once per call.
+			heap.Pop(&c.pq)
+			continue
+		}
+		if c.dead[top.node] {
+			heap.Pop(&c.pq)
+			continue
+		}
+		cur := c.cov[top.node]
+		if top.cov != cur {
+			heap.Pop(&c.pq)
+			if cur > 0 {
+				heap.Push(&c.pq, covEntry{node: top.node, cov: cur})
+			}
+			continue
+		}
+		if cur == 0 {
+			heap.Pop(&c.pq)
+			continue
+		}
+		if eligible != nil && !eligible(top.node) {
+			c.dead[top.node] = true
+			heap.Pop(&c.pq)
+			continue
+		}
+		heap.Pop(&c.pq)
+		aside = append(aside, top)
+		seen[top.node] = true
+		nodes = append(nodes, top.node)
+		covs = append(covs, int(cur))
+	}
+	for _, e := range aside {
+		heap.Push(&c.pq, e)
+	}
+	return nodes, covs
+}
+
+// CoverNode marks all residual sets containing u as covered, decrementing
+// the coverage of their other members, and returns the number of sets newly
+// covered (u's residual coverage before the call).
+func (c *Collection) CoverNode(u int32) int {
+	covered := 0
+	for _, id := range c.nodeIn[u] {
+		if c.covered[id] {
+			continue
+		}
+		c.covered[id] = true
+		c.ncov++
+		covered++
+		for _, w := range c.sets[id] {
+			c.cov[w]--
+		}
+	}
+	if c.cov[u] != 0 {
+		panic(fmt.Sprintf("rrset: residual coverage of %d nonzero after CoverNode", u))
+	}
+	return covered
+}
+
+// CountAndCoverFrom counts the residual sets with id >= firstID that
+// contain u, marks them covered, and returns the count. TIRM's
+// UpdateEstimates uses it to re-credit already-chosen seeds with coverage
+// in freshly appended samples without double-counting across seeds.
+func (c *Collection) CountAndCoverFrom(u int32, firstID int) int {
+	covered := 0
+	for _, id := range c.nodeIn[u] {
+		if int(id) < firstID || c.covered[id] {
+			continue
+		}
+		c.covered[id] = true
+		c.ncov++
+		covered++
+		for _, w := range c.sets[id] {
+			c.cov[w]--
+		}
+	}
+	return covered
+}
+
+// covEntry is a (possibly stale) heap record.
+type covEntry struct {
+	node int32
+	cov  int32
+}
+
+type covHeap []covEntry
+
+func (h covHeap) Len() int            { return len(h) }
+func (h covHeap) Less(i, j int) bool  { return h[i].cov > h[j].cov }
+func (h covHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *covHeap) Push(x interface{}) { *h = append(*h, x.(covEntry)) }
+func (h *covHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+func (h covHeap) peek() covEntry { return h[0] }

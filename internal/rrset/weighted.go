@@ -1,0 +1,243 @@
+package rrset
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightedCollection is the soft-coverage variant of Collection (the
+// repository's TIRM-W extension, see DESIGN.md ablation ABL-SOFT).
+//
+// The paper's Algorithm 2 removes an RR-set once any seed covers it, so its
+// revenue estimate credits each set to the *first* covering seed only:
+// Π̂ = Σ_j cpe·n·δ_j·cov_j/θ. That underestimates the true IC-CTP revenue —
+// a set whose first seed declines its CTP coin (probability 1−δ ≈ 0.98 at
+// realistic CTPs) can still be claimed by a later seed. The exact
+// expectation over node coins is per set R:
+//
+//	Pr[R covered] = 1 − Π_{u ∈ S∩R} (1 − δ_u),
+//
+// so WeightedCollection maintains a live weight w_R = Π_{u∈S∩R}(1−δ_u) per
+// set and weighted node scores wcov[u] = Σ_{R∋u} w_R. The marginal revenue
+// of a candidate u is then cpe·n·δ_u·wcov[u]/θ — an unbiased estimator of
+// the true TIC-CTP marginal (it equals the RRC-set estimator in
+// expectation, without the 1/δ sample blow-up). Committing u multiplies
+// each covering set's weight by (1−δ_u).
+//
+// With δ = 1 this degenerates exactly to Collection's hard semantics.
+type WeightedCollection struct {
+	n       int
+	sets    [][]int32
+	nodeIn  [][]int32
+	weight  []float64 // set id -> Π(1−δ) over committed members
+	wcov    []float64 // node -> Σ weights of sets containing it
+	claimed float64   // Σ_R (1 − w_R)
+	pq      wcovHeap
+	dead    []bool
+}
+
+// NewWeightedCollection creates an empty weighted index over n nodes.
+func NewWeightedCollection(n int) *WeightedCollection {
+	return &WeightedCollection{
+		n:      n,
+		nodeIn: make([][]int32, n),
+		wcov:   make([]float64, n),
+		dead:   make([]bool, n),
+	}
+}
+
+// N returns the node-universe size.
+func (c *WeightedCollection) N() int { return c.n }
+
+// NumSets returns the number of sets added so far.
+func (c *WeightedCollection) NumSets() int { return len(c.sets) }
+
+// CoveredMass returns Σ_R (1 − w_R): the expected number of covered sets
+// under the committed seeds' CTP coins. n·CoveredMass/θ estimates the
+// seeds' joint IC-CTP spread.
+func (c *WeightedCollection) CoveredMass() float64 { return c.claimed }
+
+// Add appends one RR-set with weight 1.
+func (c *WeightedCollection) Add(set []int32) {
+	id := int32(len(c.sets))
+	c.sets = append(c.sets, set)
+	c.weight = append(c.weight, 1)
+	for _, u := range set {
+		c.nodeIn[u] = append(c.nodeIn[u], id)
+		c.wcov[u]++
+		if !c.dead[u] {
+			heap.Push(&c.pq, wcovEntry{node: u, wcov: c.wcov[u]})
+		}
+	}
+}
+
+// AddBatch appends many sets.
+func (c *WeightedCollection) AddBatch(sets [][]int32) {
+	for _, s := range sets {
+		c.Add(s)
+	}
+}
+
+// WeightedCoverage returns wcov[u] = Σ_{R∋u} w_R.
+func (c *WeightedCollection) WeightedCoverage(u int32) float64 { return c.wcov[u] }
+
+// floatSlack absorbs float drift in the lazy-heap staleness check: an entry
+// is considered fresh if it matches the current value this closely in
+// relative terms.
+const floatSlack = 1e-9
+
+// BestNode returns the eligible node with maximum weighted coverage.
+// Semantics mirror Collection.BestNode: ineligible nodes are dropped
+// permanently (monotone eligibility), stale heap entries are refreshed
+// lazily — valid because wcov only decreases between Adds.
+func (c *WeightedCollection) BestNode(eligible func(int32) bool) (node int32, wcov float64, ok bool) {
+	for c.pq.Len() > 0 {
+		top := c.pq.peek()
+		if c.dead[top.node] {
+			heap.Pop(&c.pq)
+			continue
+		}
+		cur := c.wcov[top.node]
+		if math.Abs(top.wcov-cur) > floatSlack*(1+math.Abs(cur)) {
+			heap.Pop(&c.pq)
+			if cur > 0 {
+				heap.Push(&c.pq, wcovEntry{node: top.node, wcov: cur})
+			}
+			continue
+		}
+		if cur <= 0 {
+			heap.Pop(&c.pq)
+			continue
+		}
+		if eligible != nil && !eligible(top.node) {
+			c.dead[top.node] = true
+			heap.Pop(&c.pq)
+			continue
+		}
+		return top.node, cur, true
+	}
+	return 0, 0, false
+}
+
+// Drop permanently removes a node from BestNode consideration.
+func (c *WeightedCollection) Drop(u int32) { c.dead[u] = true }
+
+// TopNodes returns up to k eligible nodes in decreasing weighted-coverage
+// order (see Collection.TopNodes).
+func (c *WeightedCollection) TopNodes(k int, eligible func(int32) bool) (nodes []int32, wcovs []float64) {
+	var aside []wcovEntry
+	seen := map[int32]bool{}
+	for c.pq.Len() > 0 && len(nodes) < k {
+		top := c.pq.peek()
+		if seen[top.node] {
+			// Stale-refresh cycles can leave duplicate fresh entries for a
+			// node; collect each node at most once per call.
+			heap.Pop(&c.pq)
+			continue
+		}
+		if c.dead[top.node] {
+			heap.Pop(&c.pq)
+			continue
+		}
+		cur := c.wcov[top.node]
+		if math.Abs(top.wcov-cur) > floatSlack*(1+math.Abs(cur)) {
+			heap.Pop(&c.pq)
+			if cur > 0 {
+				heap.Push(&c.pq, wcovEntry{node: top.node, wcov: cur})
+			}
+			continue
+		}
+		if cur <= 0 {
+			heap.Pop(&c.pq)
+			continue
+		}
+		if eligible != nil && !eligible(top.node) {
+			c.dead[top.node] = true
+			heap.Pop(&c.pq)
+			continue
+		}
+		heap.Pop(&c.pq)
+		aside = append(aside, top)
+		seen[top.node] = true
+		nodes = append(nodes, top.node)
+		wcovs = append(wcovs, cur)
+	}
+	for _, e := range aside {
+		heap.Push(&c.pq, e)
+	}
+	return nodes, wcovs
+}
+
+// Commit records u as a seed with CTP delta: every set containing u has its
+// weight multiplied by (1−delta), and the weighted coverages of all its
+// members drop accordingly. Returns the mass u claims, δ·Σ_{R∋u} w_R —
+// exactly the marginal estimate BestNode's score implies.
+func (c *WeightedCollection) Commit(u int32, delta float64) float64 {
+	return c.commitFrom(u, delta, 0)
+}
+
+// CreditFrom is Commit restricted to sets with id ≥ firstID — TIRM-W's
+// UpdateEstimates path after appending fresh samples (new sets arrive with
+// weight 1; each already-committed seed re-applies its coin to them).
+func (c *WeightedCollection) CreditFrom(u int32, delta float64, firstID int) float64 {
+	return c.commitFrom(u, delta, firstID)
+}
+
+func (c *WeightedCollection) commitFrom(u int32, delta float64, firstID int) float64 {
+	if delta < 0 || delta > 1 {
+		panic("rrset: CTP out of [0,1]")
+	}
+	var total float64
+	for _, id := range c.nodeIn[u] {
+		if int(id) < firstID {
+			continue
+		}
+		w := c.weight[id]
+		if w == 0 {
+			continue
+		}
+		dec := w * delta
+		c.weight[id] = w - dec
+		c.claimed += dec
+		total += dec
+		for _, x := range c.sets[id] {
+			c.wcov[x] -= dec
+			if c.wcov[x] < 0 {
+				c.wcov[x] = 0 // clamp float drift
+			}
+		}
+	}
+	return total
+}
+
+// MemBytes mirrors Collection.MemBytes for Table 4 instrumentation.
+func (c *WeightedCollection) MemBytes() int64 {
+	var members int64
+	for _, s := range c.sets {
+		members += int64(len(s))
+	}
+	return members*8 +
+		int64(len(c.sets))*32 + // headers + weight
+		int64(c.n)*33 + // headers + wcov + dead
+		int64(len(c.pq))*16
+}
+
+type wcovEntry struct {
+	node int32
+	wcov float64
+}
+
+type wcovHeap []wcovEntry
+
+func (h wcovHeap) Len() int            { return len(h) }
+func (h wcovHeap) Less(i, j int) bool  { return h[i].wcov > h[j].wcov }
+func (h wcovHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wcovHeap) Push(x interface{}) { *h = append(*h, x.(wcovEntry)) }
+func (h *wcovHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+func (h wcovHeap) peek() wcovEntry { return h[0] }

@@ -1,0 +1,197 @@
+package rrset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestWeightedDegeneratesToHardWithUnitCTP(t *testing.T) {
+	// With δ = 1 the weighted index must replay Collection's behaviour.
+	sets := [][]int32{{0, 1}, {0, 2}, {3}, {0}, {3, 4}}
+	hard := NewCollection(5)
+	hard.AddBatch(sets)
+	soft := NewWeightedCollection(5)
+	soft.AddBatch(sets)
+
+	for step := 0; step < 3; step++ {
+		hu, hc, hok := hard.BestNode(nil)
+		su, sc, sok := soft.BestNode(nil)
+		if hok != sok {
+			t.Fatalf("step %d: ok mismatch", step)
+		}
+		if !hok {
+			break
+		}
+		if hu != su || math.Abs(float64(hc)-sc) > 1e-9 {
+			t.Fatalf("step %d: hard (%d,%d) vs soft (%d,%v)", step, hu, hc, su, sc)
+		}
+		hcov := hard.CoverNode(hu)
+		hard.Drop(hu)
+		smass := soft.Commit(su, 1)
+		soft.Drop(su)
+		if math.Abs(float64(hcov)-smass) > 1e-9 {
+			t.Fatalf("step %d: covered %d vs mass %v", step, hcov, smass)
+		}
+		if math.Abs(float64(hard.NumCovered())-soft.CoveredMass()) > 1e-9 {
+			t.Fatalf("step %d: covered totals diverge", step)
+		}
+	}
+}
+
+func TestWeightedCommitDecay(t *testing.T) {
+	// One set {0,1}; committing 0 with δ=0.25 leaves weight 0.75.
+	c := NewWeightedCollection(2)
+	c.Add([]int32{0, 1})
+	if got := c.WeightedCoverage(1); got != 1 {
+		t.Fatalf("initial wcov %v", got)
+	}
+	mass := c.Commit(0, 0.25)
+	if math.Abs(mass-0.25) > 1e-12 {
+		t.Fatalf("claimed %v, want 0.25", mass)
+	}
+	if got := c.WeightedCoverage(1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("wcov after decay %v, want 0.75", got)
+	}
+	// Committing 1 with δ=0.5 claims 0.5·0.75.
+	mass = c.Commit(1, 0.5)
+	if math.Abs(mass-0.375) > 1e-12 {
+		t.Fatalf("claimed %v, want 0.375", mass)
+	}
+	if math.Abs(c.CoveredMass()-0.625) > 1e-12 {
+		t.Fatalf("covered mass %v, want 1−0.75·0.5", c.CoveredMass())
+	}
+}
+
+// TestWeightedCoveredMassExact verifies Σ(1−w_R) = Σ_R [1 − Π_{u∈S∩R}(1−δ_u)]
+// against a brute-force recomputation on random inputs.
+func TestWeightedCoveredMassExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 4 + r.IntN(5)
+		numSets := 1 + r.IntN(20)
+		sets := make([][]int32, numSets)
+		for i := range sets {
+			sz := 1 + r.IntN(3)
+			m := map[int32]bool{}
+			for len(m) < sz {
+				m[int32(r.IntN(n))] = true
+			}
+			for u := range m {
+				sets[i] = append(sets[i], u)
+			}
+		}
+		c := NewWeightedCollection(n)
+		c.AddBatch(sets)
+		deltas := map[int32]float64{}
+		var committed []int32
+		for step := 0; step < 3; step++ {
+			u := int32(r.IntN(n))
+			if _, dup := deltas[u]; dup {
+				continue
+			}
+			d := r.Uniform(0, 1)
+			deltas[u] = d
+			committed = append(committed, u)
+			c.Commit(u, d)
+		}
+		// Brute-force recomputation.
+		var want float64
+		for _, set := range sets {
+			w := 1.0
+			for _, u := range set {
+				if d, ok := deltas[u]; ok {
+					w *= 1 - d
+				}
+			}
+			want += 1 - w
+		}
+		_ = committed
+		return math.Abs(c.CoveredMass()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedBestNodeTracksDecay(t *testing.T) {
+	// Sets {0,1} ×3 and {2} ×2: node 0 leads; after committing 0 with a
+	// high δ node 2 takes over.
+	c := NewWeightedCollection(3)
+	c.AddBatch([][]int32{{0, 1}, {0, 1}, {0, 1}, {2}, {2}})
+	u, w, ok := c.BestNode(nil)
+	if !ok || u != 0 || math.Abs(w-3) > 1e-9 {
+		t.Fatalf("BestNode = %d,%v,%v", u, w, ok)
+	}
+	c.Commit(0, 0.9)
+	c.Drop(0)
+	u, w, ok = c.BestNode(nil)
+	if !ok || u != 2 || math.Abs(w-2) > 1e-9 {
+		t.Fatalf("after decay BestNode = %d,%v,%v; want node 2, wcov 2", u, w, ok)
+	}
+	// Node 1 still has residual 3·0.1.
+	if math.Abs(c.WeightedCoverage(1)-0.3) > 1e-9 {
+		t.Fatalf("residual wcov %v", c.WeightedCoverage(1))
+	}
+}
+
+func TestWeightedCreditFrom(t *testing.T) {
+	c := NewWeightedCollection(2)
+	c.Add([]int32{0})
+	c.Commit(0, 0.5)
+	boundary := c.NumSets()
+	c.AddBatch([][]int32{{0}, {0, 1}})
+	// Re-crediting seed 0 on the new sets claims 0.5·(1+1).
+	got := c.CreditFrom(0, 0.5, boundary)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("CreditFrom %v, want 1.0", got)
+	}
+	// Old set untouched by the re-credit: total mass 0.5 + 1.0.
+	if math.Abs(c.CoveredMass()-1.5) > 1e-12 {
+		t.Fatalf("covered mass %v", c.CoveredMass())
+	}
+	// Node 1's view decayed only via the new set.
+	if math.Abs(c.WeightedCoverage(1)-0.5) > 1e-12 {
+		t.Fatalf("wcov(1) %v", c.WeightedCoverage(1))
+	}
+}
+
+func TestWeightedEligibilityAndGrowth(t *testing.T) {
+	c := NewWeightedCollection(3)
+	c.AddBatch([][]int32{{0}, {0}, {1}})
+	u, _, _ := c.BestNode(func(v int32) bool { return v != 0 })
+	if u != 1 {
+		t.Fatalf("filtered best %d", u)
+	}
+	// Node 0 was dropped permanently by the filter; growth re-ranks 1.
+	c.AddBatch([][]int32{{1}, {2}})
+	u, w, ok := c.BestNode(nil)
+	if !ok || u != 1 || math.Abs(w-2) > 1e-9 {
+		t.Fatalf("after growth best = %d,%v,%v", u, w, ok)
+	}
+}
+
+func TestWeightedCommitPanicsOnBadDelta(t *testing.T) {
+	c := NewWeightedCollection(1)
+	c.Add([]int32{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Commit(0, 1.5)
+}
+
+func TestWeightedMemBytes(t *testing.T) {
+	c := NewWeightedCollection(10)
+	if c.MemBytes() <= 0 {
+		t.Fatal("empty index reports nonpositive memory")
+	}
+	before := c.MemBytes()
+	c.AddBatch([][]int32{{0, 1, 2}, {3, 4}})
+	if c.MemBytes() <= before {
+		t.Fatal("memory estimate did not grow")
+	}
+}

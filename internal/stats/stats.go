@@ -1,0 +1,137 @@
+// Package stats provides the small statistical toolkit shared by the
+// evaluation and experiment layers: streaming moments, summaries with
+// percentiles, and normal-approximation confidence intervals for Monte
+// Carlo estimates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates count/mean/variance in one pass (Welford's method),
+// numerically stable for the long Monte Carlo averages the evaluator runs.
+type Stream struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 points).
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Stream) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Min and Max return the extremes (0 for an empty stream).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the maximum observation.
+func (s *Stream) Max() float64 { return s.max }
+
+// CI95 returns the normal-approximation 95% confidence half-width of the
+// mean: 1.96 · stderr. Monte Carlo evaluation reports it alongside revenue
+// estimates so regret differences can be judged against sampling noise.
+func (s *Stream) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Summary describes a batch of values.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, P25, P50, P75 float64
+	P90, P99, Max      float64
+}
+
+// Summarize computes a batch summary (the input is not modified).
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64{}, values...)
+	sort.Float64s(sorted)
+	var st Stream
+	for _, v := range sorted {
+		st.Add(v)
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   st.Mean(),
+		StdDev: st.StdDev(),
+		Min:    sorted[0],
+		P25:    Percentile(sorted, 0.25),
+		P50:    Percentile(sorted, 0.50),
+		P75:    Percentile(sorted, 0.75),
+		P90:    Percentile(sorted, 0.90),
+		P99:    Percentile(sorted, 0.99),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted slice using
+// linear interpolation. It panics on unsorted input being irrelevant — the
+// caller owns sorting; on an empty slice it returns 0.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P90, s.Max)
+}

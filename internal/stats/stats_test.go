@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty stream not zeroed")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.CI95()-1.96*s.StdErr()) > 1e-15 {
+		t.Fatal("CI95 mismatch")
+	}
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.IntN(50)
+		var s Stream
+		var batch []float64
+		for i := 0; i < n; i++ {
+			v := r.Uniform(-10, 10)
+			s.Add(v)
+			batch = append(batch, v)
+		}
+		var mean float64
+		for _, v := range batch {
+			mean += v
+		}
+		mean /= float64(n)
+		var v2 float64
+		for _, v := range batch {
+			v2 += (v - mean) * (v - mean)
+		}
+		v2 /= float64(n - 1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-v2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.125, 1.5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P%.3f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	if Percentile([]float64{7}, 0.3) != 7 {
+		t.Error("single-element percentile")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Fatal("Summarize mutated its input")
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSummaryPercentileOrder(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.IntN(100)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Uniform(0, 1000)
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P25 && s.P25 <= s.P50 && s.P50 <= s.P75 &&
+			s.P75 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

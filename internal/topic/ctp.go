@@ -1,0 +1,56 @@
+package topic
+
+import "fmt"
+
+// CTP is a per-user click-through-probability vector δ(·, i) for one ad:
+// the probability a user clicks the promoted post absent any social proof.
+type CTP interface {
+	// At returns δ(u, i) for user u.
+	At(u int32) float64
+	// N returns the number of users covered.
+	N() int
+}
+
+// ConstCTP is a CTP that is identical for every user (the scalability
+// experiments set all CTPs to 1).
+type ConstCTP struct {
+	Nodes int
+	P     float64
+}
+
+// At implements CTP.
+func (c ConstCTP) At(int32) float64 { return c.P }
+
+// N implements CTP.
+func (c ConstCTP) N() int { return c.Nodes }
+
+// VecCTP is a dense per-user CTP vector.
+type VecCTP []float32
+
+// At implements CTP.
+func (v VecCTP) At(u int32) float64 { return float64(v[u]) }
+
+// N implements CTP.
+func (v VecCTP) N() int { return len(v) }
+
+// NewVecCTP validates that every probability is in [0,1] and returns the
+// vector (taking ownership of the slice).
+func NewVecCTP(p []float32) (VecCTP, error) {
+	for u, v := range p {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("topic: CTP[%d] = %v out of [0,1]", u, v)
+		}
+	}
+	return VecCTP(p), nil
+}
+
+// ItemParams bundles everything the propagation and sampling layers need to
+// know about one ad: its materialized edge probabilities (Mix of its γ_i)
+// and its CTP vector. It is the runtime form of "ad i" for the substrate
+// packages; monetary attributes (budget, CPE) live one level up in core.
+type ItemParams struct {
+	// Probs[e] is p^i for canonical EdgeID e.
+	Probs []float32
+	// CTPs gives δ(u, i) per user.
+	CTPs CTP
+}

@@ -1,0 +1,78 @@
+package xrand
+
+// Alias implements Walker's alias method for O(1) sampling from a discrete
+// distribution. Dataset generators use it to draw millions of weighted
+// endpoints (Chung-Lu style) in linear preprocessing time.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights. The
+// weights need not be normalized. It panics on empty or all-zero input.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("xrand: NewAlias on empty weights")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: NewAlias on negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("xrand: NewAlias on all-zero weights")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities; classify into small and large work lists.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Remaining entries are (numerically) exactly 1.
+	for _, l := range large {
+		a.prob[l] = 1
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+	}
+	return a
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index from the distribution using r.
+func (a *Alias) Sample(r *Rand) int {
+	i := r.IntN(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

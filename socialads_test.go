@@ -1,0 +1,131 @@
+package socialads_test
+
+import (
+	"math"
+	"testing"
+
+	socialads "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the README quick-start path: generate a
+// dataset, allocate with every exported algorithm, evaluate neutrally.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	inst := socialads.NewFlixster(socialads.DatasetOptions{Seed: 1, Scale: 0.02, Kappa: 2})
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	tirm, err := socialads.AllocateTIRM(inst, 42, socialads.TIRMOptions{Eps: 0.3, MinTheta: 4000, MaxTheta: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	irie, err := socialads.AllocateGreedyIRIE(inst, socialads.IRIEOptions{}, socialads.GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	myopic := socialads.AllocateMyopic(inst)
+	myopicPlus := socialads.AllocateMyopicPlus(inst)
+
+	for name, alloc := range map[string]*socialads.Allocation{
+		"TIRM":        tirm.Alloc,
+		"GREEDY-IRIE": irie.Alloc,
+		"MYOPIC":      myopic,
+		"MYOPIC+":     myopicPlus,
+	} {
+		if err := alloc.Validate(inst); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+
+	out := socialads.Evaluate(inst, tirm.Alloc, 500, 7)
+	outMyopic := socialads.Evaluate(inst, myopic, 500, 7)
+	if out.TotalRegret >= outMyopic.TotalRegret {
+		t.Errorf("TIRM regret %.1f not below MYOPIC %.1f", out.TotalRegret, outMyopic.TotalRegret)
+	}
+}
+
+func TestPublicFig1(t *testing.T) {
+	inst := socialads.Fig1Instance(0)
+	a := socialads.Evaluate(inst, socialads.Fig1AllocationA(), 200000, 1)
+	b := socialads.Evaluate(inst, socialads.Fig1AllocationB(), 200000, 2)
+	if math.Abs(a.TotalRegret-6.544) > 0.06 {
+		t.Errorf("allocation A regret %.3f, want ≈6.544", a.TotalRegret)
+	}
+	if math.Abs(b.TotalRegret-2.6998) > 0.06 {
+		t.Errorf("allocation B regret %.3f, want ≈2.6998", b.TotalRegret)
+	}
+	g, err := socialads.AllocateGreedyExact(inst, socialads.GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := socialads.Evaluate(inst, g.Alloc, 200000, 3); got.TotalRegret > b.TotalRegret+0.05 {
+		t.Errorf("greedy-exact regret %.3f worse than allocation B %.3f", got.TotalRegret, b.TotalRegret)
+	}
+}
+
+func TestPublicGraphBuilding(t *testing.T) {
+	b := socialads.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("graph %d/%d", g.N(), g.M())
+	}
+	probs := []float32{1, 1}
+	sp := socialads.Spread(g, socialads.ItemParams{Probs: probs, CTPs: socialads.ConstCTP(3, 1)}, []int32{0}, 1000, 4)
+	if sp != 3 {
+		t.Errorf("deterministic chain spread %v, want 3", sp)
+	}
+}
+
+func TestPublicInfluenceMaximization(t *testing.T) {
+	// Hub-and-spoke: the hub is the unique best seed.
+	b := socialads.NewGraphBuilder(5)
+	for v := int32(1); v < 5; v++ {
+		b.AddEdge(0, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := []float32{0.9, 0.9, 0.9, 0.9}
+	res := socialads.MaximizeInfluence(g, probs, 1, 5)
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Errorf("seeds %v, want [0]", res.Seeds)
+	}
+}
+
+func TestPublicTopicHelpers(t *testing.T) {
+	d := socialads.ConcentratedTopic(10, 3, 0.91)
+	if math.Abs(d[3]-0.91) > 1e-12 {
+		t.Errorf("concentrated mass %v", d[3])
+	}
+	if _, err := socialads.NewTopicDist([]float64{0.5, 0.5}); err != nil {
+		t.Errorf("valid dist rejected: %v", err)
+	}
+	if _, err := socialads.NewTopicDist([]float64{0.5, 0.2}); err == nil {
+		t.Error("invalid dist accepted")
+	}
+	m := socialads.NewTopicModel(2, 3)
+	m.Set(0, 0, 0.5)
+	m.Set(1, 0, 0.1)
+	mixed := m.MustMix(socialads.TopicDist{0.5, 0.5})
+	if math.Abs(float64(mixed[0])-0.3) > 1e-6 {
+		t.Errorf("mixed prob %v, want 0.3", mixed[0])
+	}
+	if _, err := socialads.VecCTP([]float32{0.5}); err != nil {
+		t.Errorf("valid CTP rejected: %v", err)
+	}
+	if _, err := socialads.VecCTP([]float32{1.5}); err == nil {
+		t.Error("invalid CTP accepted")
+	}
+}
+
+func TestPublicRegretTerm(t *testing.T) {
+	if r := socialads.RegretTerm(10, 8, 0.5, 2); r != 3 {
+		t.Errorf("regret %v, want 3", r)
+	}
+}
