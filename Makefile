@@ -1,0 +1,28 @@
+GO ?= go
+
+# Fast packages worth the race detector on every run; the root package's
+# paper-replication tests are slower and covered by `test`.
+RACE_PKGS = ./internal/core/... ./internal/rrset/... ./internal/serve/... \
+            ./internal/graph/... ./internal/xrand/... ./internal/topic/...
+
+.PHONY: ci build vet test race bench serve
+
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+serve:
+	$(GO) run ./cmd/adserver -addr :8080 -snapshots ./snapshots

@@ -385,6 +385,44 @@ func BenchmarkTIRMAllocate(b *testing.B) {
 	b.ReportMetric(float64(seeds), "seeds")
 }
 
+// BenchmarkIndexColdVsWarm quantifies the two-stage split on the FLIXSTER
+// analogue: "cold" is the one-shot core.TIRM (sample + select every call,
+// what every CLI invocation used to pay); "warm" is AllocateFromIndex
+// against a prebuilt index (what the serve layer pays per request). The
+// warm path does no reverse-BFS sampling, only coverage bookkeeping, and
+// must come in at least 5× faster.
+func BenchmarkIndexColdVsWarm(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 5, Scale: 0.02})
+	opts := socialads.TIRMOptions{Eps: 0.3, MinTheta: 5000, MaxTheta: 50000}
+	b.Run("cold-TIRM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := socialads.AllocateTIRM(inst, 42, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-AllocateFromIndex", func(b *testing.B) {
+		idx, err := socialads.BuildIndex(inst, 42, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One untimed run grows the index to the θs the selection needs.
+		if _, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.TotalSetsSampled != 0 {
+				b.Fatalf("warm run drew %d sets", res.TotalSetsSampled)
+			}
+		}
+	})
+}
+
 // BenchmarkGreedyIRIEAllocate measures a full GREEDY-IRIE run.
 func BenchmarkGreedyIRIEAllocate(b *testing.B) {
 	inst := gen.Flixster(gen.Options{Seed: 6, Scale: 0.02})

@@ -1,0 +1,96 @@
+// Command adserver runs the allocation service: an HTTP/JSON server that
+// keeps per-dataset RR-set indexes hot in memory (and optionally on disk)
+// so that repeated allocations — new budgets, new λ/κ, what-if ad subsets —
+// pay only the cheap greedy selection instead of re-sampling.
+//
+// Usage:
+//
+//	adserver -addr :8080 -snapshots ./snapshots \
+//	         -preload flixster:1:0.02,dblp:1:0.02:5
+//
+// Endpoints (see internal/serve):
+//
+//	POST /allocate  {"dataset":"flixster","seed":1,"scale":0.02,
+//	                 "lambda":0.5,"opts":{"eps":0.3,"minTheta":5000}}
+//	POST /evaluate  {"dataset":"flixster","seed":1,"scale":0.02,
+//	                 "seeds":[[3,17],[],...],"runs":2000}
+//	GET  /datasets, /stats, /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		snapshots = flag.String("snapshots", "", "directory for index snapshots (empty = in-memory only)")
+		preload   = flag.String("preload", "", "comma-separated dataset:seed:scale[:ads] indexes to build at startup")
+		maxScale  = flag.Float64("maxscale", serve.DefaultMaxScale, "largest dataset scale a request may ask for")
+		maxTheta  = flag.Int("maxtheta", serve.DefaultMaxTheta, "server-side cap on per-ad RR sample size")
+	)
+	flag.Parse()
+	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta); err != nil {
+		fmt.Fprintln(os.Stderr, "adserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, snapshots, preload string, maxScale float64, maxTheta int) error {
+	srv := serve.New(serve.Options{
+		SnapshotDir: snapshots,
+		MaxScale:    maxScale,
+		MaxTheta:    maxTheta,
+	})
+
+	if preload != "" {
+		for _, spec := range strings.Split(preload, ",") {
+			p, err := serve.WarmSpec(strings.TrimSpace(spec))
+			if err != nil {
+				return err
+			}
+			log.Printf("adserver: preloading %s", p.Key())
+			if err := srv.Warm(p); err != nil {
+				return fmt.Errorf("preload %s: %w", p.Key(), err)
+			}
+		}
+	}
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("adserver: listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("adserver: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}

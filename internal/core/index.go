@@ -1,0 +1,651 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rrset"
+	"repro/internal/xrand"
+)
+
+// Index is a reusable per-ad RR-set sample for one problem instance. It is
+// the expensive half of TIRM made into a long-lived asset: building it pays
+// the reverse-BFS sampling cost once, and any number of selection runs
+// (AllocateFromIndex) with different budgets, λ, κ, options, or ad subsets
+// then run against the shared sample.
+//
+// Every set in the index is drawn from the deterministic block stream of
+// rrset.SampleRangeRR: set i of ad j is a pure function of
+// (graph, probs, seed, j, i). The sample therefore grows on demand — an
+// allocation needing a larger θ than any before it extends the stored
+// prefix — yet stays byte-identical no matter which requests arrived in
+// which order, and a snapshot reloaded from disk continues the very same
+// stream. Safe for concurrent use by multiple allocations.
+type Index struct {
+	inst    *Instance
+	seed    uint64
+	ads     []*adSample
+	sampled atomic.Int64 // total sets drawn from the graph so far
+}
+
+// adSample holds one ad's growable prefix of its RR stream, together with
+// the inverted index (node → containing set ids) that coverage collections
+// borrow, so a warm selection run never rebuilds per-membership state.
+type adSample struct {
+	mu      sync.Mutex
+	sampler *rrset.Sampler
+	rng     *xrand.Rand // ad stream root; block b samples from rng.Split(b)
+	sets    [][]int32   // always a whole number of stream blocks
+	widths  []int64     // widths[i] = ω(sets[i]), for KPT refreshes
+	nodeIn  [][]int32   // node -> ascending ids of sets containing it
+	members int64       // Σ len(sets[i]), kept so MemBytes is O(1) per ad
+}
+
+// ensure extends the sample to at least want sets (growth rounds up to a
+// block boundary, so fresh can exceed the shortfall). Caller holds a.mu.
+func (a *adSample) ensure(want int) (fresh int64) {
+	if want <= len(a.sets) {
+		return 0
+	}
+	from, to := len(a.sets), rrset.StreamCeil(want)
+	grown := a.sampler.SampleRangeRR(from, to, a.rng)
+	g := a.sampler.Graph()
+	if a.nodeIn == nil {
+		a.nodeIn = make([][]int32, g.N())
+	}
+	for i, set := range grown {
+		a.widths = append(a.widths, rrset.Width(g, set))
+		id := int32(from + i)
+		a.members += int64(len(set))
+		for _, u := range set {
+			a.nodeIn[u] = append(a.nodeIn[u], id)
+		}
+	}
+	a.sets = append(a.sets, grown...)
+	return int64(len(grown))
+}
+
+// prefix returns views of the first want sets and their widths, extending
+// the sample if needed. The returned slices are stable snapshots (later
+// growth only appends) and capacity-clipped: callers (coverage
+// collections) append to their views, and a full-capacity view would alias
+// those appends into the shared backing array under concurrent
+// allocations.
+func (a *adSample) prefix(want int) (sets [][]int32, widths []int64, fresh int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fresh = a.ensure(want)
+	return a.sets[:want:want], a.widths[:want:want], fresh
+}
+
+// view is prefix plus a clipped per-node inverted index covering exactly
+// the first want sets — the O(n log d) warm-start handoff to
+// rrset.NewCollectionFromSharedIndex. Concurrent index growth is safe:
+// appends either reallocate a node's list (old backing stays valid) or
+// write past every clipped view's length.
+func (a *adSample) view(want int) (sets [][]int32, widths []int64, nodeIn [][]int32, fresh int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fresh = a.ensure(want)
+	nodeIn = make([][]int32, len(a.nodeIn))
+	w := int32(want)
+	for u, ids := range a.nodeIn {
+		k := len(ids)
+		if k > 0 && ids[k-1] >= w {
+			k = sort.Search(k, func(i int) bool { return ids[i] >= w })
+		}
+		nodeIn[u] = ids[:k:k]
+	}
+	return a.sets[:want:want], a.widths[:want:want], nodeIn, fresh
+}
+
+// size returns the number of sets currently stored.
+func (a *adSample) size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sets)
+}
+
+// BuildIndex creates the index for an instance and presamples every ad in
+// parallel to the size TIRM's initialization would draw (the MinTheta pilot
+// plus the first Eq. 5 target from the pilot's KPT estimate), so that
+// subsequent allocations with compatible options rarely need to sample.
+// opts only controls how much is presampled — never the content of the
+// stream — so an index built with one option set serves allocations under
+// any other.
+func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	idx := newIndexSkeleton(inst, seed)
+	n, m := inst.G.N(), inst.G.M()
+	var wg sync.WaitGroup
+	for _, a := range idx.ads {
+		wg.Add(1)
+		go func(a *adSample) {
+			defer wg.Done()
+			_, widths, fresh := a.prefix(opts.MinTheta)
+			idx.sampled.Add(fresh)
+			kpt := kptFromWidths(widths, 1, n, m)
+			want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
+			_, _, fresh = a.prefix(want)
+			idx.sampled.Add(fresh)
+		}(a)
+	}
+	wg.Wait()
+	return idx, nil
+}
+
+// newIndexSkeleton wires samplers and per-ad streams without sampling.
+func newIndexSkeleton(inst *Instance, seed uint64) *Index {
+	base := xrand.New(seed)
+	idx := &Index{inst: inst, seed: seed, ads: make([]*adSample, len(inst.Ads))}
+	for j, spec := range inst.Ads {
+		idx.ads[j] = &adSample{
+			sampler: rrset.NewSampler(inst.G, spec.Params.Probs, nil),
+			rng:     base.Split(uint64(j)),
+		}
+	}
+	return idx
+}
+
+// Inst returns the instance the index was built for.
+func (idx *Index) Inst() *Instance { return idx.inst }
+
+// Seed returns the stream seed.
+func (idx *Index) Seed() uint64 { return idx.seed }
+
+// NumAds returns the number of per-ad samples.
+func (idx *Index) NumAds() int { return len(idx.ads) }
+
+// NumSets returns the number of sets currently stored for ad j.
+func (idx *Index) NumSets(j int) int { return idx.ads[j].size() }
+
+// SetsSampled returns the total number of RR-sets drawn from the graph over
+// the index's lifetime (presampling plus on-demand growth).
+func (idx *Index) SetsSampled() int64 { return idx.sampled.Load() }
+
+// MemBytes estimates the resident footprint of the stored samples: member
+// lists plus slice headers and widths. The transient per-allocation
+// coverage state is reported separately via TIRMResult.MemBytes.
+func (idx *Index) MemBytes() int64 {
+	var total int64
+	for _, a := range idx.ads {
+		a.mu.Lock()
+		// Each member appears in sets and in the inverted index (4 bytes
+		// each), plus slice headers and widths.
+		total += a.members*8 + int64(len(a.sets))*(24+8) + int64(len(a.nodeIn))*24
+		a.mu.Unlock()
+	}
+	return total
+}
+
+// Request parameterizes one selection run against a prebuilt index. The
+// zero value allocates the index's own instance under default TIRMOptions.
+type Request struct {
+	// Opts are the TIRM options for this run (defaults applied as in TIRM).
+	Opts TIRMOptions
+	// Ads optionally restricts the run to a subset of ad indices
+	// (nil or empty = all ads). Unselected ads get empty seed sets.
+	Ads []int
+	// Budgets optionally overrides every ad's budget; when non-nil it must
+	// have one entry per instance ad (original indexing).
+	Budgets []float64
+	// CPEs optionally overrides every ad's cost-per-engagement; same
+	// shape rule as Budgets.
+	CPEs []float64
+	// Lambda optionally overrides the instance's seed penalty λ.
+	Lambda *float64
+	// Kappa optionally overrides the instance's attention bounds.
+	Kappa AttentionBounds
+}
+
+// validate resolves the request against the instance, returning the ad
+// subset and effective λ/κ.
+func (req *Request) validate(inst *Instance) (adIDs []int, lambda float64, kappa AttentionBounds, err error) {
+	h := len(inst.Ads)
+	if req.Budgets != nil && len(req.Budgets) != h {
+		return nil, 0, nil, fmt.Errorf("core: request overrides %d budgets, instance has %d ads", len(req.Budgets), h)
+	}
+	if req.CPEs != nil && len(req.CPEs) != h {
+		return nil, 0, nil, fmt.Errorf("core: request overrides %d CPEs, instance has %d ads", len(req.CPEs), h)
+	}
+	for j, b := range req.Budgets {
+		if b <= 0 || math.IsNaN(b) {
+			return nil, 0, nil, fmt.Errorf("core: request budget %v for ad %d must be > 0", b, j)
+		}
+	}
+	for j, c := range req.CPEs {
+		if c <= 0 || math.IsNaN(c) {
+			return nil, 0, nil, fmt.Errorf("core: request CPE %v for ad %d must be > 0", c, j)
+		}
+	}
+	lambda = inst.Lambda
+	if req.Lambda != nil {
+		lambda = *req.Lambda
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		return nil, 0, nil, fmt.Errorf("core: request λ = %v must be ≥ 0", lambda)
+	}
+	kappa = inst.Kappa
+	if req.Kappa != nil {
+		kappa = req.Kappa
+	}
+	if v, ok := kappa.(VecKappa); ok && len(v) != inst.G.N() {
+		return nil, 0, nil, fmt.Errorf("core: request κ vector covers %d nodes, graph has %d", len(v), inst.G.N())
+	}
+	if len(req.Ads) == 0 {
+		adIDs = make([]int, h)
+		for j := range adIDs {
+			adIDs[j] = j
+		}
+		return adIDs, lambda, kappa, nil
+	}
+	seen := make(map[int]bool, len(req.Ads))
+	for _, j := range req.Ads {
+		if j < 0 || j >= h {
+			return nil, 0, nil, fmt.Errorf("core: request selects ad %d, instance has %d", j, h)
+		}
+		if seen[j] {
+			return nil, 0, nil, fmt.Errorf("core: request selects ad %d twice", j)
+		}
+		seen[j] = true
+	}
+	return req.Ads, lambda, kappa, nil
+}
+
+// selAd is the per-advertiser selection state of Algorithm 2, run against a
+// shared index sample instead of a private one.
+type selAd struct {
+	j          int // index into inst.Ads
+	cpe        float64
+	budget     float64
+	delta      func(u int32) float64
+	col        covIndex
+	src        *adSample
+	widths     []int64 // pilot widths (first MinTheta sets of the stream)
+	theta      int
+	sTarget    int
+	reused     int64 // sets served from the preexisting sample
+	haveBefore int
+	revenue    float64
+	seeds      []int32
+	seedMass   []float64 // δ-scaled claimed set mass per seed
+	saturated  bool
+}
+
+// AllocateFromIndex runs the greedy regret-minimization loop of Algorithm 2
+// (selection, iterative seed-set-size estimation, UpdateEstimates) against
+// a prebuilt index. Sampling only happens when the run needs a larger θ
+// than the index has stored — a warm run on a sufficiently grown index
+// draws nothing and is dominated by coverage bookkeeping. Deterministic:
+// the same index seed and request always yield the same allocation, and
+// TIRM(inst, rng, opts) is exactly BuildIndex + AllocateFromIndex.
+//
+// Concurrent calls on one index are safe; each run keeps private coverage
+// state and only shares the immutable (append-only) sample.
+func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
+	inst := idx.inst
+	adIDs, lambda, kappa, err := req.validate(inst)
+	if err != nil {
+		return nil, err
+	}
+	opts := req.Opts.withDefaults()
+	g := inst.G
+	n := g.N()
+	m := g.M()
+	h := len(inst.Ads)
+	maxSeeds := opts.MaxSeedsPerAd
+	if maxSeeds <= 0 {
+		maxSeeds = n
+	}
+
+	res := &TIRMResult{
+		Alloc:           NewAllocation(h),
+		EstRevenue:      make([]float64, h),
+		FinalTheta:      make([]int, h),
+		FinalSeedTarget: make([]int, h),
+	}
+
+	// Initialization (Algorithm 2 lines 1–3): s_j = 1, θ_j = L(s_j, ε),
+	// with R_j the stream prefix instead of a private sample. The first
+	// MinTheta sets double as the width sample for KPT refreshes.
+	ads := make([]*selAd, len(adIDs))
+	for i, j := range adIDs {
+		spec := inst.Ads[j]
+		a := &selAd{
+			j:          j,
+			cpe:        spec.CPE,
+			budget:     spec.Budget,
+			delta:      spec.Params.CTPs.At,
+			src:        idx.ads[j],
+			haveBefore: idx.ads[j].size(),
+			sTarget:    1,
+		}
+		if req.Budgets != nil {
+			a.budget = req.Budgets[j]
+		}
+		if req.CPEs != nil {
+			a.cpe = req.CPEs[j]
+		}
+		// Size θ from the pilot KPT estimate first, then build the
+		// coverage state once at that size over the index's shared
+		// inverted lists: the collection never replays growth the index
+		// has already absorbed, which is what makes the warm path O(n)
+		// setup instead of O(members).
+		_, widths, fresh := a.src.prefix(opts.MinTheta)
+		idx.sampled.Add(fresh)
+		res.TotalSetsSampled += fresh
+		a.widths = widths
+		kpt := kptFromWidths(a.widths, 1, n, m)
+		a.theta = rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
+		sets, _, nodeIn, fresh := a.src.view(a.theta)
+		idx.sampled.Add(fresh)
+		res.TotalSetsSampled += fresh
+		if opts.SoftCoverage {
+			a.col = softIndex{rrset.NewWeightedCollectionFromSharedIndex(n, sets, nodeIn)}
+		} else {
+			a.col = hardIndex{rrset.NewCollectionFromSharedIndex(n, sets, nodeIn)}
+		}
+		ads[i] = a
+	}
+
+	attention := NewAttention(n, kappa)
+	eligible := func(u int32) bool { return attention.CanTake(u) }
+
+	// Main loop (Algorithm 2 lines 4–19).
+	for {
+		var best *selAd
+		var bestU int32
+		var bestScore float64
+		var bestMg float64
+		bestDrop := 0.0
+		for _, a := range ads {
+			if a.saturated {
+				continue
+			}
+			// SelectBestNode (Algorithm 3): max residual coverage among
+			// eligible nodes — extended to the top CandidateDepth nodes
+			// scored by regret drop (depth 1 = the paper).
+			nodes, scores := a.col.TopNodes(opts.CandidateDepth, eligible)
+			if len(nodes) == 0 {
+				a.saturated = true
+				continue
+			}
+			improved := false
+			for c, u := range nodes {
+				mg := a.cpe * float64(n) * a.delta(u) * scores[c] / float64(a.theta)
+				d := RegretDrop(a.budget-a.revenue, mg, lambda)
+				if d <= 0 {
+					continue
+				}
+				improved = true
+				if best == nil || d > bestDrop {
+					best, bestU, bestScore, bestMg, bestDrop = a, u, scores[c], mg, d
+				}
+			}
+			if !improved {
+				// No strict improvement possible for this ad: its candidate
+				// pool only shrinks and Π only changes when it commits, so
+				// the saturation is permanent.
+				a.saturated = true
+				continue
+			}
+		}
+		if best == nil {
+			break // line 14: no (user, ad) pair reduces regret
+		}
+
+		// Commit (lines 10–12): allocate, record the claimed mass, and
+		// retire it (hard mode removes covered sets; soft mode decays their
+		// weights by 1−δ).
+		a := best
+		mass := a.col.Commit(bestU, a.delta(bestU))
+		a.col.Drop(bestU)
+		attention.Take(bestU)
+		a.seeds = append(a.seeds, bestU)
+		a.seedMass = append(a.seedMass, mass)
+		a.revenue += bestMg
+		res.Iterations++
+		if diff := mass - a.delta(bestU)*bestScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
+			// BestNode and Commit disagree only on a bug.
+			panic("core: TIRM coverage bookkeeping out of sync")
+		}
+
+		if len(a.seeds) >= maxSeeds {
+			a.saturated = true
+			continue
+		}
+
+		// Iterative seed-set-size estimation (lines 14–18): when |S_i|
+		// reaches s_i, extend s_i by the regret still outstanding divided
+		// by the latest seed's marginal revenue — a lower bound on the
+		// seeds still needed, by submodularity — then grow θ_i to L(s_i, ε)
+		// and re-calibrate existing seeds on the enlarged sample.
+		if len(a.seeds) == a.sTarget {
+			gap := a.budget - a.revenue
+			if gap <= 0 || bestMg <= 0 {
+				continue
+			}
+			growth := int(math.Floor(gap / bestMg))
+			if growth < 1 {
+				continue
+			}
+			a.sTarget += growth
+			kpt := kptFromWidths(a.widths, a.sTarget, n, m)
+			// The achieved spread n·(covered/θ) is itself a lower bound on
+			// OPT_{s_i}; take the larger of the two (conservatively shrunk).
+			achieved := float64(n) * a.col.CoveredMass() / float64(a.theta) * (1 - opts.Eps)
+			optLB := math.Max(kpt, achieved)
+			want := rrset.Theta(int64(n), int64(a.sTarget), opts.Eps, opts.Ell, optLB, opts.MinTheta, opts.MaxTheta)
+			if want > a.theta {
+				boundary := a.col.NumSets()
+				a.grow(idx, res, want)
+				// UpdateEstimates (Algorithm 4): credit existing seeds, in
+				// selection order, with their coverage among the appended
+				// sets (retiring the claimed mass as we go so nothing is
+				// double-counted), then recompute Π against the new θ.
+				a.revenue = 0
+				for k, seed := range a.seeds {
+					a.seedMass[k] += a.col.CreditFrom(seed, a.delta(seed), boundary)
+					a.revenue += a.cpe * float64(n) * a.seedMass[k] / float64(a.theta)
+				}
+			}
+		}
+	}
+
+	for _, a := range ads {
+		res.Alloc.Seeds[a.j] = a.seeds
+		res.EstRevenue[a.j] = a.revenue
+		res.FinalTheta[a.j] = a.theta
+		res.FinalSeedTarget[a.j] = a.sTarget
+		res.MemBytes += a.col.MemBytes()
+		reused := int64(a.theta)
+		if int64(a.haveBefore) < reused {
+			reused = int64(a.haveBefore)
+		}
+		res.SetsReused += reused
+	}
+	return res, nil
+}
+
+// grow extends the ad's view of the stream to want sets, pulling from the
+// index (which samples only past its stored prefix) and feeding the new
+// sets to the coverage state.
+func (a *selAd) grow(idx *Index, res *TIRMResult, want int) {
+	sets, _, fresh := a.src.prefix(want)
+	idx.sampled.Add(fresh)
+	res.TotalSetsSampled += fresh
+	a.col.AddBatch(sets[a.theta:])
+	a.theta = want
+}
+
+// --- Snapshot encoding ---------------------------------------------------
+
+const (
+	indexMagic   = uint32(0x41444958) // "ADIX"
+	indexVersion = uint32(1)
+)
+
+// fingerprint summarizes what the stored sample depends on — the graph's
+// topology and every ad's mixed edge probabilities — so a snapshot is
+// rejected when loaded against a different instance (budgets, CPEs, CTPs,
+// κ, λ are selection-time inputs and deliberately excluded). Counts alone
+// are not enough: two graphs with identical n, m, and probability values
+// but different wiring must not share a fingerprint.
+func indexFingerprint(inst *Instance) uint64 {
+	fh := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		fh.Write(buf[:])
+	}
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		fh.Write(buf[:4])
+	}
+	w64(uint64(inst.G.N()))
+	w64(uint64(inst.G.M()))
+	w64(uint64(len(inst.Ads)))
+	for u := int32(0); u < int32(inst.G.N()); u++ {
+		targets, _ := inst.G.OutEdges(u)
+		w32(uint32(len(targets)))
+		for _, v := range targets {
+			w32(uint32(v))
+		}
+	}
+	for _, ad := range inst.Ads {
+		for _, p := range ad.Params.Probs {
+			w32(math.Float32bits(p))
+		}
+	}
+	return fh.Sum64()
+}
+
+// WriteSnapshot persists the index — stream seed plus every ad's stored
+// sets — in a versioned binary format. A process restarted with
+// LoadIndexSnapshot resumes the identical stream: allocations after a
+// reload match allocations on the original index exactly.
+func (idx *Index) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf [8]byte
+	w32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		_, err := bw.Write(buf[:4])
+		return err
+	}
+	w64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := w32(indexMagic); err != nil {
+		return err
+	}
+	if err := w32(indexVersion); err != nil {
+		return err
+	}
+	if err := w64(idx.seed); err != nil {
+		return err
+	}
+	if err := w64(indexFingerprint(idx.inst)); err != nil {
+		return err
+	}
+	if err := w32(uint32(len(idx.ads))); err != nil {
+		return err
+	}
+	for _, a := range idx.ads {
+		a.mu.Lock()
+		sets := a.sets
+		a.mu.Unlock()
+		if err := rrset.EncodeSets(bw, sets); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIndexSnapshot reconstructs an index for inst from a snapshot written
+// by WriteSnapshot. It fails if the snapshot was taken for a different
+// graph or probability setting (fingerprint mismatch) or is structurally
+// corrupt; widths are recomputed from the graph.
+func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(src)
+	var buf [8]byte
+	r32 := func() (uint32, error) {
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:4]), nil
+	}
+	r64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, buf[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:8]), nil
+	}
+	magic, err := r32()
+	if err != nil {
+		return nil, fmt.Errorf("core: index snapshot header: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: bad index snapshot magic %#x", magic)
+	}
+	version, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("core: unsupported index snapshot version %d", version)
+	}
+	seed, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	fp, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	if want := indexFingerprint(inst); fp != want {
+		return nil, fmt.Errorf("core: index snapshot fingerprint %#x does not match instance %#x", fp, want)
+	}
+	numAds, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if int(numAds) != len(inst.Ads) {
+		return nil, fmt.Errorf("core: index snapshot has %d ads, instance has %d", numAds, len(inst.Ads))
+	}
+	idx := newIndexSkeleton(inst, seed)
+	for j, a := range idx.ads {
+		sets, err := rrset.DecodeSets(r, inst.G.N())
+		if err != nil {
+			return nil, fmt.Errorf("core: index snapshot ad %d: %w", j, err)
+		}
+		if len(sets)%rrset.StreamBlockSize != 0 {
+			return nil, fmt.Errorf("core: index snapshot ad %d has %d sets, not block-aligned", j, len(sets))
+		}
+		a.sets = sets
+		a.widths = make([]int64, len(sets))
+		a.nodeIn = make([][]int32, inst.G.N())
+		for i, set := range sets {
+			a.widths[i] = rrset.Width(inst.G, set)
+			a.members += int64(len(set))
+			for _, u := range set {
+				a.nodeIn[u] = append(a.nodeIn[u], int32(i))
+			}
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+func sameAllocation(t *testing.T, a, b *Allocation) {
+	t.Helper()
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatalf("allocations cover %d vs %d ads", len(a.Seeds), len(b.Seeds))
+	}
+	for i := range a.Seeds {
+		if len(a.Seeds[i]) != len(b.Seeds[i]) {
+			t.Fatalf("ad %d: %v vs %v", i, a.Seeds[i], b.Seeds[i])
+		}
+		for k := range a.Seeds[i] {
+			if a.Seeds[i][k] != b.Seeds[i][k] {
+				t.Fatalf("ad %d seed %d: %v vs %v", i, k, a.Seeds[i], b.Seeds[i])
+			}
+		}
+	}
+}
+
+// TestTwoStageMatchesTIRM pins the wrapper contract: TIRM must be exactly
+// BuildIndex + AllocateFromIndex for the same seed and options.
+func TestTwoStageMatchesTIRM(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		inst *Instance
+		opts TIRMOptions
+	}{
+		{"fig1", fig1Instance(t, 0), TIRMOptions{MinTheta: 5000}},
+		{"fig1-soft", fig1Instance(t, 0), TIRMOptions{MinTheta: 5000, SoftCoverage: true}},
+		{"random", randomInstance(31, 50, 200, 3, 2, 0.01), TIRMOptions{MinTheta: 6000, MaxTheta: 40000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			direct, err := TIRM(tc.inst, xrand.New(11), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := BuildIndex(tc.inst, 11, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			staged, err := AllocateFromIndex(idx, Request{Opts: tc.opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameAllocation(t, direct.Alloc, staged.Alloc)
+			for i := range direct.EstRevenue {
+				if direct.EstRevenue[i] != staged.EstRevenue[i] {
+					t.Errorf("ad %d est revenue %v vs %v", i, direct.EstRevenue[i], staged.EstRevenue[i])
+				}
+				if direct.FinalTheta[i] != staged.FinalTheta[i] {
+					t.Errorf("ad %d θ %d vs %d", i, direct.FinalTheta[i], staged.FinalTheta[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAllocateFromIndexReuse runs the same request twice against one index:
+// the allocations must match exactly and the second run must draw nothing.
+func TestAllocateFromIndexReuse(t *testing.T) {
+	inst := randomInstance(60, 50, 200, 3, 2, 0)
+	idx, err := BuildIndex(inst, 5, TIRMOptions{MinTheta: 6000, MaxTheta: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Opts: TIRMOptions{MinTheta: 6000, MaxTheta: 40000}}
+	first, err := AllocateFromIndex(idx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := AllocateFromIndex(idx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAllocation(t, first.Alloc, second.Alloc)
+	if second.TotalSetsSampled != 0 {
+		t.Errorf("warm run drew %d sets; index should already hold the sample", second.TotalSetsSampled)
+	}
+	if second.SetsReused == 0 {
+		t.Error("warm run reports no reused sets")
+	}
+}
+
+// TestBuildOptionsDoNotChangeStream: the sample content is a pure function
+// of (instance, seed, position), so presampling depth must not affect
+// allocations.
+func TestBuildOptionsDoNotChangeStream(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	opts := TIRMOptions{MinTheta: 5000}
+	shallow, err := BuildIndex(inst, 3, TIRMOptions{MinTheta: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := BuildIndex(inst, 3, TIRMOptions{MinTheta: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AllocateFromIndex(shallow, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AllocateFromIndex(deep, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAllocation(t, a.Alloc, b.Alloc)
+}
+
+func TestAllocateFromIndexOverrides(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	idx, err := BuildIndex(inst, 7, TIRMOptions{MinTheta: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := TIRMOptions{MinTheta: 5000}
+
+	t.Run("subset", func(t *testing.T) {
+		res, err := AllocateFromIndex(idx, Request{Opts: opts, Ads: []int{0, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Alloc.Seeds) != len(inst.Ads) {
+			t.Fatalf("allocation covers %d ads, want %d", len(res.Alloc.Seeds), len(inst.Ads))
+		}
+		for _, j := range []int{1, 3} {
+			if len(res.Alloc.Seeds[j]) != 0 {
+				t.Errorf("unselected ad %d got seeds %v", j, res.Alloc.Seeds[j])
+			}
+		}
+		if len(res.Alloc.Seeds[0]) == 0 {
+			t.Error("selected ad 0 got no seeds")
+		}
+	})
+
+	t.Run("lambda", func(t *testing.T) {
+		huge := 100.0
+		res, err := AllocateFromIndex(idx, Request{Opts: opts, Lambda: &huge})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Alloc.NumSeeds() != 0 {
+			t.Errorf("λ=100 still allocated %d seeds", res.Alloc.NumSeeds())
+		}
+	})
+
+	t.Run("kappa", func(t *testing.T) {
+		res, err := AllocateFromIndex(idx, Request{Opts: opts, Kappa: ConstKappa(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed := *inst
+		relaxed.Kappa = ConstKappa(2)
+		if err := res.Alloc.Validate(&relaxed); err != nil {
+			t.Fatal(err)
+		}
+		base, err := AllocateFromIndex(idx, Request{Opts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Alloc.NumSeeds() < base.Alloc.NumSeeds() {
+			t.Errorf("κ=2 allocated fewer seeds (%d) than κ=1 (%d)", res.Alloc.NumSeeds(), base.Alloc.NumSeeds())
+		}
+	})
+
+	t.Run("budgets", func(t *testing.T) {
+		tiny := []float64{0.5, 0.5, 0.5, 0.5}
+		res, err := AllocateFromIndex(idx, Request{Opts: opts, Budgets: tiny})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := AllocateFromIndex(idx, Request{Opts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Alloc.NumSeeds() > base.Alloc.NumSeeds() {
+			t.Errorf("tiny budgets allocated more seeds (%d) than the originals (%d)",
+				res.Alloc.NumSeeds(), base.Alloc.NumSeeds())
+		}
+	})
+
+	t.Run("invalid", func(t *testing.T) {
+		if _, err := AllocateFromIndex(idx, Request{Opts: opts, Ads: []int{9}}); err == nil {
+			t.Error("out-of-range ad subset accepted")
+		}
+		if _, err := AllocateFromIndex(idx, Request{Opts: opts, Budgets: []float64{1}}); err == nil {
+			t.Error("short budget override accepted")
+		}
+		neg := -1.0
+		if _, err := AllocateFromIndex(idx, Request{Opts: opts, Lambda: &neg}); err == nil {
+			t.Error("negative λ accepted")
+		}
+		if _, err := AllocateFromIndex(idx, Request{Opts: opts, Kappa: VecKappa(make([]int32, 2))}); err == nil {
+			t.Error("short κ vector accepted")
+		}
+	})
+}
+
+// TestIndexSnapshotRoundTrip: encode → decode → identical allocation, and a
+// mismatched instance is rejected.
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	inst := randomInstance(90, 40, 160, 2, 1, 0)
+	opts := TIRMOptions{MinTheta: 6000, MaxTheta: 30000}
+	idx, err := BuildIndex(inst, 21, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AllocateFromIndex(idx, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndexSnapshot(inst, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed() != idx.Seed() {
+		t.Errorf("loaded seed %d, want %d", loaded.Seed(), idx.Seed())
+	}
+	got, err := AllocateFromIndex(loaded, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAllocation(t, want.Alloc, got.Alloc)
+	if got.TotalSetsSampled != 0 {
+		t.Errorf("allocation on loaded snapshot drew %d sets", got.TotalSetsSampled)
+	}
+
+	other := randomInstance(91, 40, 160, 2, 1, 0)
+	if _, err := LoadIndexSnapshot(other, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("snapshot accepted for a different instance")
+	}
+	if _, err := LoadIndexSnapshot(inst, bytes.NewReader(buf.Bytes()[:40])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+// TestSnapshotFingerprintSeesTopology: two graphs with identical node and
+// edge counts and identical probability values but different wiring must
+// not exchange snapshots.
+func TestSnapshotFingerprintSeesTopology(t *testing.T) {
+	build := func(edges [][2]int32) *Instance {
+		b := graph.NewBuilder(4)
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Instance{
+			G: g,
+			Ads: []Ad{{
+				Name:   "a",
+				Budget: 1,
+				CPE:    1,
+				Params: topic.ItemParams{
+					Probs: []float32{0.5, 0.5, 0.5},
+					CTPs:  topic.ConstCTP{Nodes: 4, P: 0.5},
+				},
+			}},
+			Kappa: ConstKappa(1),
+		}
+	}
+	a := build([][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	bInst := build([][2]int32{{0, 2}, {2, 1}, {1, 3}})
+
+	idx, err := BuildIndex(a, 1, TIRMOptions{MinTheta: 512, MaxTheta: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexSnapshot(bInst, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("snapshot accepted across graphs with identical counts but different wiring")
+	}
+	if _, err := LoadIndexSnapshot(a, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("snapshot rejected for its own instance: %v", err)
+	}
+}
+
+// TestIndexGrowthDeterminism: growing the index through an allocation that
+// needs a larger θ must not perturb allocations that were possible before.
+func TestIndexGrowthDeterminism(t *testing.T) {
+	inst := randomInstance(77, 60, 240, 1, 3, 0)
+	ads := append([]Ad{}, inst.Ads...)
+	ads[0].Budget = 25
+	ads[0].CPE = 1
+	inst.Ads = ads
+
+	small := Request{Opts: TIRMOptions{MinTheta: 4000, MaxTheta: 8000}}
+	big := Request{Opts: TIRMOptions{MinTheta: 8000, MaxTheta: 60000}}
+
+	idx, err := BuildIndex(inst, 4, small.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := AllocateFromIndex(idx, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllocateFromIndex(idx, big); err != nil {
+		t.Fatal(err)
+	}
+	after, err := AllocateFromIndex(idx, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAllocation(t, before.Alloc, after.Alloc)
+	if idx.MemBytes() <= 0 {
+		t.Error("index reports no memory")
+	}
+}

@@ -66,8 +66,14 @@ type TIRMResult struct {
 	FinalTheta []int
 	// FinalSeedTarget is the per-ad s_i estimate at termination.
 	FinalSeedTarget []int
-	// TotalSetsSampled counts RR-sets drawn across all ads.
+	// TotalSetsSampled counts RR-sets freshly drawn from the graph during
+	// this run. For TIRM it covers the whole sample; for a warm
+	// AllocateFromIndex run it is the on-demand growth only (0 when the
+	// index already held enough sets).
 	TotalSetsSampled int64
+	// SetsReused counts sets served from a preexisting index sample
+	// instead of being drawn — the work the warm-start path saved.
+	SetsReused int64
 	// MemBytes estimates the peak footprint of the per-ad RR-set indexes
 	// (Table 4 instrumentation).
 	MemBytes   int64
@@ -137,24 +143,6 @@ func (s softIndex) CoveredMass() float64 { return s.c.CoveredMass() }
 func (s softIndex) Drop(u int32)         { s.c.Drop(u) }
 func (s softIndex) MemBytes() int64      { return s.c.MemBytes() }
 
-// tirmAd is the per-advertiser state of Algorithm 2.
-type tirmAd struct {
-	cpe       float64
-	budget    float64
-	delta     func(u int32) float64
-	col       covIndex
-	sampler   *rrset.Sampler
-	rng       *xrand.Rand
-	salt      uint64
-	theta     int
-	sTarget   int
-	widths    []int64 // pilot widths for KPT(s) refreshes
-	revenue   float64
-	seeds     []int32
-	seedMass  []float64 // δ-scaled claimed set mass per seed
-	saturated bool
-}
-
 // kptFromWidths evaluates TIM's width statistic KPT(s) = n·mean(κ_s(R))/2
 // with κ_s(R) = 1 − (1 − ω(R)/m)^s over the fixed pilot sample, floored at
 // max(s, 1). The paper sizes θ with L(s, ε) at every seed-target revision;
@@ -178,185 +166,27 @@ func kptFromWidths(widths []int64, s int, n int, m int64) float64 {
 // greedy (user, ad) selection by maximum regret drop with marginal revenues
 // cpe(i)·n·δ(u,i)·F_R(u) (Theorem 5), iterative seed-set-size estimation
 // with sample growth, and UpdateEstimates re-calibration (Algorithm 4).
+//
+// TIRM is a thin wrapper over the two-stage API: it builds a fresh RR-set
+// index (BuildIndex) and immediately runs selection against it
+// (AllocateFromIndex). Callers that allocate more than once — what-if
+// queries, budget re-negotiations, the internal/serve server — should hold
+// on to an Index and call AllocateFromIndex directly: for a fixed seed the
+// allocation is identical and the sampling cost is paid only once. Only
+// rng's seed matters (streams are derived by pure splits).
 func TIRM(inst *Instance, rng *xrand.Rand, opts TIRMOptions) (*TIRMResult, error) {
-	if err := inst.Validate(); err != nil {
+	idx, err := BuildIndex(inst, rng.Seed(), opts)
+	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
-	g := inst.G
-	n := g.N()
-	m := g.M()
-	h := len(inst.Ads)
-	maxSeeds := opts.MaxSeedsPerAd
-	if maxSeeds <= 0 {
-		maxSeeds = n
+	res, err := AllocateFromIndex(idx, Request{Opts: opts})
+	if err != nil {
+		return nil, err
 	}
-
-	res := &TIRMResult{
-		Alloc:           NewAllocation(h),
-		EstRevenue:      make([]float64, h),
-		FinalTheta:      make([]int, h),
-		FinalSeedTarget: make([]int, h),
-	}
-
-	// Initialization (Algorithm 2 lines 1–3): s_j = 1, θ_j = L(s_j, ε),
-	// R_j = Sample(G, γ_j, θ_j). The pilot batch doubles as the width
-	// sample for KPT refreshes.
-	ads := make([]*tirmAd, h)
-	for j := 0; j < h; j++ {
-		spec := inst.Ads[j]
-		var col covIndex
-		if opts.SoftCoverage {
-			col = softIndex{rrset.NewWeightedCollection(n)}
-		} else {
-			col = hardIndex{rrset.NewCollection(n)}
-		}
-		a := &tirmAd{
-			cpe:     spec.CPE,
-			budget:  spec.Budget,
-			delta:   spec.Params.CTPs.At,
-			col:     col,
-			sampler: rrset.NewSampler(g, spec.Params.Probs, nil),
-			rng:     rng.Split(uint64(j)),
-			sTarget: 1,
-		}
-		pilot := a.sampler.SampleBatchRR(opts.MinTheta, a.rng, a.salt)
-		a.salt += uint64(len(pilot))
-		a.widths = make([]int64, len(pilot))
-		for i, set := range pilot {
-			a.widths[i] = rrset.Width(g, set)
-		}
-		a.col.AddBatch(pilot)
-		a.theta = len(pilot)
-		res.TotalSetsSampled += int64(len(pilot))
-
-		kpt := kptFromWidths(a.widths, 1, n, m)
-		want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
-		if want > a.theta {
-			extra := a.sampler.SampleBatchRR(want-a.theta, a.rng, a.salt)
-			a.salt += uint64(len(extra))
-			a.col.AddBatch(extra)
-			a.theta = want
-			res.TotalSetsSampled += int64(len(extra))
-		}
-		ads[j] = a
-	}
-
-	attention := NewAttention(n, inst.Kappa)
-	eligible := func(u int32) bool { return attention.CanTake(u) }
-
-	// Main loop (Algorithm 2 lines 4–19).
-	for {
-		bestAd := -1
-		var bestU int32
-		var bestScore float64
-		var bestMg float64
-		bestDrop := 0.0
-		for j, a := range ads {
-			if a.saturated {
-				continue
-			}
-			// SelectBestNode (Algorithm 3): max residual coverage among
-			// eligible nodes — extended to the top CandidateDepth nodes
-			// scored by regret drop (depth 1 = the paper).
-			nodes, scores := a.col.TopNodes(opts.CandidateDepth, eligible)
-			if len(nodes) == 0 {
-				a.saturated = true
-				continue
-			}
-			improved := false
-			for c, u := range nodes {
-				mg := a.cpe * float64(n) * a.delta(u) * scores[c] / float64(a.theta)
-				d := RegretDrop(a.budget-a.revenue, mg, inst.Lambda)
-				if d <= 0 {
-					continue
-				}
-				improved = true
-				if bestAd < 0 || d > bestDrop {
-					bestAd, bestU, bestScore, bestMg, bestDrop = j, u, scores[c], mg, d
-				}
-			}
-			if !improved {
-				// No strict improvement possible for this ad: its candidate
-				// pool only shrinks and Π only changes when it commits, so
-				// the saturation is permanent.
-				a.saturated = true
-				continue
-			}
-		}
-		if bestAd < 0 {
-			break // line 14: no (user, ad) pair reduces regret
-		}
-
-		// Commit (lines 10–12): allocate, record the claimed mass, and
-		// retire it (hard mode removes covered sets; soft mode decays their
-		// weights by 1−δ).
-		a := ads[bestAd]
-		mass := a.col.Commit(bestU, a.delta(bestU))
-		a.col.Drop(bestU)
-		attention.Take(bestU)
-		a.seeds = append(a.seeds, bestU)
-		a.seedMass = append(a.seedMass, mass)
-		a.revenue += bestMg
-		res.Iterations++
-		if diff := mass - a.delta(bestU)*bestScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
-			// BestNode and Commit disagree only on a bug.
-			panic("core: TIRM coverage bookkeeping out of sync")
-		}
-
-		if len(a.seeds) >= maxSeeds {
-			a.saturated = true
-			continue
-		}
-
-		// Iterative seed-set-size estimation (lines 14–18): when |S_i|
-		// reaches s_i, extend s_i by the regret still outstanding divided
-		// by the latest seed's marginal revenue — a lower bound on the
-		// seeds still needed, by submodularity — then grow θ_i to L(s_i, ε)
-		// and re-calibrate existing seeds on the enlarged sample.
-		if len(a.seeds) == a.sTarget {
-			gap := a.budget - a.revenue
-			if gap <= 0 || bestMg <= 0 {
-				continue
-			}
-			growth := int(math.Floor(gap / bestMg))
-			if growth < 1 {
-				continue
-			}
-			a.sTarget += growth
-			kpt := kptFromWidths(a.widths, a.sTarget, n, m)
-			// The achieved spread n·(covered/θ) is itself a lower bound on
-			// OPT_{s_i}; take the larger of the two (conservatively shrunk).
-			achieved := float64(n) * a.col.CoveredMass() / float64(a.theta) * (1 - opts.Eps)
-			optLB := math.Max(kpt, achieved)
-			want := rrset.Theta(int64(n), int64(a.sTarget), opts.Eps, opts.Ell, optLB, opts.MinTheta, opts.MaxTheta)
-			if want > a.theta {
-				boundary := a.col.NumSets()
-				extra := a.sampler.SampleBatchRR(want-a.theta, a.rng, a.salt)
-				a.salt += uint64(len(extra))
-				a.col.AddBatch(extra)
-				a.theta = want
-				res.TotalSetsSampled += int64(len(extra))
-				// UpdateEstimates (Algorithm 4): credit existing seeds, in
-				// selection order, with their coverage among the appended
-				// sets (retiring the claimed mass as we go so nothing is
-				// double-counted), then recompute Π against the new θ.
-				a.revenue = 0
-				for k, seed := range a.seeds {
-					a.seedMass[k] += a.col.CreditFrom(seed, a.delta(seed), boundary)
-					a.revenue += a.cpe * float64(n) * a.seedMass[k] / float64(a.theta)
-				}
-			}
-		}
-	}
-
-	for j, a := range ads {
-		res.Alloc.Seeds[j] = a.seeds
-		res.EstRevenue[j] = a.revenue
-		res.FinalTheta[j] = a.theta
-		res.FinalSeedTarget[j] = a.sTarget
-		res.MemBytes += a.col.MemBytes()
-	}
+	// Attribute the build-time presampling to this run: with a throwaway
+	// index nothing is reused.
+	res.TotalSetsSampled = idx.SetsSampled()
+	res.SetsReused = 0
 	return res, nil
 }
 

@@ -1,0 +1,98 @@
+// Binary snapshot encoding for RR-set families. A long-lived allocation
+// service (internal/serve) persists each dataset's per-ad samples so that a
+// restarted process starts warm — loading a snapshot is pure I/O, orders of
+// magnitude cheaper than re-running the reverse-BFS sampling that dominates
+// TIRM's cost. The format is little-endian and versioned; core.Index
+// composes per-ad sections written with EncodeSets into one index file.
+package rrset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// setsMagic guards each encoded set family ("RRS" + version 1).
+const setsMagic = uint32(0x52525331) // "RRS1"
+
+// EncodeSets writes one RR-set family to w: magic, set count, then each
+// set's length and members as uint32s. Sections are exactly delimited, so
+// several families can be concatenated on one stream and decoded back.
+func EncodeSets(w io.Writer, sets [][]int32) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], setsMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(sets)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, set := range sets {
+		need := 4 + 4*len(set)
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		buf = buf[:need]
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(set)))
+		for i, u := range set {
+			binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(u))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeSets reads one family written by EncodeSets, consuming exactly its
+// section of the stream (wrap the source in a bufio.Reader for performance
+// — DecodeSets deliberately never reads ahead, so families can be decoded
+// back to back from one reader). n is the node-universe size; every member
+// must lie in [0, n) and no set may exceed n members, which bounds the
+// damage a truncated or corrupt snapshot can do.
+func DecodeSets(r io.Reader, n int) ([][]int32, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("rrset: snapshot header: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[:4]); magic != setsMagic {
+		return nil, fmt.Errorf("rrset: bad snapshot magic %#x", magic)
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	// Cap the preallocation and grow with the bytes actually read: a
+	// corrupt count field must fail at the truncated stream, not OOM the
+	// process up front.
+	prealloc := int(count)
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	sets := make([][]int32, 0, prealloc)
+	var buf []byte
+	for i := 0; i < int(count); i++ {
+		var szb [4]byte
+		if _, err := io.ReadFull(r, szb[:]); err != nil {
+			return nil, fmt.Errorf("rrset: set %d length: %w", i, err)
+		}
+		sz := binary.LittleEndian.Uint32(szb[:])
+		if int(sz) > n {
+			return nil, fmt.Errorf("rrset: set %d has %d members, universe is %d", i, sz, n)
+		}
+		need := 4 * int(sz)
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		buf = buf[:need]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("rrset: set %d members: %w", i, err)
+		}
+		set := make([]int32, sz)
+		for k := range set {
+			v := binary.LittleEndian.Uint32(buf[4*k:])
+			if int(v) >= n {
+				return nil, fmt.Errorf("rrset: set %d member %d out of range", i, v)
+			}
+			set[k] = int32(v)
+		}
+		sets = append(sets, set)
+	}
+	return sets, nil
+}

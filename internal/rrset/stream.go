@@ -1,0 +1,74 @@
+package rrset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// StreamBlockSize is the block granularity of the deterministic RR stream
+// (see SampleRangeRR). Index growth always rounds up to a block boundary so
+// every block is drawn in full from the start of its derived rng — no
+// partially consumed streams ever need to be persisted or reconstructed.
+const StreamBlockSize = 256
+
+// StreamCeil rounds count up to the next StreamBlockSize multiple.
+func StreamCeil(count int) int {
+	if count <= 0 {
+		return 0
+	}
+	return (count + StreamBlockSize - 1) / StreamBlockSize * StreamBlockSize
+}
+
+// SampleRangeRR draws sets [from, to) of the sampler's deterministic RR
+// stream under rng. Set i belongs to block i/StreamBlockSize, and block b is
+// drawn sequentially from the derived stream rng.Split(b), so the i-th set
+// is a pure function of (graph, probs, rng seed, i) — independent of batch
+// boundaries, growth history, and GOMAXPROCS. This is the contract that
+// lets a long-lived RR-set index (core.Index) grow on demand under any
+// interleaving of allocation requests, or restart from a disk snapshot, and
+// still produce byte-identical samples.
+//
+// Unlike SampleBatchRR — whose chunk decomposition (and therefore output)
+// depends on the batch size — the stream position alone decides each set's
+// randomness. Blocks are sampled in parallel. from and to must be multiples
+// of StreamBlockSize with from ≤ to.
+func (s *Sampler) SampleRangeRR(from, to int, rng *xrand.Rand) [][]int32 {
+	if from%StreamBlockSize != 0 || to%StreamBlockSize != 0 || from > to {
+		panic(fmt.Sprintf("rrset: SampleRangeRR range [%d,%d) not block-aligned", from, to))
+	}
+	if from == to {
+		return nil
+	}
+	out := make([][]int32, to-from)
+	firstBlock := from / StreamBlockSize
+	numBlocks := (to - from) / StreamBlockSize
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	next := make(chan int, numBlocks)
+	for b := 0; b < numBlocks; b++ {
+		next <- b
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := s.newScratch()
+			for b := range next {
+				brng := rng.Split(uint64(firstBlock + b))
+				base := b * StreamBlockSize
+				for i := 0; i < StreamBlockSize; i++ {
+					out[base+i] = s.sampleInto(sc, brng, false)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,279 @@
+package rrset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func streamTestSampler(t testing.TB) *Sampler {
+	t.Helper()
+	b := graph.NewBuilder(40)
+	r := xrand.New(123)
+	for e := 0; e < 160; e++ {
+		u, v := int32(r.IntN(40)), int32(r.IntN(40))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.MustBuild()
+	probs := make([]float32, g.M())
+	for i := range probs {
+		probs[i] = 0.3
+	}
+	return NewSampler(g, probs, nil)
+}
+
+// TestSampleRangeRRBatchInvariance is the contract the reusable index
+// rests on: set i depends only on its stream position, never on how the
+// range was partitioned into grow calls.
+func TestSampleRangeRRBatchInvariance(t *testing.T) {
+	s := streamTestSampler(t)
+	rng := xrand.New(7)
+	whole := s.SampleRangeRR(0, 4*StreamBlockSize, rng)
+	first := s.SampleRangeRR(0, StreamBlockSize, xrand.New(7))
+	rest := s.SampleRangeRR(StreamBlockSize, 4*StreamBlockSize, xrand.New(7))
+	pieced := append(append([][]int32{}, first...), rest...)
+	if !reflect.DeepEqual(whole, pieced) {
+		t.Fatal("stream content depends on growth boundaries")
+	}
+	again := s.SampleRangeRR(0, 4*StreamBlockSize, xrand.New(7))
+	if !reflect.DeepEqual(whole, again) {
+		t.Fatal("stream not deterministic")
+	}
+}
+
+func TestSampleRangeRRAlignment(t *testing.T) {
+	s := streamTestSampler(t)
+	for _, r := range [][2]int{{1, StreamBlockSize}, {0, StreamBlockSize + 1}, {StreamBlockSize, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range [%d,%d) accepted", r[0], r[1])
+				}
+			}()
+			s.SampleRangeRR(r[0], r[1], xrand.New(1))
+		}()
+	}
+	if got := s.SampleRangeRR(StreamBlockSize, StreamBlockSize, xrand.New(1)); got != nil {
+		t.Errorf("empty range returned %d sets", len(got))
+	}
+}
+
+func TestStreamCeil(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 0}, {-3, 0}, {1, StreamBlockSize}, {StreamBlockSize, StreamBlockSize},
+		{StreamBlockSize + 1, 2 * StreamBlockSize},
+	} {
+		if got := StreamCeil(tc.in); got != tc.want {
+			t.Errorf("StreamCeil(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := streamTestSampler(t)
+	sets := s.SampleRangeRR(0, 2*StreamBlockSize, xrand.New(3))
+	var buf bytes.Buffer
+	if err := EncodeSets(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	// A second family on the same stream must decode back to back.
+	more := s.SampleRangeRR(0, StreamBlockSize, xrand.New(4))
+	if err := EncodeSets(&buf, more); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	got, err := DecodeSets(r, s.Graph().N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonSets(sets), canonSets(got)) {
+		t.Fatal("first family did not round-trip")
+	}
+	got2, err := DecodeSets(r, s.Graph().N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonSets(more), canonSets(got2)) {
+		t.Fatal("second family did not round-trip")
+	}
+}
+
+// canonSets maps nil/empty distinctions away (empty sets round-trip as
+// empty, not nil).
+func canonSets(sets [][]int32) [][][]int32 {
+	out := make([][][]int32, len(sets))
+	for i, s := range sets {
+		if len(s) == 0 {
+			out[i] = nil
+			continue
+		}
+		out[i] = [][]int32{s}
+	}
+	return out
+}
+
+func TestDecodeSetsRejectsCorruption(t *testing.T) {
+	sets := [][]int32{{1, 2}, {3}}
+	var buf bytes.Buffer
+	if err := EncodeSets(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	bad := append([]byte{}, raw...)
+	bad[0] ^= 0xff
+	if _, err := DecodeSets(bytes.NewReader(bad), 10); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := DecodeSets(bytes.NewReader(raw[:len(raw)-2]), 10); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Universe too small: member 3 out of range.
+	if _, err := DecodeSets(bytes.NewReader(raw), 3); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	// Universe of 1 makes set 0's length itself invalid.
+	if _, err := DecodeSets(bytes.NewReader(raw), 1); err == nil {
+		t.Error("oversized set accepted")
+	}
+	// A corrupted count field must fail at the truncated stream, fast,
+	// instead of preallocating gigabytes.
+	huge := append([]byte{}, raw...)
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	if _, err := DecodeSets(bytes.NewReader(huge), 10); err == nil {
+		t.Error("absurd set count accepted")
+	}
+}
+
+// buildNodeIn constructs the capacity-clipped inverted index the
+// FromSharedIndex constructors require (mirroring core's adSample).
+func buildNodeIn(n int, sets [][]int32) [][]int32 {
+	nodeIn := make([][]int32, n)
+	for id, set := range sets {
+		for _, u := range set {
+			nodeIn[u] = append(nodeIn[u], int32(id))
+		}
+	}
+	for u := range nodeIn {
+		nodeIn[u] = nodeIn[u][:len(nodeIn[u]):len(nodeIn[u])]
+	}
+	return nodeIn
+}
+
+// TestCollectionFromSharedIndexMatchesAddBatch: the warm-start constructor
+// must behave exactly like incremental insertion.
+func TestCollectionFromSharedIndexMatchesAddBatch(t *testing.T) {
+	s := streamTestSampler(t)
+	sets := s.SampleRangeRR(0, StreamBlockSize, xrand.New(5))
+	n := s.Graph().N()
+
+	inc := NewCollection(n)
+	inc.AddBatch(sets)
+	bulk := NewCollectionFromSharedIndex(n, sets, buildNodeIn(n, sets))
+
+	for u := int32(0); u < int32(n); u++ {
+		if inc.Coverage(u) != bulk.Coverage(u) {
+			t.Fatalf("coverage of %d: %d vs %d", u, inc.Coverage(u), bulk.Coverage(u))
+		}
+	}
+	// Greedy runs over both must claim identical coverage masses.
+	for k := 0; k < 5; k++ {
+		u1, c1, ok1 := inc.BestNode(nil)
+		u2, c2, ok2 := bulk.BestNode(nil)
+		if ok1 != ok2 || c1 != c2 {
+			t.Fatalf("step %d: best (%d,%d,%v) vs (%d,%d,%v)", k, u1, c1, ok1, u2, c2, ok2)
+		}
+		if !ok1 {
+			break
+		}
+		// Ties may order differently between heap layouts; commit each
+		// collection's own pick and compare the claimed count.
+		if inc.CoverNode(u1) != bulk.CoverNode(u2) {
+			t.Fatalf("step %d: claimed counts differ", k)
+		}
+		inc.Drop(u1)
+		bulk.Drop(u2)
+	}
+}
+
+// TestCollectionClonesAreIndependent: the clone path (fresh collections
+// over one shared sample + inverted index) must give each selection run
+// identical, isolated state — one run's covers and drops leak into no
+// other.
+func TestCollectionClonesAreIndependent(t *testing.T) {
+	s := streamTestSampler(t)
+	sets := s.SampleRangeRR(0, StreamBlockSize, xrand.New(6))
+	n := s.Graph().N()
+	nodeIn := buildNodeIn(n, sets)
+
+	run := func(c *Collection) (picks []int32, covs []int) {
+		for k := 0; k < 4; k++ {
+			u, cov, ok := c.BestNode(nil)
+			if !ok {
+				break
+			}
+			c.CoverNode(u)
+			c.Drop(u)
+			picks = append(picks, u)
+			covs = append(covs, cov)
+		}
+		return
+	}
+	first := NewCollectionFromSharedIndex(n, sets, nodeIn)
+	p1, c1 := run(first)
+	if first.NumCovered() == 0 {
+		t.Fatal("first run covered nothing")
+	}
+	second := NewCollectionFromSharedIndex(n, sets, nodeIn)
+	if second.NumCovered() != 0 {
+		t.Fatalf("fresh clone starts with %d covered sets", second.NumCovered())
+	}
+	p2, c2 := run(second)
+	if !reflect.DeepEqual(p1, p2) || !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("clone run diverged: %v/%v vs %v/%v", p1, c1, p2, c2)
+	}
+}
+
+func TestWeightedCollectionFromSharedIndex(t *testing.T) {
+	s := streamTestSampler(t)
+	sets := s.SampleRangeRR(0, StreamBlockSize, xrand.New(8))
+	n := s.Graph().N()
+	nodeIn := buildNodeIn(n, sets)
+
+	inc := NewWeightedCollection(n)
+	inc.AddBatch(sets)
+	c := NewWeightedCollectionFromSharedIndex(n, sets, nodeIn)
+	for u := int32(0); u < int32(n); u++ {
+		if inc.WeightedCoverage(u) != c.WeightedCoverage(u) {
+			t.Fatalf("wcov of %d: %v vs %v", u, inc.WeightedCoverage(u), c.WeightedCoverage(u))
+		}
+	}
+
+	run := func(c *WeightedCollection) (mass float64) {
+		for k := 0; k < 4; k++ {
+			u, _, ok := c.BestNode(nil)
+			if !ok {
+				break
+			}
+			mass += c.Commit(u, 0.5)
+			c.Drop(u)
+		}
+		return
+	}
+	m1 := run(c)
+	if m1 <= 0 {
+		t.Fatal("first run claimed no mass")
+	}
+	clone := NewWeightedCollectionFromSharedIndex(n, sets, nodeIn)
+	if clone.CoveredMass() != 0 {
+		t.Fatalf("fresh clone starts with claimed mass %v", clone.CoveredMass())
+	}
+	if m2 := run(clone); m1 != m2 {
+		t.Fatalf("clone run claimed %v, want %v", m2, m1)
+	}
+}

@@ -46,6 +46,18 @@ func NewWeightedCollection(n int) *WeightedCollection {
 	}
 }
 
+// initHeap rebuilds the lazy max-heap with one fresh entry per node of
+// positive weighted coverage.
+func (c *WeightedCollection) initHeap() {
+	c.pq = c.pq[:0]
+	for u := 0; u < c.n; u++ {
+		if c.wcov[u] > 0 && !c.dead[u] {
+			c.pq = append(c.pq, wcovEntry{node: int32(u), wcov: c.wcov[u]})
+		}
+	}
+	heap.Init(&c.pq)
+}
+
 // N returns the node-universe size.
 func (c *WeightedCollection) N() int { return c.n }
 
@@ -71,11 +83,45 @@ func (c *WeightedCollection) Add(set []int32) {
 	}
 }
 
-// AddBatch appends many sets.
+// AddBatch appends many sets, refreshing the heap once at the end (see
+// Collection.AddBatch).
 func (c *WeightedCollection) AddBatch(sets [][]int32) {
-	for _, s := range sets {
-		c.Add(s)
+	if len(sets) == 0 {
+		return
 	}
+	for _, set := range sets {
+		id := int32(len(c.sets))
+		c.sets = append(c.sets, set)
+		c.weight = append(c.weight, 1)
+		for _, u := range set {
+			c.nodeIn[u] = append(c.nodeIn[u], id)
+			c.wcov[u]++
+		}
+	}
+	c.initHeap()
+}
+
+// NewWeightedCollectionFromSharedIndex mirrors
+// rrset.NewCollectionFromSharedIndex for the soft-coverage mode: O(n + θ)
+// construction over a shared sample and inverted index (same clipping
+// contract).
+func NewWeightedCollectionFromSharedIndex(n int, sets [][]int32, nodeIn [][]int32) *WeightedCollection {
+	c := &WeightedCollection{
+		n:      n,
+		sets:   sets[:len(sets):len(sets)],
+		nodeIn: nodeIn,
+		weight: make([]float64, len(sets)),
+		wcov:   make([]float64, n),
+		dead:   make([]bool, n),
+	}
+	for i := range c.weight {
+		c.weight[i] = 1
+	}
+	for u, ids := range nodeIn {
+		c.wcov[u] = float64(len(ids))
+	}
+	c.initHeap()
+	return c
 }
 
 // WeightedCoverage returns wcov[u] = Σ_{R∋u} w_R.

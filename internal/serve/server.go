@@ -1,0 +1,777 @@
+// Package serve exposes the allocation engine as a concurrent HTTP/JSON
+// service — the shape the ROADMAP's production north star asks for: a host
+// that repeatedly re-allocates as campaigns arrive and budgets change.
+//
+// The expensive substrate (per-ad RR-set samples) is managed as a cache of
+// core.Index values keyed by (dataset, seed, scale, ads). The first request
+// for a key builds the instance and presamples its index; concurrent
+// requests for the same key coalesce onto that one build; every later
+// request reuses the sample and pays only the cheap greedy selection
+// (core.AllocateFromIndex), whatever its budgets, λ, κ, ad subset, or
+// options. With a snapshot directory configured, built indexes are
+// persisted with core's binary snapshot format and reloaded on restart, so
+// a bounced server answers warm.
+//
+// Endpoints:
+//
+//	POST /allocate  — run TIRM selection against the cached index
+//	POST /evaluate  — neutral Monte Carlo scoring of an allocation
+//	GET  /datasets  — registered dataset generators
+//	GET  /stats     — cache hit/miss/coalesce counters, per-index memory
+//	GET  /healthz   — liveness probe
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+// DefaultMaxScale bounds the dataset scale a request may ask for; the
+// LiveJournal analogue at scale 1 is a multi-gigabyte build, and an open
+// endpoint must not let one request OOM the process.
+const DefaultMaxScale = 0.25
+
+// DefaultMaxTheta caps per-ad sample sizes when a request does not say
+// otherwise, bounding index memory (TIRMOptions.MaxTheta = 0 means
+// uncapped in the library, which a server cannot afford).
+const DefaultMaxTheta = 200000
+
+// DefaultMaxEntries bounds the cache: every distinct (dataset, seed,
+// scale, ads) key retains a multi-MB instance+index, so without eviction a
+// client iterating seeds would grow the process until it OOMs.
+const DefaultMaxEntries = 8
+
+// DefaultMaxAds bounds the per-request advertiser count; instance size and
+// index presampling both scale linearly in it (the paper's settings use 5
+// and 10).
+const DefaultMaxAds = 64
+
+// Options configures a Server.
+type Options struct {
+	// SnapshotDir, when non-empty, enables index persistence: builds are
+	// saved there and restarts load instead of resampling.
+	SnapshotDir string
+	// MaxScale rejects requests beyond this dataset scale (default
+	// DefaultMaxScale).
+	MaxScale float64
+	// MaxTheta is the server-side cap on per-ad sample sizes (default
+	// DefaultMaxTheta). Request values above it are clamped.
+	MaxTheta int
+	// MaxEntries caps the number of cached instance+index entries;
+	// least-recently-used entries are evicted past it (default
+	// DefaultMaxEntries). Snapshots on disk survive eviction, so a
+	// re-requested key reloads instead of resampling.
+	MaxEntries int
+	// MaxAds rejects requests asking for more advertisers than this
+	// (default DefaultMaxAds).
+	MaxAds int
+	// Logf receives operational messages (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is the allocation service. Create with New; serve via Handler.
+type Server struct {
+	opts  Options
+	start time.Time
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	coalesced     atomic.Int64
+	snapshotLoads atomic.Int64
+}
+
+// entry is one cached instance plus its lazily built index. The two are
+// built in separate phases so /evaluate — which only needs the instance —
+// never pays for (or triggers) index presampling. instReady is closed once
+// inst is set; idxReady is created by the first index builder and closed
+// when idx/idxErr are final, coalescing concurrent builders.
+type entry struct {
+	key       string
+	params    InstanceParams
+	instReady chan struct{}
+	inst      *core.Instance
+
+	idxMu    sync.Mutex
+	idxReady chan struct{} // nil until an index build starts
+	idx      *core.Index
+	idxErr   error
+	fromDisk bool
+	buildSec float64
+
+	lastUsed atomic.Int64 // unix nanos, drives LRU eviction
+	hits     atomic.Int64
+	allocs   atomic.Int64
+}
+
+// buildInFlight reports whether the entry's instance generation or index
+// build is currently running (non-blocking).
+func (e *entry) buildInFlight() bool {
+	select {
+	case <-e.instReady:
+	default:
+		return true
+	}
+	e.idxMu.Lock()
+	ch := e.idxReady
+	e.idxMu.Unlock()
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return false
+	default:
+		return true
+	}
+}
+
+// indexBuilt reports whether the entry's index finished building
+// successfully (non-blocking).
+func (e *entry) indexBuilt() bool {
+	e.idxMu.Lock()
+	ch := e.idxReady
+	e.idxMu.Unlock()
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return e.idxErr == nil
+	default:
+		return false
+	}
+}
+
+// InstanceParams identifies a cached instance+index. Only sampling-time
+// inputs belong here: budgets, CPE, λ, κ are selection-time and overridable
+// per request, so they deliberately do not fragment the cache.
+type InstanceParams struct {
+	Dataset string  `json:"dataset"`
+	Seed    uint64  `json:"seed"`
+	Scale   float64 `json:"scale"`
+	NumAds  int     `json:"numAds,omitempty"`
+}
+
+func (p InstanceParams) Key() string {
+	return fmt.Sprintf("%s|seed=%d|scale=%g|ads=%d", p.Dataset, p.Seed, p.Scale, p.NumAds)
+}
+
+// datasetSpec is one registered generator.
+type datasetSpec struct {
+	name  string
+	desc  string
+	build func(gen.Options) *core.Instance
+}
+
+var datasetRegistry = []datasetSpec{
+	{"flixster", "FLIXSTER analogue: 30K-node power-law graph, 10 topical ads (quality setting)", gen.Flixster},
+	{"epinions", "EPINIONS analogue: 76K-node power-law graph, exponential probabilities", gen.Epinions},
+	{"dblp", "DBLP analogue: community co-authorship graph, weighted-cascade (scalability setting)", gen.DBLP},
+	{"livejournal", "LIVEJOURNAL analogue: 4.8M-node community graph — mind the scale", gen.LiveJournal},
+	{"fig1", "the paper's 6-node running example (ignores scale and ads)", func(gen.Options) *core.Instance { return gen.Fig1Instance(0) }},
+}
+
+func findDataset(name string) (datasetSpec, bool) {
+	name = strings.ToLower(name)
+	if name == "lj" {
+		name = "livejournal"
+	}
+	for _, d := range datasetRegistry {
+		if d.name == name {
+			return d, true
+		}
+	}
+	return datasetSpec{}, false
+}
+
+// New creates a server. If opts.SnapshotDir is set it is created on demand.
+func New(opts Options) *Server {
+	if opts.MaxScale <= 0 {
+		opts.MaxScale = DefaultMaxScale
+	}
+	if opts.MaxTheta <= 0 {
+		opts.MaxTheta = DefaultMaxTheta
+	}
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = DefaultMaxEntries
+	}
+	if opts.MaxAds <= 0 {
+		opts.MaxAds = DefaultMaxAds
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	return &Server{opts: opts, start: time.Now(), entries: map[string]*entry{}}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/allocate", s.handleAllocate)
+	mux.HandleFunc("/evaluate", s.handleEvaluate)
+	return mux
+}
+
+// Warm builds (or loads) the instance and index for the given parameters
+// ahead of traffic — cmd/adserver's -preload flag.
+func (s *Server) Warm(p InstanceParams) error {
+	e, _, _, err := s.entryFor(p)
+	if err != nil {
+		return err
+	}
+	_, _, _, err = s.indexFor(e)
+	return err
+}
+
+// WarmSpec parses "dataset:seed:scale[:ads]" into instance parameters.
+func WarmSpec(spec string) (InstanceParams, error) {
+	var p InstanceParams
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return p, fmt.Errorf("serve: preload spec %q is not dataset:seed:scale[:ads]", spec)
+	}
+	p.Dataset = parts[0]
+	if _, err := fmt.Sscanf(parts[1], "%d", &p.Seed); err != nil {
+		return p, fmt.Errorf("serve: preload seed %q: %w", parts[1], err)
+	}
+	if _, err := fmt.Sscanf(parts[2], "%g", &p.Scale); err != nil {
+		return p, fmt.Errorf("serve: preload scale %q: %w", parts[2], err)
+	}
+	if len(parts) == 4 {
+		if _, err := fmt.Sscanf(parts[3], "%d", &p.NumAds); err != nil {
+			return p, fmt.Errorf("serve: preload ads %q: %w", parts[3], err)
+		}
+	}
+	return p, nil
+}
+
+// entryFor returns the cached entry for p, generating the instance if
+// needed (the index is built separately by indexFor, so instance-only
+// consumers like /evaluate never trigger sampling). created reports
+// whether this call made the entry; waited reports whether it blocked on
+// another caller's in-flight instance generation.
+func (s *Server) entryFor(p InstanceParams) (_ *entry, created, waited bool, _ error) {
+	if _, ok := findDataset(p.Dataset); !ok {
+		return nil, false, false, fmt.Errorf("unknown dataset %q", p.Dataset)
+	}
+	if p.Scale <= 0 {
+		return nil, false, false, fmt.Errorf("scale must be > 0")
+	}
+	if p.Scale > s.opts.MaxScale {
+		return nil, false, false, fmt.Errorf("scale %g exceeds server limit %g", p.Scale, s.opts.MaxScale)
+	}
+	if p.NumAds < 0 {
+		return nil, false, false, fmt.Errorf("numAds must be ≥ 0")
+	}
+	if p.NumAds > s.opts.MaxAds {
+		return nil, false, false, fmt.Errorf("numAds %d exceeds server limit %d", p.NumAds, s.opts.MaxAds)
+	}
+	key := p.Key()
+	now := time.Now().UnixNano()
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		e.lastUsed.Store(now)
+		select {
+		case <-e.instReady:
+		default:
+			waited = true
+			<-e.instReady
+		}
+		return e, false, waited, nil
+	}
+	e := &entry{key: key, params: p, instReady: make(chan struct{})}
+	e.lastUsed.Store(now)
+	s.entries[key] = e
+	s.evictLocked(e)
+	s.mu.Unlock()
+
+	spec, _ := findDataset(p.Dataset)
+	e.inst = spec.build(gen.Options{
+		Seed:   p.Seed,
+		Scale:  p.Scale,
+		NumAds: p.NumAds,
+	})
+	close(e.instReady)
+	return e, true, false, nil
+}
+
+// evictLocked drops least-recently-used entries (never keep, the one just
+// inserted, nor an entry whose build is still in flight — evicting those
+// would let a re-request start a duplicate multi-hundred-MB build) until
+// the cache fits MaxEntries; if every candidate is building, the cache
+// temporarily exceeds the cap. Callers holding a reference to an evicted
+// entry keep using it safely — eviction only removes it from the map —
+// and its disk snapshot, if any, survives for a cheap reload.
+func (s *Server) evictLocked(keep *entry) {
+	for len(s.entries) > s.opts.MaxEntries {
+		var oldest *entry
+		for _, e := range s.entries {
+			if e == keep || e.buildInFlight() {
+				continue
+			}
+			if oldest == nil || e.lastUsed.Load() < oldest.lastUsed.Load() {
+				oldest = e
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		delete(s.entries, oldest.key)
+		s.opts.Logf("serve: evicted %s (LRU, cache cap %d)", oldest.key, s.opts.MaxEntries)
+	}
+}
+
+// indexFor returns the entry's index, building (or loading from snapshot)
+// it on first use. Concurrent callers for one entry share a single build.
+// cold reports whether this call did the build; waited whether it blocked
+// on another caller's build. Build errors are cached: instances are valid
+// by construction here, so an index failure is a bug, not a transient.
+func (s *Server) indexFor(e *entry) (_ *core.Index, cold, waited bool, _ error) {
+	e.idxMu.Lock()
+	if ch := e.idxReady; ch != nil {
+		e.idxMu.Unlock()
+		select {
+		case <-ch:
+		default:
+			waited = true
+			<-ch
+		}
+		return e.idx, false, waited, e.idxErr
+	}
+	ch := make(chan struct{})
+	e.idxReady = ch
+	e.idxMu.Unlock()
+
+	s.buildIndex(e)
+	close(ch)
+	return e.idx, true, false, e.idxErr
+}
+
+// buildIndex samples (or snapshot-loads) the entry's index.
+func (s *Server) buildIndex(e *entry) {
+	started := time.Now()
+	if path := s.snapshotPath(e.key); path != "" {
+		if f, err := os.Open(path); err == nil {
+			idx, err := core.LoadIndexSnapshot(e.inst, f)
+			f.Close()
+			if err == nil {
+				e.idx = idx
+				e.fromDisk = true
+				s.snapshotLoads.Add(1)
+				e.buildSec = time.Since(started).Seconds()
+				s.opts.Logf("serve: loaded index %s from snapshot (%d ads, %.1f MB) in %.2fs",
+					e.key, idx.NumAds(), float64(idx.MemBytes())/1e6, e.buildSec)
+				return
+			}
+			s.opts.Logf("serve: snapshot %s unusable (%v); rebuilding", path, err)
+		}
+	}
+
+	idx, err := core.BuildIndex(e.inst, e.params.Seed, core.TIRMOptions{MaxTheta: s.opts.MaxTheta})
+	if err != nil {
+		e.idxErr = err
+		return
+	}
+	e.idx = idx
+	e.buildSec = time.Since(started).Seconds()
+	s.opts.Logf("serve: built index %s (%d ads, %d sets, %.1f MB) in %.2fs",
+		e.key, idx.NumAds(), idx.SetsSampled(), float64(idx.MemBytes())/1e6, e.buildSec)
+	s.saveSnapshot(e)
+}
+
+func (s *Server) snapshotPath(key string) string {
+	if s.opts.SnapshotDir == "" {
+		return ""
+	}
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_', r == '=':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	return filepath.Join(s.opts.SnapshotDir, safe+".adix")
+}
+
+// saveSnapshot persists a freshly built index (write temp + rename, so a
+// crash never leaves a torn file). Failures are logged, never fatal.
+func (s *Server) saveSnapshot(e *entry) {
+	path := s.snapshotPath(e.key)
+	if path == "" {
+		return
+	}
+	if err := os.MkdirAll(s.opts.SnapshotDir, 0o755); err != nil {
+		s.opts.Logf("serve: snapshot dir: %v", err)
+		return
+	}
+	tmp, err := os.CreateTemp(s.opts.SnapshotDir, ".adix-*")
+	if err != nil {
+		s.opts.Logf("serve: snapshot temp: %v", err)
+		return
+	}
+	err = e.idx.WriteSnapshot(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		s.opts.Logf("serve: snapshot %s: %v", path, err)
+		return
+	}
+	s.opts.Logf("serve: wrote snapshot %s", path)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// DatasetInfo describes one registered generator.
+type DatasetInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	out := make([]DatasetInfo, len(datasetRegistry))
+	for i, d := range datasetRegistry {
+		out[i] = DatasetInfo{Name: d.name, Description: d.desc}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// EntryStats reports one cached entry. Index fields are zero until the
+// first /allocate (or Warm) builds the index.
+type EntryStats struct {
+	Key          string  `json:"key"`
+	NumAds       int     `json:"numAds"`
+	IndexBuilt   bool    `json:"indexBuilt"`
+	SetsSampled  int64   `json:"setsSampled"`
+	MemBytes     int64   `json:"memBytes"`
+	BuildSeconds float64 `json:"buildSeconds"`
+	FromSnapshot bool    `json:"fromSnapshot"`
+	Hits         int64   `json:"hits"`
+	Allocations  int64   `json:"allocations"`
+}
+
+// StatsResponse is GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptimeSeconds"`
+	CacheHits     int64        `json:"cacheHits"`
+	CacheMisses   int64        `json:"cacheMisses"`
+	Coalesced     int64        `json:"coalesced"`
+	SnapshotLoads int64        `json:"snapshotLoads"`
+	IndexMemBytes int64        `json:"indexMemBytes"`
+	Entries       []EntryStats `json:"entries"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		SnapshotLoads: s.snapshotLoads.Load(),
+		Entries:       make([]EntryStats, 0, len(entries)),
+	}
+	for _, e := range entries {
+		select {
+		case <-e.instReady:
+		default:
+			continue // instance still generating; skip rather than block
+		}
+		es := EntryStats{
+			Key:         e.key,
+			NumAds:      len(e.inst.Ads),
+			Hits:        e.hits.Load(),
+			Allocations: e.allocs.Load(),
+		}
+		if e.indexBuilt() {
+			mem := e.idx.MemBytes()
+			resp.IndexMemBytes += mem
+			es.IndexBuilt = true
+			es.SetsSampled = e.idx.SetsSampled()
+			es.MemBytes = mem
+			es.BuildSeconds = e.buildSec
+			es.FromSnapshot = e.fromDisk
+		}
+		resp.Entries = append(resp.Entries, es)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AllocateRequest is POST /allocate. Instance parameters pick the cached
+// index; everything else tunes the selection run only.
+type AllocateRequest struct {
+	InstanceParams
+	Kappa   int        `json:"kappa,omitempty"`
+	Lambda  *float64   `json:"lambda,omitempty"`
+	Ads     []int      `json:"ads,omitempty"`
+	Budgets []float64  `json:"budgets,omitempty"`
+	CPEs    []float64  `json:"cpes,omitempty"`
+	Opts    TIRMParams `json:"opts,omitempty"`
+}
+
+// TIRMParams is the JSON form of core.TIRMOptions (zero = default).
+type TIRMParams struct {
+	Eps            float64 `json:"eps,omitempty"`
+	Ell            float64 `json:"ell,omitempty"`
+	MinTheta       int     `json:"minTheta,omitempty"`
+	MaxTheta       int     `json:"maxTheta,omitempty"`
+	MaxSeedsPerAd  int     `json:"maxSeedsPerAd,omitempty"`
+	CandidateDepth int     `json:"candidateDepth,omitempty"`
+	SoftCoverage   bool    `json:"softCoverage,omitempty"`
+}
+
+// toOptions clamps the request against the server's sampling cap.
+func (p TIRMParams) toOptions(maxTheta int) core.TIRMOptions {
+	o := core.TIRMOptions{
+		Eps:            p.Eps,
+		Ell:            p.Ell,
+		MinTheta:       p.MinTheta,
+		MaxTheta:       p.MaxTheta,
+		MaxSeedsPerAd:  p.MaxSeedsPerAd,
+		CandidateDepth: p.CandidateDepth,
+		SoftCoverage:   p.SoftCoverage,
+	}
+	if o.MaxTheta <= 0 || o.MaxTheta > maxTheta {
+		o.MaxTheta = maxTheta
+	}
+	if o.MinTheta > o.MaxTheta {
+		o.MinTheta = o.MaxTheta
+	}
+	return o
+}
+
+// AllocateResponse is POST /allocate's result.
+type AllocateResponse struct {
+	Key           string    `json:"key"`
+	ColdBuild     bool      `json:"coldBuild"`
+	FromSnapshot  bool      `json:"fromSnapshot"`
+	BuildSeconds  float64   `json:"buildSeconds,omitempty"`
+	AllocSeconds  float64   `json:"allocSeconds"`
+	Seeds         [][]int32 `json:"seeds"`
+	EstRevenue    []float64 `json:"estRevenue"`
+	EstRegret     float64   `json:"estRegret"`
+	FinalTheta    []int     `json:"finalTheta"`
+	Iterations    int       `json:"iterations"`
+	SetsSampled   int64     `json:"setsSampled"`
+	SetsReused    int64     `json:"setsReused"`
+	IndexMemBytes int64     `json:"indexMemBytes"`
+	AdNames       []string  `json:"adNames"`
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	var req AllocateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	e, created, waitedInst, err := s.entryFor(req.InstanceParams)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	idx, cold, waitedIdx, err := s.indexFor(e)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "index build: %v", err)
+		return
+	}
+	switch {
+	case created || cold:
+		s.cacheMisses.Add(1)
+	case waitedInst || waitedIdx:
+		s.coalesced.Add(1)
+	default:
+		s.cacheHits.Add(1)
+		e.hits.Add(1)
+	}
+	coreReq := core.Request{
+		Opts:    req.Opts.toOptions(s.opts.MaxTheta),
+		Ads:     req.Ads,
+		Budgets: req.Budgets,
+		CPEs:    req.CPEs,
+		Lambda:  req.Lambda,
+	}
+	if req.Kappa > 0 {
+		coreReq.Kappa = core.ConstKappa(req.Kappa)
+	}
+	started := time.Now()
+	res, err := core.AllocateFromIndex(idx, coreReq)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e.allocs.Add(1)
+	for i, s := range res.Alloc.Seeds {
+		if s == nil {
+			res.Alloc.Seeds[i] = []int32{} // JSON: [] for empty, never null
+		}
+	}
+
+	inst := instWith(e.inst, req.Lambda, req.Kappa)
+	// Regret is reported over the requested ad subset only: an excluded
+	// ad's untouched budget is not this allocation's failure.
+	adIDs := req.Ads
+	if len(adIDs) == 0 {
+		adIDs = make([]int, len(inst.Ads))
+		for i := range adIDs {
+			adIDs[i] = i
+		}
+	}
+	var estRegret float64
+	for _, i := range adIDs {
+		budget := inst.Ads[i].Budget
+		if req.Budgets != nil {
+			budget = req.Budgets[i]
+		}
+		estRegret += core.RegretTerm(budget, res.EstRevenue[i], inst.Lambda, len(res.Alloc.Seeds[i]))
+	}
+	names := make([]string, len(inst.Ads))
+	for i, ad := range inst.Ads {
+		names[i] = ad.Name
+	}
+	resp := AllocateResponse{
+		Key:           e.key,
+		ColdBuild:     cold,
+		FromSnapshot:  e.fromDisk,
+		AllocSeconds:  time.Since(started).Seconds(),
+		Seeds:         res.Alloc.Seeds,
+		EstRevenue:    res.EstRevenue,
+		EstRegret:     estRegret,
+		FinalTheta:    res.FinalTheta,
+		Iterations:    res.Iterations,
+		SetsSampled:   res.TotalSetsSampled,
+		SetsReused:    res.SetsReused,
+		IndexMemBytes: idx.MemBytes(),
+		AdNames:       names,
+	}
+	if cold {
+		resp.BuildSeconds = e.buildSec
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EvaluateRequest is POST /evaluate: score a seed assignment with neutral
+// Monte Carlo cascades against the named instance.
+type EvaluateRequest struct {
+	InstanceParams
+	Kappa    int       `json:"kappa,omitempty"`
+	Lambda   *float64  `json:"lambda,omitempty"`
+	Seeds    [][]int32 `json:"seeds"`
+	Runs     int       `json:"runs,omitempty"`
+	EvalSeed uint64    `json:"evalSeed,omitempty"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	e, created, waited, err := s.entryFor(req.InstanceParams)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch {
+	case created:
+		s.cacheMisses.Add(1)
+	case waited:
+		s.coalesced.Add(1)
+	default:
+		s.cacheHits.Add(1)
+		e.hits.Add(1)
+	}
+	inst := instWith(e.inst, req.Lambda, req.Kappa)
+	alloc := &core.Allocation{Seeds: req.Seeds}
+	if err := alloc.Validate(inst); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid allocation: %v", err)
+		return
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 2000
+	}
+	if runs > eval.DefaultRuns {
+		runs = eval.DefaultRuns
+	}
+	out := eval.Evaluate(inst, alloc, runs, xrand.New(req.EvalSeed))
+	writeJSON(w, http.StatusOK, out)
+}
+
+// instWith returns a shallow copy of inst with optional λ/κ overrides, so
+// evaluation and regret reporting reflect the request's setting without
+// mutating the shared cached instance.
+func instWith(inst *core.Instance, lambda *float64, kappa int) *core.Instance {
+	cp := *inst
+	if lambda != nil {
+		cp.Lambda = *lambda
+	}
+	if kappa > 0 {
+		cp.Kappa = core.ConstKappa(kappa)
+	}
+	return &cp
+}

@@ -33,6 +33,8 @@
 package socialads
 
 import (
+	"io"
+
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/diffusion"
@@ -75,6 +77,11 @@ type (
 	TIRMOptions = core.TIRMOptions
 	// TIRMResult reports TIRM's allocation and sampling statistics.
 	TIRMResult = core.TIRMResult
+	// Index is a reusable per-ad RR-set sample: build once, allocate many
+	// times (DESIGN.md §6).
+	Index = core.Index
+	// AllocRequest parameterizes one selection run against an Index.
+	AllocRequest = core.Request
 	// GreedyOptions configures Algorithm 1.
 	GreedyOptions = core.GreedyOptions
 	// GreedyResult reports Algorithm 1's allocation.
@@ -98,6 +105,32 @@ func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 // the paper's scalable algorithm, with the given RNG seed.
 func AllocateTIRM(inst *Instance, seed uint64, opts TIRMOptions) (*TIRMResult, error) {
 	return core.TIRM(inst, xrand.New(seed), opts)
+}
+
+// BuildIndex builds the reusable per-ad RR-set index — the expensive half
+// of TIRM. Hold on to it and call AllocateFromIndex for every re-allocation
+// (new budgets, λ, κ, ad subsets): the sampling cost is paid once and the
+// allocation for a fixed seed is identical to AllocateTIRM's. opts controls
+// only how much is presampled, never the sample content.
+func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
+	return core.BuildIndex(inst, seed, opts)
+}
+
+// AllocateFromIndex runs TIRM's greedy selection stage against a prebuilt
+// index. Safe for concurrent use; the index grows on demand if the request
+// needs a larger sample than any before it.
+func AllocateFromIndex(idx *Index, req AllocRequest) (*TIRMResult, error) {
+	return core.AllocateFromIndex(idx, req)
+}
+
+// SaveIndex persists an index in the binary snapshot format; LoadIndex
+// restores it for the same instance (graph + probabilities must match).
+func SaveIndex(w io.Writer, idx *Index) error { return idx.WriteSnapshot(w) }
+
+// LoadIndex restores an index saved with SaveIndex. Allocations on the
+// loaded index are identical to allocations on the original.
+func LoadIndex(inst *Instance, r io.Reader) (*Index, error) {
+	return core.LoadIndexSnapshot(inst, r)
 }
 
 // AllocateGreedyMC runs Algorithm 1 with Monte Carlo spread estimation

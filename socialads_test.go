@@ -1,7 +1,9 @@
 package socialads_test
 
 import (
+	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	socialads "repro"
@@ -41,6 +43,60 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	outMyopic := socialads.Evaluate(inst, myopic, 500, 7)
 	if out.TotalRegret >= outMyopic.TotalRegret {
 		t.Errorf("TIRM regret %.1f not below MYOPIC %.1f", out.TotalRegret, outMyopic.TotalRegret)
+	}
+}
+
+// TestPublicTwoStageAllocation exercises the index path of the public API:
+// build once, allocate repeatedly (including what-if overrides), persist
+// and reload — with the one-shot AllocateTIRM as the reference result.
+func TestPublicTwoStageAllocation(t *testing.T) {
+	inst := socialads.NewFlixster(socialads.DatasetOptions{Seed: 1, Scale: 0.02, Kappa: 2})
+	opts := socialads.TIRMOptions{Eps: 0.3, MinTheta: 4000, MaxTheta: 30000}
+
+	oneShot, err := socialads.AllocateTIRM(inst, 42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := socialads.BuildIndex(inst, 42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oneShot.Alloc.Seeds, staged.Alloc.Seeds) {
+		t.Fatal("two-stage allocation differs from AllocateTIRM")
+	}
+
+	// What-if on the same sample: double every budget.
+	budgets := make([]float64, len(inst.Ads))
+	for i, ad := range inst.Ads {
+		budgets[i] = 2 * ad.Budget
+	}
+	whatIf, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts, Budgets: budgets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whatIf.Alloc.NumSeeds() < staged.Alloc.NumSeeds() {
+		t.Errorf("doubled budgets allocated fewer seeds (%d < %d)",
+			whatIf.Alloc.NumSeeds(), staged.Alloc.NumSeeds())
+	}
+
+	var buf bytes.Buffer
+	if err := socialads.SaveIndex(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := socialads.LoadIndex(inst, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := socialads.AllocateFromIndex(loaded, socialads.AllocRequest{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(staged.Alloc.Seeds, again.Alloc.Seeds) {
+		t.Fatal("allocation changed across snapshot save/load")
 	}
 }
 
