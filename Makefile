@@ -5,9 +5,16 @@ GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/rrset/... ./internal/serve/... \
             ./internal/graph/... ./internal/xrand/... ./internal/topic/...
 
-.PHONY: ci build vet test race bench serve
+# Hot-path benchmarks guarded by `make bench` and CI: index build/warm and
+# the snapshot codec — the paths the flat-arena (CSR) layout is accountable
+# for. BENCH_index.json captures the machine-readable (test2json) stream
+# for regression tracking across PRs.
+BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkSnapshotCodec|BenchmarkBuildInverted
+BENCH_PKGS    = . ./internal/rrset
 
-ci: vet build test race
+.PHONY: ci build vet test race bench bench-all bench-ci serve
+
+ci: vet build test race bench-ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +28,22 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
+# Index build/warm + snapshot codec benchmarks with allocation stats;
+# human-readable to stdout, test2json stream to BENCH_index.json.
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 \
+	    -json $(BENCH_PKGS) > BENCH_index.json
+	@grep 'ns/op' BENCH_index.json | sed -e 's/.*"Test":"\([^"]*\)".*"Output":"/\1 /' -e 's/\\t/ /g' -e 's/\\n.*//'
+
+# One iteration of the hot-path benchmarks in short mode — cheap enough for
+# CI, loud enough that a hot-path regression (panic, blow-up, broken warm
+# path) fails the build.
+bench-ci:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem \
+	    -short -count=1 $(BENCH_PKGS)
+
+# The full paper-replication benchmark suite (slow).
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 serve:

@@ -423,6 +423,28 @@ func BenchmarkIndexColdVsWarm(b *testing.B) {
 	})
 }
 
+// BenchmarkIndexBuild measures the cold index-build path alone — the
+// reverse-BFS sampling plus the flat-arena (CSR) storage and one-pass
+// inverted-index construction — with allocation counts reported. This is
+// the hot path the arena refactor targets: run with -benchmem and compare
+// allocs/op and B/op against the pointer-based [][]int32 layout (which paid
+// one allocation per set plus per-node append lists).
+func BenchmarkIndexBuild(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 5, Scale: 0.02})
+	opts := socialads.TIRMOptions{Eps: 0.3, MinTheta: 5000, MaxTheta: 50000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mem int64
+	for i := 0; i < b.N; i++ {
+		idx, err := socialads.BuildIndex(inst, 42, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mem = idx.MemBytes()
+	}
+	b.ReportMetric(float64(mem)/1e6, "index-MB")
+}
+
 // BenchmarkGreedyIRIEAllocate measures a full GREEDY-IRIE run.
 func BenchmarkGreedyIRIEAllocate(b *testing.B) {
 	inst := gen.Flixster(gen.Options{Seed: 6, Scale: 0.02})

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/rrset"
 )
 
 func main() {
@@ -34,8 +35,10 @@ func main() {
 		evalRuns = flag.Int("evalruns", 2000, "Monte Carlo evaluation cascades")
 		saveTo   = flag.String("save", "", "write the allocation (with provenance) to this JSON file")
 		loadFrom = flag.String("load", "", "skip allocating; evaluate the allocation stored in this JSON file")
+		workers  = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	rrset.SetMaxWorkers(*workers)
 	if err := run(*dataset, *algoName, *scale, *seed, *kappa, *lambda, *ads, *budget, *evalRuns, *saveTo, *loadFrom); err != nil {
 		fmt.Fprintln(os.Stderr, "adalloc:", err)
 		os.Exit(1)

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/rrset"
 	"repro/internal/serve"
 )
 
@@ -40,8 +41,10 @@ func main() {
 		preload   = flag.String("preload", "", "comma-separated dataset:seed:scale[:ads] indexes to build at startup")
 		maxScale  = flag.Float64("maxscale", serve.DefaultMaxScale, "largest dataset scale a request may ask for")
 		maxTheta  = flag.Int("maxtheta", serve.DefaultMaxTheta, "server-side cap on per-ad RR sample size")
+		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS); pin it so index builds don't saturate every core of a serving host")
 	)
 	flag.Parse()
+	rrset.SetMaxWorkers(*workers)
 	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta); err != nil {
 		fmt.Fprintln(os.Stderr, "adserver:", err)
 		os.Exit(1)

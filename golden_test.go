@@ -1,0 +1,90 @@
+package socialads_test
+
+import (
+	"reflect"
+	"testing"
+
+	socialads "repro"
+)
+
+// goldenOpts is the configuration the pinned allocations below were
+// captured under.
+func goldenOpts(soft bool) socialads.TIRMOptions {
+	return socialads.TIRMOptions{Eps: 0.3, MinTheta: 2000, MaxTheta: 20000, SoftCoverage: soft}
+}
+
+func goldenInstance() *socialads.Instance {
+	return socialads.NewFlixster(socialads.DatasetOptions{Seed: 1, Scale: 0.01, Kappa: 1})
+}
+
+// goldenHardSeeds / goldenSoftSeeds are the exact allocations produced by
+// AllocateTIRM(inst, 42, goldenOpts(·)) on the FLIXSTER analogue
+// (seed 1, scale 0.01, κ=1) by the pointer-based [][]int32 representation
+// that predates the flat-arena (CSR) refactor. The deterministic block
+// stream guarantees the sample is a pure function of (graph, probs, seed,
+// position), so any storage-layout change must reproduce these allocations
+// byte for byte — if this test fails, the refactor changed behavior, not
+// just layout.
+var goldenHardSeeds = [][]int32{
+	{97, 549, 515, 254, 376, 8, 206, 323, 86, 410, 63, 344, 182, 279, 165, 474, 487, 448},
+	{122, 90, 479},
+	{136, 385, 280, 434, 390, 384, 571, 560, 185, 266, 341, 153},
+	{548, 594, 241, 274, 64, 593, 476, 596, 32, 342, 567, 134, 532, 281, 66, 492, 576},
+	{530, 15, 270, 172, 2, 67, 514},
+	{228, 490, 58, 526},
+	{485, 458, 166, 599, 168, 181, 232, 481, 144, 470, 546, 366, 484, 231},
+	{542, 505},
+	{271, 375, 163, 260},
+	{100, 383, 461, 240, 130, 36, 94, 212, 598, 432, 300, 553, 497, 27, 239, 127, 125, 437, 554, 285, 360},
+}
+
+var goldenSoftSeeds = [][]int32{
+	{97, 549, 254, 515, 376, 8, 206, 323, 63, 512, 86, 410, 182, 74, 165},
+	{122, 90, 479},
+	{136, 385, 280, 434, 390, 571, 185, 239, 560, 384},
+	{548, 594, 274, 241, 64, 476, 195, 593, 146, 32, 208, 342, 596, 329, 175},
+	{530, 15, 295, 270, 172},
+	{228, 490, 58, 127},
+	{485, 458, 599, 166, 168, 232, 481, 181, 532, 144, 470, 366, 494},
+	{542, 505},
+	{271, 375, 163, 260},
+	{100, 383, 59, 461, 130, 240, 36, 300, 94, 134, 598, 212, 497, 536, 432},
+}
+
+// TestAllocationPinnedAcrossRepresentations is the equivalence regression
+// for the arena refactor: for a fixed seed, TIRM's allocation must be
+// byte-identical to the pre-refactor representation's output, in both
+// coverage modes, and AllocateFromIndex on a prebuilt index must agree.
+func TestAllocationPinnedAcrossRepresentations(t *testing.T) {
+	inst := goldenInstance()
+	for _, tc := range []struct {
+		name string
+		soft bool
+		want [][]int32
+	}{
+		{"hard", false, goldenHardSeeds},
+		{"soft", true, goldenSoftSeeds},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := socialads.AllocateTIRM(inst, 42, goldenOpts(tc.soft))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Alloc.Seeds, tc.want) {
+				t.Fatalf("allocation diverged from the pinned pre-refactor output:\n got %v\nwant %v",
+					res.Alloc.Seeds, tc.want)
+			}
+			idx, err := socialads.BuildIndex(inst, 42, goldenOpts(tc.soft))
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: goldenOpts(tc.soft)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(warm.Alloc.Seeds, tc.want) {
+				t.Fatal("warm allocation diverged from the pinned output")
+			}
+		})
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -22,7 +21,7 @@ import (
 // then run against the shared sample.
 //
 // Every set in the index is drawn from the deterministic block stream of
-// rrset.SampleRangeRR: set i of ad j is a pure function of
+// rrset.SampleRangeRRInto: set i of ad j is a pure function of
 // (graph, probs, seed, j, i). The sample therefore grows on demand — an
 // allocation needing a larger θ than any before it extends the stored
 // prefix — yet stays byte-identical no matter which requests arrived in
@@ -35,82 +34,109 @@ type Index struct {
 	sampled atomic.Int64 // total sets drawn from the graph so far
 }
 
-// adSample holds one ad's growable prefix of its RR stream, together with
-// the inverted index (node → containing set ids) that coverage collections
-// borrow, so a warm selection run never rebuilds per-membership state.
+// adSample holds one ad's growable prefix of its RR stream as a flat CSR
+// arena (rrset.SetFamily), together with the CSR inverted index
+// (node → containing set ids) that coverage collections borrow, so a warm
+// selection run never rebuilds per-membership state. The arena makes the
+// whole sample a handful of allocations — GC-quiet at tens of millions of
+// sets — and snapshots serialize it in bulk.
 type adSample struct {
 	mu      sync.Mutex
 	sampler *rrset.Sampler
 	rng     *xrand.Rand // ad stream root; block b samples from rng.Split(b)
-	sets    [][]int32   // always a whole number of stream blocks
-	widths  []int64     // widths[i] = ω(sets[i]), for KPT refreshes
-	nodeIn  [][]int32   // node -> ascending ids of sets containing it
-	members int64       // Σ len(sets[i]), kept so MemBytes is O(1) per ad
+	fam     *rrset.SetFamily
+	widths  []int64 // widths[i] = ω(set i), for KPT refreshes
+	inv     *rrset.Inverted
+	invLen  int // sets covered by inv; may lag fam until a view needs it
 }
 
 // ensure extends the sample to at least want sets (growth rounds up to a
-// block boundary, so fresh can exceed the shortfall). Caller holds a.mu.
+// block boundary, so fresh can exceed the shortfall). The inverted index is
+// NOT touched here: prefix/window consumers never need it, so growth stays
+// O(new members) and the rebuild is deferred to syncInv. Caller holds a.mu.
 func (a *adSample) ensure(want int) (fresh int64) {
-	if want <= len(a.sets) {
+	if want <= a.fam.Len() {
 		return 0
 	}
-	from, to := len(a.sets), rrset.StreamCeil(want)
-	grown := a.sampler.SampleRangeRR(from, to, a.rng)
+	from, to := a.fam.Len(), rrset.StreamCeil(want)
+	a.sampler.SampleRangeRRInto(from, to, a.rng, a.fam)
 	g := a.sampler.Graph()
-	if a.nodeIn == nil {
-		a.nodeIn = make([][]int32, g.N())
+	for i := from; i < to; i++ {
+		a.widths = append(a.widths, rrset.Width(g, a.fam.Set(i)))
 	}
-	for i, set := range grown {
-		a.widths = append(a.widths, rrset.Width(g, set))
-		id := int32(from + i)
-		a.members += int64(len(set))
-		for _, u := range set {
-			a.nodeIn[u] = append(a.nodeIn[u], id)
-		}
-	}
-	a.sets = append(a.sets, grown...)
-	return int64(len(grown))
+	return int64(to - from)
 }
 
-// prefix returns views of the first want sets and their widths, extending
-// the sample if needed. The returned slices are stable snapshots (later
-// growth only appends) and capacity-clipped: callers (coverage
-// collections) append to their views, and a full-capacity view would alias
-// those appends into the shared backing array under concurrent
-// allocations.
-func (a *adSample) prefix(want int) (sets [][]int32, widths []int64, fresh int64) {
+// syncInv makes the inverted index cover at least the first want sets,
+// rebuilding it over the whole arena in one counting pass when it has
+// fallen behind — run only when a consumer actually needs that coverage
+// (view, or BuildIndex's explicit warm-up), never on plain sample growth.
+// An index that already covers want sets is served as is even if the arena
+// has grown past it (collections clip rows to their view anyway), so the
+// steady-state serving workload — fixed θ_init, mid-run growth through
+// window() — triggers no rebuilds at all after the first build; only a
+// rising θ_init pays one, and θ targets rise geometrically in practice.
+// The previous index is left for concurrent views that captured it
+// (immutable, swapped wholesale). Caller holds a.mu.
+func (a *adSample) syncInv(want int) {
+	if a.inv == nil || a.invLen < want {
+		a.inv = rrset.BuildInverted(a.sampler.Graph().N(), a.fam.View(), 0)
+		a.invLen = a.fam.Len()
+	}
+}
+
+// prefix returns a view of the first want sets and their widths, extending
+// the sample if needed. The returned view is a stable snapshot: later
+// growth appends past its length or reallocates the arena, never touching
+// the viewed prefix.
+func (a *adSample) prefix(want int) (v rrset.FamilyView, widths []int64, fresh int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	fresh = a.ensure(want)
-	return a.sets[:want:want], a.widths[:want:want], fresh
+	return a.fam.Prefix(want), a.widths[:want:want], fresh
 }
 
-// view is prefix plus a clipped per-node inverted index covering exactly
-// the first want sets — the O(n log d) warm-start handoff to
-// rrset.NewCollectionFromSharedIndex. Concurrent index growth is safe:
-// appends either reallocate a node's list (old backing stays valid) or
-// write past every clipped view's length.
-func (a *adSample) view(want int) (sets [][]int32, widths []int64, nodeIn [][]int32, fresh int64) {
+// view is prefix plus the shared inverted index — the O(n log d) warm-start
+// handoff to rrset.NewCollectionFromFamily, which clips the index's rows to
+// the first want sets without copying. The returned index may cover more
+// sets than the view; it is immutable (growth swaps in a rebuilt one), so
+// concurrent allocations can keep reading it.
+func (a *adSample) view(want int) (v rrset.FamilyView, widths []int64, inv *rrset.Inverted, fresh int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	fresh = a.ensure(want)
-	nodeIn = make([][]int32, len(a.nodeIn))
-	w := int32(want)
-	for u, ids := range a.nodeIn {
-		k := len(ids)
-		if k > 0 && ids[k-1] >= w {
-			k = sort.Search(k, func(i int) bool { return ids[i] >= w })
-		}
-		nodeIn[u] = ids[:k:k]
-	}
-	return a.sets[:want:want], a.widths[:want:want], nodeIn, fresh
+	a.syncInv(want)
+	return a.fam.Prefix(want), a.widths[:want:want], a.inv, fresh
+}
+
+// window returns sets [from, to) as a stable view, growing the sample if
+// needed — the slice a selection run feeds to its coverage state when θ
+// grows mid-run.
+func (a *adSample) window(from, to int) (v rrset.FamilyView, fresh int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fresh = a.ensure(to)
+	return a.fam.Window(from, to), fresh
 }
 
 // size returns the number of sets currently stored.
 func (a *adSample) size() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.sets)
+	return a.fam.Len()
+}
+
+// memBytes returns the exact data footprint of the stored sample: member
+// arena, offsets, widths, and the inverted index. O(1) — flat arrays know
+// their sizes.
+func (a *adSample) memBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := a.fam.MemBytes() + 8*int64(len(a.widths))
+	if a.inv != nil {
+		total += a.inv.MemBytes()
+	}
+	return total
 }
 
 // BuildIndex creates the index for an instance and presamples every ad in
@@ -138,6 +164,12 @@ func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
 			want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
 			_, _, fresh = a.prefix(want)
 			idx.sampled.Add(fresh)
+			// Build the inverted index once over the full presample, so the
+			// first allocation starts warm instead of paying the counting
+			// pass on the request path.
+			a.mu.Lock()
+			a.syncInv(a.fam.Len())
+			a.mu.Unlock()
 		}(a)
 	}
 	wg.Wait()
@@ -152,6 +184,7 @@ func newIndexSkeleton(inst *Instance, seed uint64) *Index {
 		idx.ads[j] = &adSample{
 			sampler: rrset.NewSampler(inst.G, spec.Params.Probs, nil),
 			rng:     base.Split(uint64(j)),
+			fam:     rrset.NewSetFamily(),
 		}
 	}
 	return idx
@@ -173,17 +206,15 @@ func (idx *Index) NumSets(j int) int { return idx.ads[j].size() }
 // the index's lifetime (presampling plus on-demand growth).
 func (idx *Index) SetsSampled() int64 { return idx.sampled.Load() }
 
-// MemBytes estimates the resident footprint of the stored samples: member
-// lists plus slice headers and widths. The transient per-allocation
-// coverage state is reported separately via TIRMResult.MemBytes.
+// MemBytes reports the exact data footprint of the stored samples: member
+// arenas, offsets, widths, and inverted indexes — flat arrays all, so the
+// figure is byte-accurate and O(1) per ad (no slice-header estimates). The
+// transient per-allocation coverage state is reported separately via
+// TIRMResult.MemBytes.
 func (idx *Index) MemBytes() int64 {
 	var total int64
 	for _, a := range idx.ads {
-		a.mu.Lock()
-		// Each member appears in sets and in the inverted index (4 bytes
-		// each), plus slice headers and widths.
-		total += a.members*8 + int64(len(a.sets))*(24+8) + int64(len(a.nodeIn))*24
-		a.mu.Unlock()
+		total += a.memBytes()
 	}
 	return total
 }
@@ -337,8 +368,8 @@ func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
 			a.cpe = req.CPEs[j]
 		}
 		// Size θ from the pilot KPT estimate first, then build the
-		// coverage state once at that size over the index's shared
-		// inverted lists: the collection never replays growth the index
+		// coverage state once at that size over the index's shared CSR
+		// inverted index: the collection never replays growth the index
 		// has already absorbed, which is what makes the warm path O(n)
 		// setup instead of O(members).
 		_, widths, fresh := a.src.prefix(opts.MinTheta)
@@ -347,13 +378,13 @@ func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
 		a.widths = widths
 		kpt := kptFromWidths(a.widths, 1, n, m)
 		a.theta = rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
-		sets, _, nodeIn, fresh := a.src.view(a.theta)
+		sets, _, inv, fresh := a.src.view(a.theta)
 		idx.sampled.Add(fresh)
 		res.TotalSetsSampled += fresh
 		if opts.SoftCoverage {
-			a.col = softIndex{rrset.NewWeightedCollectionFromSharedIndex(n, sets, nodeIn)}
+			a.col = softIndex{rrset.NewWeightedCollectionFromFamily(n, sets, inv)}
 		} else {
-			a.col = hardIndex{rrset.NewCollectionFromSharedIndex(n, sets, nodeIn)}
+			a.col = hardIndex{rrset.NewCollectionFromFamily(n, sets, inv)}
 		}
 		ads[i] = a
 	}
@@ -479,20 +510,24 @@ func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
 
 // grow extends the ad's view of the stream to want sets, pulling from the
 // index (which samples only past its stored prefix) and feeding the new
-// sets to the coverage state.
+// sets to the coverage state as one CSR segment.
 func (a *selAd) grow(idx *Index, res *TIRMResult, want int) {
-	sets, _, fresh := a.src.prefix(want)
+	v, fresh := a.src.window(a.theta, want)
 	idx.sampled.Add(fresh)
 	res.TotalSetsSampled += fresh
-	a.col.AddBatch(sets[a.theta:])
+	a.col.AddFamily(v)
 	a.theta = want
 }
 
 // --- Snapshot encoding ---------------------------------------------------
 
 const (
-	indexMagic   = uint32(0x41444958) // "ADIX"
-	indexVersion = uint32(1)
+	indexMagic = uint32(0x41444958) // "ADIX"
+	// indexVersion 2 writes per-ad sections in the flat v2 ("RRS2") family
+	// layout; version-1 files (v1 sections) still load — see the version
+	// policy in rrset/snapshot.go.
+	indexVersion   = uint32(2)
+	indexVersionV1 = uint32(1)
 )
 
 // fingerprint summarizes what the stored sample depends on — the graph's
@@ -531,8 +566,9 @@ func indexFingerprint(inst *Instance) uint64 {
 }
 
 // WriteSnapshot persists the index — stream seed plus every ad's stored
-// sets — in a versioned binary format. A process restarted with
-// LoadIndexSnapshot resumes the identical stream: allocations after a
+// sets — in a versioned binary format (currently version 2: per-ad flat
+// CSR sections with CRC32 footers, written in bulk). A process restarted
+// with LoadIndexSnapshot resumes the identical stream: allocations after a
 // reload match allocations on the original index exactly.
 func (idx *Index) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -564,9 +600,9 @@ func (idx *Index) WriteSnapshot(w io.Writer) error {
 	}
 	for _, a := range idx.ads {
 		a.mu.Lock()
-		sets := a.sets
+		v := a.fam.View()
 		a.mu.Unlock()
-		if err := rrset.EncodeSets(bw, sets); err != nil {
+		if err := rrset.EncodeSetFamily(bw, v); err != nil {
 			return err
 		}
 	}
@@ -574,9 +610,11 @@ func (idx *Index) WriteSnapshot(w io.Writer) error {
 }
 
 // LoadIndexSnapshot reconstructs an index for inst from a snapshot written
-// by WriteSnapshot. It fails if the snapshot was taken for a different
-// graph or probability setting (fingerprint mismatch) or is structurally
-// corrupt; widths are recomputed from the graph.
+// by WriteSnapshot — either the current version 2 or the legacy version 1
+// (per-ad sections self-describe, so both load transparently). It fails if
+// the snapshot was taken for a different graph or probability setting
+// (fingerprint mismatch) or is structurally corrupt; widths and the
+// inverted index are recomputed from the decoded arenas.
 func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
@@ -606,7 +644,7 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != indexVersion {
+	if version != indexVersion && version != indexVersionV1 {
 		return nil, fmt.Errorf("core: unsupported index snapshot version %d", version)
 	}
 	seed, err := r64()
@@ -629,22 +667,21 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	}
 	idx := newIndexSkeleton(inst, seed)
 	for j, a := range idx.ads {
-		sets, err := rrset.DecodeSets(r, inst.G.N())
+		fam, err := rrset.DecodeSetFamily(r, inst.G.N())
 		if err != nil {
 			return nil, fmt.Errorf("core: index snapshot ad %d: %w", j, err)
 		}
-		if len(sets)%rrset.StreamBlockSize != 0 {
-			return nil, fmt.Errorf("core: index snapshot ad %d has %d sets, not block-aligned", j, len(sets))
+		if fam.Len()%rrset.StreamBlockSize != 0 {
+			return nil, fmt.Errorf("core: index snapshot ad %d has %d sets, not block-aligned", j, fam.Len())
 		}
-		a.sets = sets
-		a.widths = make([]int64, len(sets))
-		a.nodeIn = make([][]int32, inst.G.N())
-		for i, set := range sets {
-			a.widths[i] = rrset.Width(inst.G, set)
-			a.members += int64(len(set))
-			for _, u := range set {
-				a.nodeIn[u] = append(a.nodeIn[u], int32(i))
-			}
+		a.fam = fam
+		a.widths = make([]int64, fam.Len())
+		for i := 0; i < fam.Len(); i++ {
+			a.widths[i] = rrset.Width(inst.G, fam.Set(i))
+		}
+		if fam.Len() > 0 {
+			a.inv = rrset.BuildInverted(inst.G.N(), fam.View(), 0)
+			a.invLen = fam.Len()
 		}
 	}
 	return idx, nil

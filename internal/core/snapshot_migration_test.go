@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/rrset"
+)
+
+// writeSnapshotV1 emits exactly the index-snapshot layout this repo shipped
+// before the flat-arena refactor: version 1 header and per-ad v1 ("RRS1")
+// sections. The migration tests use it to fabricate the on-disk files an
+// operator upgrading from an old build still has.
+func writeSnapshotV1(t *testing.T, w io.Writer, idx *Index) {
+	t.Helper()
+	var buf [8]byte
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		if _, err := w.Write(buf[:4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w32(indexMagic)
+	w32(indexVersionV1)
+	w64(idx.seed)
+	w64(indexFingerprint(idx.inst))
+	w32(uint32(len(idx.ads)))
+	for _, a := range idx.ads {
+		a.mu.Lock()
+		sets := a.fam.Sets()
+		a.mu.Unlock()
+		if err := rrset.EncodeSets(w, sets); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotV1Migration is the upgrade path end to end: a v1 snapshot
+// (written before this refactor) loads, serves, re-saves as v2, and the
+// allocations from the original index, the v1 load, and the v2 re-save are
+// byte-identical.
+func TestSnapshotV1Migration(t *testing.T) {
+	inst := randomInstance(90, 40, 160, 2, 1, 0)
+	opts := TIRMOptions{MinTheta: 6000, MaxTheta: 30000}
+	idx, err := BuildIndex(inst, 21, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AllocateFromIndex(idx, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write the legacy v1 format, as an old build would have.
+	var v1 bytes.Buffer
+	writeSnapshotV1(t, &v1, idx)
+
+	// Load it with the current decoder.
+	fromV1, err := LoadIndexSnapshot(inst, bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer loads: %v", err)
+	}
+	gotV1, err := AllocateFromIndex(fromV1, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAllocation(t, want.Alloc, gotV1.Alloc)
+	if gotV1.TotalSetsSampled != 0 {
+		t.Errorf("allocation on v1-loaded index drew %d sets", gotV1.TotalSetsSampled)
+	}
+
+	// Re-save: the writer must emit the current version...
+	var v2 bytes.Buffer
+	if err := fromV1.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(v2.Bytes()[4:8]); got != indexVersion {
+		t.Fatalf("re-saved snapshot has version %d, want %d", got, indexVersion)
+	}
+	// ...and be smaller or equal (flat layout drops per-set framing) while
+	// still loading to the identical allocation.
+	fromV2, err := LoadIndexSnapshot(inst, bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV2, err := AllocateFromIndex(fromV2, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAllocation(t, want.Alloc, gotV2.Alloc)
+	for i := range want.EstRevenue {
+		if want.EstRevenue[i] != gotV1.EstRevenue[i] || want.EstRevenue[i] != gotV2.EstRevenue[i] {
+			t.Errorf("ad %d est revenue diverged: %v vs %v vs %v",
+				i, want.EstRevenue[i], gotV1.EstRevenue[i], gotV2.EstRevenue[i])
+		}
+	}
+
+	// Stored samples must be bit-equal across the three states.
+	for j := range idx.ads {
+		a, b, c := idx.ads[j], fromV1.ads[j], fromV2.ads[j]
+		if a.fam.Len() != b.fam.Len() || a.fam.Len() != c.fam.Len() {
+			t.Fatalf("ad %d set counts: %d vs %d vs %d", j, a.fam.Len(), b.fam.Len(), c.fam.Len())
+		}
+		for i := 0; i < a.fam.Len(); i++ {
+			sa, sb, sc := a.fam.Set(i), b.fam.Set(i), c.fam.Set(i)
+			if len(sa) != len(sb) || len(sa) != len(sc) {
+				t.Fatalf("ad %d set %d lengths differ", j, i)
+			}
+			for k := range sa {
+				if sa[k] != sb[k] || sa[k] != sc[k] {
+					t.Fatalf("ad %d set %d member %d differs", j, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotV1CorruptSection: v1 sections keep their bounds checking
+// through the new decoder.
+func TestSnapshotV1CorruptSection(t *testing.T) {
+	inst := randomInstance(90, 40, 160, 1, 1, 0)
+	idx, err := BuildIndex(inst, 3, TIRMOptions{MinTheta: 512, MaxTheta: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	writeSnapshotV1(t, &v1, idx)
+	raw := v1.Bytes()
+	if _, err := LoadIndexSnapshot(inst, bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated v1 snapshot accepted")
+	}
+	bad := append([]byte{}, raw...)
+	bad[28] ^= 0xff // first section's magic
+	if _, err := LoadIndexSnapshot(inst, bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt v1 section magic accepted")
+	}
+}

@@ -86,7 +86,7 @@ type TIRMResult struct {
 // marginal revenue is cpe·n·δ(u)·score/θ, and Commit/CreditFrom return the
 // δ-scaled mass actually claimed (= δ·score at commit time).
 type covIndex interface {
-	AddBatch(sets [][]int32)
+	AddFamily(v rrset.FamilyView)
 	NumSets() int
 	BestNode(eligible func(int32) bool) (node int32, score float64, ok bool)
 	TopNodes(k int, eligible func(int32) bool) (nodes []int32, scores []float64)
@@ -100,8 +100,8 @@ type covIndex interface {
 // hardIndex adapts rrset.Collection (Algorithm 2 semantics) to covIndex.
 type hardIndex struct{ c *rrset.Collection }
 
-func (h hardIndex) AddBatch(sets [][]int32) { h.c.AddBatch(sets) }
-func (h hardIndex) NumSets() int            { return h.c.NumSets() }
+func (h hardIndex) AddFamily(v rrset.FamilyView) { h.c.AddFamily(v) }
+func (h hardIndex) NumSets() int                 { return h.c.NumSets() }
 func (h hardIndex) BestNode(eligible func(int32) bool) (int32, float64, bool) {
 	u, cov, ok := h.c.BestNode(eligible)
 	return u, float64(cov), ok
@@ -127,8 +127,8 @@ func (h hardIndex) MemBytes() int64      { return h.c.MemBytes() }
 // softIndex adapts rrset.WeightedCollection (TIRM-W) to covIndex.
 type softIndex struct{ c *rrset.WeightedCollection }
 
-func (s softIndex) AddBatch(sets [][]int32) { s.c.AddBatch(sets) }
-func (s softIndex) NumSets() int            { return s.c.NumSets() }
+func (s softIndex) AddFamily(v rrset.FamilyView) { s.c.AddFamily(v) }
+func (s softIndex) NumSets() int                 { return s.c.NumSets() }
 func (s softIndex) BestNode(eligible func(int32) bool) (int32, float64, bool) {
 	return s.c.BestNode(eligible)
 }

@@ -3,27 +3,96 @@ package rrset
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
+
+// covSegment is one contiguous run of sets inside a coverage collection:
+// a CSR view of the sets (local ids 0..view.Len()-1, global ids start at
+// base) plus a CSR inverted index over them. The first segment of a
+// warm-start collection shares its view and inverted index with the
+// long-lived core.Index; growth segments own both. cut, when non-nil,
+// limits each node's inverted row to its first cut[u] ids — how a shared
+// inverted index covering more sets than the view is clipped without
+// copying (the index's rows are ascending, so a prefix is exactly "ids
+// below the view's length").
+type covSegment struct {
+	base int32
+	view FamilyView
+	inv  *Inverted
+	cut  []int32
+}
+
+// idsOf returns the (global, ascending) ids of this segment's sets that
+// contain u.
+func (s *covSegment) idsOf(u int32) []int32 {
+	ids := s.inv.IDs(u)
+	if s.cut != nil {
+		ids = ids[:s.cut[u]]
+	}
+	return ids
+}
+
+// set returns the members of the set with global id.
+func (s *covSegment) set(id int32) []int32 { return s.view.Set(int(id - s.base)) }
+
+// end returns the first global id past this segment.
+func (s *covSegment) end() int { return int(s.base) + s.view.Len() }
+
+// memBytes is the segment's exact data footprint (view + inverted + cut).
+// For a shared segment this counts the index's arrays once per collection
+// holding them; callers wanting process-level accounting should count the
+// core.Index separately.
+func (s *covSegment) memBytes() int64 {
+	total := s.view.MemBytes() + s.inv.MemBytes()
+	if s.cut != nil {
+		total += 4 * int64(len(s.cut))
+	}
+	return total
+}
+
+// clipInverted computes the per-node prefix lengths of inv's rows that fall
+// below k — the cut vector aligning a shared inverted index with a k-set
+// view. Rows are ascending, so each cut is one binary search (skipped for
+// the common row that lies entirely below k).
+func clipInverted(inv *Inverted, k int) []int32 {
+	n := inv.NumNodes()
+	cut := make([]int32, n)
+	w := int32(k)
+	for u := 0; u < n; u++ {
+		ids := inv.IDs(int32(u))
+		c := len(ids)
+		if c > 0 && ids[c-1] >= w {
+			c = sort.Search(c, func(i int) bool { return ids[i] >= w })
+		}
+		cut[u] = int32(c)
+	}
+	return cut
+}
 
 // Collection is a mutable coverage index over a growing family of RR-sets.
 // It supports the operations TIM's phase 2 and TIRM's main loop need:
 //
-//   - Add / AddBatch: append newly sampled sets (θ grows over time in TIRM);
+//   - Add / AddBatch / AddFamily: append newly sampled sets (θ grows over
+//     time in TIRM);
 //   - BestNode: argmax residual coverage subject to a caller-supplied
 //     eligibility filter (attention bounds) — implemented with a lazy
 //     max-heap, valid because residual coverage only decreases between
-//     additions and additions push refreshed entries;
+//     additions and additions rebuild the heap;
 //   - CoverNode: mark every residual set containing a node as covered
 //     (Algorithm 2 line 12) and return how many sets that covered;
 //   - CountAndCoverFrom: credit an existing seed with sets appended after a
 //     given boundary (Algorithm 4, UpdateEstimates).
+//
+// Sets live in flat CSR segments (see covSegment): per-set state is three
+// flat arrays and the heap, so a collection over millions of sets is a
+// handful of allocations and GC-quiet.
 type Collection struct {
 	n       int
-	sets    [][]int32 // set id -> member nodes
-	nodeIn  [][]int32 // node -> ids of sets containing it
-	covered []bool    // set id -> already covered by a chosen seed
-	cov     []int32   // node -> residual coverage (uncovered sets containing it)
-	ncov    int       // number of covered sets
+	segs    []covSegment
+	numSets int
+	covered []bool  // set id -> already covered by a chosen seed
+	cov     []int32 // node -> residual coverage (uncovered sets containing it)
+	ncov    int     // number of covered sets
 	pq      covHeap
 	dead    []bool // node -> permanently ineligible (dropped from heap)
 }
@@ -31,10 +100,9 @@ type Collection struct {
 // NewCollection creates an empty index over n nodes.
 func NewCollection(n int) *Collection {
 	return &Collection{
-		n:      n,
-		nodeIn: make([][]int32, n),
-		cov:    make([]int32, n),
-		dead:   make([]bool, n),
+		n:    n,
+		cov:  make([]int32, n),
+		dead: make([]bool, n),
 	}
 }
 
@@ -53,84 +121,86 @@ func (c *Collection) initHeap() {
 // N returns the node-universe size.
 func (c *Collection) N() int { return c.n }
 
-// MemBytes estimates the index's resident footprint: member lists, inverted
-// index, coverage counters and per-set flags. TIRM reports it for the
-// paper's Table 4 (memory usage), measuring the structure that actually
-// dominates RR-set algorithms' memory.
+// MemBytes reports the index's exact resident footprint: CSR member
+// arenas, CSR inverted indexes, coverage counters, per-set flags, and live
+// heap entries. TIRM reports it for the paper's Table 4 (memory usage),
+// measuring the structure that actually dominates RR-set algorithms'
+// memory. Shared segments (warm starts over a core.Index) count the shared
+// arrays here too — the footprint reachable from this collection.
 func (c *Collection) MemBytes() int64 {
-	var members int64
-	for _, s := range c.sets {
-		members += int64(len(s))
+	var total int64
+	for i := range c.segs {
+		total += c.segs[i].memBytes()
 	}
-	// Each member appears once in sets and once in nodeIn (4 bytes each),
-	// plus slice headers (24B per set and per node), covered flags (1B per
-	// set), coverage counters (4B per node), dead flags (1B per node), and
-	// live heap entries (8B each).
-	return members*8 +
-		int64(len(c.sets))*25 +
-		int64(c.n)*29 +
+	return total +
+		int64(len(c.covered)) + // covered flags
+		int64(c.n)*5 + // cov counters + dead flags
 		int64(len(c.pq))*8
 }
 
 // NumSets returns the total number of sets ever added.
-func (c *Collection) NumSets() int { return len(c.sets) }
+func (c *Collection) NumSets() int { return c.numSets }
 
 // NumCovered returns the number of sets already covered by chosen seeds.
 func (c *Collection) NumCovered() int { return c.ncov }
 
-// Add appends one RR-set and updates coverage counts.
+// Add appends one RR-set and updates coverage counts. Convenience surface
+// for tests and toy universes only: each call builds a one-set segment and
+// rebuilds the heap (O(n)), so looped Adds are quadratic — hot paths
+// append whole batches via AddBatch or AddFamily.
 func (c *Collection) Add(set []int32) {
-	id := int32(len(c.sets))
-	c.sets = append(c.sets, set)
-	c.covered = append(c.covered, false)
-	for _, u := range set {
-		c.nodeIn[u] = append(c.nodeIn[u], id)
-		c.cov[u]++
-		if !c.dead[u] {
-			heap.Push(&c.pq, covEntry{node: u, cov: c.cov[u]})
-		}
-	}
+	c.AddBatch([][]int32{set})
 }
 
-// AddBatch appends many sets. Unlike repeated Add it refreshes the
-// candidate heap once at the end (one entry per live node) instead of
-// pushing one entry per membership — the difference between O(members·log)
-// and O(members + n) when TIRM grows θ by tens of thousands of sets.
+// AddBatch appends many sets — the slice-shaped compatibility wrapper over
+// AddFamily (members are copied into a fresh arena segment).
 func (c *Collection) AddBatch(sets [][]int32) {
 	if len(sets) == 0 {
 		return
 	}
-	for _, set := range sets {
-		id := int32(len(c.sets))
-		c.sets = append(c.sets, set)
-		c.covered = append(c.covered, false)
-		for _, u := range set {
-			c.nodeIn[u] = append(c.nodeIn[u], id)
-			c.cov[u]++
-		}
+	c.AddFamily(FamilyFromSets(sets).View())
+}
+
+// AddFamily appends a CSR view of freshly sampled sets as one segment,
+// building its inverted index in a single counting pass and refreshing the
+// candidate heap once (one entry per live node) — O(members + n) per
+// growth, with no per-membership allocation at all.
+func (c *Collection) AddFamily(v FamilyView) {
+	k := v.Len()
+	if k == 0 {
+		return
+	}
+	base := int32(c.numSets)
+	inv := BuildInverted(c.n, v, base)
+	c.segs = append(c.segs, covSegment{base: base, view: v, inv: inv})
+	c.numSets += k
+	c.covered = append(c.covered, make([]bool, k)...)
+	for u := 0; u < c.n; u++ {
+		c.cov[u] += int32(inv.Count(int32(u)))
 	}
 	c.initHeap()
 }
 
-// NewCollectionFromSharedIndex builds a collection over a prebuilt sample
+// NewCollectionFromFamily builds a collection over a prebuilt sample view
 // and its prebuilt inverted index, the warm-start fast path of
-// core.AllocateFromIndex: construction touches O(n) state instead of every
-// membership. nodeIn[u] must list, in increasing order, exactly the ids of
-// sets (in `sets`) containing u, and both sets and every per-node slice
-// must be capacity-clipped by the caller (cap == len) so post-construction
-// Adds copy instead of scribbling on the shared backing arrays.
-func NewCollectionFromSharedIndex(n int, sets [][]int32, nodeIn [][]int32) *Collection {
+// core.AllocateFromIndex: construction touches O(n log d) state (one
+// binary-searched row clip per node) instead of every membership. inv must
+// index, with global ids ascending per node, a family of which v is the
+// prefix — rows may extend past v.Len() (the shared index usually holds
+// more sets than this run's θ); the excess is clipped, not copied.
+func NewCollectionFromFamily(n int, v FamilyView, inv *Inverted) *Collection {
 	c := &Collection{
 		n:       n,
-		sets:    sets[:len(sets):len(sets)],
-		nodeIn:  nodeIn,
-		covered: make([]bool, len(sets)),
+		numSets: v.Len(),
+		covered: make([]bool, v.Len()),
 		cov:     make([]int32, n),
 		dead:    make([]bool, n),
 	}
-	for u, ids := range nodeIn {
-		c.cov[u] = int32(len(ids))
+	cut := clipInverted(inv, v.Len())
+	for u := 0; u < n; u++ {
+		c.cov[u] = cut[u]
 	}
+	c.segs = []covSegment{{base: 0, view: v, inv: inv, cut: cut}}
 	c.initHeap()
 	return c
 }
@@ -143,8 +213,7 @@ func (c *Collection) Coverage(u int32) int { return int(c.cov[u]) }
 // BestNode returns the eligible node with maximum residual coverage, or
 // ok=false if no eligible node has positive coverage. eligible==nil means
 // every node is eligible. Nodes reported ineligible are dropped permanently
-// (callers use this for exhausted attention bounds, which never recover);
-// use BestNodeKeep if eligibility can change.
+// (callers use this for exhausted attention bounds, which never recover).
 func (c *Collection) BestNode(eligible func(int32) bool) (node int32, cov int, ok bool) {
 	for c.pq.Len() > 0 {
 		top := c.pq.peek()
@@ -229,18 +298,23 @@ func (c *Collection) TopNodes(k int, eligible func(int32) bool) (nodes []int32, 
 
 // CoverNode marks all residual sets containing u as covered, decrementing
 // the coverage of their other members, and returns the number of sets newly
-// covered (u's residual coverage before the call).
+// covered (u's residual coverage before the call). Segments are walked in
+// id order, so covering order matches the historical flat-list behavior
+// exactly.
 func (c *Collection) CoverNode(u int32) int {
 	covered := 0
-	for _, id := range c.nodeIn[u] {
-		if c.covered[id] {
-			continue
-		}
-		c.covered[id] = true
-		c.ncov++
-		covered++
-		for _, w := range c.sets[id] {
-			c.cov[w]--
+	for si := range c.segs {
+		seg := &c.segs[si]
+		for _, id := range seg.idsOf(u) {
+			if c.covered[id] {
+				continue
+			}
+			c.covered[id] = true
+			c.ncov++
+			covered++
+			for _, w := range seg.set(id) {
+				c.cov[w]--
+			}
 		}
 	}
 	if c.cov[u] != 0 {
@@ -255,15 +329,21 @@ func (c *Collection) CoverNode(u int32) int {
 // in freshly appended samples without double-counting across seeds.
 func (c *Collection) CountAndCoverFrom(u int32, firstID int) int {
 	covered := 0
-	for _, id := range c.nodeIn[u] {
-		if int(id) < firstID || c.covered[id] {
+	for si := range c.segs {
+		seg := &c.segs[si]
+		if seg.end() <= firstID {
 			continue
 		}
-		c.covered[id] = true
-		c.ncov++
-		covered++
-		for _, w := range c.sets[id] {
-			c.cov[w]--
+		for _, id := range seg.idsOf(u) {
+			if int(id) < firstID || c.covered[id] {
+				continue
+			}
+			c.covered[id] = true
+			c.ncov++
+			covered++
+			for _, w := range seg.set(id) {
+				c.cov[w]--
+			}
 		}
 	}
 	return covered

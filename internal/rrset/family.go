@@ -1,0 +1,218 @@
+// Flat arena storage for RR-set families. The repo's hot structures — the
+// per-ad sample held by core.Index, the coverage collections TIRM selects
+// against, and the inverted node→sets indexes — all store "a growing family
+// of small int32 sets". Representing that as [][]int32 costs one heap
+// allocation plus a 24-byte header per set and leaves the GC millions of
+// pointers to trace. SetFamily packs the same data as two flat arrays in
+// CSR (compressed sparse row) form: every member of every set back to back
+// in one arena, plus one offset per set. Appends touch only the arena tail,
+// snapshots can serialize the arrays in bulk, and a family of ten million
+// sets is two allocations instead of ten million.
+package rrset
+
+// SetFamily is an append-only family of int32 sets in CSR layout:
+// set i occupies members[offsets[i]:offsets[i+1]]. The zero value is not
+// usable; create with NewSetFamily or FamilyFromSets.
+//
+// Appending never mutates previously written elements, so a FamilyView
+// taken before an append (Prefix/Window/View) stays valid while the family
+// keeps growing — appends either write past every view's length or move the
+// tail to a reallocated arena, leaving the viewed prefix untouched. This is
+// the property core.Index relies on to let concurrent allocations read
+// stable prefixes while the sample grows.
+type SetFamily struct {
+	offsets []int64 // len = Len()+1, offsets[0] == 0, non-decreasing
+	members []int32 // arena of all members, set after set
+}
+
+// NewSetFamily creates an empty family.
+func NewSetFamily() *SetFamily {
+	return &SetFamily{offsets: make([]int64, 1, 64)}
+}
+
+// FamilyFromSets copies a pointer-heavy [][]int32 family into a fresh
+// arena (the compatibility bridge for callers still producing slices).
+func FamilyFromSets(sets [][]int32) *SetFamily {
+	var total int
+	for _, s := range sets {
+		total += len(s)
+	}
+	f := &SetFamily{
+		offsets: make([]int64, 1, len(sets)+1),
+		members: make([]int32, 0, total),
+	}
+	for _, s := range sets {
+		f.Append(s)
+	}
+	return f
+}
+
+// Len returns the number of sets.
+func (f *SetFamily) Len() int { return len(f.offsets) - 1 }
+
+// NumMembers returns the total member count across all sets.
+func (f *SetFamily) NumMembers() int64 { return int64(len(f.members)) }
+
+// Set returns set i as a slice into the arena. The slice must not be
+// mutated or appended to.
+func (f *SetFamily) Set(i int) []int32 {
+	return f.members[f.offsets[i]:f.offsets[i+1]]
+}
+
+// Append adds one set (copying its members into the arena).
+func (f *SetFamily) Append(set []int32) {
+	f.members = append(f.members, set...)
+	f.offsets = append(f.offsets, int64(len(f.members)))
+}
+
+// AppendFamily bulk-appends every set of g (two memmoves plus an offset
+// rebase — how per-block scratch arenas merge into the stream arena).
+func (f *SetFamily) AppendFamily(g *SetFamily) {
+	base := int64(len(f.members)) - g.offsets[0]
+	f.members = append(f.members, g.members[g.offsets[0]:]...)
+	for _, off := range g.offsets[1:] {
+		f.offsets = append(f.offsets, base+off)
+	}
+}
+
+// Reserve grows capacity for sets more sets and members more members, so a
+// known-size bulk load appends without re-allocation.
+func (f *SetFamily) Reserve(sets int, members int64) {
+	if need := len(f.offsets) + sets; need > cap(f.offsets) {
+		grown := make([]int64, len(f.offsets), need)
+		copy(grown, f.offsets)
+		f.offsets = grown
+	}
+	if need := int64(len(f.members)) + members; need > int64(cap(f.members)) {
+		grown := make([]int32, len(f.members), need)
+		copy(grown, f.members)
+		f.members = grown
+	}
+}
+
+// View returns a stable view of the current sets.
+func (f *SetFamily) View() FamilyView { return f.Prefix(f.Len()) }
+
+// Prefix returns a stable view of the first k sets.
+func (f *SetFamily) Prefix(k int) FamilyView { return f.Window(0, k) }
+
+// Window returns a stable view of sets [from, to). Views survive later
+// appends (see the type comment).
+func (f *SetFamily) Window(from, to int) FamilyView {
+	end := f.offsets[to]
+	return FamilyView{
+		offsets: f.offsets[from : to+1 : to+1],
+		members: f.members[:end:end],
+	}
+}
+
+// Sets materializes the family as [][]int32 views into the arena (nil for
+// empty sets, matching the sampler's historical convention). Compatibility
+// surface only — hot paths should stay in CSR.
+func (f *SetFamily) Sets() [][]int32 { return f.View().Sets() }
+
+// MemBytes returns the family's exact data footprint: 4 bytes per member
+// plus 8 per offset.
+func (f *SetFamily) MemBytes() int64 {
+	return 4*int64(len(f.members)) + 8*int64(len(f.offsets))
+}
+
+// FamilyView is an immutable window over a SetFamily: sets [from, to) with
+// local ids 0..Len()-1. Offsets stay absolute (members is the arena prefix
+// up to the window's end), so taking a view is two slice headers — no
+// copying, no rebasing.
+type FamilyView struct {
+	offsets []int64 // len = Len()+1, absolute arena offsets
+	members []int32 // arena prefix covering offsets[Len()]
+}
+
+// Len returns the number of sets in the view.
+func (v FamilyView) Len() int {
+	if len(v.offsets) == 0 {
+		return 0
+	}
+	return len(v.offsets) - 1
+}
+
+// NumMembers returns the total member count across the view's sets.
+func (v FamilyView) NumMembers() int64 {
+	if len(v.offsets) == 0 {
+		return 0
+	}
+	return v.offsets[len(v.offsets)-1] - v.offsets[0]
+}
+
+// Set returns set i (local id) as a slice into the arena. Read-only.
+func (v FamilyView) Set(i int) []int32 {
+	return v.members[v.offsets[i]:v.offsets[i+1]]
+}
+
+// Sets materializes the view as [][]int32 (nil for empty sets).
+func (v FamilyView) Sets() [][]int32 {
+	k := v.Len()
+	out := make([][]int32, k)
+	for i := 0; i < k; i++ {
+		if s := v.Set(i); len(s) > 0 {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// MemBytes returns the view's exact data footprint (members + offsets).
+func (v FamilyView) MemBytes() int64 {
+	return 4*v.NumMembers() + 8*int64(len(v.offsets))
+}
+
+// Inverted is a CSR inverted index over a set family: node u's row lists,
+// in ascending order, the ids of the sets containing u. Built in one
+// counting pass — no per-node append lists, two allocations total.
+// Immutable once built; growth replaces the whole index (cheap next to the
+// reverse-BFS cost of sampling the new sets, and it gives concurrent
+// readers a stable snapshot for free).
+type Inverted struct {
+	off []int64 // len = n+1
+	ids []int32 // set ids, ascending within each node's row
+}
+
+// BuildInverted indexes v over an n-node universe. Set i of the view gets
+// id base+i, letting a segment's local view carry global stream ids.
+func BuildInverted(n int, v FamilyView, base int32) *Inverted {
+	off := make([]int64, n+1)
+	k := v.Len()
+	if k == 0 {
+		return &Inverted{off: off}
+	}
+	arena := v.members[v.offsets[0]:v.offsets[k]]
+	for _, u := range arena {
+		off[u+1]++
+	}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	ids := make([]int32, len(arena))
+	cur := make([]int64, n)
+	copy(cur, off[:n])
+	for i := 0; i < k; i++ {
+		id := base + int32(i)
+		for _, u := range v.Set(i) {
+			ids[cur[u]] = id
+			cur[u]++
+		}
+	}
+	return &Inverted{off: off, ids: ids}
+}
+
+// NumNodes returns the node-universe size.
+func (ix *Inverted) NumNodes() int { return len(ix.off) - 1 }
+
+// IDs returns the ids of the sets containing u, ascending. Read-only.
+func (ix *Inverted) IDs(u int32) []int32 { return ix.ids[ix.off[u]:ix.off[u+1]] }
+
+// Count returns how many sets contain u.
+func (ix *Inverted) Count(u int32) int { return int(ix.off[u+1] - ix.off[u]) }
+
+// MemBytes returns the index's exact data footprint.
+func (ix *Inverted) MemBytes() int64 {
+	return 4*int64(len(ix.ids)) + 8*int64(len(ix.off))
+}

@@ -3,24 +3,51 @@
 // restarted process starts warm — loading a snapshot is pure I/O, orders of
 // magnitude cheaper than re-running the reverse-BFS sampling that dominates
 // TIRM's cost. The format is little-endian and versioned; core.Index
-// composes per-ad sections written with EncodeSets into one index file.
+// composes per-ad sections written with EncodeSetFamily into one index
+// file.
+//
+// Format-version policy: each section self-describes via its magic, and
+// DecodeSetFamily accepts every version ever shipped — snapshots written by
+// old builds must keep loading forever. Writers always emit the newest
+// version. Versions:
+//
+//   - "RRS1": one length-prefixed record per set. Simple, but decoding is a
+//     read per set and the layout forces per-set slices.
+//   - "RRS2" (current): the family's flat CSR arrays (set lengths, then the
+//     member arena) written in bulk, guarded by a CRC32 (IEEE) footer over
+//     the section payload. Encoding and decoding are a handful of large
+//     reads/writes, and the decoded family is two allocations.
+//
+// Bump the version (never reinterpret an existing magic) when the layout
+// changes; add the new decoder beside the old ones.
 package rrset
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// setsMagic guards each encoded set family ("RRS" + version 1).
-const setsMagic = uint32(0x52525331) // "RRS1"
+const (
+	// setsMagicV1 guards a version-1 encoded set family ("RRS1").
+	setsMagicV1 = uint32(0x52525331)
+	// setsMagicV2 guards a version-2 (flat CSR + CRC32) family ("RRS2").
+	setsMagicV2 = uint32(0x52525332)
+)
 
-// EncodeSets writes one RR-set family to w: magic, set count, then each
-// set's length and members as uint32s. Sections are exactly delimited, so
-// several families can be concatenated on one stream and decoded back.
+// codecChunk bounds the scratch buffer of the bulk codec (in uint32
+// values): sections stream through fixed-size chunks, so a corrupt header
+// can never force a huge upfront allocation.
+const codecChunk = 1 << 14
+
+// EncodeSets writes one RR-set family to w in the legacy v1 layout: magic,
+// set count, then each set's length and members as uint32s. Retained so
+// back-compat tests (and tools that need to fabricate old snapshots) can
+// produce v1 sections; new code should write EncodeSetFamily's v2 layout.
 func EncodeSets(w io.Writer, sets [][]int32) error {
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], setsMagic)
+	binary.LittleEndian.PutUint32(hdr[:4], setsMagicV1)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(sets)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -43,21 +70,108 @@ func EncodeSets(w io.Writer, sets [][]int32) error {
 	return nil
 }
 
-// DecodeSets reads one family written by EncodeSets, consuming exactly its
-// section of the stream (wrap the source in a bufio.Reader for performance
-// — DecodeSets deliberately never reads ahead, so families can be decoded
-// back to back from one reader). n is the node-universe size; every member
-// must lie in [0, n) and no set may exceed n members, which bounds the
-// damage a truncated or corrupt snapshot can do.
-func DecodeSets(r io.Reader, n int) ([][]int32, error) {
-	var hdr [8]byte
+// EncodeSetFamily writes one RR-set family section in the current (v2)
+// layout: magic, set count, total member count, the per-set lengths, the
+// flat member arena, and a CRC32 footer over everything after the magic.
+// All arrays are emitted in large chunks straight from the CSR arena — no
+// per-set framing. Sections are exactly delimited, so several families can
+// be concatenated on one stream and decoded back.
+func EncodeSetFamily(w io.Writer, v FamilyView) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], setsMagicV2)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	k := v.Len()
+	var meta [12]byte
+	binary.LittleEndian.PutUint32(meta[:4], uint32(k))
+	binary.LittleEndian.PutUint64(meta[4:], uint64(v.NumMembers()))
+	if _, err := mw.Write(meta[:]); err != nil {
+		return err
+	}
+
+	buf := make([]byte, 4*codecChunk)
+	// Lengths, chunked.
+	for i := 0; i < k; {
+		n := 0
+		for ; i < k && n < codecChunk; i, n = i+1, n+1 {
+			binary.LittleEndian.PutUint32(buf[4*n:], uint32(v.offsets[i+1]-v.offsets[i]))
+		}
+		if _, err := mw.Write(buf[:4*n]); err != nil {
+			return err
+		}
+	}
+	// Member arena, chunked. (k == 0 also covers the zero-value view, whose
+	// offsets slice is nil and must not be indexed.)
+	var arena []int32
+	if k > 0 {
+		arena = v.members[v.offsets[0]:v.offsets[k]]
+	}
+	for len(arena) > 0 {
+		n := len(arena)
+		if n > codecChunk {
+			n = codecChunk
+		}
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint32(buf[4*j:], uint32(arena[j]))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		crc.Write(buf[:4*n])
+		arena = arena[n:]
+	}
+
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// DecodeSetFamily reads one family section written by EncodeSetFamily (v2)
+// or the legacy EncodeSets (v1), consuming exactly its bytes of the stream
+// (wrap the source in a bufio.Reader for performance — the decoder never
+// reads ahead, so families decode back to back from one reader). n is the
+// node-universe size; every member must lie in [0, n) and no set may
+// exceed n members, which bounds the damage a truncated or corrupt
+// snapshot can do. v2 sections additionally fail on CRC32 mismatch, so a
+// bit-flipped member is caught even when it stays in range.
+func DecodeSetFamily(r io.Reader, n int) (*SetFamily, error) {
+	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("rrset: snapshot header: %w", err)
 	}
-	if magic := binary.LittleEndian.Uint32(hdr[:4]); magic != setsMagic {
+	switch magic := binary.LittleEndian.Uint32(hdr[:]); magic {
+	case setsMagicV1:
+		return decodeFamilyV1(r, n)
+	case setsMagicV2:
+		return decodeFamilyV2(r, n)
+	default:
 		return nil, fmt.Errorf("rrset: bad snapshot magic %#x", magic)
 	}
-	count := binary.LittleEndian.Uint32(hdr[4:])
+}
+
+// DecodeSets is DecodeSetFamily materialized as [][]int32 (views into the
+// decoded arena; nil for empty sets) — the slice-shaped compatibility
+// surface.
+func DecodeSets(r io.Reader, n int) ([][]int32, error) {
+	fam, err := DecodeSetFamily(r, n)
+	if err != nil {
+		return nil, err
+	}
+	return fam.Sets(), nil
+}
+
+// decodeFamilyV1 reads the body of a v1 section (magic already consumed).
+func decodeFamilyV1(r io.Reader, n int) (*SetFamily, error) {
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("rrset: snapshot header: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(cnt[:])
 	// Cap the preallocation and grow with the bytes actually read: a
 	// corrupt count field must fail at the truncated stream, not OOM the
 	// process up front.
@@ -65,7 +179,7 @@ func DecodeSets(r io.Reader, n int) ([][]int32, error) {
 	if prealloc > 1<<20 {
 		prealloc = 1 << 20
 	}
-	sets := make([][]int32, 0, prealloc)
+	fam := &SetFamily{offsets: make([]int64, 1, prealloc+1)}
 	var buf []byte
 	for i := 0; i < int(count); i++ {
 		var szb [4]byte
@@ -84,15 +198,97 @@ func DecodeSets(r io.Reader, n int) ([][]int32, error) {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("rrset: set %d members: %w", i, err)
 		}
-		set := make([]int32, sz)
-		for k := range set {
+		for k := 0; k < int(sz); k++ {
 			v := binary.LittleEndian.Uint32(buf[4*k:])
 			if int(v) >= n {
 				return nil, fmt.Errorf("rrset: set %d member %d out of range", i, v)
 			}
-			set[k] = int32(v)
+			fam.members = append(fam.members, int32(v))
 		}
-		sets = append(sets, set)
+		fam.offsets = append(fam.offsets, int64(len(fam.members)))
 	}
-	return sets, nil
+	return fam, nil
+}
+
+// decodeFamilyV2 reads the body of a v2 section (magic already consumed):
+// bulk lengths, bulk members, CRC32 footer. Every read streams through
+// bounded chunks and is validated as it arrives, so corrupt counts fail at
+// the truncated stream instead of allocating their claimed size.
+func decodeFamilyV2(r io.Reader, n int) (*SetFamily, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	var meta [12]byte
+	if _, err := io.ReadFull(tr, meta[:]); err != nil {
+		return nil, fmt.Errorf("rrset: snapshot header: %w", err)
+	}
+	count := int(binary.LittleEndian.Uint32(meta[:4]))
+	total := binary.LittleEndian.Uint64(meta[4:])
+	if total > uint64(count)*uint64(n) {
+		return nil, fmt.Errorf("rrset: snapshot claims %d members for %d sets over universe %d", total, count, n)
+	}
+
+	preSets := count
+	if preSets > 1<<20 {
+		preSets = 1 << 20
+	}
+	preMembers := int64(total)
+	if preMembers > 1<<22 {
+		preMembers = 1 << 22
+	}
+	fam := &SetFamily{
+		offsets: make([]int64, 1, preSets+1),
+		members: make([]int32, 0, preMembers),
+	}
+
+	buf := make([]byte, 4*codecChunk)
+	var sum uint64
+	for i := 0; i < count; {
+		chunk := count - i
+		if chunk > codecChunk {
+			chunk = codecChunk
+		}
+		if _, err := io.ReadFull(tr, buf[:4*chunk]); err != nil {
+			return nil, fmt.Errorf("rrset: set lengths at %d: %w", i, err)
+		}
+		for j := 0; j < chunk; j++ {
+			sz := binary.LittleEndian.Uint32(buf[4*j:])
+			if int(sz) > n {
+				return nil, fmt.Errorf("rrset: set %d has %d members, universe is %d", i+j, sz, n)
+			}
+			sum += uint64(sz)
+			fam.offsets = append(fam.offsets, int64(sum))
+		}
+		i += chunk
+	}
+	if sum != total {
+		return nil, fmt.Errorf("rrset: set lengths sum to %d, header claims %d", sum, total)
+	}
+
+	for read := uint64(0); read < total; {
+		chunk := total - read
+		if chunk > codecChunk {
+			chunk = codecChunk
+		}
+		if _, err := io.ReadFull(tr, buf[:4*chunk]); err != nil {
+			return nil, fmt.Errorf("rrset: members at %d: %w", read, err)
+		}
+		for j := uint64(0); j < chunk; j++ {
+			v := binary.LittleEndian.Uint32(buf[4*j:])
+			if int(v) >= n {
+				return nil, fmt.Errorf("rrset: member %d out of range", v)
+			}
+			fam.members = append(fam.members, int32(v))
+		}
+		read += chunk
+	}
+
+	var foot [4]byte
+	if _, err := io.ReadFull(r, foot[:]); err != nil {
+		return nil, fmt.Errorf("rrset: snapshot footer: %w", err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(foot[:]); got != want {
+		return nil, fmt.Errorf("rrset: snapshot CRC mismatch: computed %#x, stored %#x", got, want)
+	}
+	return fam, nil
 }

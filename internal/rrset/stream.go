@@ -2,16 +2,16 @@ package rrset
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/xrand"
 )
 
 // StreamBlockSize is the block granularity of the deterministic RR stream
-// (see SampleRangeRR). Index growth always rounds up to a block boundary so
-// every block is drawn in full from the start of its derived rng — no
-// partially consumed streams ever need to be persisted or reconstructed.
+// (see SampleRangeRRInto). Index growth always rounds up to a block
+// boundary so every block is drawn in full from the start of its derived
+// rng — no partially consumed streams ever need to be persisted or
+// reconstructed.
 const StreamBlockSize = 256
 
 // StreamCeil rounds count up to the next StreamBlockSize multiple.
@@ -22,33 +22,31 @@ func StreamCeil(count int) int {
 	return (count + StreamBlockSize - 1) / StreamBlockSize * StreamBlockSize
 }
 
-// SampleRangeRR draws sets [from, to) of the sampler's deterministic RR
-// stream under rng. Set i belongs to block i/StreamBlockSize, and block b is
-// drawn sequentially from the derived stream rng.Split(b), so the i-th set
-// is a pure function of (graph, probs, rng seed, i) — independent of batch
-// boundaries, growth history, and GOMAXPROCS. This is the contract that
-// lets a long-lived RR-set index (core.Index) grow on demand under any
-// interleaving of allocation requests, or restart from a disk snapshot, and
-// still produce byte-identical samples.
+// SampleRangeRRInto draws sets [from, to) of the sampler's deterministic RR
+// stream under rng, appending them to the fam arena. Set i belongs to block
+// i/StreamBlockSize, and block b is drawn sequentially from the derived
+// stream rng.Split(b), so the i-th set is a pure function of (graph, probs,
+// rng seed, i) — independent of batch boundaries, growth history, and
+// worker count. This is the contract that lets a long-lived RR-set index
+// (core.Index) grow on demand under any interleaving of allocation
+// requests, or restart from a disk snapshot, and still produce
+// byte-identical samples.
 //
-// Unlike SampleBatchRR — whose chunk decomposition (and therefore output)
-// depends on the batch size — the stream position alone decides each set's
-// randomness. Blocks are sampled in parallel. from and to must be multiples
-// of StreamBlockSize with from ≤ to.
-func (s *Sampler) SampleRangeRR(from, to int, rng *xrand.Rand) [][]int32 {
+// Blocks are sampled in parallel into per-block scratch arenas and merged
+// into fam in block order, so the arena layout is as deterministic as the
+// stream itself. from and to must be multiples of StreamBlockSize with
+// from ≤ to; the number of appended sets is to−from.
+func (s *Sampler) SampleRangeRRInto(from, to int, rng *xrand.Rand, fam *SetFamily) {
 	if from%StreamBlockSize != 0 || to%StreamBlockSize != 0 || from > to {
 		panic(fmt.Sprintf("rrset: SampleRangeRR range [%d,%d) not block-aligned", from, to))
 	}
 	if from == to {
-		return nil
+		return
 	}
-	out := make([][]int32, to-from)
 	firstBlock := from / StreamBlockSize
 	numBlocks := (to - from) / StreamBlockSize
-	workers := runtime.GOMAXPROCS(0)
-	if workers > numBlocks {
-		workers = numBlocks
-	}
+	blocks := make([]*SetFamily, numBlocks)
+	workers := samplingWorkers(numBlocks)
 	next := make(chan int, numBlocks)
 	for b := 0; b < numBlocks; b++ {
 		next <- b
@@ -61,14 +59,40 @@ func (s *Sampler) SampleRangeRR(from, to int, rng *xrand.Rand) [][]int32 {
 			defer wg.Done()
 			sc := s.newScratch()
 			for b := range next {
-				brng := rng.Split(uint64(firstBlock + b))
-				base := b * StreamBlockSize
-				for i := 0; i < StreamBlockSize; i++ {
-					out[base+i] = s.sampleInto(sc, brng, false)
+				bf := &SetFamily{
+					offsets: make([]int64, 1, StreamBlockSize+1),
+					members: make([]int32, 0, 4*StreamBlockSize),
 				}
+				brng := rng.Split(uint64(firstBlock + b))
+				for i := 0; i < StreamBlockSize; i++ {
+					bf.Append(s.sampleScratch(sc, brng, false))
+				}
+				blocks[b] = bf
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	var total int64
+	for _, bf := range blocks {
+		total += bf.NumMembers()
+	}
+	fam.Reserve(to-from, total)
+	for _, bf := range blocks {
+		fam.AppendFamily(bf)
+	}
+}
+
+// SampleRangeRR is SampleRangeRRInto materialized as [][]int32 views over a
+// fresh arena — the slice-shaped compatibility surface (the i-th returned
+// set is stream set from+i).
+func (s *Sampler) SampleRangeRR(from, to int, rng *xrand.Rand) [][]int32 {
+	if from == to {
+		if from%StreamBlockSize != 0 {
+			panic(fmt.Sprintf("rrset: SampleRangeRR range [%d,%d) not block-aligned", from, to))
+		}
+		return nil
+	}
+	fam := NewSetFamily()
+	s.SampleRangeRRInto(from, to, rng, fam)
+	return fam.Sets()
 }

@@ -150,31 +150,22 @@ func TestDecodeSetsRejectsCorruption(t *testing.T) {
 	}
 }
 
-// buildNodeIn constructs the capacity-clipped inverted index the
-// FromSharedIndex constructors require (mirroring core's adSample).
-func buildNodeIn(n int, sets [][]int32) [][]int32 {
-	nodeIn := make([][]int32, n)
-	for id, set := range sets {
-		for _, u := range set {
-			nodeIn[u] = append(nodeIn[u], int32(id))
-		}
-	}
-	for u := range nodeIn {
-		nodeIn[u] = nodeIn[u][:len(nodeIn[u]):len(nodeIn[u])]
-	}
-	return nodeIn
-}
-
-// TestCollectionFromSharedIndexMatchesAddBatch: the warm-start constructor
-// must behave exactly like incremental insertion.
-func TestCollectionFromSharedIndexMatchesAddBatch(t *testing.T) {
+// TestCollectionFromFamilyMatchesAddBatch: the warm-start constructor
+// must behave exactly like incremental insertion — including when the
+// shared inverted index covers more sets than the view (the clip path).
+func TestCollectionFromFamilyMatchesAddBatch(t *testing.T) {
 	s := streamTestSampler(t)
-	sets := s.SampleRangeRR(0, StreamBlockSize, xrand.New(5))
+	fam := NewSetFamily()
+	s.SampleRangeRRInto(0, 2*StreamBlockSize, xrand.New(5), fam)
+	sets := fam.Prefix(StreamBlockSize).Sets()
 	n := s.Graph().N()
 
 	inc := NewCollection(n)
 	inc.AddBatch(sets)
-	bulk := NewCollectionFromSharedIndex(n, sets, buildNodeIn(n, sets))
+	// The inverted index spans both blocks; the view only the first — the
+	// constructor must clip the rows.
+	inv := BuildInverted(n, fam.View(), 0)
+	bulk := NewCollectionFromFamily(n, fam.Prefix(StreamBlockSize), inv)
 
 	for u := int32(0); u < int32(n); u++ {
 		if inc.Coverage(u) != bulk.Coverage(u) {
@@ -207,9 +198,10 @@ func TestCollectionFromSharedIndexMatchesAddBatch(t *testing.T) {
 // other.
 func TestCollectionClonesAreIndependent(t *testing.T) {
 	s := streamTestSampler(t)
-	sets := s.SampleRangeRR(0, StreamBlockSize, xrand.New(6))
+	fam := NewSetFamily()
+	s.SampleRangeRRInto(0, StreamBlockSize, xrand.New(6), fam)
 	n := s.Graph().N()
-	nodeIn := buildNodeIn(n, sets)
+	inv := BuildInverted(n, fam.View(), 0)
 
 	run := func(c *Collection) (picks []int32, covs []int) {
 		for k := 0; k < 4; k++ {
@@ -224,12 +216,12 @@ func TestCollectionClonesAreIndependent(t *testing.T) {
 		}
 		return
 	}
-	first := NewCollectionFromSharedIndex(n, sets, nodeIn)
+	first := NewCollectionFromFamily(n, fam.View(), inv)
 	p1, c1 := run(first)
 	if first.NumCovered() == 0 {
 		t.Fatal("first run covered nothing")
 	}
-	second := NewCollectionFromSharedIndex(n, sets, nodeIn)
+	second := NewCollectionFromFamily(n, fam.View(), inv)
 	if second.NumCovered() != 0 {
 		t.Fatalf("fresh clone starts with %d covered sets", second.NumCovered())
 	}
@@ -239,15 +231,16 @@ func TestCollectionClonesAreIndependent(t *testing.T) {
 	}
 }
 
-func TestWeightedCollectionFromSharedIndex(t *testing.T) {
+func TestWeightedCollectionFromFamily(t *testing.T) {
 	s := streamTestSampler(t)
-	sets := s.SampleRangeRR(0, StreamBlockSize, xrand.New(8))
+	fam := NewSetFamily()
+	s.SampleRangeRRInto(0, StreamBlockSize, xrand.New(8), fam)
 	n := s.Graph().N()
-	nodeIn := buildNodeIn(n, sets)
+	inv := BuildInverted(n, fam.View(), 0)
 
 	inc := NewWeightedCollection(n)
-	inc.AddBatch(sets)
-	c := NewWeightedCollectionFromSharedIndex(n, sets, nodeIn)
+	inc.AddBatch(fam.Sets())
+	c := NewWeightedCollectionFromFamily(n, fam.View(), inv)
 	for u := int32(0); u < int32(n); u++ {
 		if inc.WeightedCoverage(u) != c.WeightedCoverage(u) {
 			t.Fatalf("wcov of %d: %v vs %v", u, inc.WeightedCoverage(u), c.WeightedCoverage(u))
@@ -269,7 +262,7 @@ func TestWeightedCollectionFromSharedIndex(t *testing.T) {
 	if m1 <= 0 {
 		t.Fatal("first run claimed no mass")
 	}
-	clone := NewWeightedCollectionFromSharedIndex(n, sets, nodeIn)
+	clone := NewWeightedCollectionFromFamily(n, fam.View(), inv)
 	if clone.CoveredMass() != 0 {
 		t.Fatalf("fresh clone starts with claimed mass %v", clone.CoveredMass())
 	}

@@ -25,10 +25,13 @@ import (
 // each covering set's weight by (1−δ_u).
 //
 // With δ = 1 this degenerates exactly to Collection's hard semantics.
+//
+// Storage is the same flat CSR segment layout as Collection (covSegment);
+// the only per-set state beyond the shared arenas is the weight vector.
 type WeightedCollection struct {
 	n       int
-	sets    [][]int32
-	nodeIn  [][]int32
+	segs    []covSegment
+	numSets int
 	weight  []float64 // set id -> Π(1−δ) over committed members
 	wcov    []float64 // node -> Σ weights of sets containing it
 	claimed float64   // Σ_R (1 − w_R)
@@ -39,10 +42,9 @@ type WeightedCollection struct {
 // NewWeightedCollection creates an empty weighted index over n nodes.
 func NewWeightedCollection(n int) *WeightedCollection {
 	return &WeightedCollection{
-		n:      n,
-		nodeIn: make([][]int32, n),
-		wcov:   make([]float64, n),
-		dead:   make([]bool, n),
+		n:    n,
+		wcov: make([]float64, n),
+		dead: make([]bool, n),
 	}
 }
 
@@ -62,64 +64,69 @@ func (c *WeightedCollection) initHeap() {
 func (c *WeightedCollection) N() int { return c.n }
 
 // NumSets returns the number of sets added so far.
-func (c *WeightedCollection) NumSets() int { return len(c.sets) }
+func (c *WeightedCollection) NumSets() int { return c.numSets }
 
 // CoveredMass returns Σ_R (1 − w_R): the expected number of covered sets
 // under the committed seeds' CTP coins. n·CoveredMass/θ estimates the
 // seeds' joint IC-CTP spread.
 func (c *WeightedCollection) CoveredMass() float64 { return c.claimed }
 
-// Add appends one RR-set with weight 1.
+// Add appends one RR-set with weight 1. Like Collection.Add this is a
+// convenience for tests and toy universes — each call costs O(n); hot
+// paths use AddBatch or AddFamily.
 func (c *WeightedCollection) Add(set []int32) {
-	id := int32(len(c.sets))
-	c.sets = append(c.sets, set)
-	c.weight = append(c.weight, 1)
-	for _, u := range set {
-		c.nodeIn[u] = append(c.nodeIn[u], id)
-		c.wcov[u]++
-		if !c.dead[u] {
-			heap.Push(&c.pq, wcovEntry{node: u, wcov: c.wcov[u]})
-		}
-	}
+	c.AddBatch([][]int32{set})
 }
 
-// AddBatch appends many sets, refreshing the heap once at the end (see
-// Collection.AddBatch).
+// AddBatch appends many sets — the slice-shaped compatibility wrapper over
+// AddFamily.
 func (c *WeightedCollection) AddBatch(sets [][]int32) {
 	if len(sets) == 0 {
 		return
 	}
-	for _, set := range sets {
-		id := int32(len(c.sets))
-		c.sets = append(c.sets, set)
+	c.AddFamily(FamilyFromSets(sets).View())
+}
+
+// AddFamily appends a CSR view of fresh sets as one segment with weight 1
+// each, building its inverted index in one counting pass and refreshing the
+// heap once (see Collection.AddFamily).
+func (c *WeightedCollection) AddFamily(v FamilyView) {
+	k := v.Len()
+	if k == 0 {
+		return
+	}
+	base := int32(c.numSets)
+	inv := BuildInverted(c.n, v, base)
+	c.segs = append(c.segs, covSegment{base: base, view: v, inv: inv})
+	c.numSets += k
+	for i := 0; i < k; i++ {
 		c.weight = append(c.weight, 1)
-		for _, u := range set {
-			c.nodeIn[u] = append(c.nodeIn[u], id)
-			c.wcov[u]++
-		}
+	}
+	for u := 0; u < c.n; u++ {
+		c.wcov[u] += float64(inv.Count(int32(u)))
 	}
 	c.initHeap()
 }
 
-// NewWeightedCollectionFromSharedIndex mirrors
-// rrset.NewCollectionFromSharedIndex for the soft-coverage mode: O(n + θ)
-// construction over a shared sample and inverted index (same clipping
-// contract).
-func NewWeightedCollectionFromSharedIndex(n int, sets [][]int32, nodeIn [][]int32) *WeightedCollection {
+// NewWeightedCollectionFromFamily mirrors rrset.NewCollectionFromFamily for
+// the soft-coverage mode: O(n log d) construction over a shared sample view
+// and inverted index (same row-clipping contract).
+func NewWeightedCollectionFromFamily(n int, v FamilyView, inv *Inverted) *WeightedCollection {
 	c := &WeightedCollection{
-		n:      n,
-		sets:   sets[:len(sets):len(sets)],
-		nodeIn: nodeIn,
-		weight: make([]float64, len(sets)),
-		wcov:   make([]float64, n),
-		dead:   make([]bool, n),
+		n:       n,
+		numSets: v.Len(),
+		weight:  make([]float64, v.Len()),
+		wcov:    make([]float64, n),
+		dead:    make([]bool, n),
 	}
 	for i := range c.weight {
 		c.weight[i] = 1
 	}
-	for u, ids := range nodeIn {
-		c.wcov[u] = float64(len(ids))
+	cut := clipInverted(inv, v.Len())
+	for u := 0; u < n; u++ {
+		c.wcov[u] = float64(cut[u])
 	}
+	c.segs = []covSegment{{base: 0, view: v, inv: inv, cut: cut}}
 	c.initHeap()
 	return c
 }
@@ -234,37 +241,45 @@ func (c *WeightedCollection) commitFrom(u int32, delta float64, firstID int) flo
 		panic("rrset: CTP out of [0,1]")
 	}
 	var total float64
-	for _, id := range c.nodeIn[u] {
-		if int(id) < firstID {
+	for si := range c.segs {
+		seg := &c.segs[si]
+		if seg.end() <= firstID {
 			continue
 		}
-		w := c.weight[id]
-		if w == 0 {
-			continue
-		}
-		dec := w * delta
-		c.weight[id] = w - dec
-		c.claimed += dec
-		total += dec
-		for _, x := range c.sets[id] {
-			c.wcov[x] -= dec
-			if c.wcov[x] < 0 {
-				c.wcov[x] = 0 // clamp float drift
+		for _, id := range seg.idsOf(u) {
+			if int(id) < firstID {
+				continue
+			}
+			w := c.weight[id]
+			if w == 0 {
+				continue
+			}
+			dec := w * delta
+			c.weight[id] = w - dec
+			c.claimed += dec
+			total += dec
+			for _, x := range seg.set(id) {
+				c.wcov[x] -= dec
+				if c.wcov[x] < 0 {
+					c.wcov[x] = 0 // clamp float drift
+				}
 			}
 		}
 	}
 	return total
 }
 
-// MemBytes mirrors Collection.MemBytes for Table 4 instrumentation.
+// MemBytes mirrors Collection.MemBytes for Table 4 instrumentation: the
+// exact data footprint of the segments plus weights, coverages, flags, and
+// live heap entries.
 func (c *WeightedCollection) MemBytes() int64 {
-	var members int64
-	for _, s := range c.sets {
-		members += int64(len(s))
+	var total int64
+	for i := range c.segs {
+		total += c.segs[i].memBytes()
 	}
-	return members*8 +
-		int64(len(c.sets))*32 + // headers + weight
-		int64(c.n)*33 + // headers + wcov + dead
+	return total +
+		int64(len(c.weight))*8 +
+		int64(c.n)*9 + // wcov + dead
 		int64(len(c.pq))*16
 }
 

@@ -510,15 +510,20 @@ type EntryStats struct {
 	Allocations  int64   `json:"allocations"`
 }
 
-// StatsResponse is GET /stats.
+// StatsResponse is GET /stats. IndexMemBytes figures are exact — the flat
+// CSR arenas of core.Index know their byte sizes precisely — and
+// IndexMemByDataset aggregates them per dataset name, so an operator can
+// see at a glance which dataset's samples own the process's memory across
+// seeds and scales.
 type StatsResponse struct {
-	UptimeSeconds float64      `json:"uptimeSeconds"`
-	CacheHits     int64        `json:"cacheHits"`
-	CacheMisses   int64        `json:"cacheMisses"`
-	Coalesced     int64        `json:"coalesced"`
-	SnapshotLoads int64        `json:"snapshotLoads"`
-	IndexMemBytes int64        `json:"indexMemBytes"`
-	Entries       []EntryStats `json:"entries"`
+	UptimeSeconds     float64          `json:"uptimeSeconds"`
+	CacheHits         int64            `json:"cacheHits"`
+	CacheMisses       int64            `json:"cacheMisses"`
+	Coalesced         int64            `json:"coalesced"`
+	SnapshotLoads     int64            `json:"snapshotLoads"`
+	IndexMemBytes     int64            `json:"indexMemBytes"`
+	IndexMemByDataset map[string]int64 `json:"indexMemByDataset"`
+	Entries           []EntryStats     `json:"entries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -531,12 +536,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 
 	resp := StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		Coalesced:     s.coalesced.Load(),
-		SnapshotLoads: s.snapshotLoads.Load(),
-		Entries:       make([]EntryStats, 0, len(entries)),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		CacheHits:         s.cacheHits.Load(),
+		CacheMisses:       s.cacheMisses.Load(),
+		Coalesced:         s.coalesced.Load(),
+		SnapshotLoads:     s.snapshotLoads.Load(),
+		IndexMemByDataset: map[string]int64{},
+		Entries:           make([]EntryStats, 0, len(entries)),
 	}
 	for _, e := range entries {
 		select {
@@ -553,6 +559,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if e.indexBuilt() {
 			mem := e.idx.MemBytes()
 			resp.IndexMemBytes += mem
+			resp.IndexMemByDataset[e.params.Dataset] += mem
 			es.IndexBuilt = true
 			es.SetsSampled = e.idx.SetsSampled()
 			es.MemBytes = mem

@@ -134,6 +134,9 @@ func TestServerEndToEnd(t *testing.T) {
 	if stats.Entries[0].Allocations != 2 {
 		t.Errorf("entry allocations = %d, want 2", stats.Entries[0].Allocations)
 	}
+	if got := stats.IndexMemByDataset["fig1"]; got != stats.IndexMemBytes || got <= 0 {
+		t.Errorf("per-dataset index memory = %v (total %d)", stats.IndexMemByDataset, stats.IndexMemBytes)
+	}
 }
 
 // TestServerCoalescing: concurrent identical requests trigger exactly one

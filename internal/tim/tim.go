@@ -123,7 +123,7 @@ func Maximize(s *rrset.Sampler, k int, rng *xrand.Rand, opts Options) Result {
 	kpt := EstimateKPT(s, k, rng.Split(0x7a11), opts)
 	theta := rrset.Theta(n, int64(k), opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
 	col := rrset.NewCollection(int(n))
-	col.AddBatch(s.SampleBatchRR(theta, rng, 0x5eed))
+	col.AddFamily(s.SampleBatchRRFamily(theta, rng, 0x5eed).View())
 
 	res := Result{Theta: theta, KPT: kpt}
 	for len(res.Seeds) < k {
