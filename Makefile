@@ -3,24 +3,40 @@ GO ?= go
 # Fast packages worth the race detector on every run; the root package's
 # paper-replication tests are slower and covered by `test`.
 RACE_PKGS = ./internal/core/... ./internal/rrset/... ./internal/serve/... \
+            ./internal/sim/... \
             ./internal/graph/... ./internal/xrand/... ./internal/topic/...
 
-# Hot-path benchmarks guarded by `make bench` and CI: index build/warm and
-# the snapshot codec — the paths the flat-arena (CSR) layout is accountable
-# for. BENCH_index.json captures the machine-readable (test2json) stream
-# for regression tracking across PRs.
-BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkSnapshotCodec|BenchmarkBuildInverted
-BENCH_PKGS    = . ./internal/rrset
+# Packages whose exported API must stay fully documented (docs-check);
+# cmd/doccheck walks the ASTs, so the gate needs no external tooling.
+DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim
 
-.PHONY: ci build vet test race bench bench-all bench-ci serve
+# Hot-path benchmarks guarded by `make bench` and CI: index build/warm, the
+# snapshot codec — the paths the flat-arena (CSR) layout is accountable
+# for — and the campaign-lifecycle simulation workload. BENCH_index.json
+# captures the machine-readable (test2json) stream for regression tracking
+# across PRs.
+BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim
+BENCH_PKGS    = . ./internal/rrset ./internal/sim
 
-ci: vet build test race bench-ci
+.PHONY: ci build vet fmt-check docs-check test race bench bench-all bench-ci serve
+
+ci: vet fmt-check docs-check build test race bench-ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	    echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Fails when exported identifiers in DOC_PKGS lack doc comments (or a
+# package has no package comment) — keeps `go doc` output complete.
+docs-check:
+	$(GO) run ./cmd/doccheck $(DOC_PKGS)
 
 test:
 	$(GO) test ./...

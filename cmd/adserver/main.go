@@ -1,20 +1,28 @@
 // Command adserver runs the allocation service: an HTTP/JSON server that
 // keeps per-dataset RR-set indexes hot in memory (and optionally on disk)
 // so that repeated allocations — new budgets, new λ/κ, what-if ad subsets —
-// pay only the cheap greedy selection instead of re-sampling.
+// pay only the cheap greedy selection instead of re-sampling. Campaigns
+// are live: advertisers can join and leave a cached index, and recorded
+// engagement spend lets re-allocations target residual budgets.
 //
 // Usage:
 //
 //	adserver -addr :8080 -snapshots ./snapshots \
 //	         -preload flixster:1:0.02,dblp:1:0.02:5
 //
-// Endpoints (see internal/serve):
+// Endpoints (see internal/serve and docs/API.md):
 //
-//	POST /allocate  {"dataset":"flixster","seed":1,"scale":0.02,
-//	                 "lambda":0.5,"opts":{"eps":0.3,"minTheta":5000}}
-//	POST /evaluate  {"dataset":"flixster","seed":1,"scale":0.02,
-//	                 "seeds":[[3,17],[],...],"runs":2000}
-//	GET  /datasets, /stats, /healthz
+//	POST   /allocate    {"dataset":"flixster","seed":1,"scale":0.02,
+//	                     "lambda":0.5,"opts":{"eps":0.3,"minTheta":5000}}
+//	POST   /evaluate    {"dataset":"flixster","seed":1,"scale":0.02,
+//	                     "seeds":[[3,17],[],...],"runs":2000}
+//	POST   /ads         {"dataset":"flixster","seed":1,"scale":0.02,
+//	                     "ad":{"name":"promo","budget":25,"cpe":5,
+//	                           "ctp":0.02,"template":0}}
+//	DELETE /ads/promo?dataset=flixster&seed=1&scale=0.02
+//	POST   /spend       {"dataset":"flixster","seed":1,"scale":0.02,
+//	                     "spend":{"ad00":12.5}}
+//	GET    /datasets, /stats, /healthz
 package main
 
 import (

@@ -3,13 +3,16 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/graph"
 	"repro/internal/rrset"
 	"repro/internal/xrand"
 )
@@ -21,18 +24,43 @@ import (
 // then run against the shared sample.
 //
 // Every set in the index is drawn from the deterministic block stream of
-// rrset.SampleRangeRRInto: set i of ad j is a pure function of
-// (graph, probs, seed, j, i). The sample therefore grows on demand — an
-// allocation needing a larger θ than any before it extends the stored
-// prefix — yet stays byte-identical no matter which requests arrived in
-// which order, and a snapshot reloaded from disk continues the very same
+// rrset.SampleRangeRRInto: set i of the ad with stream id t is a pure
+// function of (graph, probs, seed, t, i). The sample therefore grows on
+// demand — an allocation needing a larger θ than any before it extends the
+// stored prefix — yet stays byte-identical no matter which requests arrived
+// in which order, and a snapshot reloaded from disk continues the very same
 // stream. Safe for concurrent use by multiple allocations.
+//
+// The campaign set is mutable: AddAd samples a new advertiser's stream
+// without touching the existing ones, and RemoveAd drops an advertiser's
+// arena. Mutations swap an immutable epoch (instance + ad-sample list)
+// behind an atomic pointer, so every allocation runs start to finish on the
+// consistent view it captured, concurrent with any number of epoch swaps
+// (see Epoch).
 type Index struct {
-	inst    *Instance
 	seed    uint64
-	ads     []*adSample
-	sampled atomic.Int64 // total sets drawn from the graph so far
+	curr    atomic.Pointer[indexEpoch]
+	mu      sync.Mutex // serializes AddAd/RemoveAd epoch swaps
+	next    uint64     // next ad stream id to assign (guarded by mu)
+	sampled atomic.Int64
 }
+
+// indexEpoch is one immutable version of the index's campaign set: the
+// instance and the per-ad samples, positionally aligned. Mutations build a
+// new epoch and swap the pointer; samples shared between epochs are the
+// same *adSample (their internal growth is independently synchronized), so
+// an in-flight allocation that captured an older epoch keeps a fully
+// consistent ad set while later requests see the new one.
+type indexEpoch struct {
+	version uint64
+	inst    *Instance
+	ads     []*adSample
+}
+
+// ErrStaleEpoch is returned by AllocateFromIndex when Request.Epoch names
+// an epoch other than the index's current one — a campaign mutation landed
+// between the caller capturing its view and the allocation starting.
+var ErrStaleEpoch = errors.New("core: index epoch changed since the request was prepared")
 
 // adSample holds one ad's growable prefix of its RR stream as a flat CSR
 // arena (rrset.SetFamily), together with the CSR inverted index
@@ -41,6 +69,7 @@ type Index struct {
 // whole sample a handful of allocations — GC-quiet at tens of millions of
 // sets — and snapshots serialize it in bulk.
 type adSample struct {
+	stream  uint64 // stream id: the Split index of rng under the index seed
 	mu      sync.Mutex
 	sampler *rrset.Sampler
 	rng     *xrand.Rand // ad stream root; block b samples from rng.Split(b)
@@ -152,68 +181,164 @@ func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
 	}
 	opts = opts.withDefaults()
 	idx := newIndexSkeleton(inst, seed)
-	n, m := inst.G.N(), inst.G.M()
+	ep := idx.curr.Load()
 	var wg sync.WaitGroup
-	for _, a := range idx.ads {
+	for _, a := range ep.ads {
 		wg.Add(1)
 		go func(a *adSample) {
 			defer wg.Done()
-			_, widths, fresh := a.prefix(opts.MinTheta)
-			idx.sampled.Add(fresh)
-			kpt := kptFromWidths(widths, 1, n, m)
-			want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
-			_, _, fresh = a.prefix(want)
-			idx.sampled.Add(fresh)
-			// Build the inverted index once over the full presample, so the
-			// first allocation starts warm instead of paying the counting
-			// pass on the request path.
-			a.mu.Lock()
-			a.syncInv(a.fam.Len())
-			a.mu.Unlock()
+			idx.presample(a, opts)
 		}(a)
 	}
 	wg.Wait()
 	return idx, nil
 }
 
-// newIndexSkeleton wires samplers and per-ad streams without sampling.
+// presample extends one ad's sample to the size TIRM's initialization would
+// draw (pilot + first Eq. 5 target), then builds the inverted index over
+// the full presample so the first allocation starts warm instead of paying
+// the counting pass on the request path.
+func (idx *Index) presample(a *adSample, opts TIRMOptions) {
+	g := a.sampler.Graph()
+	n, m := g.N(), g.M()
+	_, widths, fresh := a.prefix(opts.MinTheta)
+	idx.sampled.Add(fresh)
+	kpt := kptFromWidths(widths, 1, n, m)
+	want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
+	_, _, fresh = a.prefix(want)
+	idx.sampled.Add(fresh)
+	a.mu.Lock()
+	a.syncInv(a.fam.Len())
+	a.mu.Unlock()
+}
+
+// newIndexSkeleton wires samplers and per-ad streams without sampling. Ad j
+// of the initial campaign set gets stream id j, which is what makes a fresh
+// build followed by AddAd calls byte-identical to a cold build over the
+// final ad set: stream ids always equal the positions a cold BuildIndex
+// would assign, as long as no ad was removed in between.
 func newIndexSkeleton(inst *Instance, seed uint64) *Index {
-	base := xrand.New(seed)
-	idx := &Index{inst: inst, seed: seed, ads: make([]*adSample, len(inst.Ads))}
+	idx := &Index{seed: seed, next: uint64(len(inst.Ads))}
+	ads := make([]*adSample, len(inst.Ads))
 	for j, spec := range inst.Ads {
-		idx.ads[j] = &adSample{
-			sampler: rrset.NewSampler(inst.G, spec.Params.Probs, nil),
-			rng:     base.Split(uint64(j)),
-			fam:     rrset.NewSetFamily(),
-		}
+		ads[j] = idx.newAdSample(inst.G, spec.Params.Probs, uint64(j))
 	}
+	idx.curr.Store(&indexEpoch{version: 1, inst: inst, ads: ads})
 	return idx
 }
 
-// Inst returns the instance the index was built for.
-func (idx *Index) Inst() *Instance { return idx.inst }
+// newAdSample wires one ad's sampler and derived stream root.
+func (idx *Index) newAdSample(g *graph.Graph, probs []float32, stream uint64) *adSample {
+	return &adSample{
+		stream:  stream,
+		sampler: rrset.NewSampler(g, probs, nil),
+		rng:     xrand.New(idx.seed).Split(stream),
+		fam:     rrset.NewSetFamily(),
+	}
+}
+
+// AddAd appends a new advertiser to the campaign set, sampling only the new
+// ad's block stream (the existing samples are untouched, shared with every
+// earlier epoch). The new ad receives the next unused stream id, so on an
+// index whose history contains no removals the resulting samples — and
+// therefore every allocation — are byte-identical to a cold BuildIndex over
+// the same final ad set and seed. opts controls presampling depth only,
+// exactly as in BuildIndex. Returns the new ad's position in the updated
+// instance.
+func (idx *Index) AddAd(ad Ad, opts TIRMOptions) (int, error) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	old := idx.curr.Load()
+	if err := validateAd(old.inst.G, len(old.inst.Ads), ad); err != nil {
+		return 0, err
+	}
+	opts = opts.withDefaults()
+	a := idx.newAdSample(old.inst.G, ad.Params.Probs, idx.next)
+	idx.next++
+	idx.presample(a, opts)
+
+	specs := make([]Ad, 0, len(old.inst.Ads)+1)
+	specs = append(specs, old.inst.Ads...)
+	specs = append(specs, ad)
+	inst := *old.inst
+	inst.Ads = specs
+	ads := make([]*adSample, 0, len(old.ads)+1)
+	ads = append(ads, old.ads...)
+	ads = append(ads, a)
+	idx.curr.Store(&indexEpoch{version: old.version + 1, inst: &inst, ads: ads})
+	return len(ads) - 1, nil
+}
+
+// RemoveAd removes the advertiser at position pos from the campaign set.
+// Its arena is dropped from the new epoch without disturbing the other
+// samples; allocations already in flight on an older epoch keep reading it
+// until they finish, after which the memory is reclaimed. The departed ad's
+// stream id is never reused, so the surviving ads' samples stay exactly the
+// streams they always were (removal therefore breaks positional equality
+// with a cold BuildIndex over the reduced ad set — determinism is preserved,
+// cold-build equality is not; see AddAd).
+func (idx *Index) RemoveAd(pos int) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	old := idx.curr.Load()
+	if pos < 0 || pos >= len(old.ads) {
+		return fmt.Errorf("core: remove ad %d, index has %d", pos, len(old.ads))
+	}
+	if len(old.ads) == 1 {
+		return fmt.Errorf("core: cannot remove the last ad")
+	}
+	specs := make([]Ad, 0, len(old.inst.Ads)-1)
+	specs = append(specs, old.inst.Ads[:pos]...)
+	specs = append(specs, old.inst.Ads[pos+1:]...)
+	inst := *old.inst
+	inst.Ads = specs
+	ads := make([]*adSample, 0, len(old.ads)-1)
+	ads = append(ads, old.ads[:pos]...)
+	ads = append(ads, old.ads[pos+1:]...)
+	idx.curr.Store(&indexEpoch{version: old.version + 1, inst: &inst, ads: ads})
+	return nil
+}
+
+// Inst returns the instance of the index's current epoch. Mutations swap in
+// a fresh instance, so the returned value is a stable snapshot — it never
+// changes under the caller.
+func (idx *Index) Inst() *Instance { return idx.curr.Load().inst }
 
 // Seed returns the stream seed.
 func (idx *Index) Seed() uint64 { return idx.seed }
 
-// NumAds returns the number of per-ad samples.
-func (idx *Index) NumAds() int { return len(idx.ads) }
+// Epoch returns the current epoch version. It starts at 1 for a fresh
+// build and increments on every AddAd/RemoveAd; pass it in Request.Epoch to
+// make an allocation fail with ErrStaleEpoch instead of running against a
+// campaign set other than the one the request was prepared for.
+func (idx *Index) Epoch() uint64 { return idx.curr.Load().version }
+
+// EpochInst returns the current epoch version and its instance as one
+// consistent pair (two separate Epoch/Inst calls could straddle a swap).
+func (idx *Index) EpochInst() (uint64, *Instance) {
+	ep := idx.curr.Load()
+	return ep.version, ep.inst
+}
+
+// NumAds returns the number of per-ad samples in the current epoch.
+func (idx *Index) NumAds() int { return len(idx.curr.Load().ads) }
 
 // NumSets returns the number of sets currently stored for ad j.
-func (idx *Index) NumSets(j int) int { return idx.ads[j].size() }
+func (idx *Index) NumSets(j int) int { return idx.curr.Load().ads[j].size() }
 
 // SetsSampled returns the total number of RR-sets drawn from the graph over
-// the index's lifetime (presampling plus on-demand growth).
+// the index's lifetime (presampling plus on-demand growth, including ads
+// that have since been removed).
 func (idx *Index) SetsSampled() int64 { return idx.sampled.Load() }
 
-// MemBytes reports the exact data footprint of the stored samples: member
-// arenas, offsets, widths, and inverted indexes — flat arrays all, so the
-// figure is byte-accurate and O(1) per ad (no slice-header estimates). The
-// transient per-allocation coverage state is reported separately via
-// TIRMResult.MemBytes.
+// MemBytes reports the exact data footprint of the current epoch's stored
+// samples: member arenas, offsets, widths, and inverted indexes — flat
+// arrays all, so the figure is byte-accurate and O(1) per ad (no
+// slice-header estimates). The transient per-allocation coverage state is
+// reported separately via TIRMResult.MemBytes.
 func (idx *Index) MemBytes() int64 {
 	var total int64
-	for _, a := range idx.ads {
+	for _, a := range idx.curr.Load().ads {
 		total += a.memBytes()
 	}
 	return total
@@ -237,6 +362,20 @@ type Request struct {
 	Lambda *float64
 	// Kappa optionally overrides the instance's attention bounds.
 	Kappa AttentionBounds
+	// SpentBudget optionally records engagement spend already accrued per
+	// ad; when non-nil it must have one non-negative entry per instance ad.
+	// The selection run then targets the residual budget B_i − spent_i —
+	// the natural regret-minimizing replay of Eq. 3 as budgets deplete. An
+	// ad whose residual is ≤ 0 is fully served and receives no seeds. An
+	// all-zero vector is exactly equivalent to omitting it.
+	SpentBudget []float64
+	// Epoch, when non-zero, pins the run to that index epoch: if a
+	// campaign mutation (AddAd/RemoveAd) swapped the epoch since the caller
+	// captured it, the allocation fails with ErrStaleEpoch instead of
+	// running against a different ad set than the request was shaped for
+	// (positional overrides like Budgets and SpentBudget would silently
+	// misalign otherwise). Zero accepts whatever epoch is current.
+	Epoch uint64
 }
 
 // validate resolves the request against the instance, returning the ad
@@ -248,6 +387,14 @@ func (req *Request) validate(inst *Instance) (adIDs []int, lambda float64, kappa
 	}
 	if req.CPEs != nil && len(req.CPEs) != h {
 		return nil, 0, nil, fmt.Errorf("core: request overrides %d CPEs, instance has %d ads", len(req.CPEs), h)
+	}
+	if req.SpentBudget != nil && len(req.SpentBudget) != h {
+		return nil, 0, nil, fmt.Errorf("core: request records %d spent budgets, instance has %d ads", len(req.SpentBudget), h)
+	}
+	for j, sp := range req.SpentBudget {
+		if sp < 0 || math.IsNaN(sp) {
+			return nil, 0, nil, fmt.Errorf("core: request spent budget %v for ad %d must be ≥ 0", sp, j)
+		}
 	}
 	for j, b := range req.Budgets {
 		if b <= 0 || math.IsNaN(b) {
@@ -322,9 +469,22 @@ type selAd struct {
 // TIRM(inst, rng, opts) is exactly BuildIndex + AllocateFromIndex.
 //
 // Concurrent calls on one index are safe; each run keeps private coverage
-// state and only shares the immutable (append-only) sample.
+// state and only shares the immutable (append-only) sample. The run
+// captures the index's current epoch at entry and finishes on it even if
+// AddAd/RemoveAd swap the campaign set mid-run; set Request.Epoch to refuse
+// a swapped epoch outright.
 func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
-	inst := idx.inst
+	return allocateEpoch(idx, idx.curr.Load(), req)
+}
+
+// allocateEpoch is AllocateFromIndex pinned to one epoch — the consistent
+// view an allocation keeps for its whole run, no matter how many campaign
+// mutations land concurrently.
+func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error) {
+	if req.Epoch != 0 && req.Epoch != ep.version {
+		return nil, fmt.Errorf("%w: request prepared for epoch %d, index is at %d", ErrStaleEpoch, req.Epoch, ep.version)
+	}
+	inst := ep.inst
 	adIDs, lambda, kappa, err := req.validate(inst)
 	if err != nil {
 		return nil, err
@@ -348,17 +508,19 @@ func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
 
 	// Initialization (Algorithm 2 lines 1–3): s_j = 1, θ_j = L(s_j, ε),
 	// with R_j the stream prefix instead of a private sample. The first
-	// MinTheta sets double as the width sample for KPT refreshes.
-	ads := make([]*selAd, len(adIDs))
-	for i, j := range adIDs {
+	// MinTheta sets double as the width sample for KPT refreshes. Ads whose
+	// residual budget is already ≤ 0 are fully served: they get empty seed
+	// sets without paying for coverage state at all.
+	ads := make([]*selAd, 0, len(adIDs))
+	for _, j := range adIDs {
 		spec := inst.Ads[j]
 		a := &selAd{
 			j:          j,
 			cpe:        spec.CPE,
 			budget:     spec.Budget,
 			delta:      spec.Params.CTPs.At,
-			src:        idx.ads[j],
-			haveBefore: idx.ads[j].size(),
+			src:        ep.ads[j],
+			haveBefore: ep.ads[j].size(),
 			sTarget:    1,
 		}
 		if req.Budgets != nil {
@@ -366,6 +528,12 @@ func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
 		}
 		if req.CPEs != nil {
 			a.cpe = req.CPEs[j]
+		}
+		if req.SpentBudget != nil {
+			a.budget -= req.SpentBudget[j]
+			if a.budget <= 0 {
+				continue
+			}
 		}
 		// Size θ from the pilot KPT estimate first, then build the
 		// coverage state once at that size over the index's shared CSR
@@ -386,7 +554,7 @@ func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
 		} else {
 			a.col = hardIndex{rrset.NewCollectionFromFamily(n, sets, inv)}
 		}
-		ads[i] = a
+		ads = append(ads, a)
 	}
 
 	attention := NewAttention(n, kappa)
@@ -523,10 +691,16 @@ func (a *selAd) grow(idx *Index, res *TIRMResult, want int) {
 
 const (
 	indexMagic = uint32(0x41444958) // "ADIX"
-	// indexVersion 2 writes per-ad sections in the flat v2 ("RRS2") family
-	// layout; version-1 files (v1 sections) still load — see the version
-	// policy in rrset/snapshot.go.
-	indexVersion   = uint32(2)
+	// indexVersion 3 stores the per-ad stream ids (guarded by a CRC32 over
+	// the whole header, since family-section CRCs and the instance
+	// fingerprint cover neither), so a snapshot taken after campaign
+	// mutations (AddAd/RemoveAd shift positions away from stream ids)
+	// resumes the exact same streams. Version 2 wrote per-ad sections in
+	// the flat v2 ("RRS2") family layout with stream id == position;
+	// version 1 used v1 sections. Both still load — see the version policy
+	// in rrset/snapshot.go.
+	indexVersion   = uint32(3)
+	indexVersionV2 = uint32(2)
 	indexVersionV1 = uint32(1)
 )
 
@@ -565,22 +739,51 @@ func indexFingerprint(inst *Instance) uint64 {
 	return fh.Sum64()
 }
 
-// WriteSnapshot persists the index — stream seed plus every ad's stored
-// sets — in a versioned binary format (currently version 2: per-ad flat
-// CSR sections with CRC32 footers, written in bulk). A process restarted
-// with LoadIndexSnapshot resumes the identical stream: allocations after a
-// reload match allocations on the original index exactly.
+// indexHeader is the version-3 snapshot header: everything the stream
+// contract depends on besides the family sections themselves. It
+// serializes to a fixed little-endian layout whose CRC32 (IEEE) is written
+// right after it, so a corrupted seed or stream id — which would silently
+// diverge post-reload growth, since neither the family CRCs nor the
+// instance fingerprint cover them — fails the load instead.
+type indexHeader struct {
+	seed        uint64
+	fingerprint uint64
+	streams     []uint64 // one per ad, in position order
+}
+
+// marshal renders the header payload (seed, fingerprint, ad count, stream
+// ids) for writing and CRC computation.
+func (h *indexHeader) marshal() []byte {
+	out := make([]byte, 0, 8+8+4+8*len(h.streams))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], h.seed)
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], h.fingerprint)
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(h.streams)))
+	out = append(out, b8[:4]...)
+	for _, s := range h.streams {
+		binary.LittleEndian.PutUint64(b8[:], s)
+		out = append(out, b8[:]...)
+	}
+	return out
+}
+
+// WriteSnapshot persists the index's current epoch — stream seed plus every
+// ad's stream id and stored sets — in a versioned binary format (currently
+// version 3: a CRC-guarded header carrying the stream ids, then flat CSR
+// sections with CRC32 footers, written in bulk). A process restarted with
+// LoadIndexSnapshot against the same instance resumes the identical
+// streams: allocations after a reload match allocations on the original
+// index exactly, even when the campaign set was mutated before the
+// snapshot was taken.
 func (idx *Index) WriteSnapshot(w io.Writer) error {
+	ep := idx.curr.Load()
 	bw := bufio.NewWriter(w)
 	var buf [8]byte
 	w32 := func(v uint32) error {
 		binary.LittleEndian.PutUint32(buf[:4], v)
 		_, err := bw.Write(buf[:4])
-		return err
-	}
-	w64 := func(v uint64) error {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		_, err := bw.Write(buf[:])
 		return err
 	}
 	if err := w32(indexMagic); err != nil {
@@ -589,16 +792,18 @@ func (idx *Index) WriteSnapshot(w io.Writer) error {
 	if err := w32(indexVersion); err != nil {
 		return err
 	}
-	if err := w64(idx.seed); err != nil {
+	hdr := indexHeader{seed: idx.seed, fingerprint: indexFingerprint(ep.inst)}
+	for _, a := range ep.ads {
+		hdr.streams = append(hdr.streams, a.stream)
+	}
+	payload := hdr.marshal()
+	if _, err := bw.Write(payload); err != nil {
 		return err
 	}
-	if err := w64(indexFingerprint(idx.inst)); err != nil {
+	if err := w32(crc32.ChecksumIEEE(payload)); err != nil {
 		return err
 	}
-	if err := w32(uint32(len(idx.ads))); err != nil {
-		return err
-	}
-	for _, a := range idx.ads {
+	for _, a := range ep.ads {
 		a.mu.Lock()
 		v := a.fam.View()
 		a.mu.Unlock()
@@ -610,11 +815,13 @@ func (idx *Index) WriteSnapshot(w io.Writer) error {
 }
 
 // LoadIndexSnapshot reconstructs an index for inst from a snapshot written
-// by WriteSnapshot — either the current version 2 or the legacy version 1
-// (per-ad sections self-describe, so both load transparently). It fails if
-// the snapshot was taken for a different graph or probability setting
-// (fingerprint mismatch) or is structurally corrupt; widths and the
-// inverted index are recomputed from the decoded arenas.
+// by WriteSnapshot — the current version 3 or the legacy versions 1 and 2,
+// whose stream ids are their positions (per-ad sections self-describe, so
+// all load transparently). It fails if the snapshot was taken for a
+// different graph, ad set, or probability setting (fingerprint mismatch) or
+// is structurally corrupt; widths and the inverted index are recomputed
+// from the decoded arenas. The loaded index starts a fresh epoch lineage at
+// version 1.
 func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
@@ -644,7 +851,7 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != indexVersion && version != indexVersionV1 {
+	if version != indexVersion && version != indexVersionV2 && version != indexVersionV1 {
 		return nil, fmt.Errorf("core: unsupported index snapshot version %d", version)
 	}
 	seed, err := r64()
@@ -655,9 +862,6 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if want := indexFingerprint(inst); fp != want {
-		return nil, fmt.Errorf("core: index snapshot fingerprint %#x does not match instance %#x", fp, want)
-	}
 	numAds, err := r32()
 	if err != nil {
 		return nil, err
@@ -665,8 +869,43 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if int(numAds) != len(inst.Ads) {
 		return nil, fmt.Errorf("core: index snapshot has %d ads, instance has %d", numAds, len(inst.Ads))
 	}
-	idx := newIndexSkeleton(inst, seed)
-	for j, a := range idx.ads {
+	streams := make([]uint64, int(numAds))
+	if version == indexVersion {
+		for j := range streams {
+			if streams[j], err = r64(); err != nil {
+				return nil, fmt.Errorf("core: index snapshot ad %d stream id: %w", j, err)
+			}
+			if streams[j] == math.MaxUint64 {
+				// The sentinel would wrap the next-stream counter below and
+				// let a later AddAd reuse a live stream id.
+				return nil, fmt.Errorf("core: index snapshot ad %d has invalid stream id", j)
+			}
+		}
+		crc, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		hdr := indexHeader{seed: seed, fingerprint: fp, streams: streams}
+		if got := crc32.ChecksumIEEE(hdr.marshal()); got != crc {
+			return nil, fmt.Errorf("core: index snapshot header CRC mismatch (%#x vs %#x)", got, crc)
+		}
+	} else {
+		for j := range streams { // v1/v2 layout: stream id is the position
+			streams[j] = uint64(j)
+		}
+	}
+	if want := indexFingerprint(inst); fp != want {
+		return nil, fmt.Errorf("core: index snapshot fingerprint %#x does not match instance %#x", fp, want)
+	}
+	idx := &Index{seed: seed}
+	ads := make([]*adSample, int(numAds))
+	next := uint64(numAds)
+	for j := range ads {
+		stream := streams[j]
+		if stream+1 > next {
+			next = stream + 1
+		}
+		a := idx.newAdSample(inst.G, inst.Ads[j].Params.Probs, stream)
 		fam, err := rrset.DecodeSetFamily(r, inst.G.N())
 		if err != nil {
 			return nil, fmt.Errorf("core: index snapshot ad %d: %w", j, err)
@@ -683,6 +922,9 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 			a.inv = rrset.BuildInverted(inst.G.N(), fam.View(), 0)
 			a.invLen = fam.Len()
 		}
+		ads[j] = a
 	}
+	idx.next = next
+	idx.curr.Store(&indexEpoch{version: 1, inst: inst, ads: ads})
 	return idx, nil
 }

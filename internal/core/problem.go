@@ -68,19 +68,28 @@ func (inst *Instance) Validate() error {
 		return fmt.Errorf("core: λ = %v must be ≥ 0", inst.Lambda)
 	}
 	for i, ad := range inst.Ads {
-		if ad.Budget <= 0 {
-			return fmt.Errorf("core: ad %d (%s) budget %v must be > 0", i, ad.Name, ad.Budget)
+		if err := validateAd(inst.G, i, ad); err != nil {
+			return err
 		}
-		if ad.CPE <= 0 {
-			return fmt.Errorf("core: ad %d (%s) CPE %v must be > 0", i, ad.Name, ad.CPE)
-		}
-		if int64(len(ad.Params.Probs)) != inst.G.M() {
-			return fmt.Errorf("core: ad %d (%s) has %d edge probabilities, graph has %d edges",
-				i, ad.Name, len(ad.Params.Probs), inst.G.M())
-		}
-		if ad.Params.CTPs == nil || ad.Params.CTPs.N() != inst.G.N() {
-			return fmt.Errorf("core: ad %d (%s) CTP vector does not cover %d nodes", i, ad.Name, inst.G.N())
-		}
+	}
+	return nil
+}
+
+// validateAd checks one advertiser's spec against the graph it will run on
+// (shared by Instance.Validate and Index.AddAd); pos only labels errors.
+func validateAd(g *graph.Graph, pos int, ad Ad) error {
+	if ad.Budget <= 0 || math.IsNaN(ad.Budget) {
+		return fmt.Errorf("core: ad %d (%s) budget %v must be > 0", pos, ad.Name, ad.Budget)
+	}
+	if ad.CPE <= 0 || math.IsNaN(ad.CPE) {
+		return fmt.Errorf("core: ad %d (%s) CPE %v must be > 0", pos, ad.Name, ad.CPE)
+	}
+	if int64(len(ad.Params.Probs)) != g.M() {
+		return fmt.Errorf("core: ad %d (%s) has %d edge probabilities, graph has %d edges",
+			pos, ad.Name, len(ad.Params.Probs), g.M())
+	}
+	if ad.Params.CTPs == nil || ad.Params.CTPs.N() != g.N() {
+		return fmt.Errorf("core: ad %d (%s) CTP vector does not cover %d nodes", pos, ad.Name, g.N())
 	}
 	return nil
 }

@@ -28,12 +28,13 @@ func writeSnapshotV1(t *testing.T, w io.Writer, idx *Index) {
 			t.Fatal(err)
 		}
 	}
+	ep := idx.curr.Load()
 	w32(indexMagic)
 	w32(indexVersionV1)
 	w64(idx.seed)
-	w64(indexFingerprint(idx.inst))
-	w32(uint32(len(idx.ads)))
-	for _, a := range idx.ads {
+	w64(indexFingerprint(ep.inst))
+	w32(uint32(len(ep.ads)))
+	for _, a := range ep.ads {
 		a.mu.Lock()
 		sets := a.fam.Sets()
 		a.mu.Unlock()
@@ -104,8 +105,11 @@ func TestSnapshotV1Migration(t *testing.T) {
 	}
 
 	// Stored samples must be bit-equal across the three states.
-	for j := range idx.ads {
-		a, b, c := idx.ads[j], fromV1.ads[j], fromV2.ads[j]
+	origAds := idx.curr.Load().ads
+	v1Ads := fromV1.curr.Load().ads
+	v2Ads := fromV2.curr.Load().ads
+	for j := range origAds {
+		a, b, c := origAds[j], v1Ads[j], v2Ads[j]
 		if a.fam.Len() != b.fam.Len() || a.fam.Len() != c.fam.Len() {
 			t.Fatalf("ad %d set counts: %d vs %d vs %d", j, a.fam.Len(), b.fam.Len(), c.fam.Len())
 		}

@@ -8,6 +8,7 @@
 // in one arena, plus one offset per set. Appends touch only the arena tail,
 // snapshots can serialize the arrays in bulk, and a family of ten million
 // sets is two allocations instead of ten million.
+
 package rrset
 
 // SetFamily is an append-only family of int32 sets in CSR layout:

@@ -12,23 +12,40 @@
 // persisted with core's binary snapshot format and reloaded on restart, so
 // a bounced server answers warm.
 //
+// Campaigns are mutable after the build: POST /ads adds an advertiser to a
+// cached index (sampling only the new ad's stream), DELETE /ads/{name}
+// retires one, and POST /spend records engagement spend so that
+// /allocate with "residual": true re-targets the remaining budgets
+// B_i − spent_i — the campaign-lifecycle loop internal/sim simulates,
+// served over HTTP. Mutations ride the same entry cache and coalescing as
+// reads; they advance the index's epoch, and a racing residual allocation
+// fails with 409 instead of running against a campaign set it was not
+// shaped for. Mutations live in memory only: a snapshot restart restores
+// the as-built index (see DESIGN.md §6.5).
+//
 // Endpoints:
 //
-//	POST /allocate  — run TIRM selection against the cached index
-//	POST /evaluate  — neutral Monte Carlo scoring of an allocation
-//	GET  /datasets  — registered dataset generators
-//	GET  /stats     — cache hit/miss/coalesce counters, per-index memory
-//	GET  /healthz   — liveness probe
+//	POST   /allocate    — run TIRM selection against the cached index
+//	POST   /evaluate    — neutral Monte Carlo scoring of an allocation
+//	POST   /ads         — add an advertiser to a cached campaign set
+//	DELETE /ads/{name}  — remove an advertiser by name
+//	POST   /spend       — record engagement spend / read residual budgets
+//	GET    /datasets    — registered dataset generators
+//	GET    /stats       — cache and lifecycle counters, per-index memory
+//	GET    /healthz     — liveness probe
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/topic"
 	"repro/internal/xrand"
 )
 
@@ -95,6 +113,9 @@ type Server struct {
 	cacheMisses   atomic.Int64
 	coalesced     atomic.Int64
 	snapshotLoads atomic.Int64
+	adsAdded      atomic.Int64
+	adsRemoved    atomic.Int64
+	spendUpdates  atomic.Int64
 }
 
 // entry is one cached instance plus its lazily built index. The two are
@@ -118,6 +139,59 @@ type entry struct {
 	lastUsed atomic.Int64 // unix nanos, drives LRU eviction
 	hits     atomic.Int64
 	allocs   atomic.Int64
+
+	// lifeMu serializes campaign mutations on this entry so name-uniqueness
+	// checks and the core epoch swap are atomic; allocations never take it
+	// (they pin an epoch inside core instead). spendMu guards the
+	// engagement ledger, keyed by ad name so it survives the position
+	// shifts removals cause. mutating counts mutation handlers currently
+	// between entry resolution and completion, so eviction never races the
+	// first mutation out of existence.
+	lifeMu   sync.Mutex
+	spendMu  sync.Mutex
+	spent    map[string]float64
+	mutating atomic.Int32
+}
+
+// currentInst returns the entry's latest campaign view: the index's current
+// epoch once one is built (mutations swap fresh instances in), otherwise
+// the as-generated base instance. Callers must have waited on instReady.
+func (e *entry) currentInst() *core.Instance {
+	if e.indexBuilt() {
+		return e.idx.Inst()
+	}
+	return e.inst
+}
+
+// hasLifecycleState reports whether the entry carries campaign state that
+// exists nowhere else — a mutated ad set (epoch past the build) or a
+// non-empty spend ledger. Such entries are exempt from LRU eviction:
+// rebuilding from the generator (or the as-built snapshot) would silently
+// resurrect the pre-mutation campaign with full budgets.
+func (e *entry) hasLifecycleState() bool {
+	e.spendMu.Lock()
+	spent := len(e.spent) > 0
+	e.spendMu.Unlock()
+	if spent {
+		return true
+	}
+	return e.indexBuilt() && e.idx.Epoch() > 1
+}
+
+// spendVector materializes the engagement ledger positionally for inst.
+// Ads with no recorded spend map to 0, so a fresh campaign is exactly the
+// zero vector.
+func (e *entry) spendVector(inst *core.Instance) []float64 {
+	out := make([]float64, len(inst.Ads))
+	e.spendMu.Lock()
+	defer e.spendMu.Unlock()
+	if e.spent == nil {
+		return out
+	}
+	for j, ad := range inst.Ads {
+		out[j] = e.spent[ad.Name]
+	}
+	return out
 }
 
 // buildInFlight reports whether the entry's instance generation or index
@@ -169,6 +243,8 @@ type InstanceParams struct {
 	NumAds  int     `json:"numAds,omitempty"`
 }
 
+// Key renders the parameters as the cache key (one string per distinct
+// instance+index).
 func (p InstanceParams) Key() string {
 	return fmt.Sprintf("%s|seed=%d|scale=%g|ads=%d", p.Dataset, p.Seed, p.Scale, p.NumAds)
 }
@@ -229,6 +305,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/allocate", s.handleAllocate)
 	mux.HandleFunc("/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/ads", s.handleAddAd)
+	mux.HandleFunc("/ads/", s.handleRemoveAd)
+	mux.HandleFunc("/spend", s.handleSpend)
 	return mux
 }
 
@@ -318,17 +397,20 @@ func (s *Server) entryFor(p InstanceParams) (_ *entry, created, waited bool, _ e
 }
 
 // evictLocked drops least-recently-used entries (never keep, the one just
-// inserted, nor an entry whose build is still in flight — evicting those
-// would let a re-request start a duplicate multi-hundred-MB build) until
-// the cache fits MaxEntries; if every candidate is building, the cache
-// temporarily exceeds the cap. Callers holding a reference to an evicted
-// entry keep using it safely — eviction only removes it from the map —
-// and its disk snapshot, if any, survives for a cheap reload.
+// inserted; never an entry whose build is still in flight — evicting those
+// would let a re-request start a duplicate multi-hundred-MB build; and
+// never an entry holding live campaign state — mutations and the spend
+// ledger exist only in that entry, so evicting it would silently serve the
+// pre-mutation campaign on the next request) until the cache fits
+// MaxEntries; if every candidate is exempt, the cache temporarily exceeds
+// the cap. Callers holding a reference to an evicted entry keep using it
+// safely — eviction only removes it from the map — and its disk snapshot,
+// if any, survives for a cheap reload.
 func (s *Server) evictLocked(keep *entry) {
 	for len(s.entries) > s.opts.MaxEntries {
 		var oldest *entry
 		for _, e := range s.entries {
-			if e == keep || e.buildInFlight() {
+			if e == keep || e.buildInFlight() || e.mutating.Load() != 0 || e.hasLifecycleState() {
 				continue
 			}
 			if oldest == nil || e.lastUsed.Load() < oldest.lastUsed.Load() {
@@ -497,10 +579,13 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 // EntryStats reports one cached entry. Index fields are zero until the
-// first /allocate (or Warm) builds the index.
+// first /allocate (or Warm) builds the index; Epoch counts campaign
+// mutations from 1, and SpentTotal sums the engagement ledger over the
+// current ads.
 type EntryStats struct {
 	Key          string  `json:"key"`
 	NumAds       int     `json:"numAds"`
+	Epoch        uint64  `json:"epoch,omitempty"`
 	IndexBuilt   bool    `json:"indexBuilt"`
 	SetsSampled  int64   `json:"setsSampled"`
 	MemBytes     int64   `json:"memBytes"`
@@ -508,6 +593,7 @@ type EntryStats struct {
 	FromSnapshot bool    `json:"fromSnapshot"`
 	Hits         int64   `json:"hits"`
 	Allocations  int64   `json:"allocations"`
+	SpentTotal   float64 `json:"spentTotal,omitempty"`
 }
 
 // StatsResponse is GET /stats. IndexMemBytes figures are exact — the flat
@@ -521,6 +607,9 @@ type StatsResponse struct {
 	CacheMisses       int64            `json:"cacheMisses"`
 	Coalesced         int64            `json:"coalesced"`
 	SnapshotLoads     int64            `json:"snapshotLoads"`
+	AdsAdded          int64            `json:"adsAdded"`
+	AdsRemoved        int64            `json:"adsRemoved"`
+	SpendUpdates      int64            `json:"spendUpdates"`
 	IndexMemBytes     int64            `json:"indexMemBytes"`
 	IndexMemByDataset map[string]int64 `json:"indexMemByDataset"`
 	Entries           []EntryStats     `json:"entries"`
@@ -541,6 +630,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:       s.cacheMisses.Load(),
 		Coalesced:         s.coalesced.Load(),
 		SnapshotLoads:     s.snapshotLoads.Load(),
+		AdsAdded:          s.adsAdded.Load(),
+		AdsRemoved:        s.adsRemoved.Load(),
+		SpendUpdates:      s.spendUpdates.Load(),
 		IndexMemByDataset: map[string]int64{},
 		Entries:           make([]EntryStats, 0, len(entries)),
 	}
@@ -550,13 +642,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		default:
 			continue // instance still generating; skip rather than block
 		}
+		inst := e.currentInst()
 		es := EntryStats{
 			Key:         e.key,
-			NumAds:      len(e.inst.Ads),
+			NumAds:      len(inst.Ads),
 			Hits:        e.hits.Load(),
 			Allocations: e.allocs.Load(),
 		}
+		e.spendMu.Lock()
+		for _, ad := range inst.Ads {
+			es.SpentTotal += e.spent[ad.Name]
+		}
+		e.spendMu.Unlock()
 		if e.indexBuilt() {
+			es.Epoch = e.idx.Epoch()
 			mem := e.idx.MemBytes()
 			resp.IndexMemBytes += mem
 			resp.IndexMemByDataset[e.params.Dataset] += mem
@@ -572,15 +671,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // AllocateRequest is POST /allocate. Instance parameters pick the cached
-// index; everything else tunes the selection run only.
+// index; everything else tunes the selection run only. With Residual set,
+// the run subtracts the spend recorded via POST /spend from every ad's
+// budget and targets the remainder (fully spent ads get no seeds).
 type AllocateRequest struct {
 	InstanceParams
-	Kappa   int        `json:"kappa,omitempty"`
-	Lambda  *float64   `json:"lambda,omitempty"`
-	Ads     []int      `json:"ads,omitempty"`
-	Budgets []float64  `json:"budgets,omitempty"`
-	CPEs    []float64  `json:"cpes,omitempty"`
-	Opts    TIRMParams `json:"opts,omitempty"`
+	Kappa    int        `json:"kappa,omitempty"`
+	Lambda   *float64   `json:"lambda,omitempty"`
+	Ads      []int      `json:"ads,omitempty"`
+	Budgets  []float64  `json:"budgets,omitempty"`
+	CPEs     []float64  `json:"cpes,omitempty"`
+	Residual bool       `json:"residual,omitempty"`
+	Opts     TIRMParams `json:"opts,omitempty"`
 }
 
 // TIRMParams is the JSON form of core.TIRMOptions (zero = default).
@@ -614,9 +716,12 @@ func (p TIRMParams) toOptions(maxTheta int) core.TIRMOptions {
 	return o
 }
 
-// AllocateResponse is POST /allocate's result.
+// AllocateResponse is POST /allocate's result. Epoch identifies the
+// campaign-set version the run was served on; SpentBudgets echoes the
+// engagement spend a residual run subtracted (absent otherwise).
 type AllocateResponse struct {
 	Key           string    `json:"key"`
+	Epoch         uint64    `json:"epoch"`
 	ColdBuild     bool      `json:"coldBuild"`
 	FromSnapshot  bool      `json:"fromSnapshot"`
 	BuildSeconds  float64   `json:"buildSeconds,omitempty"`
@@ -630,6 +735,7 @@ type AllocateResponse struct {
 	SetsReused    int64     `json:"setsReused"`
 	IndexMemBytes int64     `json:"indexMemBytes"`
 	AdNames       []string  `json:"adNames"`
+	SpentBudgets  []float64 `json:"spentBudgets,omitempty"`
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -656,19 +762,31 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		s.cacheHits.Add(1)
 		e.hits.Add(1)
 	}
+	// Pin the run to the epoch we shape the request (and its report)
+	// against: a campaign mutation racing in turns into a clean 409, never
+	// a positionally misaligned allocation.
+	epoch, curInst := idx.EpochInst()
 	coreReq := core.Request{
 		Opts:    req.Opts.toOptions(s.opts.MaxTheta),
 		Ads:     req.Ads,
 		Budgets: req.Budgets,
 		CPEs:    req.CPEs,
 		Lambda:  req.Lambda,
+		Epoch:   epoch,
 	}
 	if req.Kappa > 0 {
 		coreReq.Kappa = core.ConstKappa(req.Kappa)
 	}
+	if req.Residual {
+		coreReq.SpentBudget = e.spendVector(curInst)
+	}
 	started := time.Now()
 	res, err := core.AllocateFromIndex(idx, coreReq)
 	if err != nil {
+		if errors.Is(err, core.ErrStaleEpoch) {
+			httpError(w, http.StatusConflict, "campaign set changed mid-request, retry: %v", err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -679,9 +797,10 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	inst := instWith(e.inst, req.Lambda, req.Kappa)
+	inst := instWith(curInst, req.Lambda, req.Kappa)
 	// Regret is reported over the requested ad subset only: an excluded
-	// ad's untouched budget is not this allocation's failure.
+	// ad's untouched budget is not this allocation's failure. Residual
+	// runs score against the remaining budgets they targeted.
 	adIDs := req.Ads
 	if len(adIDs) == 0 {
 		adIDs = make([]int, len(inst.Ads))
@@ -695,6 +814,11 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		if req.Budgets != nil {
 			budget = req.Budgets[i]
 		}
+		if coreReq.SpentBudget != nil {
+			if budget -= coreReq.SpentBudget[i]; budget < 0 {
+				budget = 0
+			}
+		}
 		estRegret += core.RegretTerm(budget, res.EstRevenue[i], inst.Lambda, len(res.Alloc.Seeds[i]))
 	}
 	names := make([]string, len(inst.Ads))
@@ -703,6 +827,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := AllocateResponse{
 		Key:           e.key,
+		Epoch:         epoch,
 		ColdBuild:     cold,
 		FromSnapshot:  e.fromDisk,
 		AllocSeconds:  time.Since(started).Seconds(),
@@ -715,6 +840,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		SetsReused:    res.SetsReused,
 		IndexMemBytes: idx.MemBytes(),
 		AdNames:       names,
+		SpentBudgets:  coreReq.SpentBudget,
 	}
 	if cold {
 		resp.BuildSeconds = e.buildSec
@@ -723,7 +849,12 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 }
 
 // EvaluateRequest is POST /evaluate: score a seed assignment with neutral
-// Monte Carlo cascades against the named instance.
+// Monte Carlo cascades against the named instance. Seeds rows are
+// positional, so when scoring an allocation taken from a mutable campaign
+// pass the /allocate response's epoch in Epoch: if the campaign has
+// changed since (which can reshuffle positions even at equal ad counts),
+// the request fails with 409 instead of scoring seeds against the wrong
+// ads. Zero accepts the current campaign.
 type EvaluateRequest struct {
 	InstanceParams
 	Kappa    int       `json:"kappa,omitempty"`
@@ -731,6 +862,7 @@ type EvaluateRequest struct {
 	Seeds    [][]int32 `json:"seeds"`
 	Runs     int       `json:"runs,omitempty"`
 	EvalSeed uint64    `json:"evalSeed,omitempty"`
+	Epoch    uint64    `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -752,7 +884,18 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.cacheHits.Add(1)
 		e.hits.Add(1)
 	}
-	inst := instWith(e.inst, req.Lambda, req.Kappa)
+	// Capture (epoch, instance) as one consistent pair; mutations only
+	// exist once an index does, so an index-less entry is at epoch 1.
+	epoch, curInst := uint64(1), e.inst
+	if e.indexBuilt() {
+		epoch, curInst = e.idx.EpochInst()
+	}
+	if req.Epoch != 0 && req.Epoch != epoch {
+		httpError(w, http.StatusConflict,
+			"seeds were taken at campaign epoch %d, entry is at %d — re-allocate and retry", req.Epoch, epoch)
+		return
+	}
+	inst := instWith(curInst, req.Lambda, req.Kappa)
 	alloc := &core.Allocation{Seeds: req.Seeds}
 	if err := alloc.Validate(inst); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid allocation: %v", err)
@@ -781,4 +924,349 @@ func instWith(inst *core.Instance, lambda *float64, kappa int) *core.Instance {
 		cp.Kappa = core.ConstKappa(kappa)
 	}
 	return &cp
+}
+
+// --- Campaign lifecycle ---------------------------------------------------
+
+// NewAdSpec describes the advertiser POST /ads creates. The new ad shares
+// the Template ad's mixed edge probabilities (its topical propagation
+// profile — datasets are generated, so arbitrary per-edge vectors have no
+// JSON-sized representation) with its own budget, CPE, and optionally a
+// uniform click-through probability; CTP 0 keeps the template's CTP vector.
+type NewAdSpec struct {
+	Name     string  `json:"name"`
+	Budget   float64 `json:"budget"`
+	CPE      float64 `json:"cpe"`
+	CTP      float64 `json:"ctp,omitempty"`
+	Template int     `json:"template,omitempty"`
+}
+
+// AddAdRequest is POST /ads: add an advertiser to the cached campaign set.
+type AddAdRequest struct {
+	InstanceParams
+	Ad NewAdSpec `json:"ad"`
+}
+
+// LifecycleResponse reports the campaign set after a POST /ads or
+// DELETE /ads/{name} mutation. Position is the added ad's index (POST
+// only); Epoch is the index version requests are now served on.
+type LifecycleResponse struct {
+	Key      string   `json:"key"`
+	Epoch    uint64   `json:"epoch"`
+	NumAds   int      `json:"numAds"`
+	Position int      `json:"position,omitempty"`
+	AdNames  []string `json:"adNames"`
+}
+
+func lifecycleResponse(e *entry, idx *core.Index, pos int) LifecycleResponse {
+	epoch, inst := idx.EpochInst()
+	names := make([]string, len(inst.Ads))
+	for i, ad := range inst.Ads {
+		names[i] = ad.Name
+	}
+	return LifecycleResponse{Key: e.key, Epoch: epoch, NumAds: len(names), Position: pos, AdNames: names}
+}
+
+// errTooManyLiveCampaigns rejects a mutation that would pin yet another
+// entry against eviction once every cache slot already holds live campaign
+// state — the bound that keeps MaxEntries a real memory cap even though
+// lifecycle state exempts entries from LRU.
+var errTooManyLiveCampaigns = errors.New(
+	"every cache slot holds live campaign state; retire a campaign (DELETE /ads) or reset its spend before mutating a new one")
+
+// mutationEntry resolves the entry a campaign mutation targets and marks
+// it mutating *atomically with cache membership* (under s.mu): eviction
+// also runs under s.mu and skips mutating entries, so an entry can never
+// be recycled between resolution and the mutation landing — the race that
+// would otherwise let the server acknowledge a mutation (200) and then
+// serve the pre-mutation campaign from a replacement entry. Entries about
+// to acquire their first lifecycle state are admitted only while fewer
+// than MaxEntries entries are pinned. Callers must arrange
+// `defer e.mutating.Add(-1)`.
+func (s *Server) mutationEntry(p InstanceParams) (*entry, error) {
+	for {
+		e, _, _, err := s.entryFor(p)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		cur, ok := s.entries[e.key]
+		if !ok {
+			s.entries[e.key] = e // evicted in the resolution window; restore
+			cur = e
+		}
+		if cur != e {
+			// The key was recycled to a different entry mid-resolution;
+			// retry — entryFor now resolves to the current one.
+			s.mu.Unlock()
+			continue
+		}
+		if !e.hasLifecycleState() {
+			pinned := 0
+			for _, o := range s.entries {
+				// An in-flight first mutation (mutating set, state not yet
+				// landed) must count too, or concurrent first mutations on
+				// distinct entries would all pass the gate and pin more
+				// than MaxEntries campaigns.
+				if o != e && (o.mutating.Load() != 0 || o.hasLifecycleState()) {
+					pinned++
+				}
+			}
+			if pinned >= s.opts.MaxEntries {
+				s.mu.Unlock()
+				return nil, errTooManyLiveCampaigns
+			}
+		}
+		e.mutating.Add(1)
+		s.mu.Unlock()
+		return e, nil
+	}
+}
+
+// lifecycleEntry is mutationEntry plus the index build the /ads mutations
+// need — the same build coalescing every read path uses. On success the
+// entry is marked mutating (callers must arrange `defer e.mutating.Add(-1)`).
+func (s *Server) lifecycleEntry(w http.ResponseWriter, p InstanceParams) (*entry, *core.Index, bool) {
+	e, err := s.mutationEntry(p)
+	if err != nil {
+		if errors.Is(err, errTooManyLiveCampaigns) {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return nil, nil, false
+	}
+	idx, _, _, err := s.indexFor(e)
+	if err != nil {
+		e.mutating.Add(-1)
+		httpError(w, http.StatusInternalServerError, "index build: %v", err)
+		return nil, nil, false
+	}
+	return e, idx, true
+}
+
+func (s *Server) handleAddAd(w http.ResponseWriter, r *http.Request) {
+	var req AddAdRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	e, idx, ok := s.lifecycleEntry(w, req.InstanceParams)
+	if !ok {
+		return
+	}
+	defer e.mutating.Add(-1)
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	inst := idx.Inst()
+	spec := req.Ad
+	if spec.Name == "" {
+		httpError(w, http.StatusBadRequest, "ad name required")
+		return
+	}
+	for _, ad := range inst.Ads {
+		if ad.Name == spec.Name {
+			httpError(w, http.StatusConflict, "ad %q already exists", spec.Name)
+			return
+		}
+	}
+	if len(inst.Ads) >= s.opts.MaxAds {
+		httpError(w, http.StatusBadRequest, "campaign set already at server limit of %d ads", s.opts.MaxAds)
+		return
+	}
+	if spec.Template < 0 || spec.Template >= len(inst.Ads) {
+		httpError(w, http.StatusBadRequest, "template %d out of range (campaign has %d ads)", spec.Template, len(inst.Ads))
+		return
+	}
+	if spec.CTP < 0 || spec.CTP > 1 {
+		httpError(w, http.StatusBadRequest, "ctp %g must be in [0, 1]", spec.CTP)
+		return
+	}
+	tmpl := inst.Ads[spec.Template]
+	ctps := tmpl.Params.CTPs
+	if spec.CTP > 0 {
+		ctps = topic.ConstCTP{Nodes: inst.G.N(), P: spec.CTP}
+	}
+	ad := core.Ad{
+		Name:   spec.Name,
+		Budget: spec.Budget,
+		CPE:    spec.CPE,
+		Params: topic.ItemParams{Probs: tmpl.Params.Probs, CTPs: ctps},
+	}
+	pos, err := idx.AddAd(ad, core.TIRMOptions{MaxTheta: s.opts.MaxTheta})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.adsAdded.Add(1)
+	s.opts.Logf("serve: %s added ad %q (template %d) at position %d, epoch %d",
+		e.key, spec.Name, spec.Template, pos, idx.Epoch())
+	writeJSON(w, http.StatusOK, lifecycleResponse(e, idx, pos))
+}
+
+// adParamsFromQuery parses the instance parameters a DELETE carries as
+// query string (dataset, seed, scale, ads) — DELETEs have no body.
+func adParamsFromQuery(r *http.Request) (InstanceParams, error) {
+	var p InstanceParams
+	q := r.URL.Query()
+	p.Dataset = q.Get("dataset")
+	if p.Dataset == "" {
+		return p, fmt.Errorf("query parameter dataset required")
+	}
+	var err error
+	if v := q.Get("seed"); v != "" {
+		if p.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return p, fmt.Errorf("bad seed %q", v)
+		}
+	}
+	if v := q.Get("scale"); v != "" {
+		if p.Scale, err = strconv.ParseFloat(v, 64); err != nil {
+			return p, fmt.Errorf("bad scale %q", v)
+		}
+	}
+	if v := q.Get("ads"); v != "" {
+		if p.NumAds, err = strconv.Atoi(v); err != nil {
+			return p, fmt.Errorf("bad ads %q", v)
+		}
+	}
+	return p, nil
+}
+
+func (s *Server) handleRemoveAd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "use DELETE")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/ads/")
+	if name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusBadRequest, "path must be /ads/{name}")
+		return
+	}
+	p, err := adParamsFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, idx, ok := s.lifecycleEntry(w, p)
+	if !ok {
+		return
+	}
+	defer e.mutating.Add(-1)
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	inst := idx.Inst()
+	pos := -1
+	for j, ad := range inst.Ads {
+		if ad.Name == name {
+			pos = j
+			break
+		}
+	}
+	if pos < 0 {
+		httpError(w, http.StatusNotFound, "no ad %q in campaign %s", name, e.key)
+		return
+	}
+	if err := idx.RemoveAd(pos); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e.spendMu.Lock()
+	delete(e.spent, name)
+	e.spendMu.Unlock()
+	s.adsRemoved.Add(1)
+	s.opts.Logf("serve: %s removed ad %q (position %d), epoch %d", e.key, name, pos, idx.Epoch())
+	writeJSON(w, http.StatusOK, lifecycleResponse(e, idx, 0))
+}
+
+// SpendRequest is POST /spend: add engagement spend to named ads (or with
+// Reset, clear the ledger first). An empty Spend map just reads back the
+// current budget status.
+type SpendRequest struct {
+	InstanceParams
+	Spend map[string]float64 `json:"spend,omitempty"`
+	Reset bool               `json:"reset,omitempty"`
+}
+
+// AdBudgetStatus is one advertiser's budget ledger line.
+type AdBudgetStatus struct {
+	Name     string  `json:"name"`
+	Budget   float64 `json:"budget"`
+	Spent    float64 `json:"spent"`
+	Residual float64 `json:"residual"`
+	Depleted bool    `json:"depleted"`
+}
+
+// SpendResponse is POST /spend's result: the full ledger after the update.
+type SpendResponse struct {
+	Key   string           `json:"key"`
+	Epoch uint64           `json:"epoch,omitempty"`
+	Ads   []AdBudgetStatus `json:"ads"`
+}
+
+func (s *Server) handleSpend(w http.ResponseWriter, r *http.Request) {
+	var req SpendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Spend is a ledger on the instance, not the sample: like /evaluate it
+	// must never trigger index presampling.
+	e, err := s.mutationEntry(req.InstanceParams)
+	if err != nil {
+		if errors.Is(err, errTooManyLiveCampaigns) {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	defer e.mutating.Add(-1)
+	// lifeMu keeps the name check and the ledger write atomic against
+	// concurrent /ads mutations: without it, a DELETE racing in between
+	// would leave an orphan ledger entry that a future ad reusing the name
+	// silently inherits.
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	inst := e.currentInst()
+	byName := make(map[string]float64, len(inst.Ads))
+	for _, ad := range inst.Ads {
+		byName[ad.Name] = ad.Budget
+	}
+	for name, amount := range req.Spend {
+		if _, ok := byName[name]; !ok {
+			httpError(w, http.StatusNotFound, "no ad %q in campaign %s", name, e.key)
+			return
+		}
+		if amount < 0 {
+			httpError(w, http.StatusBadRequest, "spend %g for ad %q must be ≥ 0", amount, name)
+			return
+		}
+	}
+	e.spendMu.Lock()
+	if req.Reset || e.spent == nil {
+		e.spent = map[string]float64{}
+	}
+	for name, amount := range req.Spend {
+		// Zero amounts are valid no-ops but must not create ledger keys: a
+		// non-empty ledger pins the entry against LRU eviction, and an
+		// all-zero ledger carries no state worth pinning.
+		if amount > 0 {
+			e.spent[name] += amount
+		}
+	}
+	resp := SpendResponse{Key: e.key, Ads: make([]AdBudgetStatus, len(inst.Ads))}
+	for i, ad := range inst.Ads {
+		spent := e.spent[ad.Name]
+		resp.Ads[i] = AdBudgetStatus{
+			Name:     ad.Name,
+			Budget:   ad.Budget,
+			Spent:    spent,
+			Residual: math.Max(ad.Budget-spent, 0),
+			Depleted: spent >= ad.Budget,
+		}
+	}
+	e.spendMu.Unlock()
+	if e.indexBuilt() {
+		resp.Epoch = e.idx.Epoch()
+	}
+	s.spendUpdates.Add(1)
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,294 @@
+// Package sim runs deterministic campaign-lifecycle workloads against the
+// reusable RR-set index: advertisers join and leave over discrete rounds,
+// engagements accrue and deplete budgets (scored by the neutral eval
+// layer), and the host periodically re-allocates against the residual
+// budgets B_i − spent_i. The output is a regret-over-time trace — the
+// paper's Eq. 3/4 objective replayed as an online process, which is the
+// workload the ROADMAP's "serve continuous traffic" north star asks for
+// and the follow-up literature (adaptive/online social advertising)
+// studies directly.
+//
+// Everything is a pure function of (instance, seed, Config): events draw
+// from a split of the seed, each round's Monte Carlo engagement scoring
+// from another, and allocation inherits the index stream's determinism —
+// so a trace is bit-reproducible at any GOMAXPROCS, which the tests pin.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/xrand"
+)
+
+// Config shapes a lifecycle run. The zero value gets the defaults noted on
+// each field.
+type Config struct {
+	// InitialAds is how many of the instance's ads are live at round 1;
+	// the rest queue as future arrivals (default: half, at least 1).
+	InitialAds int
+	// Rounds is the number of simulated rounds (default 24).
+	Rounds int
+	// ReallocEvery re-allocates every k rounds even without campaign
+	// churn (default 4). Churn rounds always re-allocate.
+	ReallocEvery int
+	// ArrivalProb is the per-round probability that the next queued ad
+	// joins (default 0.3; ignored once the queue is empty; negative
+	// disables arrivals).
+	ArrivalProb float64
+	// DepartProb is the per-round probability that a uniformly chosen
+	// live ad leaves (default 0.08; never drops the last ad; negative
+	// disables departures).
+	DepartProb float64
+	// EngagementRate converts each round's Monte Carlo revenue estimate
+	// into budget depletion: spent_i += rate·Π̂_i, capped at B_i
+	// (default 0.2).
+	EngagementRate float64
+	// EvalRuns is the Monte Carlo cascade count per ad per round
+	// (default 400).
+	EvalRuns int
+	// Opts are the TIRM options for index presampling and every
+	// re-allocation.
+	Opts core.TIRMOptions
+}
+
+func (c Config) withDefaults(numAds int) Config {
+	if c.InitialAds <= 0 {
+		c.InitialAds = (numAds + 1) / 2
+	}
+	if c.InitialAds > numAds {
+		c.InitialAds = numAds
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 24
+	}
+	if c.ReallocEvery <= 0 {
+		c.ReallocEvery = 4
+	}
+	if c.ArrivalProb == 0 {
+		c.ArrivalProb = 0.3
+	}
+	if c.DepartProb == 0 {
+		c.DepartProb = 0.08
+	}
+	if c.EngagementRate <= 0 {
+		c.EngagementRate = 0.2
+	}
+	if c.EvalRuns <= 0 {
+		c.EvalRuns = 400
+	}
+	return c
+}
+
+// RoundReport is one round of the trace.
+type RoundReport struct {
+	// Round numbers from 1.
+	Round int
+	// Events lists campaign churn this round ("join:name", "leave:name").
+	Events []string
+	// NumAds is the live campaign count after churn.
+	NumAds int
+	// Epoch is the index epoch after churn (see core.Index.Epoch).
+	Epoch uint64
+	// Reallocated reports whether the host re-ran selection this round.
+	Reallocated bool
+	// SetsSampled counts RR-sets freshly drawn by this round's
+	// re-allocation (0 on warm rounds — the steady state).
+	SetsSampled int64
+	// TotalSeeds is Σ|S_i| of the standing allocation.
+	TotalSeeds int
+	// Revenue is the round's Monte Carlo estimate of Σ Π_i(S_i).
+	Revenue float64
+	// SpendDelta is the budget spent this round across ads.
+	SpendDelta float64
+	// SpentTotal is cumulative spend across live ads.
+	SpentTotal float64
+	// ResidualBudget is Σ max(B_i − spent_i, 0) over live ads.
+	ResidualBudget float64
+	// Regret is Σ |(B_i − spent_i) − Π̂_i(S_i)| + λ|S_i| — Eq. 3 against
+	// the residual budgets, the quantity re-allocation minimizes.
+	Regret float64
+	// RegretOverBudget is Regret / Σ B_i over live ads (the paper's
+	// reporting unit).
+	RegretOverBudget float64
+}
+
+// AdFate is one advertiser's end-of-run bookkeeping.
+type AdFate struct {
+	// Name is the ad's name.
+	Name string
+	// Budget is B_i.
+	Budget float64
+	// Spent is the cumulative engagement spend when the run ended (or the
+	// ad departed).
+	Spent float64
+	// Joined is the round the ad went live (0 = live from the start).
+	Joined int
+	// Departed is the round the ad left (0 = still live at the end).
+	Departed int
+}
+
+// Result is a full lifecycle trace.
+type Result struct {
+	// Trace has one entry per round.
+	Trace []RoundReport
+	// Ads reports every advertiser that was ever live.
+	Ads []AdFate
+	// FinalEpoch is the index epoch after the last round.
+	FinalEpoch uint64
+	// TotalSetsSampled counts every RR-set drawn over the run (initial
+	// build plus all re-allocation growth).
+	TotalSetsSampled int64
+	// Reallocations counts selection runs.
+	Reallocations int
+}
+
+// Run simulates the lifecycle workload over inst's advertisers: the first
+// Config.InitialAds are live at round 1, the rest arrive in order as the
+// event stream fires. Deterministic for a fixed (inst, seed, cfg).
+func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(inst.Ads))
+
+	initial := make([]core.Ad, cfg.InitialAds)
+	copy(initial, inst.Ads[:cfg.InitialAds])
+	queue := inst.Ads[cfg.InitialAds:]
+	base := *inst
+	base.Ads = initial
+	idx, err := core.BuildIndex(&base, seed, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+
+	events := xrand.New(seed).Split(0xe7e)
+	evalRoot := xrand.New(seed).Split(0x5c0)
+
+	res := &Result{Trace: make([]RoundReport, 0, cfg.Rounds)}
+	fates := make(map[string]*AdFate, len(inst.Ads))
+	var fateOrder []string
+	for _, ad := range initial {
+		fates[ad.Name] = &AdFate{Name: ad.Name, Budget: ad.Budget}
+		fateOrder = append(fateOrder, ad.Name)
+	}
+	spent := map[string]float64{} // live ads only, by name
+	seeds := map[string][]int32{} // standing allocation, by name
+	needRealloc := true
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		rep := RoundReport{Round: r}
+
+		// Campaign churn: at most one departure and one arrival per round,
+		// drawn from the event stream in a fixed order.
+		if curr := idx.Inst(); len(curr.Ads) > 1 && events.Bernoulli(cfg.DepartProb) {
+			pos := events.IntN(len(curr.Ads))
+			name := curr.Ads[pos].Name
+			if err := idx.RemoveAd(pos); err != nil {
+				return nil, fmt.Errorf("sim: round %d remove %q: %w", r, name, err)
+			}
+			fates[name].Spent = spent[name]
+			fates[name].Departed = r
+			delete(spent, name)
+			delete(seeds, name)
+			rep.Events = append(rep.Events, "leave:"+name)
+			needRealloc = true
+		}
+		if len(queue) > 0 && events.Bernoulli(cfg.ArrivalProb) {
+			ad := queue[0]
+			queue = queue[1:]
+			if _, err := idx.AddAd(ad, cfg.Opts); err != nil {
+				return nil, fmt.Errorf("sim: round %d add %q: %w", r, ad.Name, err)
+			}
+			fates[ad.Name] = &AdFate{Name: ad.Name, Budget: ad.Budget, Joined: r}
+			fateOrder = append(fateOrder, ad.Name)
+			rep.Events = append(rep.Events, "join:"+ad.Name)
+			needRealloc = true
+		}
+
+		epoch, curr := idx.EpochInst()
+		rep.Epoch = epoch
+		rep.NumAds = len(curr.Ads)
+
+		// Periodic (and churn-triggered) re-allocation against residual
+		// budgets: the regret-minimizing replay of Eq. 3.
+		if needRealloc || (r-1)%cfg.ReallocEvery == 0 {
+			spentVec := make([]float64, len(curr.Ads))
+			for j, ad := range curr.Ads {
+				spentVec[j] = spent[ad.Name]
+			}
+			out, err := core.AllocateFromIndex(idx, core.Request{
+				Opts:        cfg.Opts,
+				SpentBudget: spentVec,
+				Epoch:       epoch,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sim: round %d re-allocation: %w", r, err)
+			}
+			for j, ad := range curr.Ads {
+				seeds[ad.Name] = out.Alloc.Seeds[j]
+			}
+			rep.Reallocated = true
+			rep.SetsSampled = out.TotalSetsSampled
+			res.Reallocations++
+			needRealloc = false
+		}
+
+		// Engagements: score the standing allocation with neutral Monte
+		// Carlo cascades and convert a fraction into budget depletion.
+		alloc := &core.Allocation{Seeds: make([][]int32, len(curr.Ads))}
+		for j, ad := range curr.Ads {
+			alloc.Seeds[j] = seeds[ad.Name]
+		}
+		out := eval.Evaluate(curr, alloc, cfg.EvalRuns, evalRoot.Split(uint64(r)))
+		for j, ad := range curr.Ads {
+			rev := out.Ads[j].Revenue
+			ds := cfg.EngagementRate * rev
+			if room := ad.Budget - spent[ad.Name]; ds > room {
+				ds = room
+			}
+			if ds > 0 {
+				spent[ad.Name] += ds
+				rep.SpendDelta += ds
+			}
+			residual := ad.Budget - spent[ad.Name]
+			if residual > 0 {
+				rep.ResidualBudget += residual
+			}
+			rep.SpentTotal += spent[ad.Name]
+			rep.Revenue += rev
+			rep.Regret += regretTerm(residual, rev, curr.Lambda, len(alloc.Seeds[j]))
+			rep.TotalSeeds += len(alloc.Seeds[j])
+		}
+		var totalBudget float64
+		for _, ad := range curr.Ads {
+			totalBudget += ad.Budget
+		}
+		if totalBudget > 0 {
+			rep.RegretOverBudget = rep.Regret / totalBudget
+		}
+		res.Trace = append(res.Trace, rep)
+	}
+
+	res.Ads = make([]AdFate, len(fateOrder))
+	for i, name := range fateOrder {
+		f := fates[name]
+		if f.Departed == 0 {
+			f.Spent = spent[name]
+		}
+		res.Ads[i] = *f
+	}
+	res.FinalEpoch = idx.Epoch()
+	res.TotalSetsSampled = idx.SetsSampled()
+	return res, nil
+}
+
+// regretTerm is core.RegretTerm with a clamped residual: once an ad's
+// budget is fully spent its residual target is 0, not negative.
+func regretTerm(residual, revenue, lambda float64, numSeeds int) float64 {
+	if residual < 0 {
+		residual = 0
+	}
+	return core.RegretTerm(residual, revenue, lambda, numSeeds)
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// fastCfg keeps the workload cheap enough for -race CI runs.
+func fastCfg() Config {
+	return Config{
+		Rounds:   10,
+		EvalRuns: 200,
+		Opts:     core.TIRMOptions{MinTheta: 1024, MaxTheta: 4096},
+	}
+}
+
+func flixsterTiny() *core.Instance {
+	return gen.Flixster(gen.Options{Seed: 3, Scale: 0.02, NumAds: 6})
+}
+
+// TestLifecycleDeterminism pins the acceptance criterion: the full
+// regret-over-time trace is bit-identical across runs for a fixed seed.
+func TestLifecycleDeterminism(t *testing.T) {
+	a, err := Run(flixsterTiny(), 11, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(flixsterTiny(), 11, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatal("traces diverged for the same seed")
+	}
+	if !reflect.DeepEqual(a.Ads, b.Ads) {
+		t.Fatal("ad fates diverged for the same seed")
+	}
+	if a.FinalEpoch != b.FinalEpoch || a.TotalSetsSampled != b.TotalSetsSampled {
+		t.Fatalf("run stats diverged: epoch %d vs %d, sets %d vs %d",
+			a.FinalEpoch, b.FinalEpoch, a.TotalSetsSampled, b.TotalSetsSampled)
+	}
+
+	c, err := Run(flixsterTiny(), 12, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Trace, c.Trace) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestLifecycleChurn: with certain arrivals every queued ad joins, each
+// join advances the epoch and triggers a re-allocation, and the trace
+// records the events.
+func TestLifecycleChurn(t *testing.T) {
+	cfg := fastCfg()
+	cfg.InitialAds = 2
+	cfg.ArrivalProb = 1
+	cfg.DepartProb = -1
+	res, err := Run(flixsterTiny(), 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := 0
+	for _, rep := range res.Trace {
+		for _, ev := range rep.Events {
+			if strings.HasPrefix(ev, "join:") {
+				joins++
+				if !rep.Reallocated {
+					t.Errorf("round %d had churn but no re-allocation", rep.Round)
+				}
+			}
+		}
+	}
+	if joins != 4 {
+		t.Errorf("recorded %d joins, want 4 (queue of 6−2 ads, certain arrivals)", joins)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.NumAds != 6 {
+		t.Errorf("final campaign count %d, want 6", last.NumAds)
+	}
+	if res.FinalEpoch != 1+4 {
+		t.Errorf("final epoch %d, want 5 (1 + 4 joins)", res.FinalEpoch)
+	}
+	if len(res.Ads) != 6 {
+		t.Errorf("ad fates cover %d ads, want 6", len(res.Ads))
+	}
+}
+
+// TestLifecycleDepletion: with a static campaign set, engagement spend is
+// monotone, residual budget is non-increasing, and spend never exceeds an
+// ad's budget.
+func TestLifecycleDepletion(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Rounds = 8
+	cfg.ArrivalProb = -1
+	cfg.DepartProb = -1
+	cfg.InitialAds = 6
+	cfg.EngagementRate = 0.5
+	res, err := Run(flixsterTiny(), 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevResidual := res.Trace[0].ResidualBudget
+	prevSpent := res.Trace[0].SpentTotal
+	for _, rep := range res.Trace[1:] {
+		if rep.ResidualBudget > prevResidual+1e-9 {
+			t.Errorf("round %d residual budget grew %.4f → %.4f with no arrivals",
+				rep.Round, prevResidual, rep.ResidualBudget)
+		}
+		if rep.SpentTotal < prevSpent-1e-9 {
+			t.Errorf("round %d cumulative spend shrank %.4f → %.4f", rep.Round, prevSpent, rep.SpentTotal)
+		}
+		prevResidual, prevSpent = rep.ResidualBudget, rep.SpentTotal
+	}
+	for _, f := range res.Ads {
+		if f.Spent > f.Budget+1e-9 {
+			t.Errorf("ad %s spent %.4f over budget %.4f", f.Name, f.Spent, f.Budget)
+		}
+	}
+}
+
+// TestLifecycleReallocationCadence: quiet rounds re-allocate on the
+// configured period only, and warm re-allocations stop sampling once the
+// index has absorbed the workload's θ.
+func TestLifecycleReallocationCadence(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Rounds = 9
+	cfg.ReallocEvery = 4
+	cfg.ArrivalProb = -1
+	cfg.DepartProb = -1
+	cfg.InitialAds = 4
+	res, err := Run(flixsterTiny(), 9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range res.Trace {
+		want := (rep.Round-1)%cfg.ReallocEvery == 0
+		if rep.Reallocated != want {
+			t.Errorf("round %d reallocated=%v, want %v", rep.Round, rep.Reallocated, want)
+		}
+		if rep.Reallocated && rep.Round > 1 && rep.SetsSampled != 0 {
+			t.Errorf("round %d warm re-allocation drew %d sets", rep.Round, rep.SetsSampled)
+		}
+	}
+	if res.Reallocations != 3 {
+		t.Errorf("%d re-allocations over 9 rounds at cadence 4, want 3", res.Reallocations)
+	}
+}
+
+func BenchmarkLifecycleSim(b *testing.B) {
+	inst := flixsterTiny()
+	cfg := fastCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(inst, 11, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Trace) != cfg.Rounds {
+			b.Fatalf("trace has %d rounds", len(res.Trace))
+		}
+	}
+}

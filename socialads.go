@@ -43,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/irie"
 	"repro/internal/rrset"
+	"repro/internal/sim"
 	"repro/internal/tim"
 	"repro/internal/topic"
 	"repro/internal/xrand"
@@ -121,6 +122,30 @@ func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
 // needs a larger sample than any before it.
 func AllocateFromIndex(idx *Index, req AllocRequest) (*TIRMResult, error) {
 	return core.AllocateFromIndex(idx, req)
+}
+
+// Campaign-lifecycle simulation types (see internal/sim): advertisers join
+// and leave, engagements deplete budgets, and the host periodically
+// re-allocates against the residual budgets B_i − spent_i.
+type (
+	// LifecycleConfig shapes a lifecycle simulation run.
+	LifecycleConfig = sim.Config
+	// LifecycleResult is a full lifecycle trace (regret over time).
+	LifecycleResult = sim.Result
+	// LifecycleRound is one round of a lifecycle trace.
+	LifecycleRound = sim.RoundReport
+	// AdFate is one advertiser's end-of-run lifecycle bookkeeping.
+	AdFate = sim.AdFate
+)
+
+// RunLifecycle simulates a campaign-lifecycle workload over inst's
+// advertisers: the first LifecycleConfig.InitialAds are live at round 1,
+// the rest arrive as the deterministic event stream fires, engagements
+// deplete budgets, and the index (Index.AddAd / Index.RemoveAd /
+// AllocRequest.SpentBudget) re-allocates along the way. Deterministic for
+// a fixed (inst, seed, cfg); see examples/lifecycle.
+func RunLifecycle(inst *Instance, seed uint64, cfg LifecycleConfig) (*LifecycleResult, error) {
+	return sim.Run(inst, seed, cfg)
 }
 
 // SaveIndex persists an index in the binary snapshot format; LoadIndex
