@@ -12,13 +12,17 @@ DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim
 
 # Hot-path benchmarks guarded by `make bench` and CI: index build/warm, the
 # snapshot codec — the paths the flat-arena (CSR) layout is accountable
-# for — and the campaign-lifecycle simulation workload. BENCH_index.json
-# captures the machine-readable (test2json) stream for regression tracking
-# across PRs.
-BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim
-BENCH_PKGS    = . ./internal/rrset ./internal/sim
+# for — the campaign-lifecycle simulation workload, and the serve-layer
+# request path (workspace pooling + HTTP). BENCH_index.json captures the
+# machine-readable (test2json) stream for regression tracking across PRs.
+BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkWarmWorkspaceReuse|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim|BenchmarkServeAllocate
+BENCH_PKGS    = . ./internal/rrset ./internal/sim ./internal/serve
 
-.PHONY: ci build vet fmt-check docs-check test race bench bench-all bench-ci serve
+# Extra flags for bench-compare (CI passes "-benchtime 1x -short" to keep
+# the non-gating delta step cheap).
+BENCH_FLAGS ?=
+
+.PHONY: ci build vet fmt-check docs-check test race bench bench-all bench-ci bench-compare serve
 
 ci: vet fmt-check docs-check build test race bench-ci
 
@@ -57,6 +61,16 @@ bench:
 bench-ci:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem \
 	    -short -count=1 $(BENCH_PKGS)
+
+# Benchmark HEAD and diff against the committed BENCH_index.json with
+# cmd/benchdiff (benchstat-style table: ns/op, B/op, allocs/op deltas).
+# Non-gating — regressions print loudly but the target only fails on build
+# or harness errors. The fresh stream lands in BENCH_head.json, so a
+# satisfied reviewer can `mv BENCH_head.json BENCH_index.json` to re-baseline.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 \
+	    $(BENCH_FLAGS) -json $(BENCH_PKGS) > BENCH_head.json
+	$(GO) run ./cmd/benchdiff BENCH_index.json BENCH_head.json
 
 # The full paper-replication benchmark suite (slow).
 bench-all:

@@ -423,6 +423,48 @@ func BenchmarkIndexColdVsWarm(b *testing.B) {
 	})
 }
 
+// BenchmarkWarmWorkspaceReuse isolates what workspace pooling is worth on
+// the warm path: "pooled" keeps one AllocWorkspacePool across iterations
+// (the steady state of internal/serve, where each cache entry owns a
+// pool), "cold-workspace" hands every request a fresh pool so each run
+// rebuilds its per-ad coverage state from scratch. Allocations are
+// byte-identical either way — the delta is pure allocation and
+// reinitialization cost.
+func BenchmarkWarmWorkspaceReuse(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 5, Scale: 0.02})
+	opts := socialads.TIRMOptions{Eps: 0.3, MinTheta: 5000, MaxTheta: 50000}
+	idx, err := socialads.BuildIndex(inst, 42, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Grow the index to the θs selection needs so both variants are warm.
+	if _, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pooled", func(b *testing.B) {
+		pool := &socialads.AllocWorkspacePool{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts, Pool: pool}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hits, misses := pool.Stats()
+		b.ReportMetric(float64(hits)/float64(hits+misses), "pool-hit-rate")
+	})
+	b.Run("cold-workspace", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool := &socialads.AllocWorkspacePool{}
+			if _, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts, Pool: pool}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkIndexBuild measures the cold index-build path alone — the
 // reverse-BFS sampling plus the flat-arena (CSR) storage and one-pass
 // inverted-index construction — with allocation counts reported. This is

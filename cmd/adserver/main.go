@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,16 +51,17 @@ func main() {
 		maxScale  = flag.Float64("maxscale", serve.DefaultMaxScale, "largest dataset scale a request may ask for")
 		maxTheta  = flag.Int("maxtheta", serve.DefaultMaxTheta, "server-side cap on per-ad RR sample size")
 		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS); pin it so index builds don't saturate every core of a serving host")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, allocs, goroutine profiles; see EXPERIMENTS.md for a hot-path profiling walkthrough)")
 	)
 	flag.Parse()
 	rrset.SetMaxWorkers(*workers)
-	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta); err != nil {
+	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "adserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, snapshots, preload string, maxScale float64, maxTheta int) error {
+func run(addr, snapshots, preload string, maxScale float64, maxTheta int, pprofOn bool) error {
 	srv := serve.New(serve.Options{
 		SnapshotDir: snapshots,
 		MaxScale:    maxScale,
@@ -79,9 +81,25 @@ func run(addr, snapshots, preload string, maxScale float64, maxTheta int) error 
 		}
 	}
 
+	handler := srv.Handler()
+	if pprofOn {
+		// Profiling rides the serving mux behind an explicit opt-in flag:
+		// pprof exposes process internals, so an open production endpoint
+		// should not mount it by accident.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("adserver: pprof enabled at /debug/pprof/")
+	}
+
 	hs := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

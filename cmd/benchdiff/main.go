@@ -1,0 +1,177 @@
+// Command benchdiff renders a benchstat-style delta table between two
+// benchmark runs captured as `go test -json` (test2json) streams — the
+// format `make bench` writes to BENCH_index.json. It powers
+// `make bench-compare`, which benchmarks HEAD and diffs it against the
+// committed baseline so a PR's hot-path effect is visible at a glance:
+//
+//	benchdiff OLD.json NEW.json
+//
+// For every benchmark present in either stream it prints ns/op, B/op, and
+// allocs/op side by side with the relative change; benchmarks missing from
+// one side are listed as added/removed. The tool never fails on
+// regressions (the comparison step is deliberately non-gating in CI); it
+// exits non-zero only for unreadable or unparseable inputs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's record shape benchdiff needs.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// result holds one benchmark's parsed metrics.
+type result struct {
+	name   string
+	nsOp   float64
+	bOp    float64
+	allocs float64
+	hasMem bool
+}
+
+// gomaxprocsSuffix strips the "-N" GOMAXPROCS suffix from a benchmark
+// name (and only that — names like ".../v1" keep their digits).
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchLine matches a `testing.B` result line after test2json unescaping,
+// e.g. "BenchmarkFoo-8   120  9532 ns/op  512 B/op  12 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+// parseStream extracts benchmark results from one test2json file.
+func parseStream(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a test2json stream: %w", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		// A result line can arrive split across events ("BenchmarkFoo \t" then
+		// the numbers); stitch by looking only at lines that carry "ns/op".
+		text := strings.TrimSpace(strings.ReplaceAll(ev.Output, "\t", " "))
+		if !strings.Contains(text, "ns/op") {
+			continue
+		}
+		name := ev.Test
+		m := benchLine.FindStringSubmatch(text)
+		if m == nil {
+			// Continuation line: "   120  9532 ns/op ..." with the name in
+			// ev.Test only.
+			m = regexp.MustCompile(`^\d+\s+([0-9.e+]+) ns/op(.*)$`).FindStringSubmatch(text)
+			if m == nil || name == "" {
+				continue
+			}
+			m = []string{m[0], name, m[1], m[2]}
+		} else if name == "" {
+			name = gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		}
+		r := result{name: name}
+		r.nsOp, _ = strconv.ParseFloat(m[2], 64)
+		rest := m[3]
+		if bm := regexp.MustCompile(`([0-9.e+]+) B/op`).FindStringSubmatch(rest); bm != nil {
+			r.bOp, _ = strconv.ParseFloat(bm[1], 64)
+			r.hasMem = true
+		}
+		if am := regexp.MustCompile(`([0-9.e+]+) allocs/op`).FindStringSubmatch(rest); am != nil {
+			r.allocs, _ = strconv.ParseFloat(am[1], 64)
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}
+
+// delta renders "old → new (±x%)" for one metric.
+func delta(old, new float64, unit string) string {
+	if old == 0 {
+		return fmt.Sprintf("%s → %s %s", human(old), human(new), unit)
+	}
+	pct := 100 * (new - old) / old
+	return fmt.Sprintf("%s → %s %s (%+.1f%%)", human(old), human(new), unit, pct)
+}
+
+// human formats a metric value compactly.
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRes, err := parseStream(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newRes, err := parseStream(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	names := map[string]bool{}
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("benchdiff: %s vs %s\n", os.Args[1], os.Args[2])
+	for _, n := range sorted {
+		o, haveOld := oldRes[n]
+		nw, haveNew := newRes[n]
+		switch {
+		case !haveOld:
+			fmt.Printf("  %-55s added: %.0f ns/op\n", n, nw.nsOp)
+		case !haveNew:
+			fmt.Printf("  %-55s removed (was %.0f ns/op)\n", n, o.nsOp)
+		default:
+			fmt.Printf("  %-55s %s\n", n, delta(o.nsOp, nw.nsOp, "ns/op"))
+			if o.hasMem || nw.hasMem {
+				fmt.Printf("  %-55s %s, %s\n", "",
+					delta(o.bOp, nw.bOp, "B/op"), delta(o.allocs, nw.allocs, "allocs/op"))
+			}
+		}
+	}
+}

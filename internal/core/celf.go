@@ -1,8 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 )
 
 // celfQueue implements lazy best-candidate selection for one ad (the CELF
@@ -21,6 +21,11 @@ import (
 // queue keeps scanning past fresh entries whose drop is below their own
 // bound — this implements Algorithm 1's exact argmax over (user, ad) pairs
 // rather than the "largest marginal gain" shortcut.
+//
+// Queues recycle their O(n) arrays through a package pool (Greedy runs one
+// queue per ad per invocation), and the heap uses concrete push/pop — the
+// same sift algorithm as container/heap, without the interface{} boxing
+// that allocated on every refresh.
 type celfQueue struct {
 	h       mgHeap
 	removed []bool
@@ -28,23 +33,47 @@ type celfQueue struct {
 	freshTag []int
 	freshMg  []float64
 	commits  int
-	evals    int // total estimator evaluations (ablation metric)
+	evals    int       // total estimator evaluations (ablation metric)
+	aside    []mgEntry // bestDrop scratch
 }
 
+// celfPool recycles queues across Greedy invocations.
+var celfPool sync.Pool
+
 func newCELFQueue(n int) *celfQueue {
-	q := &celfQueue{
-		removed:  make([]bool, n),
-		freshTag: make([]int, n),
-		freshMg:  make([]float64, n),
+	q, ok := celfPool.Get().(*celfQueue)
+	if !ok {
+		q = &celfQueue{}
 	}
-	q.h = make(mgHeap, 0, n)
+	q.reset(n)
+	return q
+}
+
+// reset reinitializes the queue for a fresh run over n nodes, reusing its
+// backing arrays.
+func (q *celfQueue) reset(n int) {
+	if cap(q.removed) < n {
+		q.removed = make([]bool, n)
+		q.freshTag = make([]int, n)
+		q.freshMg = make([]float64, n)
+		q.h = make(mgHeap, 0, n)
+	}
+	q.removed = q.removed[:n]
+	q.freshTag = q.freshTag[:n]
+	q.freshMg = q.freshMg[:n]
+	q.h = q.h[:0]
+	q.commits = 0
+	q.evals = 0
 	for u := 0; u < n; u++ {
+		q.removed[u] = false
 		q.freshTag[u] = -1
 		q.h = append(q.h, mgEntry{node: int32(u), mg: math.Inf(1)})
 	}
 	// All +Inf: already a valid heap.
-	return q
 }
+
+// release parks the queue for reuse by a later run.
+func (q *celfQueue) release() { celfPool.Put(q) }
 
 // remove permanently excludes a node (committed to this ad, or attention
 // bound exhausted — both monotone).
@@ -59,22 +88,22 @@ func (q *celfQueue) noteCommit() { q.commits++ }
 func (q *celfQueue) bestDrop(est AdEstimator, gap, lambda float64, eligible func(int32) bool) (bestU int32, bestMg, bestDrop float64, ok bool) {
 	bestU, bestDrop = -1, math.Inf(-1)
 	ubound := func(mg float64) float64 { return math.Min(mg, math.Abs(gap)) - lambda }
-	var aside []mgEntry
+	aside := q.aside[:0]
 	for len(q.h) > 0 {
 		top := q.h[0]
 		if q.removed[top.node] {
-			heap.Pop(&q.h)
+			q.h.pop()
 			continue
 		}
 		if eligible != nil && !eligible(top.node) {
 			q.removed[top.node] = true
-			heap.Pop(&q.h)
+			q.h.pop()
 			continue
 		}
 		if bestU >= 0 && bestDrop >= ubound(top.mg) {
 			break // nothing left can beat the incumbent
 		}
-		heap.Pop(&q.h)
+		q.h.pop()
 		mg := top.mg
 		if q.freshTag[top.node] != q.commits {
 			mg = est.MarginalRevenue(top.node)
@@ -88,8 +117,9 @@ func (q *celfQueue) bestDrop(est AdEstimator, gap, lambda float64, eligible func
 		aside = append(aside, mgEntry{node: top.node, mg: mg})
 	}
 	for _, e := range aside {
-		heap.Push(&q.h, e)
+		q.h.push(e)
 	}
+	q.aside = aside[:0]
 	if bestU < 0 {
 		return 0, 0, 0, false
 	}
@@ -101,16 +131,56 @@ type mgEntry struct {
 	mg   float64
 }
 
+// mgHeap is a max-heap over stale marginal revenues with concrete push/pop
+// replicating container/heap's sift algorithm bit for bit (identical heap
+// layout, no boxing).
 type mgHeap []mgEntry
 
-func (h mgHeap) Len() int            { return len(h) }
-func (h mgHeap) Less(i, j int) bool  { return h[i].mg > h[j].mg }
-func (h mgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mgHeap) Push(x interface{}) { *h = append(*h, x.(mgEntry)) }
-func (h *mgHeap) Pop() interface{} {
+func (h mgHeap) less(i, j int) bool { return h[i].mg > h[j].mg }
+
+// push appends e and sifts it up.
+func (h *mgHeap) push(e mgEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the max entry.
+func (h *mgHeap) pop() mgEntry {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+func (h mgHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h mgHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }

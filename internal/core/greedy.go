@@ -90,6 +90,7 @@ func Greedy(inst *Instance, makeEst func(i int) AdEstimator, opts GreedyOptions)
 	for i := 0; i < h; i++ {
 		res.EstRevenue[i] = ests[i].Revenue()
 		res.Evals += queues[i].evals
+		queues[i].release()
 	}
 	return res, nil
 }

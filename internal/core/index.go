@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rrset"
+	"repro/internal/topic"
 	"repro/internal/xrand"
 )
 
@@ -77,6 +78,49 @@ type adSample struct {
 	widths  []int64 // widths[i] = ω(set i), for KPT refreshes
 	inv     *rrset.Inverted
 	invLen  int // sets covered by inv; may lag fam until a view needs it
+	// kptCache memoizes kptFromWidths over this ad's immutable pilot
+	// widths, keyed by (pilot size, seed target): steady serving traffic
+	// revisits the same handful of keys on every request, and each hit
+	// saves a full O(pilot) Pow pass. Guarded by mu; bounded (see kptFor).
+	kptCache map[kptKey]float64
+}
+
+// kptKey identifies one cached KPT evaluation: the pilot-sample size the
+// request's MinTheta selected and the seed target s.
+type kptKey struct {
+	pilot int
+	s     int
+}
+
+// kptCacheCap bounds each ad's KPT cache; distinct (pilot, s) pairs grow
+// with traffic diversity, so past the cap the cache resets wholesale (the
+// steady-state working set re-fills in one request).
+const kptCacheCap = 256
+
+// kptFor returns kptFromWidths(widths, s, n, m) through the ad's cache.
+// widths must be the pilot prefix of this ad's stream (immutable, so the
+// cached value is a pure function of the key). memo is the caller's
+// scratch for cache misses. The value is computed outside the lock; a
+// racing duplicate computation yields the identical float, so last-write
+// is harmless.
+func (a *adSample) kptFor(widths []int64, s, n int, m int64, memo map[int64]float64) float64 {
+	key := kptKey{pilot: len(widths), s: s}
+	a.mu.Lock()
+	if v, ok := a.kptCache[key]; ok {
+		a.mu.Unlock()
+		return v
+	}
+	a.mu.Unlock()
+	v := kptFromWidths(widths, s, n, m, memo)
+	a.mu.Lock()
+	if a.kptCache == nil {
+		a.kptCache = make(map[kptKey]float64, 16)
+	} else if len(a.kptCache) >= kptCacheCap {
+		clear(a.kptCache)
+	}
+	a.kptCache[key] = v
+	a.mu.Unlock()
+	return v
 }
 
 // ensure extends the sample to at least want sets (growth rounds up to a
@@ -111,6 +155,10 @@ func (a *adSample) syncInv(want int) {
 	if a.inv == nil || a.invLen < want {
 		a.inv = rrset.BuildInverted(a.sampler.Graph().N(), a.fam.View(), 0)
 		a.invLen = a.fam.Len()
+		// Build the commit-path cover join now, while we are already paying
+		// an index (re)build, so the first allocation does not construct it
+		// inline on the request path.
+		a.inv.PrepareCover()
 	}
 }
 
@@ -203,7 +251,7 @@ func (idx *Index) presample(a *adSample, opts TIRMOptions) {
 	n, m := g.N(), g.M()
 	_, widths, fresh := a.prefix(opts.MinTheta)
 	idx.sampled.Add(fresh)
-	kpt := kptFromWidths(widths, 1, n, m)
+	kpt := a.kptFor(widths, 1, n, m, nil)
 	want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
 	_, _, fresh = a.prefix(want)
 	idx.sampled.Add(fresh)
@@ -376,6 +424,13 @@ type Request struct {
 	// (positional overrides like Budgets and SpentBudget would silently
 	// misalign otherwise). Zero accepts whatever epoch is current.
 	Epoch uint64
+	// Pool optionally names the workspace pool this run recycles its
+	// transient selection state through. Hosts serving many indexes attach
+	// one pool per index (internal/serve does, per cache entry) so array
+	// shapes match across reuses; nil shares a process-wide default pool.
+	// Pooling never changes results — allocations are byte-identical with
+	// or without a warm workspace.
+	Pool *WorkspacePool
 }
 
 // validate resolves the request against the instance, returning the ad
@@ -441,23 +496,36 @@ func (req *Request) validate(inst *Instance) (adIDs []int, lambda float64, kappa
 }
 
 // selAd is the per-advertiser selection state of Algorithm 2, run against a
-// shared index sample instead of a private one.
+// shared index sample instead of a private one. Slots live inside a pooled
+// allocWorkspace and are recycled across requests (see selAd.reset); the
+// cand* fields carry each parallel scan's per-ad best candidate to the
+// sequential reduction.
 type selAd struct {
 	j          int // index into inst.Ads
 	cpe        float64
 	budget     float64
-	delta      func(u int32) float64
-	col        covIndex
+	ctps       topic.CTP
+	col        covState
+	ws         *rrset.Workspace
 	src        *adSample
 	widths     []int64 // pilot widths (first MinTheta sets of the stream)
 	theta      int
 	sTarget    int
-	reused     int64 // sets served from the preexisting sample
+	fresh      int64 // sets drawn by this ad's parallel setup phase
 	haveBefore int
 	revenue    float64
 	seeds      []int32
 	seedMass   []float64 // δ-scaled claimed set mass per seed
 	saturated  bool
+	// powMemo is the per-slot scratch for kptFromWidths cache misses (the
+	// per-width Pow terms); retained across pooled runs.
+	powMemo map[int64]float64
+
+	candOK    bool // scan found a strictly regret-reducing candidate
+	candU     int32
+	candScore float64
+	candMg    float64
+	candDrop  float64
 }
 
 // AllocateFromIndex runs the greedy regret-minimization loop of Algorithm 2
@@ -506,97 +574,122 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 		FinalSeedTarget: make([]int, h),
 	}
 
+	pool := req.Pool
+	if pool == nil {
+		pool = &defaultWorkspacePool
+	}
+	ws := pool.get()
+	defer pool.put(ws)
+	ws.attention.reset(n, kappa)
+
 	// Initialization (Algorithm 2 lines 1–3): s_j = 1, θ_j = L(s_j, ε),
-	// with R_j the stream prefix instead of a private sample. The first
-	// MinTheta sets double as the width sample for KPT refreshes. Ads whose
+	// with R_j the stream prefix instead of a private sample. Ads whose
 	// residual budget is already ≤ 0 are fully served: they get empty seed
 	// sets without paying for coverage state at all.
-	ads := make([]*selAd, 0, len(adIDs))
+	ws.ads = ws.ads[:0]
 	for _, j := range adIDs {
 		spec := inst.Ads[j]
-		a := &selAd{
-			j:          j,
-			cpe:        spec.CPE,
-			budget:     spec.Budget,
-			delta:      spec.Params.CTPs.At,
-			src:        ep.ads[j],
-			haveBefore: ep.ads[j].size(),
-			sTarget:    1,
-		}
+		cpe, budget := spec.CPE, spec.Budget
 		if req.Budgets != nil {
-			a.budget = req.Budgets[j]
+			budget = req.Budgets[j]
 		}
 		if req.CPEs != nil {
-			a.cpe = req.CPEs[j]
+			cpe = req.CPEs[j]
 		}
 		if req.SpentBudget != nil {
-			a.budget -= req.SpentBudget[j]
-			if a.budget <= 0 {
+			budget -= req.SpentBudget[j]
+			if budget <= 0 {
 				continue
 			}
 		}
-		// Size θ from the pilot KPT estimate first, then build the
-		// coverage state once at that size over the index's shared CSR
-		// inverted index: the collection never replays growth the index
-		// has already absorbed, which is what makes the warm path O(n)
-		// setup instead of O(members).
-		_, widths, fresh := a.src.prefix(opts.MinTheta)
-		idx.sampled.Add(fresh)
-		res.TotalSetsSampled += fresh
-		a.widths = widths
-		kpt := kptFromWidths(a.widths, 1, n, m)
-		a.theta = rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
-		sets, _, inv, fresh := a.src.view(a.theta)
-		idx.sampled.Add(fresh)
-		res.TotalSetsSampled += fresh
-		if opts.SoftCoverage {
-			a.col = softIndex{rrset.NewWeightedCollectionFromFamily(n, sets, inv)}
-		} else {
-			a.col = hardIndex{rrset.NewCollectionFromFamily(n, sets, inv)}
-		}
-		ads = append(ads, a)
+		a := ws.slot(len(ws.ads))
+		a.reset(j, cpe, budget, spec.Params.CTPs, ep.ads[j])
+		ws.ads = append(ws.ads, a)
 	}
 
-	attention := NewAttention(n, kappa)
-	eligible := func(u int32) bool { return attention.CanTake(u) }
+	runner := newAdRunner(len(ws.ads))
+	defer runner.stop()
 
-	// Main loop (Algorithm 2 lines 4–19).
+	// Size θ from the pilot KPT estimate first, then build the coverage
+	// state once at that size over the index's shared CSR inverted index:
+	// the collection never replays growth the index has already absorbed,
+	// which is what makes the warm path O(n) setup instead of O(members).
+	// The per-ad states are independent, so they initialize in parallel
+	// across the bounded worker group; per-ad sample counts are summed
+	// sequentially after the barrier.
+	soft := opts.SoftCoverage
+	runner.each(ws.ads, func(a *selAd) {
+		_, widths, fresh := a.src.prefix(opts.MinTheta)
+		a.fresh = fresh
+		a.widths = widths
+		kpt := a.src.kptFor(a.widths, 1, n, m, a.powMemo)
+		a.theta = rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
+		sets, _, inv, fresh := a.src.view(a.theta)
+		a.fresh += fresh
+		if soft {
+			a.col.soft = a.ws.Weighted(n, sets, inv)
+			a.col.hard = nil
+		} else {
+			a.col.hard = a.ws.Collection(n, sets, inv)
+			a.col.soft = nil
+		}
+	})
+	for _, a := range ws.ads {
+		idx.sampled.Add(a.fresh)
+		res.TotalSetsSampled += a.fresh
+		a.fresh = 0
+	}
+
+	// scanAd evaluates one ad's candidates — SelectBestNode (Algorithm 3):
+	// max residual coverage among eligible nodes, extended to the top
+	// CandidateDepth nodes scored by regret drop (depth 1 = the paper) —
+	// and records the ad's best strictly-improving candidate. An ad with
+	// no improving candidate saturates permanently: its candidate pool
+	// only shrinks and Π only changes when it commits. Touches only the
+	// ad's own state (plus read-only attention counts), so ads scan
+	// concurrently; strict `>` comparisons make the per-ad argmax, and the
+	// in-order reduction below, byte-identical to the sequential scan.
+	scanAd := func(a *selAd) {
+		nodes, scores := a.col.topNodes(opts.CandidateDepth, ws.eligible)
+		if len(nodes) == 0 {
+			a.saturated = true
+			a.candOK = false
+			return
+		}
+		a.candOK = false
+		for c, u := range nodes {
+			mg := a.cpe * float64(n) * a.delta(u) * scores[c] / float64(a.theta)
+			d := RegretDrop(a.budget-a.revenue, mg, lambda)
+			if d <= 0 {
+				continue
+			}
+			if !a.candOK || d > a.candDrop {
+				a.candU, a.candScore, a.candMg, a.candDrop = u, scores[c], mg, d
+			}
+			a.candOK = true
+		}
+		if !a.candOK {
+			a.saturated = true
+		}
+	}
+
+	// Main loop (Algorithm 2 lines 4–19): parallel per-ad candidate scan,
+	// sequential reduction and commit.
 	for {
+		ws.active = ws.active[:0]
+		for _, a := range ws.ads {
+			if !a.saturated {
+				ws.active = append(ws.active, a)
+			}
+		}
+		runner.each(ws.active, scanAd)
 		var best *selAd
-		var bestU int32
-		var bestScore float64
-		var bestMg float64
-		bestDrop := 0.0
-		for _, a := range ads {
-			if a.saturated {
+		for _, a := range ws.active {
+			if !a.candOK {
 				continue
 			}
-			// SelectBestNode (Algorithm 3): max residual coverage among
-			// eligible nodes — extended to the top CandidateDepth nodes
-			// scored by regret drop (depth 1 = the paper).
-			nodes, scores := a.col.TopNodes(opts.CandidateDepth, eligible)
-			if len(nodes) == 0 {
-				a.saturated = true
-				continue
-			}
-			improved := false
-			for c, u := range nodes {
-				mg := a.cpe * float64(n) * a.delta(u) * scores[c] / float64(a.theta)
-				d := RegretDrop(a.budget-a.revenue, mg, lambda)
-				if d <= 0 {
-					continue
-				}
-				improved = true
-				if best == nil || d > bestDrop {
-					best, bestU, bestScore, bestMg, bestDrop = a, u, scores[c], mg, d
-				}
-			}
-			if !improved {
-				// No strict improvement possible for this ad: its candidate
-				// pool only shrinks and Π only changes when it commits, so
-				// the saturation is permanent.
-				a.saturated = true
-				continue
+			if best == nil || a.candDrop > best.candDrop {
+				best = a
 			}
 		}
 		if best == nil {
@@ -607,15 +700,16 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 		// retire it (hard mode removes covered sets; soft mode decays their
 		// weights by 1−δ).
 		a := best
-		mass := a.col.Commit(bestU, a.delta(bestU))
-		a.col.Drop(bestU)
-		attention.Take(bestU)
+		bestU, bestMg := a.candU, a.candMg
+		mass := a.col.commit(bestU, a.delta(bestU))
+		a.col.drop(bestU)
+		ws.attention.Take(bestU)
 		a.seeds = append(a.seeds, bestU)
 		a.seedMass = append(a.seedMass, mass)
 		a.revenue += bestMg
 		res.Iterations++
-		if diff := mass - a.delta(bestU)*bestScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
-			// BestNode and Commit disagree only on a bug.
+		if diff := mass - a.delta(bestU)*a.candScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
+			// The scan and commit disagree only on a bug.
 			panic("core: TIRM coverage bookkeeping out of sync")
 		}
 
@@ -639,14 +733,14 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 				continue
 			}
 			a.sTarget += growth
-			kpt := kptFromWidths(a.widths, a.sTarget, n, m)
+			kpt := a.src.kptFor(a.widths, a.sTarget, n, m, a.powMemo)
 			// The achieved spread n·(covered/θ) is itself a lower bound on
 			// OPT_{s_i}; take the larger of the two (conservatively shrunk).
-			achieved := float64(n) * a.col.CoveredMass() / float64(a.theta) * (1 - opts.Eps)
+			achieved := float64(n) * a.col.coveredMass() / float64(a.theta) * (1 - opts.Eps)
 			optLB := math.Max(kpt, achieved)
 			want := rrset.Theta(int64(n), int64(a.sTarget), opts.Eps, opts.Ell, optLB, opts.MinTheta, opts.MaxTheta)
 			if want > a.theta {
-				boundary := a.col.NumSets()
+				boundary := a.col.numSets()
 				a.grow(idx, res, want)
 				// UpdateEstimates (Algorithm 4): credit existing seeds, in
 				// selection order, with their coverage among the appended
@@ -654,19 +748,19 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 				// double-counted), then recompute Π against the new θ.
 				a.revenue = 0
 				for k, seed := range a.seeds {
-					a.seedMass[k] += a.col.CreditFrom(seed, a.delta(seed), boundary)
+					a.seedMass[k] += a.col.creditFrom(seed, a.delta(seed), boundary)
 					a.revenue += a.cpe * float64(n) * a.seedMass[k] / float64(a.theta)
 				}
 			}
 		}
 	}
 
-	for _, a := range ads {
+	for _, a := range ws.ads {
 		res.Alloc.Seeds[a.j] = a.seeds
 		res.EstRevenue[a.j] = a.revenue
 		res.FinalTheta[a.j] = a.theta
 		res.FinalSeedTarget[a.j] = a.sTarget
-		res.MemBytes += a.col.MemBytes()
+		res.MemBytes += a.col.memBytes()
 		reused := int64(a.theta)
 		if int64(a.haveBefore) < reused {
 			reused = int64(a.haveBefore)
@@ -683,7 +777,7 @@ func (a *selAd) grow(idx *Index, res *TIRMResult, want int) {
 	v, fresh := a.src.window(a.theta, want)
 	idx.sampled.Add(fresh)
 	res.TotalSetsSampled += fresh
-	a.col.AddFamily(v)
+	a.col.addFamily(v)
 	a.theta = want
 }
 
@@ -921,6 +1015,7 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 		if fam.Len() > 0 {
 			a.inv = rrset.BuildInverted(inst.G.N(), fam.View(), 0)
 			a.invLen = fam.Len()
+			a.inv.PrepareCover()
 		}
 		ads[j] = a
 	}

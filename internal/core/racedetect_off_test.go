@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceDetectorOn reports whether the race detector is active. The race
+// runtime deliberately drops a fraction of sync.Pool puts to expose
+// lifecycle races, so exact pool hit/miss assertions only hold without it.
+const raceDetectorOn = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceDetectorOn reports whether the race detector is active (see the
+// !race twin for why pool-statistics assertions key off it).
+const raceDetectorOn = true

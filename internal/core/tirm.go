@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 
-	"repro/internal/rrset"
 	"repro/internal/xrand"
 )
 
@@ -80,83 +79,49 @@ type TIRMResult struct {
 	Iterations int
 }
 
-// covIndex abstracts the two coverage-bookkeeping modes: the paper's hard
-// removal (rrset.Collection) and the TIRM-W soft weights
-// (rrset.WeightedCollection). Scores are in "set mass" units: a candidate's
-// marginal revenue is cpe·n·δ(u)·score/θ, and Commit/CreditFrom return the
-// δ-scaled mass actually claimed (= δ·score at commit time).
-type covIndex interface {
-	AddFamily(v rrset.FamilyView)
-	NumSets() int
-	BestNode(eligible func(int32) bool) (node int32, score float64, ok bool)
-	TopNodes(k int, eligible func(int32) bool) (nodes []int32, scores []float64)
-	Commit(u int32, delta float64) float64
-	CreditFrom(u int32, delta float64, firstID int) float64
-	CoveredMass() float64
-	Drop(u int32)
-	MemBytes() int64
-}
-
-// hardIndex adapts rrset.Collection (Algorithm 2 semantics) to covIndex.
-type hardIndex struct{ c *rrset.Collection }
-
-func (h hardIndex) AddFamily(v rrset.FamilyView) { h.c.AddFamily(v) }
-func (h hardIndex) NumSets() int                 { return h.c.NumSets() }
-func (h hardIndex) BestNode(eligible func(int32) bool) (int32, float64, bool) {
-	u, cov, ok := h.c.BestNode(eligible)
-	return u, float64(cov), ok
-}
-func (h hardIndex) TopNodes(k int, eligible func(int32) bool) ([]int32, []float64) {
-	nodes, covs := h.c.TopNodes(k, eligible)
-	scores := make([]float64, len(covs))
-	for i, c := range covs {
-		scores[i] = float64(c)
-	}
-	return nodes, scores
-}
-func (h hardIndex) Commit(u int32, delta float64) float64 {
-	return delta * float64(h.c.CoverNode(u))
-}
-func (h hardIndex) CreditFrom(u int32, delta float64, firstID int) float64 {
-	return delta * float64(h.c.CountAndCoverFrom(u, firstID))
-}
-func (h hardIndex) CoveredMass() float64 { return float64(h.c.NumCovered()) }
-func (h hardIndex) Drop(u int32)         { h.c.Drop(u) }
-func (h hardIndex) MemBytes() int64      { return h.c.MemBytes() }
-
-// softIndex adapts rrset.WeightedCollection (TIRM-W) to covIndex.
-type softIndex struct{ c *rrset.WeightedCollection }
-
-func (s softIndex) AddFamily(v rrset.FamilyView) { s.c.AddFamily(v) }
-func (s softIndex) NumSets() int                 { return s.c.NumSets() }
-func (s softIndex) BestNode(eligible func(int32) bool) (int32, float64, bool) {
-	return s.c.BestNode(eligible)
-}
-func (s softIndex) TopNodes(k int, eligible func(int32) bool) ([]int32, []float64) {
-	return s.c.TopNodes(k, eligible)
-}
-func (s softIndex) Commit(u int32, delta float64) float64 { return s.c.Commit(u, delta) }
-func (s softIndex) CreditFrom(u int32, delta float64, firstID int) float64 {
-	return s.c.CreditFrom(u, delta, firstID)
-}
-func (s softIndex) CoveredMass() float64 { return s.c.CoveredMass() }
-func (s softIndex) Drop(u int32)         { s.c.Drop(u) }
-func (s softIndex) MemBytes() int64      { return s.c.MemBytes() }
-
 // kptFromWidths evaluates TIM's width statistic KPT(s) = n·mean(κ_s(R))/2
 // with κ_s(R) = 1 − (1 − ω(R)/m)^s over the fixed pilot sample, floored at
 // max(s, 1). The paper sizes θ with L(s, ε) at every seed-target revision;
 // re-running full KPT estimation each time would resample from scratch, so
 // we keep the pilot widths and recompute the statistic for the new s — the
 // same estimator on a fixed sample (documented substitution, DESIGN.md §3.5).
-func kptFromWidths(widths []int64, s int, n int, m int64) float64 {
+//
+// This sits on the warm-allocation hot path (every seed-target revision of
+// every request re-evaluates it), so the math.Pow per width is sidestepped
+// where the result provably cannot change: s == 1 reduces to the Pow
+// special case Pow(y, 1) == y, and memo — an optional caller-owned scratch
+// map, cleared here — caches the per-width term across the (few dozen)
+// distinct width values a pilot sample actually contains. Terms are summed
+// in width order with bit-identical values either way, so the result is
+// byte-for-byte the historical one.
+func kptFromWidths(widths []int64, s int, n int, m int64, memo map[int64]float64) float64 {
 	floor := math.Max(1, float64(s))
 	if len(widths) == 0 || m == 0 {
 		return floor
 	}
 	var sum float64
-	for _, w := range widths {
-		sum += 1 - math.Pow(1-float64(w)/float64(m), float64(s))
+	switch {
+	case s == 1:
+		for _, w := range widths {
+			// Pow(y, 1) returns y exactly, so 1 − y is the exact term.
+			sum += 1 - (1 - float64(w)/float64(m))
+		}
+	case memo != nil:
+		clear(memo)
+		fs := float64(s)
+		for _, w := range widths {
+			term, ok := memo[w]
+			if !ok {
+				term = 1 - math.Pow(1-float64(w)/float64(m), fs)
+				memo[w] = term
+			}
+			sum += term
+		}
+	default:
+		fs := float64(s)
+		for _, w := range widths {
+			sum += 1 - math.Pow(1-float64(w)/float64(m), fs)
+		}
 	}
 	kpt := float64(n) * (sum / float64(len(widths))) / 2
 	return math.Max(kpt, floor)

@@ -168,19 +168,19 @@ func TestTIRMRejectsInvalidInstance(t *testing.T) {
 
 func TestKptFromWidths(t *testing.T) {
 	// No widths or no edges: floor at max(1, s).
-	if v := kptFromWidths(nil, 3, 10, 5); v != 3 {
+	if v := kptFromWidths(nil, 3, 10, 5, nil); v != 3 {
 		t.Errorf("empty widths kpt %v", v)
 	}
-	if v := kptFromWidths([]int64{1, 2}, 2, 10, 0); v != 2 {
+	if v := kptFromWidths([]int64{1, 2}, 2, 10, 0, nil); v != 2 {
 		t.Errorf("zero-edge kpt %v", v)
 	}
 	// Hand check: widths {1,3}, s=1, n=10, m=4:
 	// κ = mean(1/4, 3/4) = 0.5 ⇒ kpt = 10·0.5/2 = 2.5.
-	if v := kptFromWidths([]int64{1, 3}, 1, 10, 4); math.Abs(v-2.5) > 1e-12 {
+	if v := kptFromWidths([]int64{1, 3}, 1, 10, 4, nil); math.Abs(v-2.5) > 1e-12 {
 		t.Errorf("kpt %v, want 2.5", v)
 	}
 	// Monotone in s.
-	if kptFromWidths([]int64{1, 3}, 2, 10, 4) <= kptFromWidths([]int64{1, 3}, 1, 10, 4) {
+	if kptFromWidths([]int64{1, 3}, 2, 10, 4, nil) <= kptFromWidths([]int64{1, 3}, 1, 10, 4, nil) {
 		t.Error("kpt not increasing in s")
 	}
 }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rrset"
+)
+
+// allocSnapshot captures everything a selection run reports that could
+// betray cross-run state leakage or parallel nondeterminism.
+type allocSnapshot struct {
+	Seeds      [][]int32
+	EstRevenue []float64
+	FinalTheta []int
+	Target     []int
+	Iterations int
+}
+
+func snapshotOf(res *TIRMResult) allocSnapshot {
+	return allocSnapshot{
+		Seeds:      res.Alloc.Seeds,
+		EstRevenue: res.EstRevenue,
+		FinalTheta: res.FinalTheta,
+		Target:     res.FinalSeedTarget,
+		Iterations: res.Iterations,
+	}
+}
+
+// TestAllocateFromIndexParallelAndPooled pins the tentpole invariant of the
+// workspace/parallel-scan refactor: allocations are byte-identical (seeds,
+// revenue estimates, θ, seed targets, iteration counts) across (a) serial
+// vs parallel per-ad scoring at any worker cap, (b) a cold workspace vs a
+// pooled one reused across many requests, and (c) soft vs hard coverage
+// modes each under all of the above.
+func TestAllocateFromIndexParallelAndPooled(t *testing.T) {
+	defer rrset.SetMaxWorkers(0)
+	inst := randomInstance(123, 80, 320, 4, 2, 0.01)
+	opts := TIRMOptions{Eps: 0.3, MinTheta: 2000, MaxTheta: 16000}
+
+	for _, soft := range []bool{false, true} {
+		o := opts
+		o.SoftCoverage = soft
+		idx, err := BuildIndex(inst, 9, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrset.SetMaxWorkers(1)
+		ref, err := AllocateFromIndex(idx, Request{Opts: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := snapshotOf(ref)
+
+		for _, workers := range []int{1, 2, 4, 0} {
+			rrset.SetMaxWorkers(workers)
+			pool := &WorkspacePool{}
+			for run := 0; run < 3; run++ {
+				res, err := AllocateFromIndex(idx, Request{Opts: o, Pool: pool})
+				if err != nil {
+					t.Fatalf("soft=%v workers=%d run=%d: %v", soft, workers, run, err)
+				}
+				if got := snapshotOf(res); !reflect.DeepEqual(got, want) {
+					t.Fatalf("soft=%v workers=%d run=%d diverged from serial run:\n got %+v\nwant %+v",
+						soft, workers, run, got, want)
+				}
+			}
+			hits, misses := pool.Stats()
+			if hits+misses != 3 || misses < 1 {
+				t.Fatalf("soft=%v workers=%d: pool stats hits=%d misses=%d, want 3 total", soft, workers, hits, misses)
+			}
+			if !raceDetectorOn && (misses != 1 || hits != 2) {
+				// The race runtime drops sync.Pool puts at random, so the
+				// exact split is only deterministic without it.
+				t.Fatalf("soft=%v workers=%d: pool stats hits=%d misses=%d, want 2/1", soft, workers, hits, misses)
+			}
+		}
+	}
+}
+
+// TestWorkspacePoolDefault confirms requests without an explicit pool share
+// the process-wide default (the second identical request must not
+// construct per-ad state from scratch — its workspace comes back warm).
+func TestWorkspacePoolDefault(t *testing.T) {
+	inst := randomInstance(321, 50, 200, 3, 1, 0)
+	opts := TIRMOptions{Eps: 0.3, MinTheta: 1000, MaxTheta: 8000}
+	idx, err := BuildIndex(inst, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AllocateFromIndex(idx, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := defaultWorkspacePool.Stats()
+	b, err := AllocateFromIndex(idx, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := defaultWorkspacePool.Stats()
+	if !raceDetectorOn && h1 <= h0 {
+		t.Fatalf("default pool hits did not advance (%d -> %d)", h0, h1)
+	}
+	if !reflect.DeepEqual(a.Alloc.Seeds, b.Alloc.Seeds) {
+		t.Fatal("pooled rerun diverged")
+	}
+}
+
+// TestWorkspaceReleaseDropsIndexRefs guards the pool-hygiene contract: a
+// parked workspace must hold no references into the index it last served
+// (sample handles, views, CTP vectors), so pooling never pins a retired
+// index's arenas live.
+func TestWorkspaceReleaseDropsIndexRefs(t *testing.T) {
+	inst := randomInstance(99, 40, 160, 2, 1, 0)
+	opts := TIRMOptions{Eps: 0.3, MinTheta: 500, MaxTheta: 4000}
+	idx, err := BuildIndex(inst, 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &WorkspacePool{}
+	if _, err := AllocateFromIndex(idx, Request{Opts: opts, Pool: pool}); err != nil {
+		t.Fatal(err)
+	}
+	ws := pool.get() // the workspace the run just parked
+	for i, a := range ws.slots {
+		if a.src != nil || a.ctps != nil || a.widths != nil || a.seeds != nil {
+			t.Fatalf("slot %d retains index references after release", i)
+		}
+		if a.col.hard != nil || a.col.soft != nil {
+			t.Fatalf("slot %d retains coverage state after release", i)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package rrset
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -55,8 +54,17 @@ func (s *covSegment) memBytes() int64 {
 // view. Rows are ascending, so each cut is one binary search (skipped for
 // the common row that lies entirely below k).
 func clipInverted(inv *Inverted, k int) []int32 {
+	return clipInvertedInto(inv, k, nil)
+}
+
+// clipInvertedInto is clipInverted writing into a reusable buffer (grown
+// when too small — every element is overwritten, so no clearing is needed).
+func clipInvertedInto(inv *Inverted, k int, cut []int32) []int32 {
 	n := inv.NumNodes()
-	cut := make([]int32, n)
+	if cap(cut) < n {
+		cut = make([]int32, n)
+	}
+	cut = cut[:n]
 	w := int32(k)
 	for u := 0; u < n; u++ {
 		ids := inv.IDs(int32(u))
@@ -67,6 +75,20 @@ func clipInverted(inv *Inverted, k int) []int32 {
 		cut[u] = int32(c)
 	}
 	return cut
+}
+
+// grownBools returns buf resized to n with every element false, reusing the
+// backing array when it is large enough (the clearing loop compiles to a
+// memclr).
+func grownBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
 }
 
 // Collection is a mutable coverage index over a growing family of RR-sets.
@@ -86,6 +108,14 @@ func clipInverted(inv *Inverted, k int) []int32 {
 // Sets live in flat CSR segments (see covSegment): per-set state is three
 // flat arrays and the heap, so a collection over millions of sets is a
 // handful of allocations and GC-quiet.
+//
+// The candidate heap is built lazily: construction, Reset, and AddFamily
+// only mark it stale, and the rebuild happens on the first operation that
+// observes or depends on it (BestNode/TopNodes, or a coverage mutation —
+// rebuilding before mutations keeps the heap's evolution, and therefore
+// tie-breaking among equal-coverage nodes, byte-identical to the historical
+// rebuild-on-add behavior). A collection that is built and thrown away
+// unqueried pays nothing for its heap.
 type Collection struct {
 	n       int
 	segs    []covSegment
@@ -94,7 +124,13 @@ type Collection struct {
 	cov     []int32 // node -> residual coverage (uncovered sets containing it)
 	ncov    int     // number of covered sets
 	pq      covHeap
+	stale   bool   // heap needs a rebuild before its next use
 	dead    []bool // node -> permanently ineligible (dropped from heap)
+
+	cut     []int32    // reusable cut-vector backing for Reset
+	aside   []covEntry // TopNodes scratch
+	seen    []uint64   // TopNodes per-call dedup stamps
+	seenGen uint64
 }
 
 // NewCollection creates an empty index over n nodes.
@@ -115,7 +151,15 @@ func (c *Collection) initHeap() {
 			c.pq = append(c.pq, covEntry{node: int32(u), cov: c.cov[u]})
 		}
 	}
-	heap.Init(&c.pq)
+	c.pq.init()
+}
+
+// syncHeap performs the deferred heap rebuild, if one is pending.
+func (c *Collection) syncHeap() {
+	if c.stale {
+		c.initHeap()
+		c.stale = false
+	}
 }
 
 // N returns the node-universe size.
@@ -145,9 +189,9 @@ func (c *Collection) NumSets() int { return c.numSets }
 func (c *Collection) NumCovered() int { return c.ncov }
 
 // Add appends one RR-set and updates coverage counts. Convenience surface
-// for tests and toy universes only: each call builds a one-set segment and
-// rebuilds the heap (O(n)), so looped Adds are quadratic — hot paths
-// append whole batches via AddBatch or AddFamily.
+// for tests and toy universes only: each call builds a one-set segment
+// (hot paths append whole batches via AddBatch or AddFamily); the heap
+// rebuild is deferred, so looped Adds cost O(members) each, not O(n).
 func (c *Collection) Add(set []int32) {
 	c.AddBatch([][]int32{set})
 }
@@ -162,9 +206,10 @@ func (c *Collection) AddBatch(sets [][]int32) {
 }
 
 // AddFamily appends a CSR view of freshly sampled sets as one segment,
-// building its inverted index in a single counting pass and refreshing the
-// candidate heap once (one entry per live node) — O(members + n) per
-// growth, with no per-membership allocation at all.
+// building its inverted index in a single counting pass and marking the
+// candidate heap for a deferred one-shot rebuild — O(members + n) per
+// growth, with no per-membership allocation and no heap work until the
+// next query needs it.
 func (c *Collection) AddFamily(v FamilyView) {
 	k := v.Len()
 	if k == 0 {
@@ -178,7 +223,32 @@ func (c *Collection) AddFamily(v FamilyView) {
 	for u := 0; u < c.n; u++ {
 		c.cov[u] += int32(inv.Count(int32(u)))
 	}
-	c.initHeap()
+	c.stale = true
+}
+
+// Reset reinitializes c as a warm-start collection over a shared sample
+// view and its prebuilt inverted index — the same state
+// NewCollectionFromFamily constructs, but recycling every backing array
+// (coverage counters, per-set flags, cut vector, heap and scratch
+// buffers), so a steady-state reset allocates nothing. All state from the
+// previous run, including views of a previous index, is dropped. inv must
+// satisfy the same prefix contract as in NewCollectionFromFamily.
+func (c *Collection) Reset(n int, v FamilyView, inv *Inverted) {
+	k := v.Len()
+	c.n = n
+	c.numSets = k
+	c.ncov = 0
+	c.covered = grownBools(c.covered, k)
+	c.dead = grownBools(c.dead, n)
+	c.cut = clipInvertedInto(inv, k, c.cut)
+	if cap(c.cov) < n {
+		c.cov = make([]int32, n)
+	}
+	c.cov = c.cov[:n]
+	copy(c.cov, c.cut)
+	c.segs = append(c.segs[:0], covSegment{base: 0, view: v, inv: inv, cut: c.cut})
+	c.pq = c.pq[:0]
+	c.stale = true
 }
 
 // NewCollectionFromFamily builds a collection over a prebuilt sample view
@@ -189,19 +259,8 @@ func (c *Collection) AddFamily(v FamilyView) {
 // prefix — rows may extend past v.Len() (the shared index usually holds
 // more sets than this run's θ); the excess is clipped, not copied.
 func NewCollectionFromFamily(n int, v FamilyView, inv *Inverted) *Collection {
-	c := &Collection{
-		n:       n,
-		numSets: v.Len(),
-		covered: make([]bool, v.Len()),
-		cov:     make([]int32, n),
-		dead:    make([]bool, n),
-	}
-	cut := clipInverted(inv, v.Len())
-	for u := 0; u < n; u++ {
-		c.cov[u] = cut[u]
-	}
-	c.segs = []covSegment{{base: 0, view: v, inv: inv, cut: cut}}
-	c.initHeap()
+	c := &Collection{}
+	c.Reset(n, v, inv)
 	return c
 }
 
@@ -215,28 +274,29 @@ func (c *Collection) Coverage(u int32) int { return int(c.cov[u]) }
 // every node is eligible. Nodes reported ineligible are dropped permanently
 // (callers use this for exhausted attention bounds, which never recover).
 func (c *Collection) BestNode(eligible func(int32) bool) (node int32, cov int, ok bool) {
-	for c.pq.Len() > 0 {
-		top := c.pq.peek()
+	c.syncHeap()
+	for len(c.pq) > 0 {
+		top := c.pq[0]
 		if c.dead[top.node] {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		cur := c.cov[top.node]
 		if top.cov != cur {
 			// Stale entry: refresh in place.
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			if cur > 0 {
-				heap.Push(&c.pq, covEntry{node: top.node, cov: cur})
+				c.pq.push(covEntry{node: top.node, cov: cur})
 			}
 			continue
 		}
 		if cur == 0 {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		if eligible != nil && !eligible(top.node) {
 			c.dead[top.node] = true
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		return top.node, int(cur), true
@@ -251,48 +311,66 @@ func (c *Collection) Drop(u int32) { c.dead[u] = true }
 // TopNodes returns up to k eligible nodes in decreasing residual-coverage
 // order (the candidates TIRM's CandidateDepth extension scores by regret
 // drop). Like BestNode it refreshes stale heap entries lazily and drops
-// ineligible nodes permanently; the heap is left intact.
+// ineligible nodes permanently; the heap is left intact. Allocation-free
+// callers use TopNodesInto.
 func (c *Collection) TopNodes(k int, eligible func(int32) bool) (nodes []int32, covs []int) {
-	var aside []covEntry
-	seen := map[int32]bool{}
-	for c.pq.Len() > 0 && len(nodes) < k {
-		top := c.pq.peek()
-		if seen[top.node] {
+	return c.TopNodesInto(k, eligible, nil, nil)
+}
+
+// TopNodesInto is TopNodes appending into caller-provided buffers (which
+// may be nil) instead of allocating fresh result slices — the serving hot
+// path calls it once per ad per greedy iteration, so the per-call garbage
+// of the convenience form (result slices plus a dedup map) would dominate a
+// warm allocation's profile. Scratch state lives on the collection;
+// returned slices alias the (possibly grown) buffers.
+func (c *Collection) TopNodesInto(k int, eligible func(int32) bool, nodes []int32, covs []int) ([]int32, []int) {
+	c.syncHeap()
+	nodes, covs = nodes[:0], covs[:0]
+	aside := c.aside[:0]
+	if len(c.seen) < c.n {
+		c.seen = make([]uint64, c.n)
+	}
+	c.seenGen++
+	gen := c.seenGen
+	for len(c.pq) > 0 && len(nodes) < k {
+		top := c.pq[0]
+		if c.seen[top.node] == gen {
 			// Stale-refresh cycles can leave duplicate fresh entries for a
 			// node; collect each node at most once per call.
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		if c.dead[top.node] {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		cur := c.cov[top.node]
 		if top.cov != cur {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			if cur > 0 {
-				heap.Push(&c.pq, covEntry{node: top.node, cov: cur})
+				c.pq.push(covEntry{node: top.node, cov: cur})
 			}
 			continue
 		}
 		if cur == 0 {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		if eligible != nil && !eligible(top.node) {
 			c.dead[top.node] = true
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
-		heap.Pop(&c.pq)
+		c.pq.pop()
 		aside = append(aside, top)
-		seen[top.node] = true
+		c.seen[top.node] = gen
 		nodes = append(nodes, top.node)
 		covs = append(covs, int(cur))
 	}
 	for _, e := range aside {
-		heap.Push(&c.pq, e)
+		c.pq.push(e)
 	}
+	c.aside = aside[:0]
 	return nodes, covs
 }
 
@@ -301,22 +379,69 @@ func (c *Collection) TopNodes(k int, eligible func(int32) bool) (nodes []int32, 
 // covered (u's residual coverage before the call). Segments are walked in
 // id order, so covering order matches the historical flat-list behavior
 // exactly.
+//
+// This is the single hottest loop of a warm allocation — every committed
+// seed retires its covered sets here — and the serving workload covers
+// mostly tiny sets, where the classic id → offsets → arena hop costs a
+// cache miss per set. The walk therefore prefers the inverted index's
+// cover join (one sequential record stream per node, members inlined; see
+// coverJoin), falling back to the arena hop for spilled sets and for
+// segments whose join was never prepared — per-request θ-growth segments
+// and hand-built collections, state too short-lived to amortize a join
+// build. Record order equals id order, so the covering
+// sequence — and with it every downstream estimate — is unchanged.
 func (c *Collection) CoverNode(u int32) int {
+	c.syncHeap()
 	covered := 0
+	cov, cvd := c.cov, c.covered
 	for si := range c.segs {
 		seg := &c.segs[si]
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		if j := seg.inv.preparedJoin(); j != nil {
+			limit := int32(seg.end())
+			row := j.row(u)
+			for p := 0; p < len(row); {
+				id, sz := row[p], row[p+1]
+				if id >= limit {
+					break
+				}
+				var members []int32
+				if sz == joinSpill {
+					p += 2
+					if cvd[id] {
+						continue
+					}
+					i := int(id - base)
+					members = mem[offs[i]:offs[i+1]]
+				} else {
+					members = row[p+2 : p+2+int(sz)]
+					p += 2 + int(sz)
+					if cvd[id] {
+						continue
+					}
+				}
+				cvd[id] = true
+				covered++
+				for _, w := range members {
+					cov[w]--
+				}
+			}
+			continue
+		}
 		for _, id := range seg.idsOf(u) {
-			if c.covered[id] {
+			if cvd[id] {
 				continue
 			}
-			c.covered[id] = true
-			c.ncov++
+			cvd[id] = true
 			covered++
-			for _, w := range seg.set(id) {
-				c.cov[w]--
+			i := int(id - base)
+			for _, w := range mem[offs[i]:offs[i+1]] {
+				cov[w]--
 			}
 		}
 	}
+	c.ncov += covered
 	if c.cov[u] != 0 {
 		panic(fmt.Sprintf("rrset: residual coverage of %d nonzero after CoverNode", u))
 	}
@@ -328,24 +453,29 @@ func (c *Collection) CoverNode(u int32) int {
 // UpdateEstimates uses it to re-credit already-chosen seeds with coverage
 // in freshly appended samples without double-counting across seeds.
 func (c *Collection) CountAndCoverFrom(u int32, firstID int) int {
+	c.syncHeap()
 	covered := 0
+	cov, cvd := c.cov, c.covered
 	for si := range c.segs {
 		seg := &c.segs[si]
 		if seg.end() <= firstID {
 			continue
 		}
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
 		for _, id := range seg.idsOf(u) {
-			if int(id) < firstID || c.covered[id] {
+			if int(id) < firstID || cvd[id] {
 				continue
 			}
-			c.covered[id] = true
-			c.ncov++
+			cvd[id] = true
 			covered++
-			for _, w := range seg.set(id) {
-				c.cov[w]--
+			i := int(id - base)
+			for _, w := range mem[offs[i]:offs[i+1]] {
+				cov[w]--
 			}
 		}
 	}
+	c.ncov += covered
 	return covered
 }
 
@@ -355,17 +485,67 @@ type covEntry struct {
 	cov  int32
 }
 
+// covHeap is a max-heap of coverage entries with concrete push/pop — the
+// same sift algorithm as container/heap (so heap layout, and therefore
+// tie-breaking among equal-coverage nodes, is bit-compatible with the
+// historical container/heap implementation) without the interface{}
+// boxing that allocated on every stale-entry refresh.
 type covHeap []covEntry
 
-func (h covHeap) Len() int            { return len(h) }
-func (h covHeap) Less(i, j int) bool  { return h[i].cov > h[j].cov }
-func (h covHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *covHeap) Push(x interface{}) { *h = append(*h, x.(covEntry)) }
-func (h *covHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h covHeap) less(i, j int) bool { return h[i].cov > h[j].cov }
+
+// init establishes the heap invariant over the full slice (container/heap
+// Init).
+func (h covHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
 }
-func (h covHeap) peek() covEntry { return h[0] }
+
+// push appends e and sifts it up (container/heap Push).
+func (h *covHeap) push(e covEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the max entry (container/heap Pop).
+func (h *covHeap) pop() covEntry {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+func (h covHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h covHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

@@ -1,7 +1,6 @@
 package rrset
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -28,6 +27,7 @@ import (
 //
 // Storage is the same flat CSR segment layout as Collection (covSegment);
 // the only per-set state beyond the shared arenas is the weight vector.
+// The candidate heap is rebuilt lazily exactly as in Collection.
 type WeightedCollection struct {
 	n       int
 	segs    []covSegment
@@ -36,7 +36,13 @@ type WeightedCollection struct {
 	wcov    []float64 // node -> Σ weights of sets containing it
 	claimed float64   // Σ_R (1 − w_R)
 	pq      wcovHeap
+	stale   bool
 	dead    []bool
+
+	cut     []int32     // reusable cut-vector backing for Reset
+	aside   []wcovEntry // TopNodes scratch
+	seen    []uint64    // TopNodes per-call dedup stamps
+	seenGen uint64
 }
 
 // NewWeightedCollection creates an empty weighted index over n nodes.
@@ -57,7 +63,15 @@ func (c *WeightedCollection) initHeap() {
 			c.pq = append(c.pq, wcovEntry{node: int32(u), wcov: c.wcov[u]})
 		}
 	}
-	heap.Init(&c.pq)
+	c.pq.init()
+}
+
+// syncHeap performs the deferred heap rebuild, if one is pending.
+func (c *WeightedCollection) syncHeap() {
+	if c.stale {
+		c.initHeap()
+		c.stale = false
+	}
 }
 
 // N returns the node-universe size.
@@ -72,8 +86,8 @@ func (c *WeightedCollection) NumSets() int { return c.numSets }
 func (c *WeightedCollection) CoveredMass() float64 { return c.claimed }
 
 // Add appends one RR-set with weight 1. Like Collection.Add this is a
-// convenience for tests and toy universes — each call costs O(n); hot
-// paths use AddBatch or AddFamily.
+// convenience for tests and toy universes; hot paths use AddBatch or
+// AddFamily.
 func (c *WeightedCollection) Add(set []int32) {
 	c.AddBatch([][]int32{set})
 }
@@ -88,8 +102,8 @@ func (c *WeightedCollection) AddBatch(sets [][]int32) {
 }
 
 // AddFamily appends a CSR view of fresh sets as one segment with weight 1
-// each, building its inverted index in one counting pass and refreshing the
-// heap once (see Collection.AddFamily).
+// each, building its inverted index in one counting pass and deferring the
+// heap rebuild to the next use (see Collection.AddFamily).
 func (c *WeightedCollection) AddFamily(v FamilyView) {
 	k := v.Len()
 	if k == 0 {
@@ -105,29 +119,44 @@ func (c *WeightedCollection) AddFamily(v FamilyView) {
 	for u := 0; u < c.n; u++ {
 		c.wcov[u] += float64(inv.Count(int32(u)))
 	}
-	c.initHeap()
+	c.stale = true
+}
+
+// Reset mirrors Collection.Reset for the soft-coverage mode: reinitialize
+// over a shared view and inverted index recycling every backing array
+// (weights included), so a steady-state reset allocates nothing.
+func (c *WeightedCollection) Reset(n int, v FamilyView, inv *Inverted) {
+	k := v.Len()
+	c.n = n
+	c.numSets = k
+	c.claimed = 0
+	if cap(c.weight) < k {
+		c.weight = make([]float64, k)
+	}
+	c.weight = c.weight[:k]
+	for i := range c.weight {
+		c.weight[i] = 1
+	}
+	c.dead = grownBools(c.dead, n)
+	c.cut = clipInvertedInto(inv, k, c.cut)
+	if cap(c.wcov) < n {
+		c.wcov = make([]float64, n)
+	}
+	c.wcov = c.wcov[:n]
+	for u := 0; u < n; u++ {
+		c.wcov[u] = float64(c.cut[u])
+	}
+	c.segs = append(c.segs[:0], covSegment{base: 0, view: v, inv: inv, cut: c.cut})
+	c.pq = c.pq[:0]
+	c.stale = true
 }
 
 // NewWeightedCollectionFromFamily mirrors rrset.NewCollectionFromFamily for
 // the soft-coverage mode: O(n log d) construction over a shared sample view
 // and inverted index (same row-clipping contract).
 func NewWeightedCollectionFromFamily(n int, v FamilyView, inv *Inverted) *WeightedCollection {
-	c := &WeightedCollection{
-		n:       n,
-		numSets: v.Len(),
-		weight:  make([]float64, v.Len()),
-		wcov:    make([]float64, n),
-		dead:    make([]bool, n),
-	}
-	for i := range c.weight {
-		c.weight[i] = 1
-	}
-	cut := clipInverted(inv, v.Len())
-	for u := 0; u < n; u++ {
-		c.wcov[u] = float64(cut[u])
-	}
-	c.segs = []covSegment{{base: 0, view: v, inv: inv, cut: cut}}
-	c.initHeap()
+	c := &WeightedCollection{}
+	c.Reset(n, v, inv)
 	return c
 }
 
@@ -144,27 +173,28 @@ const floatSlack = 1e-9
 // permanently (monotone eligibility), stale heap entries are refreshed
 // lazily — valid because wcov only decreases between Adds.
 func (c *WeightedCollection) BestNode(eligible func(int32) bool) (node int32, wcov float64, ok bool) {
-	for c.pq.Len() > 0 {
-		top := c.pq.peek()
+	c.syncHeap()
+	for len(c.pq) > 0 {
+		top := c.pq[0]
 		if c.dead[top.node] {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		cur := c.wcov[top.node]
 		if math.Abs(top.wcov-cur) > floatSlack*(1+math.Abs(cur)) {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			if cur > 0 {
-				heap.Push(&c.pq, wcovEntry{node: top.node, wcov: cur})
+				c.pq.push(wcovEntry{node: top.node, wcov: cur})
 			}
 			continue
 		}
 		if cur <= 0 {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		if eligible != nil && !eligible(top.node) {
 			c.dead[top.node] = true
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		return top.node, cur, true
@@ -176,48 +206,62 @@ func (c *WeightedCollection) BestNode(eligible func(int32) bool) (node int32, wc
 func (c *WeightedCollection) Drop(u int32) { c.dead[u] = true }
 
 // TopNodes returns up to k eligible nodes in decreasing weighted-coverage
-// order (see Collection.TopNodes).
+// order (see Collection.TopNodes). Allocation-free callers use
+// TopNodesInto.
 func (c *WeightedCollection) TopNodes(k int, eligible func(int32) bool) (nodes []int32, wcovs []float64) {
-	var aside []wcovEntry
-	seen := map[int32]bool{}
-	for c.pq.Len() > 0 && len(nodes) < k {
-		top := c.pq.peek()
-		if seen[top.node] {
+	return c.TopNodesInto(k, eligible, nil, nil)
+}
+
+// TopNodesInto is TopNodes appending into caller-provided buffers (which
+// may be nil) — see Collection.TopNodesInto for the contract.
+func (c *WeightedCollection) TopNodesInto(k int, eligible func(int32) bool, nodes []int32, wcovs []float64) ([]int32, []float64) {
+	c.syncHeap()
+	nodes, wcovs = nodes[:0], wcovs[:0]
+	aside := c.aside[:0]
+	if len(c.seen) < c.n {
+		c.seen = make([]uint64, c.n)
+	}
+	c.seenGen++
+	gen := c.seenGen
+	for len(c.pq) > 0 && len(nodes) < k {
+		top := c.pq[0]
+		if c.seen[top.node] == gen {
 			// Stale-refresh cycles can leave duplicate fresh entries for a
 			// node; collect each node at most once per call.
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		if c.dead[top.node] {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		cur := c.wcov[top.node]
 		if math.Abs(top.wcov-cur) > floatSlack*(1+math.Abs(cur)) {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			if cur > 0 {
-				heap.Push(&c.pq, wcovEntry{node: top.node, wcov: cur})
+				c.pq.push(wcovEntry{node: top.node, wcov: cur})
 			}
 			continue
 		}
 		if cur <= 0 {
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
 		if eligible != nil && !eligible(top.node) {
 			c.dead[top.node] = true
-			heap.Pop(&c.pq)
+			c.pq.pop()
 			continue
 		}
-		heap.Pop(&c.pq)
+		c.pq.pop()
 		aside = append(aside, top)
-		seen[top.node] = true
+		c.seen[top.node] = gen
 		nodes = append(nodes, top.node)
 		wcovs = append(wcovs, cur)
 	}
 	for _, e := range aside {
-		heap.Push(&c.pq, e)
+		c.pq.push(e)
 	}
+	c.aside = aside[:0]
 	return nodes, wcovs
 }
 
@@ -240,28 +284,73 @@ func (c *WeightedCollection) commitFrom(u int32, delta float64, firstID int) flo
 	if delta < 0 || delta > 1 {
 		panic("rrset: CTP out of [0,1]")
 	}
+	c.syncHeap()
 	var total float64
+	wcov, weight := c.wcov, c.weight
 	for si := range c.segs {
 		seg := &c.segs[si]
 		if seg.end() <= firstID {
+			continue
+		}
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		if j := seg.inv.preparedJoin(); j != nil {
+			// Sequential record-stream walk — see Collection.CoverNode for
+			// why this beats the per-set arena hop on the commit path.
+			limit := int32(seg.end())
+			first := int32(firstID)
+			row := j.row(u)
+			for p := 0; p < len(row); {
+				id, sz := row[p], row[p+1]
+				if id >= limit {
+					break
+				}
+				var members []int32
+				if sz == joinSpill {
+					p += 2
+					i := int(id - base)
+					members = mem[offs[i]:offs[i+1]]
+				} else {
+					members = row[p+2 : p+2+int(sz)]
+					p += 2 + int(sz)
+				}
+				if id < first {
+					continue
+				}
+				w := weight[id]
+				if w == 0 {
+					continue
+				}
+				dec := w * delta
+				weight[id] = w - dec
+				c.claimed += dec
+				total += dec
+				for _, x := range members {
+					wcov[x] -= dec
+					if wcov[x] < 0 {
+						wcov[x] = 0 // clamp float drift
+					}
+				}
+			}
 			continue
 		}
 		for _, id := range seg.idsOf(u) {
 			if int(id) < firstID {
 				continue
 			}
-			w := c.weight[id]
+			w := weight[id]
 			if w == 0 {
 				continue
 			}
 			dec := w * delta
-			c.weight[id] = w - dec
+			weight[id] = w - dec
 			c.claimed += dec
 			total += dec
-			for _, x := range seg.set(id) {
-				c.wcov[x] -= dec
-				if c.wcov[x] < 0 {
-					c.wcov[x] = 0 // clamp float drift
+			i := int(id - base)
+			for _, x := range mem[offs[i]:offs[i+1]] {
+				wcov[x] -= dec
+				if wcov[x] < 0 {
+					wcov[x] = 0 // clamp float drift
 				}
 			}
 		}
@@ -288,17 +377,63 @@ type wcovEntry struct {
 	wcov float64
 }
 
+// wcovHeap is covHeap's float-scored sibling: a max-heap with concrete
+// push/pop replicating container/heap's sift algorithm bit for bit.
 type wcovHeap []wcovEntry
 
-func (h wcovHeap) Len() int            { return len(h) }
-func (h wcovHeap) Less(i, j int) bool  { return h[i].wcov > h[j].wcov }
-func (h wcovHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wcovHeap) Push(x interface{}) { *h = append(*h, x.(wcovEntry)) }
-func (h *wcovHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h wcovHeap) less(i, j int) bool { return h[i].wcov > h[j].wcov }
+
+// init establishes the heap invariant over the full slice.
+func (h wcovHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
 }
-func (h wcovHeap) peek() wcovEntry { return h[0] }
+
+// push appends e and sifts it up.
+func (h *wcovHeap) push(e wcovEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the max entry.
+func (h *wcovHeap) pop() wcovEntry {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+func (h wcovHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h wcovHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeAllocate measures the serve layer end to end: parallel
+// HTTP clients firing POST /allocate at one cached index, the request
+// shape a production host actually sees. The index is built once before
+// the timer starts, so the loop prices exactly the per-request hot path —
+// JSON decode, cache hit, pooled warm AllocateFromIndex, JSON encode —
+// and its throughput tracks the warm-allocation work the workspace
+// pooling refactor targets. Run with -benchmem: the allocs/op here bound
+// what any transport-level tuning has left to chase.
+func BenchmarkServeAllocate(b *testing.B) {
+	srv := New(Options{Logf: func(string, ...any) {}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := AllocateRequest{
+		InstanceParams: InstanceParams{Dataset: "flixster", Seed: 1, Scale: 0.01},
+		Opts:           TIRMParams{Eps: 0.3, MinTheta: 2000, MaxTheta: 16000},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := func() error {
+		resp, err := http.Post(ts.URL+"/allocate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("allocate: HTTP %d", resp.StatusCode)
+		}
+		var out AllocateResponse
+		return json.NewDecoder(resp.Body).Decode(&out)
+	}
+	// First request pays the cold index build; everything timed is warm.
+	if err := warm(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/allocate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			var out AllocateResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				resp.Body.Close()
+				b.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("allocate: HTTP %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	hits, misses := srv.entries[req.Key()].pool.Stats()
+	b.ReportMetric(float64(hits)/float64(hits+misses), "pool-hit-rate")
+}

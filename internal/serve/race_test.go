@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// raceParams is the one cache entry every goroutine in the race test
+// hammers.
+var raceParams = InstanceParams{Dataset: "flixster", Seed: 3, Scale: 0.01}
+
+// raceOpts keeps the per-request selection cheap enough for -race.
+var raceOpts = TIRMParams{Eps: 0.3, MinTheta: 1500, MaxTheta: 8000}
+
+// postAllocate fires one POST /allocate and decodes the result without
+// touching testing.T (safe from worker goroutines).
+func postAllocate(url string, req AllocateRequest) (AllocateResponse, int, error) {
+	var out AllocateResponse
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return out, 0, err
+	}
+	resp, err := http.Post(url+"/allocate", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return out, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return out, resp.StatusCode, err
+		}
+	}
+	return out, resp.StatusCode, nil
+}
+
+// mutateOnce runs one add → spend → remove cycle against the entry. The
+// sequence is deterministic, so replaying it serially on a fresh server
+// reproduces the exact same index state (stream ids advance per add).
+func mutateOnce(t *testing.T, url string, spendAd string) {
+	t.Helper()
+	add := AddAdRequest{InstanceParams: raceParams, Ad: NewAdSpec{
+		Name: "race-ad", Budget: 9, CPE: 3, CTP: 0.02, Template: 0,
+	}}
+	if code := postJSON(t, url+"/ads", add, nil); code != http.StatusOK {
+		t.Fatalf("add ad: HTTP %d", code)
+	}
+	spend := SpendRequest{InstanceParams: raceParams, Spend: map[string]float64{spendAd: 2}}
+	if code := postJSON(t, url+"/spend", spend, nil); code != http.StatusOK {
+		t.Fatalf("spend: HTTP %d", code)
+	}
+	del, err := http.NewRequest(http.MethodDelete,
+		fmt.Sprintf("%s/ads/race-ad?dataset=%s&seed=%d&scale=%g", url, raceParams.Dataset, raceParams.Seed, raceParams.Scale), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove ad: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestServerAllocateRaceUnderMutation drives the pooled warm path the way
+// a live host gets hit: many goroutines firing mixed residual and plain
+// allocations at ONE cache entry (one index, one workspace pool) while
+// campaign mutations (POST /ads, POST /spend, DELETE /ads) advance its
+// epoch — run under -race in CI. Assertions:
+//
+//   - before any mutation, every concurrent response is byte-identical to
+//     a fresh-index core run (pooled workspaces leak no state);
+//   - during mutations, responses that report the same (epoch, ad set,
+//     spent budgets) carry identical seeds, and epoch races surface as
+//     clean 409s only;
+//   - after the storm, the hammered entry's allocation equals a fresh
+//     server's after a serial replay of the same mutation history.
+func TestServerAllocateRaceUnderMutation(t *testing.T) {
+	ts := testServer(t, Options{})
+
+	// Ground truth: the same instance and stream seed through the core API,
+	// with a workspace pool of its own — a fresh-index run.
+	inst := gen.Flixster(gen.Options{Seed: raceParams.Seed, Scale: raceParams.Scale})
+	idx, err := core.BuildIndex(inst, raceParams.Seed, core.TIRMOptions{MaxTheta: DefaultMaxTheta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AllocateFromIndex(idx, core.Request{Opts: raceOpts.toOptions(DefaultMaxTheta)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: concurrent mixed traffic, campaign untouched. Every response
+	// must match the fresh-index allocation exactly (an all-zero spend
+	// vector makes residual ≡ plain).
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				out, code, err := postAllocate(ts.URL, AllocateRequest{
+					InstanceParams: raceParams, Opts: raceOpts, Residual: g%2 == 0,
+				})
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Sprintf("phase1 g%d: code=%d err=%v", g, code, err)
+					return
+				}
+				if out.Epoch != 1 || !reflect.DeepEqual(out.Seeds, want.Alloc.Seeds) {
+					errs <- fmt.Sprintf("phase1 g%d: epoch %d seeds diverged from fresh-index run", g, out.Epoch)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Phase 2: hammer while a mutator advances the epoch. Responses are
+	// grouped by everything that legitimately shapes them; within a group
+	// the seeds must agree byte for byte.
+	adName := ""
+	{
+		var out AllocateResponse
+		if code := postJSON(t, ts.URL+"/allocate", AllocateRequest{InstanceParams: raceParams, Opts: raceOpts}, &out); code != http.StatusOK {
+			t.Fatalf("seed allocate: HTTP %d", code)
+		}
+		adName = out.AdNames[0]
+	}
+	var mu sync.Mutex
+	groups := map[string][][]int32{}
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, code, err := postAllocate(ts.URL, AllocateRequest{
+					InstanceParams: raceParams, Opts: raceOpts, Residual: g%2 == 0,
+				})
+				if err != nil {
+					errs <- fmt.Sprintf("phase2 g%d: %v", g, err)
+					return
+				}
+				if code == http.StatusConflict {
+					continue // epoch moved mid-request: the documented clean race outcome
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Sprintf("phase2 g%d: HTTP %d", g, code)
+					return
+				}
+				key := fmt.Sprintf("e%d|ads%v|spent%v", out.Epoch, out.AdNames, out.SpentBudgets)
+				mu.Lock()
+				if prev, ok := groups[key]; ok {
+					if !reflect.DeepEqual(prev, out.Seeds) {
+						mu.Unlock()
+						errs <- fmt.Sprintf("phase2 g%d: same campaign state %q, different seeds", g, key)
+						return
+					}
+				} else {
+					groups[key] = out.Seeds
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	const cycles = 3
+	for k := 0; k < cycles; k++ {
+		mutateOnce(t, ts.URL, adName)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 3: serial replay on a fresh server (fresh index, fresh pools)
+	// must land on the identical final allocation and spend ledger.
+	fresh := testServer(t, Options{})
+	if code := postJSON(t, fresh.URL+"/allocate", AllocateRequest{InstanceParams: raceParams, Opts: raceOpts}, nil); code != http.StatusOK {
+		t.Fatalf("fresh warm: HTTP %d", code)
+	}
+	for k := 0; k < cycles; k++ {
+		mutateOnce(t, fresh.URL, adName)
+	}
+	var gotOut, freshOut AllocateResponse
+	if code := postJSON(t, ts.URL+"/allocate", AllocateRequest{InstanceParams: raceParams, Opts: raceOpts, Residual: true}, &gotOut); code != http.StatusOK {
+		t.Fatalf("hammered final allocate: HTTP %d", code)
+	}
+	if code := postJSON(t, fresh.URL+"/allocate", AllocateRequest{InstanceParams: raceParams, Opts: raceOpts, Residual: true}, &freshOut); code != http.StatusOK {
+		t.Fatalf("fresh final allocate: HTTP %d", code)
+	}
+	if !reflect.DeepEqual(gotOut.SpentBudgets, freshOut.SpentBudgets) {
+		t.Fatalf("spend ledgers diverged: %v vs %v", gotOut.SpentBudgets, freshOut.SpentBudgets)
+	}
+	if !reflect.DeepEqual(gotOut.Seeds, freshOut.Seeds) {
+		t.Fatalf("hammered entry's final allocation diverged from the fresh-index replay:\n got %v\nwant %v",
+			gotOut.Seeds, freshOut.Seeds)
+	}
+	if gotOut.Epoch != freshOut.Epoch {
+		t.Fatalf("epochs diverged: %d vs %d", gotOut.Epoch, freshOut.Epoch)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/metrics"
 	"sort"
 	"strconv"
 	"strings"
@@ -139,6 +140,17 @@ type entry struct {
 	lastUsed atomic.Int64 // unix nanos, drives LRU eviction
 	hits     atomic.Int64
 	allocs   atomic.Int64
+
+	// pool recycles AllocateFromIndex workspaces across requests against
+	// this entry's index; attaching it here (rather than sharing one pool
+	// process-wide) keeps the recycled array shapes matched to the entry's
+	// node count and θ, and gives /stats a per-campaign hit/miss signal.
+	pool core.WorkspacePool
+	// allocObjects/allocBytes accumulate the runtime's heap-allocation
+	// deltas measured around each selection run (approximate when requests
+	// overlap — the counters are process-wide; see docs/API.md).
+	allocObjects atomic.Int64
+	allocBytes   atomic.Int64
 
 	// lifeMu serializes campaign mutations on this entry so name-uniqueness
 	// checks and the core epoch swap are atomic; allocations never take it
@@ -530,6 +542,20 @@ func (s *Server) saveSnapshot(e *entry) {
 	s.opts.Logf("serve: wrote snapshot %s", path)
 }
 
+// heapAllocSample reads the runtime's cumulative heap-allocation counters
+// (objects, bytes). Deltas around a selection run approximate its
+// allocation cost; with overlapping requests the counters attribute
+// concurrent activity too, so the figures are a fleet-level signal, not an
+// exact per-request measurement.
+func heapAllocSample() (objects, bytes int64) {
+	samples := []metrics.Sample{
+		{Name: "/gc/heap/allocs:objects"},
+		{Name: "/gc/heap/allocs:bytes"},
+	}
+	metrics.Read(samples)
+	return int64(samples[0].Value.Uint64()), int64(samples[1].Value.Uint64())
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -594,6 +620,15 @@ type EntryStats struct {
 	Hits         int64   `json:"hits"`
 	Allocations  int64   `json:"allocations"`
 	SpentTotal   float64 `json:"spentTotal,omitempty"`
+	// WorkspaceHits/WorkspaceMisses count workspace-pool recycles vs fresh
+	// constructions for this entry's allocations; a healthy steady state is
+	// all hits after the first request per concurrency level.
+	WorkspaceHits   int64 `json:"workspaceHits"`
+	WorkspaceMisses int64 `json:"workspaceMisses"`
+	// AllocObjectsPerRequest/AllocBytesPerRequest average the heap
+	// allocation deltas sampled around this entry's selection runs.
+	AllocObjectsPerRequest float64 `json:"allocObjectsPerRequest,omitempty"`
+	AllocBytesPerRequest   float64 `json:"allocBytesPerRequest,omitempty"`
 }
 
 // StatsResponse is GET /stats. IndexMemBytes figures are exact — the flat
@@ -612,7 +647,11 @@ type StatsResponse struct {
 	SpendUpdates      int64            `json:"spendUpdates"`
 	IndexMemBytes     int64            `json:"indexMemBytes"`
 	IndexMemByDataset map[string]int64 `json:"indexMemByDataset"`
-	Entries           []EntryStats     `json:"entries"`
+	// WorkspaceHits/WorkspaceMisses aggregate the per-entry workspace-pool
+	// counters over the live cache (evicted entries drop out).
+	WorkspaceHits   int64        `json:"workspaceHits"`
+	WorkspaceMisses int64        `json:"workspaceMisses"`
+	Entries         []EntryStats `json:"entries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -643,12 +682,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			continue // instance still generating; skip rather than block
 		}
 		inst := e.currentInst()
+		wsHits, wsMisses := e.pool.Stats()
 		es := EntryStats{
-			Key:         e.key,
-			NumAds:      len(inst.Ads),
-			Hits:        e.hits.Load(),
-			Allocations: e.allocs.Load(),
+			Key:             e.key,
+			NumAds:          len(inst.Ads),
+			Hits:            e.hits.Load(),
+			Allocations:     e.allocs.Load(),
+			WorkspaceHits:   wsHits,
+			WorkspaceMisses: wsMisses,
 		}
+		if runs := e.allocs.Load(); runs > 0 {
+			es.AllocObjectsPerRequest = float64(e.allocObjects.Load()) / float64(runs)
+			es.AllocBytesPerRequest = float64(e.allocBytes.Load()) / float64(runs)
+		}
+		resp.WorkspaceHits += wsHits
+		resp.WorkspaceMisses += wsMisses
 		e.spendMu.Lock()
 		for _, ad := range inst.Ads {
 			es.SpentTotal += e.spent[ad.Name]
@@ -736,6 +784,11 @@ type AllocateResponse struct {
 	IndexMemBytes int64     `json:"indexMemBytes"`
 	AdNames       []string  `json:"adNames"`
 	SpentBudgets  []float64 `json:"spentBudgets,omitempty"`
+	// AllocObjects/AllocBytes are the process heap-allocation deltas
+	// measured around this selection run — approximate when requests
+	// overlap (see GET /stats for the per-entry aggregates).
+	AllocObjects int64 `json:"allocObjects"`
+	AllocBytes   int64 `json:"allocBytes"`
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -773,6 +826,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		CPEs:    req.CPEs,
 		Lambda:  req.Lambda,
 		Epoch:   epoch,
+		Pool:    &e.pool,
 	}
 	if req.Kappa > 0 {
 		coreReq.Kappa = core.ConstKappa(req.Kappa)
@@ -781,7 +835,10 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		coreReq.SpentBudget = e.spendVector(curInst)
 	}
 	started := time.Now()
+	objBefore, bytesBefore := heapAllocSample()
 	res, err := core.AllocateFromIndex(idx, coreReq)
+	objAfter, bytesAfter := heapAllocSample()
+	allocObjects, allocBytes := objAfter-objBefore, bytesAfter-bytesBefore
 	if err != nil {
 		if errors.Is(err, core.ErrStaleEpoch) {
 			httpError(w, http.StatusConflict, "campaign set changed mid-request, retry: %v", err)
@@ -791,6 +848,10 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.allocs.Add(1)
+	// Accumulated only for successful runs: e.allocs is the divisor of the
+	// /stats per-request averages, so failed runs must not contribute.
+	e.allocObjects.Add(allocObjects)
+	e.allocBytes.Add(allocBytes)
 	for i, s := range res.Alloc.Seeds {
 		if s == nil {
 			res.Alloc.Seeds[i] = []int32{} // JSON: [] for empty, never null
@@ -841,6 +902,8 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		IndexMemBytes: idx.MemBytes(),
 		AdNames:       names,
 		SpentBudgets:  coreReq.SpentBudget,
+		AllocObjects:  allocObjects,
+		AllocBytes:    allocBytes,
 	}
 	if cold {
 		resp.BuildSeconds = e.buildSec

@@ -165,6 +165,10 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 
 	events := xrand.New(seed).Split(0xe7e)
 	evalRoot := xrand.New(seed).Split(0x5c0)
+	// One pool for the whole run: every periodic/churn re-allocation after
+	// the first recycles its selection workspace, which is what keeps the
+	// lifecycle loop's steady-state rounds allocation-quiet.
+	pool := &core.WorkspacePool{}
 
 	res := &Result{Trace: make([]RoundReport, 0, cfg.Rounds)}
 	fates := make(map[string]*AdFate, len(inst.Ads))
@@ -222,6 +226,7 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 				Opts:        cfg.Opts,
 				SpentBudget: spentVec,
 				Epoch:       epoch,
+				Pool:        pool,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d re-allocation: %w", r, err)

@@ -83,6 +83,10 @@ type (
 	Index = core.Index
 	// AllocRequest parameterizes one selection run against an Index.
 	AllocRequest = core.Request
+	// AllocWorkspacePool recycles the per-request selection state of
+	// AllocateFromIndex (set it as AllocRequest.Pool); reuse makes warm
+	// allocations nearly allocation-free without changing their results.
+	AllocWorkspacePool = core.WorkspacePool
 	// GreedyOptions configures Algorithm 1.
 	GreedyOptions = core.GreedyOptions
 	// GreedyResult reports Algorithm 1's allocation.
@@ -119,7 +123,11 @@ func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
 
 // AllocateFromIndex runs TIRM's greedy selection stage against a prebuilt
 // index. Safe for concurrent use; the index grows on demand if the request
-// needs a larger sample than any before it.
+// needs a larger sample than any before it. Transient selection state is
+// recycled through AllocRequest.Pool (a process-wide default when nil), so
+// steady-state warm calls allocate almost nothing; long-lived hosts
+// serving many indexes should dedicate an AllocWorkspacePool per index,
+// as internal/serve does.
 func AllocateFromIndex(idx *Index, req AllocRequest) (*TIRMResult, error) {
 	return core.AllocateFromIndex(idx, req)
 }
