@@ -3,26 +3,34 @@ GO ?= go
 # Fast packages worth the race detector on every run; the root package's
 # paper-replication tests are slower and covered by `test`.
 RACE_PKGS = ./internal/core/... ./internal/rrset/... ./internal/serve/... \
-            ./internal/sim/... \
+            ./internal/sim/... ./internal/shard/... \
             ./internal/graph/... ./internal/xrand/... ./internal/topic/...
 
 # Packages whose exported API must stay fully documented (docs-check);
 # cmd/doccheck walks the ASTs, so the gate needs no external tooling.
-DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim
+DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim \
+           ./internal/shard
 
 # Hot-path benchmarks guarded by `make bench` and CI: index build/warm, the
 # snapshot codec — the paths the flat-arena (CSR) layout is accountable
-# for — the campaign-lifecycle simulation workload, and the serve-layer
-# request path (workspace pooling + HTTP). BENCH_index.json captures the
-# machine-readable (test2json) stream for regression tracking across PRs.
-BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkWarmWorkspaceReuse|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim|BenchmarkServeAllocate
-BENCH_PKGS    = . ./internal/rrset ./internal/sim ./internal/serve
+# for — the campaign-lifecycle simulation workload, the serve-layer
+# request path (workspace pooling + HTTP), and the sharded scatter-gather
+# allocation at K = 1..8. BENCH_index.json captures the machine-readable
+# (test2json) stream for regression tracking across PRs.
+#
+# Bench artifacts: BENCH_index.json is the ONLY committed baseline —
+# re-baseline deliberately with `mv BENCH_head.json BENCH_index.json`
+# after a reviewed perf change. BENCH_head.json is the throwaway stream
+# `make bench-compare` writes for the current HEAD; it is .gitignore'd and
+# must never be committed.
+BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkWarmWorkspaceReuse|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim|BenchmarkServeAllocate|BenchmarkShardedAllocate
+BENCH_PKGS    = . ./internal/rrset ./internal/sim ./internal/serve ./internal/shard
 
 # Extra flags for bench-compare (CI passes "-benchtime 1x -short" to keep
 # the non-gating delta step cheap).
 BENCH_FLAGS ?=
 
-.PHONY: ci build vet fmt-check docs-check test race bench bench-all bench-ci bench-compare serve
+.PHONY: ci build vet fmt-check docs-check test race bench bench-all bench-ci bench-compare bench-gate serve
 
 ci: vet fmt-check docs-check build test race bench-ci
 
@@ -71,6 +79,16 @@ bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 \
 	    $(BENCH_FLAGS) -json $(BENCH_PKGS) > BENCH_head.json
 	$(GO) run ./cmd/benchdiff BENCH_index.json BENCH_head.json
+
+# bench-compare with teeth: fail when any benchmark's time/op regressed
+# more than MAX_REGRESS percent vs the committed baseline. Opt-in — the
+# default CI delta step stays non-gating; flip a workflow to
+# `make bench-gate` (ideally with -count>1 baselines) to enforce it.
+MAX_REGRESS ?= 20
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 \
+	    $(BENCH_FLAGS) -json $(BENCH_PKGS) > BENCH_head.json
+	$(GO) run ./cmd/benchdiff -max-regress $(MAX_REGRESS) BENCH_index.json BENCH_head.json
 
 # The full paper-replication benchmark suite (slow).
 bench-all:

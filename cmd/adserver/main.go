@@ -52,21 +52,38 @@ func main() {
 		maxTheta  = flag.Int("maxtheta", serve.DefaultMaxTheta, "server-side cap on per-ad RR sample size")
 		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS); pin it so index builds don't saturate every core of a serving host")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, allocs, goroutine profiles; see EXPERIMENTS.md for a hot-path profiling walkthrough)")
+		shards    = flag.String("shards", "", "comma-separated adshard addresses (host:port, in slot order): serve /allocate by distributed scatter-gather over this cluster instead of a local index")
 	)
 	flag.Parse()
 	rrset.SetMaxWorkers(*workers)
-	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta, *pprofOn); err != nil {
+	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta, *pprofOn, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "adserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, snapshots, preload string, maxScale float64, maxTheta int, pprofOn bool) error {
-	srv := serve.New(serve.Options{
+func run(addr, snapshots, preload string, maxScale float64, maxTheta int, pprofOn bool, shards string) error {
+	opts := serve.Options{
 		SnapshotDir: snapshots,
 		MaxScale:    maxScale,
 		MaxTheta:    maxTheta,
-	})
+	}
+	if shards != "" {
+		for _, a := range strings.Split(shards, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opts.Shards = append(opts.Shards, a)
+			}
+		}
+	}
+	srv := serve.New(opts)
+	if len(opts.Shards) > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := srv.ConnectShards(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
 
 	if preload != "" {
 		for _, spec := range strings.Split(preload, ",") {

@@ -1,0 +1,179 @@
+// Command adshard runs one shard of a partitioned allocation cluster: it
+// generates the named dataset locally (instances never cross the wire),
+// samples exactly its slice of every ad's deterministic RR block stream,
+// and answers the coordinator's coverage/marginal-gain/commit RPCs over
+// HTTP/JSON (see internal/shard). Point an adserver at the full cluster
+// with -shards to serve distributed allocations.
+//
+// Usage (a 2-shard cluster plus coordinator):
+//
+//	adshard  -addr :9101 -dataset flixster -seed 1 -scale 0.02 -shard 0 -shards 2
+//	adshard  -addr :9102 -dataset flixster -seed 1 -scale 0.02 -shard 1 -shards 2
+//	adserver -addr :8080 -shards localhost:9101,localhost:9102
+//
+// Every shard of a cluster must be launched with identical dataset
+// parameters and -shards K; the coordinator refuses mismatched clusters
+// (instance fingerprints, K, and slot ids are all validated).
+//
+// With -snapshots set, the shard persists its slice in the index snapshot
+// format (v4, which carries the partition manifest) and restarts warm;
+// a snapshot taken for a different slice or instance refuses to load.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rrset"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9101", "listen address")
+		dataset   = flag.String("dataset", "flixster", "dataset generator (see adserver /datasets)")
+		seed      = flag.Uint64("seed", 1, "instance + stream seed (must match the whole cluster)")
+		scale     = flag.Float64("scale", 0.02, "dataset scale")
+		ads       = flag.Int("ads", 0, "advertiser count override (0 = dataset default)")
+		shardID   = flag.Int("shard", 0, "this shard's slot in [0, shards)")
+		numShards = flag.Int("shards", 1, "cluster size K")
+		snapshots = flag.String("snapshots", "", "directory for shard snapshots (empty = in-memory only)")
+		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	rrset.SetMaxWorkers(*workers)
+	if err := run(*addr, *dataset, *seed, *scale, *ads, *shardID, *numShards, *snapshots); err != nil {
+		fmt.Fprintln(os.Stderr, "adshard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShards int, snapshots string) error {
+	p, err := shard.NewPartitioner(numShards)
+	if err != nil {
+		return err
+	}
+	if shardID < 0 || shardID >= numShards {
+		return fmt.Errorf("shard %d out of range [0, %d)", shardID, numShards)
+	}
+	part := p.Range(shardID)
+	params := serve.InstanceParams{Dataset: dataset, Seed: seed, Scale: scale, NumAds: ads}
+	log.Printf("adshard: generating %s (slice %d/%d)", params.Key(), shardID, numShards)
+	roster, err := serve.BuildDataset(params)
+	if err != nil {
+		return err
+	}
+
+	var s *shard.Shard
+	snapPath := ""
+	if snapshots != "" {
+		snapPath = filepath.Join(snapshots, fmt.Sprintf("%s-of-%d-%d.adix",
+			sanitize(params.Key()), numShards, shardID))
+	}
+	if snapPath != "" {
+		if f, err := os.Open(snapPath); err == nil {
+			idx, lerr := core.LoadShardIndexSnapshot(roster, part, f)
+			f.Close()
+			if lerr == nil {
+				if s, lerr = shard.NewShardFromIndex(roster, idx); lerr == nil {
+					log.Printf("adshard: loaded slice from %s (%.1f MB)", snapPath, float64(idx.MemBytes())/1e6)
+				}
+			}
+			if lerr != nil {
+				log.Printf("adshard: snapshot %s unusable (%v); rebuilding", snapPath, lerr)
+				s = nil
+			}
+		}
+	}
+	if s == nil {
+		if s, err = shard.NewShard(roster, 0, seed, part); err != nil {
+			return err
+		}
+	}
+	s.Dataset = shard.DatasetParams{Name: dataset, Seed: seed, Scale: scale, NumAds: ads}
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("adshard: slice %d/%d of %s listening on %s", shardID, numShards, params.Key(), addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("adshard: %v, draining and shutting down", sig)
+		s.Drain()
+		saveSnapshot(s, snapshots, snapPath)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveSnapshot persists the shard's slice (write temp + rename, so a crash
+// never leaves a torn file). Failures are logged, never fatal.
+func saveSnapshot(s *shard.Shard, dir, path string) {
+	if path == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("adshard: snapshot dir: %v", err)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".adix-*")
+	if err != nil {
+		log.Printf("adshard: snapshot temp: %v", err)
+		return
+	}
+	err = s.Index().WriteSnapshot(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		log.Printf("adshard: snapshot %s: %v", path, err)
+		return
+	}
+	log.Printf("adshard: wrote snapshot %s", path)
+}
+
+// sanitize maps a cache key onto a filesystem-safe name (same rule as the
+// serve layer's snapshot paths).
+func sanitize(key string) string {
+	out := make([]rune, 0, len(key))
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_', r == '=':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -4,18 +4,22 @@
 // `make bench-compare`, which benchmarks HEAD and diffs it against the
 // committed baseline so a PR's hot-path effect is visible at a glance:
 //
-//	benchdiff OLD.json NEW.json
+//	benchdiff [-max-regress pct] OLD.json NEW.json
 //
 // For every benchmark present in either stream it prints ns/op, B/op, and
 // allocs/op side by side with the relative change; benchmarks missing from
-// one side are listed as added/removed. The tool never fails on
+// one side are listed as added/removed. By default the tool never fails on
 // regressions (the comparison step is deliberately non-gating in CI); it
-// exits non-zero only for unreadable or unparseable inputs.
+// exits non-zero only for unreadable or unparseable inputs. With
+// -max-regress set, any benchmark whose ns/op regressed by more than that
+// percentage additionally fails the run with exit code 3 — the opt-in
+// `make bench-gate` target CI can use to hard-fail hot-path regressions.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -129,16 +133,20 @@ func human(v float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	maxRegress := flag.Float64("max-regress", 0,
+		"fail (exit 3) when any benchmark's ns/op regressed by more than this percentage (0 = never fail)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRes, err := parseStream(os.Args[1])
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldRes, err := parseStream(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	newRes, err := parseStream(os.Args[2])
+	newRes, err := parseStream(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
@@ -157,7 +165,8 @@ func main() {
 	}
 	sort.Strings(sorted)
 
-	fmt.Printf("benchdiff: %s vs %s\n", os.Args[1], os.Args[2])
+	fmt.Printf("benchdiff: %s vs %s\n", oldPath, newPath)
+	var regressed []string
 	for _, n := range sorted {
 		o, haveOld := oldRes[n]
 		nw, haveNew := newRes[n]
@@ -172,6 +181,18 @@ func main() {
 				fmt.Printf("  %-55s %s, %s\n", "",
 					delta(o.bOp, nw.bOp, "B/op"), delta(o.allocs, nw.allocs, "allocs/op"))
 			}
+			if *maxRegress > 0 && o.nsOp > 0 {
+				if pct := 100 * (nw.nsOp - o.nsOp) / o.nsOp; pct > *maxRegress {
+					regressed = append(regressed, fmt.Sprintf("%s (+%.1f%% ns/op)", n, pct))
+				}
+			}
 		}
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past the %.0f%% gate:\n", len(regressed), *maxRegress)
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(3)
 	}
 }

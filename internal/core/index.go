@@ -39,7 +39,16 @@ import (
 // consistent view it captured, concurrent with any number of epoch swaps
 // (see Epoch).
 type Index struct {
-	seed    uint64
+	seed uint64
+	// part is the index's slice of every ad's block stream. The identity
+	// partition (single node) owns the whole stream; a shard index
+	// (BuildShardIndex) samples only its own blocks, stores them as a
+	// contiguous local arena in ascending global order, and answers the
+	// global-position queries of EpochView by translating through part.
+	// Selection over a non-identity index is meaningless on its own —
+	// AllocateFromIndex refuses it; the shard coordinator (internal/shard)
+	// aggregates coverage across the full partition instead.
+	part    rrset.StreamPartition
 	curr    atomic.Pointer[indexEpoch]
 	mu      sync.Mutex // serializes AddAd/RemoveAd epoch swaps
 	next    uint64     // next ad stream id to assign (guarded by mu)
@@ -71,13 +80,18 @@ var ErrStaleEpoch = errors.New("core: index epoch changed since the request was 
 // sets — and snapshots serialize it in bulk.
 type adSample struct {
 	stream  uint64 // stream id: the Split index of rng under the index seed
+	part    rrset.StreamPartition
 	mu      sync.Mutex
 	sampler *rrset.Sampler
 	rng     *xrand.Rand // ad stream root; block b samples from rng.Split(b)
 	fam     *rrset.SetFamily
-	widths  []int64 // widths[i] = ω(set i), for KPT refreshes
-	inv     *rrset.Inverted
-	invLen  int // sets covered by inv; may lag fam until a view needs it
+	// streamLen is the global block-aligned stream prefix the local arena
+	// covers: every part-owned block below it is sampled. For the identity
+	// partition it always equals fam.Len().
+	streamLen int
+	widths    []int64 // widths[i] = ω(local set i), for KPT refreshes
+	inv       *rrset.Inverted
+	invLen    int // local sets covered by inv; may lag fam until a view needs it
 	// kptCache memoizes kptFromWidths over this ad's immutable pilot
 	// widths, keyed by (pilot size, seed target): steady serving traffic
 	// revisits the same handful of keys on every request, and each hit
@@ -123,21 +137,27 @@ func (a *adSample) kptFor(widths []int64, s, n int, m int64, memo map[int64]floa
 	return v
 }
 
-// ensure extends the sample to at least want sets (growth rounds up to a
-// block boundary, so fresh can exceed the shortfall). The inverted index is
+// ensure extends the sample so the local arena covers the global stream
+// prefix [0, want) — i.e. every part-owned set below want (growth rounds up
+// to a block boundary, so fresh can exceed the shortfall; for the identity
+// partition "covers" means "holds all of it"). The inverted index is
 // NOT touched here: prefix/window consumers never need it, so growth stays
-// O(new members) and the rebuild is deferred to syncInv. Caller holds a.mu.
+// O(new members) and the rebuild is deferred to syncInv. fresh counts local
+// sets drawn, which summed across a full partition equals the global
+// count. Caller holds a.mu.
 func (a *adSample) ensure(want int) (fresh int64) {
-	if want <= a.fam.Len() {
+	to := rrset.StreamCeil(want)
+	if a.part.LocalCount(to) <= a.fam.Len() {
 		return 0
 	}
-	from, to := a.fam.Len(), rrset.StreamCeil(want)
-	a.sampler.SampleRangeRRInto(from, to, a.rng, a.fam)
+	before := a.fam.Len()
+	a.sampler.SampleShardRangeRRInto(a.part, a.streamLen, to, a.rng, a.fam)
+	a.streamLen = to
 	g := a.sampler.Graph()
-	for i := from; i < to; i++ {
+	for i := before; i < a.fam.Len(); i++ {
 		a.widths = append(a.widths, rrset.Width(g, a.fam.Set(i)))
 	}
-	return int64(to - from)
+	return int64(a.fam.Len() - before)
 }
 
 // syncInv makes the inverted index cover at least the first want sets,
@@ -170,7 +190,8 @@ func (a *adSample) prefix(want int) (v rrset.FamilyView, widths []int64, fresh i
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	fresh = a.ensure(want)
-	return a.fam.Prefix(want), a.widths[:want:want], fresh
+	lw := a.part.LocalCount(want)
+	return a.fam.Prefix(lw), a.widths[:lw:lw], fresh
 }
 
 // view is prefix plus the shared inverted index — the O(n log d) warm-start
@@ -182,18 +203,19 @@ func (a *adSample) view(want int) (v rrset.FamilyView, widths []int64, inv *rrse
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	fresh = a.ensure(want)
-	a.syncInv(want)
-	return a.fam.Prefix(want), a.widths[:want:want], a.inv, fresh
+	lw := a.part.LocalCount(want)
+	a.syncInv(lw)
+	return a.fam.Prefix(lw), a.widths[:lw:lw], a.inv, fresh
 }
 
-// window returns sets [from, to) as a stable view, growing the sample if
-// needed — the slice a selection run feeds to its coverage state when θ
-// grows mid-run.
+// window returns the local slice of global stream sets [from, to) as a
+// stable view, growing the sample if needed — the slice a selection run
+// feeds to its coverage state when θ grows mid-run.
 func (a *adSample) window(from, to int) (v rrset.FamilyView, fresh int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	fresh = a.ensure(to)
-	return a.fam.Window(from, to), fresh
+	return a.fam.Window(a.part.LocalCount(from), a.part.LocalCount(to)), fresh
 }
 
 // size returns the number of sets currently stored.
@@ -228,7 +250,7 @@ func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	idx := newIndexSkeleton(inst, seed)
+	idx := newIndexSkeleton(inst, seed, rrset.StreamPartition{})
 	ep := idx.curr.Load()
 	var wg sync.WaitGroup
 	for _, a := range ep.ads {
@@ -240,6 +262,23 @@ func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
 	}
 	wg.Wait()
 	return idx, nil
+}
+
+// BuildShardIndex creates the index for one shard of a stream partition:
+// per-ad samples that hold only the part-owned blocks of every stream, in
+// ascending global order. No presampling happens here — a shard cannot
+// size θ on its own (KPT needs the pilot widths of the *whole* stream), so
+// the shard coordinator drives warm-up globally through EpochView. A
+// sharded index refuses AllocateFromIndex; it is a sample store for
+// internal/shard.
+func BuildShardIndex(inst *Instance, seed uint64, part rrset.StreamPartition) (*Index, error) {
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return newIndexSkeleton(inst, seed, part), nil
 }
 
 // presample extends one ad's sample to the size TIRM's initialization would
@@ -265,8 +304,8 @@ func (idx *Index) presample(a *adSample, opts TIRMOptions) {
 // build followed by AddAd calls byte-identical to a cold build over the
 // final ad set: stream ids always equal the positions a cold BuildIndex
 // would assign, as long as no ad was removed in between.
-func newIndexSkeleton(inst *Instance, seed uint64) *Index {
-	idx := &Index{seed: seed, next: uint64(len(inst.Ads))}
+func newIndexSkeleton(inst *Instance, seed uint64, part rrset.StreamPartition) *Index {
+	idx := &Index{seed: seed, part: part, next: uint64(len(inst.Ads))}
 	ads := make([]*adSample, len(inst.Ads))
 	for j, spec := range inst.Ads {
 		ads[j] = idx.newAdSample(inst.G, spec.Params.Probs, uint64(j))
@@ -279,6 +318,7 @@ func newIndexSkeleton(inst *Instance, seed uint64) *Index {
 func (idx *Index) newAdSample(g *graph.Graph, probs []float32, stream uint64) *adSample {
 	return &adSample{
 		stream:  stream,
+		part:    idx.part,
 		sampler: rrset.NewSampler(g, probs, nil),
 		rng:     xrand.New(idx.seed).Split(stream),
 		fam:     rrset.NewSetFamily(),
@@ -303,7 +343,12 @@ func (idx *Index) AddAd(ad Ad, opts TIRMOptions) (int, error) {
 	opts = opts.withDefaults()
 	a := idx.newAdSample(old.inst.G, ad.Params.Probs, idx.next)
 	idx.next++
-	idx.presample(a, opts)
+	if idx.part.IsIdentity() {
+		// A shard cannot presample to a sensible depth on its own (the θ
+		// target needs whole-stream pilot widths); the coordinator warms the
+		// new ad across the partition after the broadcast instead.
+		idx.presample(a, opts)
+	}
 
 	specs := make([]Ad, 0, len(old.inst.Ads)+1)
 	specs = append(specs, old.inst.Ads...)
@@ -549,6 +594,10 @@ func AllocateFromIndex(idx *Index, req Request) (*TIRMResult, error) {
 // view an allocation keeps for its whole run, no matter how many campaign
 // mutations land concurrently.
 func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error) {
+	if !idx.part.IsIdentity() {
+		return nil, fmt.Errorf("core: index holds shard %d of %d — selection over one shard's sample is meaningless; allocate through the shard coordinator",
+			idx.part.Shard, idx.part.NumShards)
+	}
 	if req.Epoch != 0 && req.Epoch != ep.version {
 		return nil, fmt.Errorf("%w: request prepared for epoch %d, index is at %d", ErrStaleEpoch, req.Epoch, ep.version)
 	}
@@ -785,15 +834,18 @@ func (a *selAd) grow(idx *Index, res *TIRMResult, want int) {
 
 const (
 	indexMagic = uint32(0x41444958) // "ADIX"
-	// indexVersion 3 stores the per-ad stream ids (guarded by a CRC32 over
-	// the whole header, since family-section CRCs and the instance
-	// fingerprint cover neither), so a snapshot taken after campaign
-	// mutations (AddAd/RemoveAd shift positions away from stream ids)
-	// resumes the exact same streams. Version 2 wrote per-ad sections in
-	// the flat v2 ("RRS2") family layout with stream id == position;
-	// version 1 used v1 sections. Both still load — see the version policy
-	// in rrset/snapshot.go.
-	indexVersion   = uint32(3)
+	// indexVersion 4 adds the stream-partition manifest (shard count and
+	// shard id) to the CRC-guarded header, so a shard's snapshot declares
+	// which slice of every block stream it holds and a load against the
+	// wrong partition fails instead of silently resuming the wrong blocks.
+	// Version 3 stored the per-ad stream ids (guarded by a CRC32 over the
+	// whole header, since family-section CRCs and the instance fingerprint
+	// cover neither) but predates sharding — an identity partition is
+	// implied. Version 2 wrote per-ad sections in the flat v2 ("RRS2")
+	// family layout with stream id == position; version 1 used v1 sections.
+	// All still load — see the version policy in rrset/snapshot.go.
+	indexVersion   = uint32(4)
+	indexVersionV3 = uint32(3)
 	indexVersionV2 = uint32(2)
 	indexVersionV1 = uint32(1)
 )
@@ -833,27 +885,38 @@ func indexFingerprint(inst *Instance) uint64 {
 	return fh.Sum64()
 }
 
-// indexHeader is the version-3 snapshot header: everything the stream
-// contract depends on besides the family sections themselves. It
-// serializes to a fixed little-endian layout whose CRC32 (IEEE) is written
-// right after it, so a corrupted seed or stream id — which would silently
-// diverge post-reload growth, since neither the family CRCs nor the
-// instance fingerprint cover them — fails the load instead.
+// indexHeader is the version-4 snapshot header: everything the stream
+// contract depends on besides the family sections themselves — including
+// the stream-partition manifest, since a shard's arena is meaningless
+// without knowing which blocks it holds. It serializes to a fixed
+// little-endian layout whose CRC32 (IEEE) is written right after it, so a
+// corrupted seed, shard id, or stream id — which would silently diverge
+// post-reload growth, since neither the family CRCs nor the instance
+// fingerprint cover them — fails the load instead.
 type indexHeader struct {
 	seed        uint64
 	fingerprint uint64
+	numShards   uint32   // v4 only: partition size (1 = identity)
+	shard       uint32   // v4 only: this snapshot's slice
 	streams     []uint64 // one per ad, in position order
 }
 
-// marshal renders the header payload (seed, fingerprint, ad count, stream
-// ids) for writing and CRC computation.
-func (h *indexHeader) marshal() []byte {
-	out := make([]byte, 0, 8+8+4+8*len(h.streams))
+// marshal renders the header payload for writing and CRC computation:
+// seed, fingerprint, the v4 partition manifest (unless version 3, whose
+// layout predates it), ad count, stream ids.
+func (h *indexHeader) marshal(version uint32) []byte {
+	out := make([]byte, 0, 8+8+8+4+8*len(h.streams))
 	var b8 [8]byte
 	binary.LittleEndian.PutUint64(b8[:], h.seed)
 	out = append(out, b8[:]...)
 	binary.LittleEndian.PutUint64(b8[:], h.fingerprint)
 	out = append(out, b8[:]...)
+	if version >= indexVersion {
+		binary.LittleEndian.PutUint32(b8[:4], h.numShards)
+		out = append(out, b8[:4]...)
+		binary.LittleEndian.PutUint32(b8[:4], h.shard)
+		out = append(out, b8[:4]...)
+	}
 	binary.LittleEndian.PutUint32(b8[:4], uint32(len(h.streams)))
 	out = append(out, b8[:4]...)
 	for _, s := range h.streams {
@@ -863,14 +926,15 @@ func (h *indexHeader) marshal() []byte {
 	return out
 }
 
-// WriteSnapshot persists the index's current epoch — stream seed plus every
-// ad's stream id and stored sets — in a versioned binary format (currently
-// version 3: a CRC-guarded header carrying the stream ids, then flat CSR
-// sections with CRC32 footers, written in bulk). A process restarted with
-// LoadIndexSnapshot against the same instance resumes the identical
-// streams: allocations after a reload match allocations on the original
-// index exactly, even when the campaign set was mutated before the
-// snapshot was taken.
+// WriteSnapshot persists the index's current epoch — stream seed, the
+// stream-partition manifest, and every ad's stream id and stored sets — in
+// a versioned binary format (currently version 4: a CRC-guarded header
+// carrying partition and stream ids, then flat CSR sections with CRC32
+// footers, written in bulk). A process restarted with LoadIndexSnapshot
+// (or LoadShardIndexSnapshot for a shard's slice) against the same
+// instance resumes the identical streams: allocations after a reload match
+// allocations on the original index exactly, even when the campaign set
+// was mutated before the snapshot was taken.
 func (idx *Index) WriteSnapshot(w io.Writer) error {
 	ep := idx.curr.Load()
 	bw := bufio.NewWriter(w)
@@ -886,11 +950,19 @@ func (idx *Index) WriteSnapshot(w io.Writer) error {
 	if err := w32(indexVersion); err != nil {
 		return err
 	}
-	hdr := indexHeader{seed: idx.seed, fingerprint: indexFingerprint(ep.inst)}
+	hdr := indexHeader{
+		seed:        idx.seed,
+		fingerprint: indexFingerprint(ep.inst),
+		numShards:   uint32(idx.part.NumShards),
+		shard:       uint32(idx.part.Shard),
+	}
+	if idx.part.IsIdentity() {
+		hdr.numShards, hdr.shard = 1, 0
+	}
 	for _, a := range ep.ads {
 		hdr.streams = append(hdr.streams, a.stream)
 	}
-	payload := hdr.marshal()
+	payload := hdr.marshal(indexVersion)
 	if _, err := bw.Write(payload); err != nil {
 		return err
 	}
@@ -909,14 +981,34 @@ func (idx *Index) WriteSnapshot(w io.Writer) error {
 }
 
 // LoadIndexSnapshot reconstructs an index for inst from a snapshot written
-// by WriteSnapshot — the current version 3 or the legacy versions 1 and 2,
-// whose stream ids are their positions (per-ad sections self-describe, so
-// all load transparently). It fails if the snapshot was taken for a
-// different graph, ad set, or probability setting (fingerprint mismatch) or
-// is structurally corrupt; widths and the inverted index are recomputed
-// from the decoded arenas. The loaded index starts a fresh epoch lineage at
+// by WriteSnapshot — the current version 4, version 3 (identity partition
+// implied), or the legacy versions 1 and 2, whose stream ids are their
+// positions (per-ad sections self-describe, so all load transparently). It
+// fails if the snapshot was taken for a different graph, ad set, or
+// probability setting (fingerprint mismatch), holds one shard's slice
+// rather than the whole stream (use LoadShardIndexSnapshot), or is
+// structurally corrupt; widths and the inverted index are recomputed from
+// the decoded arenas. The loaded index starts a fresh epoch lineage at
 // version 1.
 func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
+	return loadIndexSnapshot(inst, src, rrset.StreamPartition{})
+}
+
+// LoadShardIndexSnapshot reconstructs one shard's index from a snapshot
+// written by a BuildShardIndex index. The snapshot's partition manifest
+// must match part exactly — a shard must never resume another shard's
+// blocks (v1–v3 snapshots carry the whole stream and therefore only load
+// as the identity partition).
+func LoadShardIndexSnapshot(inst *Instance, part rrset.StreamPartition, src io.Reader) (*Index, error) {
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	return loadIndexSnapshot(inst, src, part)
+}
+
+// loadIndexSnapshot is the shared decoder behind LoadIndexSnapshot and
+// LoadShardIndexSnapshot.
+func loadIndexSnapshot(inst *Instance, src io.Reader, part rrset.StreamPartition) (*Index, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -945,7 +1037,9 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != indexVersion && version != indexVersionV2 && version != indexVersionV1 {
+	switch version {
+	case indexVersion, indexVersionV3, indexVersionV2, indexVersionV1:
+	default:
 		return nil, fmt.Errorf("core: unsupported index snapshot version %d", version)
 	}
 	seed, err := r64()
@@ -956,6 +1050,25 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	snapPart := rrset.StreamPartition{NumShards: 1}
+	if version == indexVersion {
+		ns, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		sh, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		snapPart = rrset.StreamPartition{NumShards: int(ns), Shard: int(sh)}
+		if err := snapPart.Validate(); err != nil {
+			return nil, fmt.Errorf("core: index snapshot partition: %w", err)
+		}
+	}
+	if snapPart.Size() != part.Size() || (!snapPart.IsIdentity() && snapPart.Shard != part.Shard) {
+		return nil, fmt.Errorf("core: index snapshot holds stream slice %d/%d, caller expects %d/%d",
+			snapPart.Shard, snapPart.Size(), part.Shard, part.Size())
+	}
 	numAds, err := r32()
 	if err != nil {
 		return nil, err
@@ -964,7 +1077,7 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: index snapshot has %d ads, instance has %d", numAds, len(inst.Ads))
 	}
 	streams := make([]uint64, int(numAds))
-	if version == indexVersion {
+	if version == indexVersion || version == indexVersionV3 {
 		for j := range streams {
 			if streams[j], err = r64(); err != nil {
 				return nil, fmt.Errorf("core: index snapshot ad %d stream id: %w", j, err)
@@ -979,8 +1092,12 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		hdr := indexHeader{seed: seed, fingerprint: fp, streams: streams}
-		if got := crc32.ChecksumIEEE(hdr.marshal()); got != crc {
+		hdr := indexHeader{
+			seed: seed, fingerprint: fp,
+			numShards: uint32(snapPart.Size()), shard: uint32(snapPart.Shard),
+			streams: streams,
+		}
+		if got := crc32.ChecksumIEEE(hdr.marshal(version)); got != crc {
 			return nil, fmt.Errorf("core: index snapshot header CRC mismatch (%#x vs %#x)", got, crc)
 		}
 	} else {
@@ -991,7 +1108,7 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 	if want := indexFingerprint(inst); fp != want {
 		return nil, fmt.Errorf("core: index snapshot fingerprint %#x does not match instance %#x", fp, want)
 	}
-	idx := &Index{seed: seed}
+	idx := &Index{seed: seed, part: part}
 	ads := make([]*adSample, int(numAds))
 	next := uint64(numAds)
 	for j := range ads {
@@ -1008,6 +1125,7 @@ func LoadIndexSnapshot(inst *Instance, src io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("core: index snapshot ad %d has %d sets, not block-aligned", j, fam.Len())
 		}
 		a.fam = fam
+		a.streamLen = part.Resume(fam.Len())
 		a.widths = make([]int64, fam.Len())
 		for i := 0; i < fam.Len(); i++ {
 			a.widths[i] = rrset.Width(inst.G, fam.Set(i))

@@ -1,0 +1,128 @@
+// EpochView: the pinned-epoch sample access the shard runtime builds on.
+// A shard (internal/shard) owns a per-range core.Index — one slice of every
+// ad's block stream — and serves coverage state to a coordinator that runs
+// selection globally. The coordinator's steps need exactly what a
+// single-node selection run takes from its index, re-expressed in global
+// stream positions against a pinned epoch: pilot widths (for KPT), views
+// with inverted indexes (to build coverage collections), growth windows
+// (θ increases mid-run), and warm-up. This file exports those steps; the
+// floats derived from them (KPT, marginal gains, regret drops) are computed
+// by the coordinator via KPTFromWidths and the existing exported helpers,
+// never on shards — which is what keeps the transport free of
+// float-serialization hazards.
+
+package core
+
+import (
+	"repro/internal/rrset"
+)
+
+// Partition returns the slice of the block stream this index samples (the
+// identity partition for a normal single-node index).
+func (idx *Index) Partition() rrset.StreamPartition { return idx.part }
+
+// InstanceFingerprint summarizes the inputs an index's stored sample
+// depends on — graph topology and every ad's mixed edge probabilities (see
+// the snapshot format). The shard coordinator compares fingerprints across
+// shards to refuse a cluster whose members were built from different
+// instances.
+func InstanceFingerprint(inst *Instance) uint64 { return indexFingerprint(inst) }
+
+// KPTFromWidths evaluates TIM's width statistic KPT(s) over a pilot
+// sample's widths — the exported form of the estimator behind TIRM's θ
+// sizing, for callers (the shard coordinator) that assemble the pilot from
+// per-shard slices. Widths must be in ascending global stream order:
+// floating-point summation order is part of the byte-identity contract.
+// memo is optional caller-owned scratch for the per-width terms (cleared
+// here), exactly as in the internal estimator.
+func KPTFromWidths(widths []int64, s, n int, m int64, memo map[int64]float64) float64 {
+	return kptFromWidths(widths, s, n, m, memo)
+}
+
+// WithDefaults returns the options with every unset field at its
+// documented default — the same normalization TIRM and AllocateFromIndex
+// apply internally, exported so a distributed selection run sizes θ from
+// the identical effective options.
+func (o TIRMOptions) WithDefaults() TIRMOptions { return o.withDefaults() }
+
+// Resolve validates the request against an instance and resolves its ad
+// subset and effective λ/κ — the exported form of the per-run request
+// normalization, so the shard coordinator applies the identical rules
+// (including override shape checks and SpentBudget validation) before
+// distributing a run.
+func (req *Request) Resolve(inst *Instance) (adIDs []int, lambda float64, kappa AttentionBounds, err error) {
+	return req.validate(inst)
+}
+
+// EpochView pins one campaign epoch of an index for external sample
+// access: every method answers against the same immutable (instance,
+// per-ad samples) pair no matter how many AddAd/RemoveAd swaps land
+// concurrently, exactly like an in-flight allocation. Sample growth
+// triggered through a view is accounted to the index's SetsSampled.
+//
+// All positions are GLOBAL stream positions; on a shard index the returned
+// views and widths cover the local (part-owned) subsequence, in ascending
+// global order.
+type EpochView struct {
+	idx *Index
+	ep  *indexEpoch
+}
+
+// CurrentEpoch returns a view pinned to the index's current epoch.
+func (idx *Index) CurrentEpoch() EpochView {
+	return EpochView{idx: idx, ep: idx.curr.Load()}
+}
+
+// Version returns the pinned epoch's version.
+func (v EpochView) Version() uint64 { return v.ep.version }
+
+// Inst returns the pinned epoch's instance (a stable snapshot).
+func (v EpochView) Inst() *Instance { return v.ep.inst }
+
+// NumAds returns the pinned epoch's advertiser count.
+func (v EpochView) NumAds() int { return len(v.ep.ads) }
+
+// AdHave returns how many local sets ad j's sample currently stores,
+// without growing it — the warm-start baseline a run reports as reused.
+func (v EpochView) AdHave(j int) int { return v.ep.ads[j].size() }
+
+// AdPilot returns ad j's local widths for the global stream prefix
+// [0, want), growing the sample if needed. The returned slice is a stable
+// snapshot (growth only appends past it) and must be treated as read-only.
+func (v EpochView) AdPilot(j, want int) (widths []int64, fresh int64) {
+	_, widths, fresh = v.ep.ads[j].prefix(want)
+	v.idx.sampled.Add(fresh)
+	return widths, fresh
+}
+
+// AdView returns ad j's local sets for the global prefix [0, want) plus
+// the shared inverted index over them (local ids), growing the sample and
+// syncing the index if needed — the warm handoff to a coverage collection.
+func (v EpochView) AdView(j, want int) (sets rrset.FamilyView, inv *rrset.Inverted, fresh int64) {
+	sets, _, inv, fresh = v.ep.ads[j].view(want)
+	v.idx.sampled.Add(fresh)
+	return sets, inv, fresh
+}
+
+// AdWindow returns ad j's local slice of global stream sets [from, to) as
+// a stable view, growing the sample if needed — the growth segment a
+// selection run appends to its coverage state when θ rises.
+func (v EpochView) AdWindow(j, from, to int) (sets rrset.FamilyView, fresh int64) {
+	sets, fresh = v.ep.ads[j].window(from, to)
+	v.idx.sampled.Add(fresh)
+	return sets, fresh
+}
+
+// AdEnsure grows ad j's sample to cover the global prefix [0, want) and
+// syncs its inverted index — the coordinator-driven equivalent of
+// BuildIndex's presampling, run once the coordinator has sized θ from
+// whole-stream pilot widths.
+func (v EpochView) AdEnsure(j, want int) (fresh int64) {
+	a := v.ep.ads[j]
+	a.mu.Lock()
+	fresh = a.ensure(want)
+	a.syncInv(a.fam.Len())
+	a.mu.Unlock()
+	v.idx.sampled.Add(fresh)
+	return fresh
+}

@@ -129,8 +129,9 @@ type Collection struct {
 
 	cut     []int32    // reusable cut-vector backing for Reset
 	aside   []covEntry // TopNodes scratch
-	seen    []uint64   // TopNodes per-call dedup stamps
+	seen    []uint64   // TopNodes / delta-cover per-call dedup stamps
 	seenGen uint64
+	dpos    []int32 // delta-cover per-node output positions (counter.go)
 }
 
 // NewCollection creates an empty index over n nodes.

@@ -1,0 +1,167 @@
+// Counter mode and delta-capturing covers: the two halves of sharded
+// coverage state. When RR-sets are partitioned across shards (see
+// StreamPartition), a node's global residual coverage is the sum of its
+// per-shard coverages, and committing a seed decomposes into per-shard
+// covers whose per-node decrements sum to the global effect. The shard
+// side runs ordinary Collections over its local sets and *captures* each
+// cover's sparse decrement vector (CoverNodeDelta / CountAndCoverFromDelta)
+// so it can be shipped; the coordinator side holds a segment-less "counter"
+// Collection whose counters are maintained purely by applying those summed
+// integer deltas (NewCounterCollection / AddCounts / ApplyCover).
+//
+// The counter collection reuses the exact heap code of the ordinary
+// Collection, and every mutation syncs the lazily rebuilt heap at the same
+// points CoverNode/CountAndCoverFrom/AddFamily do — so candidate ordering,
+// including tie-breaking among equal-coverage nodes, evolves bit-for-bit as
+// it would on a single node holding the union of all shards' sets. That,
+// plus the fact that every shipped quantity is an integer (float math never
+// leaves the coordinator), is the determinism argument for sharded
+// allocation (DESIGN.md §7).
+
+package rrset
+
+import "fmt"
+
+// NewCounterCollection creates a segment-less coverage collection over n
+// nodes for externally maintained counters: it supports Coverage, Drop,
+// BestNode and TopNodes exactly like a set-backed Collection, but its
+// counters change only through AddCounts and ApplyCover. Calling CoverNode
+// or CountAndCoverFrom on a counter collection is a bug (it holds no sets).
+func NewCounterCollection(n int) *Collection {
+	c := NewCollection(n)
+	c.stale = true
+	return c
+}
+
+// AddCounts credits freshly appended sets to the counters: nodes[i] gains
+// counts[i] residual coverage, and the collection's set count grows by
+// addedSets. Like AddFamily it marks the candidate heap for a deferred
+// rebuild, so interleaving growth and queries keeps the heap's evolution
+// identical to the set-backed path.
+func (c *Collection) AddCounts(nodes []int32, counts []int32, addedSets int) {
+	for i, u := range nodes {
+		c.cov[u] += counts[i]
+	}
+	c.numSets += addedSets
+	c.stale = true
+}
+
+// ApplyCover applies one externally computed cover outcome: covered sets
+// became covered, and nodes[i] loses decs[i] residual coverage. It syncs
+// the deferred heap rebuild first — exactly where CoverNode and
+// CountAndCoverFrom do — so a counter collection's heap sees the same
+// coverage vector at the same moments as a set-backed one.
+func (c *Collection) ApplyCover(covered int, nodes []int32, decs []int32) {
+	c.syncHeap()
+	for i, u := range nodes {
+		c.cov[u] -= decs[i]
+	}
+	c.ncov += covered
+}
+
+// deltaScratch grows the per-node delta position index used by the
+// delta-capturing covers.
+func (c *Collection) deltaScratch() []int32 {
+	if len(c.dpos) < c.n {
+		c.dpos = make([]int32, c.n)
+	}
+	return c.dpos
+}
+
+// CoverNodeDelta is CoverNode that additionally records the cover's effect
+// as a sparse decrement vector: appended to nodes/decs (reused, returned
+// re-sliced), node outNodes[i] lost outDecs[i] residual coverage. Summed
+// across the shards of a partition these deltas reproduce exactly the
+// coverage change a single-node CoverNode of the union would make. Unlike
+// CoverNode it does not sync the candidate heap: a sharded collection's
+// candidates are ranked by the coordinator's counter collection, never by
+// the shard's own heap, so the (still lazy, still correct) rebuild is
+// deferred until someone actually queries it.
+func (c *Collection) CoverNodeDelta(u int32, nodes []int32, decs []int32) (covered int, outNodes []int32, outDecs []int32) {
+	nodes, decs = nodes[:0], decs[:0]
+	if len(c.seen) < c.n {
+		c.seen = make([]uint64, c.n)
+	}
+	dpos := c.deltaScratch()
+	c.seenGen++
+	gen := c.seenGen
+	cov, cvd := c.cov, c.covered
+	record := func(w int32) {
+		if c.seen[w] == gen {
+			decs[dpos[w]]++
+			return
+		}
+		c.seen[w] = gen
+		dpos[w] = int32(len(nodes))
+		nodes = append(nodes, w)
+		decs = append(decs, 1)
+	}
+	for si := range c.segs {
+		seg := &c.segs[si]
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		for _, id := range seg.idsOf(u) {
+			if cvd[id] {
+				continue
+			}
+			cvd[id] = true
+			covered++
+			i := int(id - base)
+			for _, w := range mem[offs[i]:offs[i+1]] {
+				cov[w]--
+				record(w)
+			}
+		}
+	}
+	c.ncov += covered
+	if c.cov[u] != 0 {
+		panic(fmt.Sprintf("rrset: residual coverage of %d nonzero after CoverNodeDelta", u))
+	}
+	return covered, nodes, decs
+}
+
+// CountAndCoverFromDelta is CountAndCoverFrom with the same sparse delta
+// capture (and deferred heap sync) as CoverNodeDelta, restricted to sets
+// with id ≥ firstID (local ids of this collection).
+func (c *Collection) CountAndCoverFromDelta(u int32, firstID int, nodes []int32, decs []int32) (covered int, outNodes []int32, outDecs []int32) {
+	nodes, decs = nodes[:0], decs[:0]
+	if len(c.seen) < c.n {
+		c.seen = make([]uint64, c.n)
+	}
+	dpos := c.deltaScratch()
+	c.seenGen++
+	gen := c.seenGen
+	cov, cvd := c.cov, c.covered
+	record := func(w int32) {
+		if c.seen[w] == gen {
+			decs[dpos[w]]++
+			return
+		}
+		c.seen[w] = gen
+		dpos[w] = int32(len(nodes))
+		nodes = append(nodes, w)
+		decs = append(decs, 1)
+	}
+	for si := range c.segs {
+		seg := &c.segs[si]
+		if seg.end() <= firstID {
+			continue
+		}
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		for _, id := range seg.idsOf(u) {
+			if int(id) < firstID || cvd[id] {
+				continue
+			}
+			cvd[id] = true
+			covered++
+			i := int(id - base)
+			for _, w := range mem[offs[i]:offs[i+1]] {
+				cov[w]--
+				record(w)
+			}
+		}
+	}
+	c.ncov += covered
+	return covered, nodes, decs
+}

@@ -98,6 +98,11 @@ type Options struct {
 	// MaxAds rejects requests asking for more advertisers than this
 	// (default DefaultMaxAds).
 	MaxAds int
+	// Shards, when non-empty, switches the server into coordinator mode:
+	// /allocate runs distributed scatter-gather selection over these
+	// adshard daemons ("host:port", one per partition slot, in slot
+	// order) instead of a local index. Call ConnectShards before serving.
+	Shards []string
 	// Logf receives operational messages (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -106,6 +111,9 @@ type Options struct {
 type Server struct {
 	opts  Options
 	start time.Time
+
+	// sharded is non-nil in coordinator mode (see ConnectShards).
+	sharded *shardedState
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -274,6 +282,24 @@ var datasetRegistry = []datasetSpec{
 	{"dblp", "DBLP analogue: community co-authorship graph, weighted-cascade (scalability setting)", gen.DBLP},
 	{"livejournal", "LIVEJOURNAL analogue: 4.8M-node community graph — mind the scale", gen.LiveJournal},
 	{"fig1", "the paper's 6-node running example (ignores scale and ads)", func(gen.Options) *core.Instance { return gen.Fig1Instance(0) }},
+}
+
+// BuildDataset generates the instance for registered dataset parameters —
+// the exact registry and generator path /allocate uses, exported for the
+// shard daemon (cmd/adshard), which must build the identical roster the
+// coordinator validates fingerprints against.
+func BuildDataset(p InstanceParams) (*core.Instance, error) {
+	spec, ok := findDataset(p.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", p.Dataset)
+	}
+	if p.Scale <= 0 {
+		return nil, fmt.Errorf("scale must be > 0")
+	}
+	if p.NumAds < 0 {
+		return nil, fmt.Errorf("numAds must be ≥ 0")
+	}
+	return spec.build(gen.Options{Seed: p.Seed, Scale: p.Scale, NumAds: p.NumAds}), nil
 }
 
 func findDataset(name string) (datasetSpec, bool) {
@@ -586,8 +612,29 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// HealthResponse is GET /healthz. Shards is present only in coordinator
+// mode; status "degraded" (with HTTP 503) means at least one shard is
+// unreachable and distributed allocations will fail.
+type HealthResponse struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Shards carries per-shard health in coordinator mode.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if s.sharded == nil {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+		return
+	}
+	health, degraded := s.sharded.shardHealth(r.Context())
+	resp := HealthResponse{Status: "ok", Shards: health}
+	code := http.StatusOK
+	if degraded {
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // DatasetInfo describes one registered generator.
@@ -652,9 +699,28 @@ type StatsResponse struct {
 	WorkspaceHits   int64        `json:"workspaceHits"`
 	WorkspaceMisses int64        `json:"workspaceMisses"`
 	Entries         []EntryStats `json:"entries"`
+	// Sharded is present only in coordinator mode: the cluster's identity,
+	// per-shard health, and distributed-allocation counters.
+	Sharded *ShardedStatsSection `json:"sharded,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.sharded != nil {
+		resp := StatsResponse{
+			UptimeSeconds:     time.Since(s.start).Seconds(),
+			AdsAdded:          s.adsAdded.Load(),
+			AdsRemoved:        s.adsRemoved.Load(),
+			SpendUpdates:      s.spendUpdates.Load(),
+			IndexMemByDataset: map[string]int64{},
+			Entries:           []EntryStats{},
+			Sharded:           s.shardedStats(r.Context()),
+		}
+		for _, h := range resp.Sharded.Shards {
+			resp.IndexMemBytes += h.MemBytes
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	s.mu.Lock()
 	entries := make([]*entry, 0, len(s.entries))
 	for _, e := range s.entries {
@@ -796,6 +862,10 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if s.sharded != nil {
+		s.handleAllocateSharded(w, r, req)
+		return
+	}
 	e, created, waitedInst, err := s.entryFor(req.InstanceParams)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -933,25 +1003,36 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	e, created, waited, err := s.entryFor(req.InstanceParams)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	switch {
-	case created:
-		s.cacheMisses.Add(1)
-	case waited:
-		s.coalesced.Add(1)
-	default:
-		s.cacheHits.Add(1)
-		e.hits.Add(1)
-	}
-	// Capture (epoch, instance) as one consistent pair; mutations only
-	// exist once an index does, so an index-less entry is at epoch 1.
-	epoch, curInst := uint64(1), e.inst
-	if e.indexBuilt() {
-		epoch, curInst = e.idx.EpochInst()
+	var epoch uint64
+	var curInst *core.Instance
+	if s.sharded != nil {
+		// Coordinator mode: score against the cluster's campaign mirror —
+		// evaluation needs only the instance, never a shard RPC.
+		if !s.checkShardedParams(w, req.InstanceParams) {
+			return
+		}
+		epoch, curInst = s.sharded.coord.EpochInst()
+	} else {
+		e, created, waited, err := s.entryFor(req.InstanceParams)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		switch {
+		case created:
+			s.cacheMisses.Add(1)
+		case waited:
+			s.coalesced.Add(1)
+		default:
+			s.cacheHits.Add(1)
+			e.hits.Add(1)
+		}
+		// Capture (epoch, instance) as one consistent pair; mutations only
+		// exist once an index does, so an index-less entry is at epoch 1.
+		epoch, curInst = uint64(1), e.inst
+		if e.indexBuilt() {
+			epoch, curInst = e.idx.EpochInst()
+		}
 	}
 	if req.Epoch != 0 && req.Epoch != epoch {
 		httpError(w, http.StatusConflict,
@@ -1113,6 +1194,10 @@ func (s *Server) handleAddAd(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if s.sharded != nil {
+		s.handleAddAdSharded(w, r, req)
+		return
+	}
 	e, idx, ok := s.lifecycleEntry(w, req.InstanceParams)
 	if !ok {
 		return
@@ -1209,6 +1294,10 @@ func (s *Server) handleRemoveAd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.sharded != nil {
+		s.handleRemoveAdSharded(w, r, p, name)
+		return
+	}
 	e, idx, ok := s.lifecycleEntry(w, p)
 	if !ok {
 		return
@@ -1268,6 +1357,10 @@ type SpendResponse struct {
 func (s *Server) handleSpend(w http.ResponseWriter, r *http.Request) {
 	var req SpendRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if s.sharded != nil {
+		s.handleSpendSharded(w, r, req)
 		return
 	}
 	// Spend is a ledger on the instance, not the sample: like /evaluate it

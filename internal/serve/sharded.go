@@ -1,0 +1,422 @@
+// Coordinator mode: adserver fronting a cluster of adshard daemons. With
+// Options.Shards set, the server connects to every shard at startup
+// (ConnectShards), rebuilds the cluster's instance locally from the
+// parameters the shards self-report, and serves /allocate by distributed
+// scatter-gather selection (internal/shard) instead of a local index.
+// Campaign mutations broadcast through the coordinator, the spend ledger
+// lives on the serving host exactly as in single-node mode, and /healthz
+// and /stats carry per-shard health.
+//
+// The request surface is unchanged — same bodies, same responses, and the
+// returned allocations are byte-identical to single-node mode, because the
+// distributed selection is (see internal/shard's golden tests). Requests
+// must name the cluster's instance parameters; a coordinator serves
+// exactly one instance (400 otherwise).
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// shardedState is the serve layer's coordinator-mode half: the cluster
+// handle, the instance mirror's cache key, and the host-side spend ledger.
+type shardedState struct {
+	addrs   []string
+	clients []shard.Client
+	coord   *shard.Coordinator
+	params  InstanceParams
+
+	// lifeMu serializes campaign mutations (name lookups + the cluster
+	// broadcast); the ledger mutex below must never be held across a
+	// broadcast — a slow shard would otherwise stall every /spend and
+	// residual /allocate behind it.
+	lifeMu sync.Mutex
+
+	mu     sync.Mutex // guards spent and allocs only (never held across RPCs)
+	spent  map[string]float64
+	allocs int64
+
+	// memBytes caches the cluster's summed sample footprint, refreshed by
+	// the health probes — /allocate reports it without sweeping shards.
+	memBytes atomic.Int64
+}
+
+// ConnectShards dials every configured shard, validates the cluster (slot
+// order, matching dataset parameters, instance fingerprints — see
+// shard.NewCoordinator), rebuilds the instance locally, and switches the
+// server into coordinator mode. Call once at startup, before serving.
+func (s *Server) ConnectShards(ctx context.Context) error {
+	if len(s.opts.Shards) == 0 {
+		return errors.New("serve: no shard addresses configured")
+	}
+	st := &shardedState{addrs: s.opts.Shards, spent: map[string]float64{}}
+	st.clients = make([]shard.Client, len(st.addrs))
+	var first shard.DatasetParams
+	for i, addr := range st.addrs {
+		cl := shard.NewHTTPClient(addr)
+		info, err := cl.Info(ctx)
+		if err != nil {
+			return fmt.Errorf("serve: shard %s unreachable: %w", addr, err)
+		}
+		if i == 0 {
+			first = info.Dataset
+		} else if info.Dataset != first {
+			return fmt.Errorf("serve: shard %s serves %+v, shard %s serves %+v", addr, info.Dataset, st.addrs[0], first)
+		}
+		st.clients[i] = cl
+	}
+	st.params = InstanceParams{Dataset: first.Name, Seed: first.Seed, Scale: first.Scale, NumAds: first.NumAds}
+	roster, err := BuildDataset(st.params)
+	if err != nil {
+		return fmt.Errorf("serve: rebuilding cluster instance %s: %w", st.params.Key(), err)
+	}
+	coord, err := shard.NewCoordinator(ctx, st.clients, shard.Config{Roster: roster, Logf: s.opts.Logf})
+	if err != nil {
+		return err
+	}
+	st.coord = coord
+	s.sharded = st
+	if _, degraded := st.shardHealth(ctx); degraded {
+		s.opts.Logf("serve: warning: cluster already degraded at connect time")
+	}
+	s.opts.Logf("serve: coordinator mode over %d shards, instance %s", len(st.clients), st.params.Key())
+	return nil
+}
+
+// checkShardedParams rejects requests for any instance other than the
+// cluster's.
+func (s *Server) checkShardedParams(w http.ResponseWriter, p InstanceParams) bool {
+	if p.Key() != s.sharded.params.Key() {
+		httpError(w, http.StatusBadRequest,
+			"coordinator serves only %s (cluster instance); got %s", s.sharded.params.Key(), p.Key())
+		return false
+	}
+	return true
+}
+
+// spendVector materializes the coordinator-mode ledger positionally.
+func (st *shardedState) spendVector(inst *core.Instance) []float64 {
+	out := make([]float64, len(inst.Ads))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for j, ad := range inst.Ads {
+		out[j] = st.spent[ad.Name]
+	}
+	return out
+}
+
+// handleAllocateSharded is /allocate in coordinator mode: the same request
+// and response shapes, served by distributed selection.
+func (s *Server) handleAllocateSharded(w http.ResponseWriter, r *http.Request, req AllocateRequest) {
+	if !s.checkShardedParams(w, req.InstanceParams) {
+		return
+	}
+	st := s.sharded
+	epoch, curInst := st.coord.EpochInst()
+	coreReq := core.Request{
+		Opts:    req.Opts.toOptions(s.opts.MaxTheta),
+		Ads:     req.Ads,
+		Budgets: req.Budgets,
+		CPEs:    req.CPEs,
+		Lambda:  req.Lambda,
+		Epoch:   epoch,
+	}
+	if req.Kappa > 0 {
+		coreReq.Kappa = core.ConstKappa(req.Kappa)
+	}
+	if req.Residual {
+		coreReq.SpentBudget = st.spendVector(curInst)
+	}
+	started := time.Now()
+	res, err := st.coord.Allocate(r.Context(), coreReq)
+	if err != nil {
+		if errors.Is(err, core.ErrStaleEpoch) {
+			httpError(w, http.StatusConflict, "campaign set changed mid-request, retry: %v", err)
+			return
+		}
+		httpError(w, http.StatusBadGateway, "sharded allocation: %v", err)
+		return
+	}
+	st.mu.Lock()
+	st.allocs++
+	st.mu.Unlock()
+	for i, seeds := range res.Alloc.Seeds {
+		if seeds == nil {
+			res.Alloc.Seeds[i] = []int32{}
+		}
+	}
+	inst := instWith(curInst, req.Lambda, req.Kappa)
+	adIDs := req.Ads
+	if len(adIDs) == 0 {
+		adIDs = make([]int, len(inst.Ads))
+		for i := range adIDs {
+			adIDs[i] = i
+		}
+	}
+	var estRegret float64
+	for _, i := range adIDs {
+		budget := inst.Ads[i].Budget
+		if req.Budgets != nil {
+			budget = req.Budgets[i]
+		}
+		if coreReq.SpentBudget != nil {
+			if budget -= coreReq.SpentBudget[i]; budget < 0 {
+				budget = 0
+			}
+		}
+		estRegret += core.RegretTerm(budget, res.EstRevenue[i], inst.Lambda, len(res.Alloc.Seeds[i]))
+	}
+	names := make([]string, len(inst.Ads))
+	for i, ad := range inst.Ads {
+		names[i] = ad.Name
+	}
+	writeJSON(w, http.StatusOK, AllocateResponse{
+		Key:           st.params.Key(),
+		Epoch:         epoch,
+		AllocSeconds:  time.Since(started).Seconds(),
+		Seeds:         res.Alloc.Seeds,
+		EstRevenue:    res.EstRevenue,
+		EstRegret:     estRegret,
+		FinalTheta:    res.FinalTheta,
+		Iterations:    res.Iterations,
+		SetsSampled:   res.TotalSetsSampled,
+		SetsReused:    res.SetsReused,
+		IndexMemBytes: st.memBytes.Load(),
+		AdNames:       names,
+		SpentBudgets:  coreReq.SpentBudget,
+	})
+}
+
+// handleAddAdSharded is POST /ads in coordinator mode: the template clone
+// broadcasts to every shard and the new ad is warmed cluster-wide.
+func (s *Server) handleAddAdSharded(w http.ResponseWriter, r *http.Request, req AddAdRequest) {
+	if !s.checkShardedParams(w, req.InstanceParams) {
+		return
+	}
+	st := s.sharded
+	st.lifeMu.Lock()
+	defer st.lifeMu.Unlock()
+	if len(st.coord.Inst().Ads) >= s.opts.MaxAds {
+		httpError(w, http.StatusBadRequest, "campaign set already at server limit of %d ads", s.opts.MaxAds)
+		return
+	}
+	spec := shard.AdSpec{
+		Name:     req.Ad.Name,
+		Budget:   req.Ad.Budget,
+		CPE:      req.Ad.CPE,
+		CTP:      req.Ad.CTP,
+		Template: req.Ad.Template,
+	}
+	pos, err := st.coord.AddAdSpec(r.Context(), spec, core.TIRMOptions{MaxTheta: s.opts.MaxTheta})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.adsAdded.Add(1)
+	epoch, inst := st.coord.EpochInst()
+	names := make([]string, len(inst.Ads))
+	for i, ad := range inst.Ads {
+		names[i] = ad.Name
+	}
+	writeJSON(w, http.StatusOK, LifecycleResponse{
+		Key: st.params.Key(), Epoch: epoch, NumAds: len(names), Position: pos, AdNames: names,
+	})
+}
+
+// handleRemoveAdSharded is DELETE /ads/{name} in coordinator mode. The
+// lifecycle mutex (not the ledger mutex) spans the lookup + broadcast, so
+// a slow shard stalls only other mutations, never /spend or residual
+// allocations.
+func (s *Server) handleRemoveAdSharded(w http.ResponseWriter, r *http.Request, p InstanceParams, name string) {
+	if !s.checkShardedParams(w, p) {
+		return
+	}
+	st := s.sharded
+	st.lifeMu.Lock()
+	defer st.lifeMu.Unlock()
+	inst := st.coord.Inst()
+	pos := -1
+	for j, ad := range inst.Ads {
+		if ad.Name == name {
+			pos = j
+			break
+		}
+	}
+	if pos < 0 {
+		httpError(w, http.StatusNotFound, "no ad %q in campaign %s", name, st.params.Key())
+		return
+	}
+	if err := st.coord.RemoveAd(r.Context(), pos); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st.mu.Lock()
+	delete(st.spent, name)
+	st.mu.Unlock()
+	s.adsRemoved.Add(1)
+	epoch, cur := st.coord.EpochInst()
+	names := make([]string, len(cur.Ads))
+	for i, ad := range cur.Ads {
+		names[i] = ad.Name
+	}
+	writeJSON(w, http.StatusOK, LifecycleResponse{
+		Key: st.params.Key(), Epoch: epoch, NumAds: len(names), AdNames: names,
+	})
+}
+
+// handleSpendSharded is POST /spend in coordinator mode: the ledger lives
+// on the serving host, keyed by ad name against the coordinator's mirror.
+// The lifecycle mutex keeps the name check atomic against a concurrent
+// DELETE (which would otherwise leave an orphan ledger entry for a future
+// ad reusing the name); the ledger mutex is taken only around the writes.
+func (s *Server) handleSpendSharded(w http.ResponseWriter, r *http.Request, req SpendRequest) {
+	if !s.checkShardedParams(w, req.InstanceParams) {
+		return
+	}
+	st := s.sharded
+	st.lifeMu.Lock()
+	defer st.lifeMu.Unlock()
+	inst := st.coord.Inst()
+	byName := make(map[string]bool, len(inst.Ads))
+	for _, ad := range inst.Ads {
+		byName[ad.Name] = true
+	}
+	for name, amount := range req.Spend {
+		if !byName[name] {
+			httpError(w, http.StatusNotFound, "no ad %q in campaign %s", name, st.params.Key())
+			return
+		}
+		if amount < 0 {
+			httpError(w, http.StatusBadRequest, "spend %g for ad %q must be ≥ 0", amount, name)
+			return
+		}
+	}
+	resp := SpendResponse{Key: st.params.Key(), Epoch: st.coord.Epoch(), Ads: make([]AdBudgetStatus, len(inst.Ads))}
+	st.mu.Lock()
+	if req.Reset {
+		st.spent = map[string]float64{}
+	}
+	for name, amount := range req.Spend {
+		if amount > 0 {
+			st.spent[name] += amount
+		}
+	}
+	for i, ad := range inst.Ads {
+		spent := st.spent[ad.Name]
+		resp.Ads[i] = AdBudgetStatus{
+			Name:     ad.Name,
+			Budget:   ad.Budget,
+			Spent:    spent,
+			Residual: math.Max(ad.Budget-spent, 0),
+			Depleted: spent >= ad.Budget,
+		}
+	}
+	st.mu.Unlock()
+	s.spendUpdates.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ShardHealth is one shard's health line in /healthz and /stats.
+type ShardHealth struct {
+	// Addr is the shard daemon's address.
+	Addr string `json:"addr"`
+	// Reachable reports whether the Info probe succeeded.
+	Reachable bool `json:"reachable"`
+	// Error carries the probe failure, if any.
+	Error string `json:"error,omitempty"`
+	// Shard is the partition slot.
+	Shard int `json:"shard"`
+	// Epoch is the shard's campaign epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// NumAds is the shard's campaign size.
+	NumAds int `json:"numAds,omitempty"`
+	// SetsSampled counts local RR-sets drawn over the shard's lifetime.
+	SetsSampled int64 `json:"setsSampled,omitempty"`
+	// MemBytes is the shard's stored-sample footprint.
+	MemBytes int64 `json:"memBytes,omitempty"`
+	// OpenRuns is the shard's live selection-run count.
+	OpenRuns int `json:"openRuns,omitempty"`
+	// Draining reports whether the shard refuses new runs.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// shardHealth probes every shard with a bounded timeout and, when the
+// whole cluster answers, refreshes the cached sample-footprint sum that
+// /allocate reports (so the request path never sweeps shards itself).
+func (st *shardedState) shardHealth(ctx context.Context) (out []ShardHealth, degraded bool) {
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	infos, errs := st.coord.Infos(ctx)
+	out = make([]ShardHealth, len(st.addrs))
+	var mem int64
+	for k, addr := range st.addrs {
+		h := ShardHealth{Addr: addr, Shard: k}
+		if errs[k] != nil {
+			h.Error = errs[k].Error()
+			degraded = true
+		} else {
+			h.Reachable = true
+			h.Shard = infos[k].Shard
+			h.Epoch = infos[k].Epoch
+			h.NumAds = infos[k].NumAds
+			h.SetsSampled = infos[k].SetsSampled
+			h.MemBytes = infos[k].MemBytes
+			h.OpenRuns = infos[k].OpenRuns
+			h.Draining = infos[k].Draining
+			mem += infos[k].MemBytes
+		}
+		out[k] = h
+	}
+	if !degraded {
+		st.memBytes.Store(mem)
+	}
+	return out, degraded
+}
+
+// ShardedStatsSection is the coordinator-mode block of GET /stats.
+type ShardedStatsSection struct {
+	// Key is the cluster's instance key.
+	Key string `json:"key"`
+	// NumShards is the cluster's K.
+	NumShards int `json:"numShards"`
+	// Epoch is the coordinator's campaign epoch.
+	Epoch uint64 `json:"epoch"`
+	// Allocations counts distributed selections served.
+	Allocations int64 `json:"allocations"`
+	// SpentTotal sums the host-side engagement ledger.
+	SpentTotal float64 `json:"spentTotal"`
+	// Shards carries per-shard health.
+	Shards []ShardHealth `json:"shards"`
+}
+
+// shardedStats assembles the /stats section.
+func (s *Server) shardedStats(ctx context.Context) *ShardedStatsSection {
+	st := s.sharded
+	health, _ := st.shardHealth(ctx)
+	st.mu.Lock()
+	var spent float64
+	for _, v := range st.spent {
+		spent += v
+	}
+	allocs := st.allocs
+	st.mu.Unlock()
+	return &ShardedStatsSection{
+		Key:         st.params.Key(),
+		NumShards:   st.coord.NumShards(),
+		Epoch:       st.coord.Epoch(),
+		Allocations: allocs,
+		SpentTotal:  spent,
+		Shards:      health,
+	}
+}

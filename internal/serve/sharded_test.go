@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// shardedServer spins k adshard-equivalent HTTP shards for params and a
+// serve.Server in coordinator mode over them.
+func shardedServer(t *testing.T, params InstanceParams, k int) (*httptest.Server, *Server) {
+	t.Helper()
+	roster, err := BuildDataset(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := shard.NewPartitioner(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		sh, err := shard.NewShard(roster, 0, params.Seed, p.Range(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.Dataset = shard.DatasetParams{Name: params.Dataset, Seed: params.Seed, Scale: params.Scale, NumAds: params.NumAds}
+		ts := httptest.NewServer(sh.Handler())
+		t.Cleanup(ts.Close)
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	srv := New(Options{Shards: addrs, Logf: t.Logf})
+	if err := srv.ConnectShards(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	t.Cleanup(front.Close)
+	return front, srv
+}
+
+// TestShardedServeMatchesSingleNode drives the full HTTP stack in
+// coordinator mode — 2 adshard processes' worth of handlers behind an
+// adserver — and pins the /allocate response (seeds, revenue, regret)
+// against single-node serving of the identical request, plus the
+// shard-aware /healthz and /stats surfaces and the spend→residual loop.
+func TestShardedServeMatchesSingleNode(t *testing.T) {
+	params := InstanceParams{Dataset: "flixster", Seed: 1, Scale: 0.01}
+	req := AllocateRequest{
+		InstanceParams: params,
+		Opts:           TIRMParams{Eps: 0.3, MinTheta: 1024, MaxTheta: 8192},
+	}
+
+	single := testServer(t, Options{})
+	var want AllocateResponse
+	if code := postJSON(t, single.URL+"/allocate", req, &want); code != http.StatusOK {
+		t.Fatalf("single-node allocate: %d", code)
+	}
+
+	front, _ := shardedServer(t, params, 2)
+	var got AllocateResponse
+	if code := postJSON(t, front.URL+"/allocate", req, &got); code != http.StatusOK {
+		t.Fatalf("sharded allocate: %d", code)
+	}
+	if !reflect.DeepEqual(want.Seeds, got.Seeds) {
+		t.Fatalf("sharded seeds diverged\n want %v\n  got %v", want.Seeds, got.Seeds)
+	}
+	if !reflect.DeepEqual(want.EstRevenue, got.EstRevenue) {
+		t.Fatalf("sharded revenues diverged\n want %v\n  got %v", want.EstRevenue, got.EstRevenue)
+	}
+	if want.EstRegret != got.EstRegret {
+		t.Fatalf("sharded regret %v, single-node %v", got.EstRegret, want.EstRegret)
+	}
+
+	// Requests for any other instance are refused — a coordinator serves
+	// exactly its cluster.
+	other := req
+	other.Seed = 99
+	if code := postJSON(t, front.URL+"/allocate", other, nil); code != http.StatusBadRequest {
+		t.Fatalf("foreign-instance allocate returned %d, want 400", code)
+	}
+
+	// Shard-aware health and stats.
+	var health HealthResponse
+	if code := getJSON(t, front.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Status != "ok" || len(health.Shards) != 2 {
+		t.Fatalf("healthz = %+v, want ok with 2 shards", health)
+	}
+	for i, h := range health.Shards {
+		if !h.Reachable || h.Shard != i {
+			t.Fatalf("shard %d health = %+v", i, h)
+		}
+	}
+	var stats StatsResponse
+	if code := getJSON(t, front.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Sharded == nil || stats.Sharded.NumShards != 2 || stats.Sharded.Allocations != 1 {
+		t.Fatalf("sharded stats = %+v", stats.Sharded)
+	}
+	if stats.IndexMemBytes <= 0 {
+		t.Fatal("coordinator stats report zero index memory")
+	}
+
+	// Spend → residual allocation round-trip through the coordinator.
+	name := got.AdNames[0]
+	var spend SpendResponse
+	if code := postJSON(t, front.URL+"/spend", SpendRequest{
+		InstanceParams: params,
+		Spend:          map[string]float64{name: 1e9},
+	}, &spend); code != http.StatusOK {
+		t.Fatalf("spend: %d", code)
+	}
+	if !spend.Ads[0].Depleted {
+		t.Fatalf("ad %q not depleted after spend: %+v", name, spend.Ads[0])
+	}
+	residual := req
+	residual.Residual = true
+	var res AllocateResponse
+	if code := postJSON(t, front.URL+"/allocate", residual, &res); code != http.StatusOK {
+		t.Fatalf("residual allocate: %d", code)
+	}
+	if len(res.Seeds[0]) != 0 {
+		t.Fatalf("depleted ad still got %d seeds", len(res.Seeds[0]))
+	}
+}
+
+// TestShardedServeLifecycle exercises POST /ads and DELETE /ads/{name}
+// against the coordinator: mutations broadcast to every shard, advance the
+// epoch, and subsequent allocations cover the mutated campaign.
+func TestShardedServeLifecycle(t *testing.T) {
+	params := InstanceParams{Dataset: "fig1", Seed: 1, Scale: 1}
+	front, srv := shardedServer(t, params, 2)
+
+	var added LifecycleResponse
+	code := postJSON(t, front.URL+"/ads", AddAdRequest{
+		InstanceParams: params,
+		Ad:             NewAdSpec{Name: "promo", Budget: 4, CPE: 1, CTP: 0.5},
+	}, &added)
+	if code != http.StatusOK {
+		t.Fatalf("add ad: %d", code)
+	}
+	if added.Epoch != 2 || added.AdNames[added.Position] != "promo" {
+		t.Fatalf("add reply = %+v", added)
+	}
+	req := AllocateRequest{
+		InstanceParams: params,
+		Opts:           TIRMParams{MinTheta: 1024, MaxTheta: 4096},
+	}
+	var alloc AllocateResponse
+	if code := postJSON(t, front.URL+"/allocate", req, &alloc); code != http.StatusOK {
+		t.Fatalf("allocate after add: %d", code)
+	}
+	if len(alloc.Seeds) != added.NumAds || alloc.Epoch != 2 {
+		t.Fatalf("allocation covers %d ads at epoch %d, want %d at 2", len(alloc.Seeds), alloc.Epoch, added.NumAds)
+	}
+
+	delReq, err := http.NewRequest(http.MethodDelete,
+		front.URL+"/ads/promo?dataset=fig1&seed=1&scale=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove ad: %d", resp.StatusCode)
+	}
+	if epoch := srv.sharded.coord.Epoch(); epoch != 3 {
+		t.Fatalf("epoch %d after add+remove, want 3", epoch)
+	}
+}

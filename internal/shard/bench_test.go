@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkShardedAllocate measures a warm distributed allocation over the
+// in-process transport at K = 1, 2, 4, 8 — the scatter-gather overhead the
+// coordinator adds on top of the single-node warm path (BenchmarkIndexColdVsWarm/warm
+// is the K-free baseline). Shards are pre-warmed, so steady-state rounds
+// draw no samples; the cost is candidate scanning over aggregate counters
+// plus per-commit delta gathers.
+func BenchmarkShardedAllocate(b *testing.B) {
+	inst := testInstance()
+	opts := testOpts()
+	ctx := context.Background()
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			coord, _, err := NewLocalCluster(inst, 0, 42, k, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := coord.Warm(ctx, opts); err != nil {
+				b.Fatal(err)
+			}
+			req := core.Request{Opts: opts}
+			if _, err := coord.Allocate(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Allocate(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

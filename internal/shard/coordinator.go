@@ -1,0 +1,847 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rrset"
+	"repro/internal/topic"
+)
+
+// Config shapes a Coordinator.
+type Config struct {
+	// Roster is the full generated instance the cluster was built from;
+	// campaign arrivals activate its positions. Required.
+	Roster *core.Instance
+	// InitialAds is how many roster positions are live at cluster start
+	// (0 = all). It must match how the shards were built; NewLocalCluster
+	// wires both sides.
+	InitialAds int
+	// Verify turns on the per-round cross-check: every frontier's
+	// marginal gains are scatter-gathered from all shards and compared
+	// against the coordinator's aggregate counters, so shard drift (a
+	// mis-sampled block, a lost commit) fails the run instead of skewing
+	// the allocation. Costs one extra RPC round-trip per ad per
+	// iteration — on by default in tests, off in serving.
+	Verify bool
+	// Logf receives operational messages (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator runs distributed CELF over a cluster of K shards: it owns
+// the selection loop — candidate ranking, regret drops, attention bounds,
+// seed-target estimation, every float — while shards own the RR sets and
+// answer integer coverage RPCs. Allocations are byte-identical to
+// core.AllocateFromIndex over a single-node index at any K (see package
+// comment); campaign mutations broadcast to every shard in lockstep.
+//
+// Safe for concurrent use: allocations run under distinct run ids, and
+// mutations serialize against them only at the epoch snapshot.
+type Coordinator struct {
+	clients []Client
+	part    Partitioner
+	verify  bool
+	roster  *core.Instance
+	logf    func(format string, args ...any)
+	id      string
+	runSeq  atomic.Uint64
+
+	mu    sync.RWMutex // guards inst/epoch (mutations swap them)
+	inst  *core.Instance
+	epoch uint64
+
+	// Pilot-width cache: an ad's merged global pilot widths are immutable
+	// for a given (epoch, ad position, pilot size), and every allocation
+	// needs them, so steady traffic should not re-ship MinTheta int64s
+	// per ad per request. Cleared wholesale when the epoch moves.
+	widthMu    sync.Mutex
+	widthEpoch uint64
+	widthCache map[widthKey][]int64
+}
+
+// widthKey identifies one cached merged pilot within an epoch.
+type widthKey struct {
+	ad   int
+	want int
+}
+
+// NewCoordinator validates a cluster and fronts it: every client must
+// report the same K, seed, roster fingerprint, epoch, and campaign size,
+// and client i must hold partition slot i. The coordinator's campaign
+// mirror starts as the roster prefix the shards report; a cluster whose
+// live campaign has diverged from that prefix (in-memory mutations
+// survive on running shards across a coordinator restart) is refused via
+// the campaign fingerprint rather than silently mis-priced. ctx bounds
+// the validation probes.
+func NewCoordinator(ctx context.Context, clients []Client, cfg Config) (*Coordinator, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("shard: coordinator needs at least one shard")
+	}
+	if cfg.Roster == nil {
+		return nil, errors.New("shard: coordinator needs the cluster's roster instance")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	part, err := NewPartitioner(len(clients))
+	if err != nil {
+		return nil, err
+	}
+	fp := core.InstanceFingerprint(cfg.Roster)
+	var first ShardInfo
+	for i, cl := range clients {
+		info, err := cl.Info(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d unreachable: %w", i, err)
+		}
+		if info.NumShards != len(clients) || info.Shard != i {
+			return nil, fmt.Errorf("shard: client %d reports slice %d/%d, cluster has %d shards",
+				i, info.Shard, info.NumShards, len(clients))
+		}
+		if info.Fingerprint != fp {
+			return nil, fmt.Errorf("shard: shard %d fingerprint %#x does not match roster %#x", i, info.Fingerprint, fp)
+		}
+		if i == 0 {
+			first = info
+			continue
+		}
+		if info.Seed != first.Seed || info.Epoch != first.Epoch || info.NumAds != first.NumAds ||
+			info.CampaignFingerprint != first.CampaignFingerprint {
+			return nil, fmt.Errorf("shard: shard %d state (seed %d, epoch %d, %d ads) diverges from shard 0 (seed %d, epoch %d, %d ads)",
+				i, info.Seed, info.Epoch, info.NumAds, first.Seed, first.Epoch, first.NumAds)
+		}
+	}
+	if first.NumAds > len(cfg.Roster.Ads) {
+		return nil, fmt.Errorf("shard: cluster campaign has %d ads, roster only %d", first.NumAds, len(cfg.Roster.Ads))
+	}
+	inst := *cfg.Roster
+	inst.Ads = append([]core.Ad(nil), cfg.Roster.Ads[:first.NumAds]...)
+	if got := campaignFingerprint(&inst); got != first.CampaignFingerprint {
+		return nil, fmt.Errorf("shard: cluster campaign (fingerprint %#x) is not the roster prefix this coordinator would mirror (%#x) — in-memory mutations survived on the shards; restart them (snapshots restore the as-built campaign) or the whole cluster",
+			first.CampaignFingerprint, got)
+	}
+	return &Coordinator{
+		clients:    clients,
+		part:       part,
+		verify:     cfg.Verify,
+		roster:     cfg.Roster,
+		logf:       cfg.Logf,
+		id:         fmt.Sprintf("run-%x", time.Now().UnixNano()),
+		inst:       &inst,
+		epoch:      first.Epoch,
+		widthEpoch: first.Epoch,
+		widthCache: map[widthKey][]int64{},
+	}, nil
+}
+
+// NumShards returns the cluster's K.
+func (c *Coordinator) NumShards() int { return c.part.NumShards() }
+
+// Inst returns the coordinator's current campaign instance (a stable
+// snapshot; mutations swap in a fresh one).
+func (c *Coordinator) Inst() *core.Instance {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inst
+}
+
+// Epoch returns the cluster's current campaign epoch.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// EpochInst returns the current epoch and its instance as one consistent
+// pair.
+func (c *Coordinator) EpochInst() (uint64, *core.Instance) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch, c.inst
+}
+
+// Infos polls every shard's Info — the health probe behind the serve
+// layer's shard-aware /healthz and /stats.
+func (c *Coordinator) Infos(ctx context.Context) ([]ShardInfo, []error) {
+	infos := make([]ShardInfo, len(c.clients))
+	errs := make([]error, len(c.clients))
+	c.scatter(func(k int, cl Client) error {
+		infos[k], errs[k] = cl.Info(ctx)
+		return nil
+	})
+	return infos, errs
+}
+
+// SetsSampled sums the shards' lifetime sample counts (the distributed
+// equivalent of Index.SetsSampled).
+func (c *Coordinator) SetsSampled(ctx context.Context) (int64, error) {
+	infos, errs := c.Infos(ctx)
+	var total int64
+	for k, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("shard: shard %d unreachable: %w", k, err)
+		}
+		total += infos[k].SetsSampled
+	}
+	return total, nil
+}
+
+// scatter runs fn against every shard concurrently (inline for K = 1) and
+// returns the first error in shard order. Replies land in caller-owned
+// per-shard slots; callers apply them sequentially in shard order, which
+// keeps every aggregate's evolution canonical.
+func (c *Coordinator) scatter(fn func(k int, cl Client) error) error {
+	if len(c.clients) == 1 {
+		return fn(0, c.clients[0])
+	}
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for k, cl := range c.clients {
+		wg.Add(1)
+		go func(k int, cl Client) {
+			defer wg.Done()
+			errs[k] = fn(k, cl)
+		}(k, cl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coordAd is the coordinator's per-advertiser selection state — the
+// distributed mirror of core's per-ad slot, with the coverage collection
+// replaced by an aggregate counter collection.
+type coordAd struct {
+	j         int
+	cpe       float64
+	budget    float64
+	ctps      topic.CTP
+	col       *rrset.Collection // counter mode: shard-summed coverage
+	widths    []int64           // global pilot widths, merged across shards
+	theta     int
+	sTarget   int
+	have      int // Σ per-shard pre-run local sets (warm baseline)
+	revenue   float64
+	seeds     []int32
+	seedMass  []float64
+	saturated bool
+	powMemo   map[int64]float64
+	nodes     []int32
+	covs      []int
+	candOK    bool
+	candU     int32
+	candScore float64
+	candMg    float64
+	candDrop  float64
+}
+
+// errDrift wraps cross-shard inconsistencies: a shard answered with state
+// that cannot belong to the same deterministic stream the others hold.
+var errDrift = errors.New("shard: cluster state drifted across shards")
+
+// Allocate runs one distributed selection — the scatter-gather form of
+// core.AllocateFromIndex, byte-identical to it for the same request at any
+// shard count. SoftCoverage is not supported (its float masses do not
+// re-associate across shards); Request.Pool is ignored (the transient
+// state lives on the coordinator). A campaign mutation racing the run
+// fails it with core.ErrStaleEpoch, like Request.Epoch pinning.
+func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIRMResult, error) {
+	c.mu.RLock()
+	inst, epoch := c.inst, c.epoch
+	c.mu.RUnlock()
+	if req.Epoch != 0 && req.Epoch != epoch {
+		return nil, fmt.Errorf("%w: request prepared for epoch %d, cluster is at %d", core.ErrStaleEpoch, req.Epoch, epoch)
+	}
+	opts := req.Opts.WithDefaults()
+	if opts.SoftCoverage {
+		return nil, errors.New("shard: soft coverage is not supported by sharded allocation (weighted masses do not re-associate across shards)")
+	}
+	adIDs, lambda, kappa, err := req.Resolve(inst)
+	if err != nil {
+		return nil, err
+	}
+	g := inst.G
+	n, m, h := g.N(), g.M(), len(inst.Ads)
+	maxSeeds := opts.MaxSeedsPerAd
+	if maxSeeds <= 0 {
+		maxSeeds = n
+	}
+
+	res := &core.TIRMResult{
+		Alloc:           core.NewAllocation(h),
+		EstRevenue:      make([]float64, h),
+		FinalTheta:      make([]int, h),
+		FinalSeedTarget: make([]int, h),
+	}
+
+	// Per-ad setup mirrors core's: residual-depleted ads are fully served
+	// and never reach a shard.
+	var ads []*coordAd
+	for _, j := range adIDs {
+		spec := inst.Ads[j]
+		cpe, budget := spec.CPE, spec.Budget
+		if req.Budgets != nil {
+			budget = req.Budgets[j]
+		}
+		if req.CPEs != nil {
+			cpe = req.CPEs[j]
+		}
+		if req.SpentBudget != nil {
+			budget -= req.SpentBudget[j]
+			if budget <= 0 {
+				continue
+			}
+		}
+		ads = append(ads, &coordAd{
+			j: j, cpe: cpe, budget: budget, ctps: spec.Params.CTPs,
+			sTarget: 1, powMemo: make(map[int64]float64, 128),
+		})
+	}
+	if len(ads) == 0 {
+		return res, nil
+	}
+	activeIDs := make([]int, len(ads))
+	for i, a := range ads {
+		activeIDs[i] = a.j
+	}
+	runID := fmt.Sprintf("%s-%d", c.id, c.runSeq.Add(1))
+
+	// Phase 1 — pilot scatter-gather: each shard ships its slice of every
+	// ad's pilot widths; merging them in global stream order reconstructs
+	// the exact pilot a single node would hold, so KPT and the θ targets
+	// come out bit-identical. Merged pilots are immutable per (epoch, ad,
+	// size) and cached, so steady traffic skips the width payload
+	// entirely (shards still grow pilots and report Have/Fresh, keeping
+	// the accounting identical to a cold coordinator).
+	cachedWidths := c.lookupWidths(epoch, activeIDs, opts.MinTheta)
+	pilots := make([]PilotReply, len(c.clients))
+	err = c.scatter(func(k int, cl Client) error {
+		var err error
+		pilots[k], err = cl.Pilot(ctx, PilotRequest{
+			Epoch: epoch, Ads: activeIDs, Want: opts.MinTheta, SkipWidths: cachedWidths != nil,
+		})
+		return err
+	})
+	if err != nil {
+		return nil, wrapEpochErr(err)
+	}
+	thetas := make([]int, len(ads))
+	for i, a := range ads {
+		if cachedWidths != nil {
+			a.widths = cachedWidths[i]
+		} else {
+			perShard := make([][]int64, len(c.clients))
+			for k := range c.clients {
+				perShard[k] = pilots[k].Widths[i]
+			}
+			a.widths, err = c.mergeWidths(perShard, opts.MinTheta)
+			if err != nil {
+				return nil, fmt.Errorf("%w: ad %d pilot: %v", errDrift, a.j, err)
+			}
+			c.storeWidths(epoch, a.j, opts.MinTheta, a.widths)
+		}
+		for k := range c.clients {
+			a.have += pilots[k].Have[i]
+		}
+		kpt := core.KPTFromWidths(a.widths, 1, n, m, a.powMemo)
+		a.theta = rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
+		thetas[i] = a.theta
+	}
+	for k := range c.clients {
+		res.TotalSetsSampled += pilots[k].Fresh
+	}
+
+	// Phase 2 — start scatter-gather: shards build their local coverage
+	// collections; the coordinator sums the initial counts into one
+	// counter collection per ad. All integers, applied in shard order.
+	starts := make([]StartReply, len(c.clients))
+	err = c.scatter(func(k int, cl Client) error {
+		var err error
+		starts[k], err = cl.Start(ctx, StartRequest{RunID: runID, Epoch: epoch, Ads: activeIDs, Thetas: thetas})
+		return err
+	})
+	if err != nil {
+		c.endRun(runID)
+		return nil, wrapEpochErr(err)
+	}
+	defer c.endRun(runID)
+	for i, a := range ads {
+		a.col = rrset.NewCounterCollection(n)
+		for k := range c.clients {
+			sc := starts[k].Cov[i]
+			a.col.AddCounts(sc.Nodes, sc.Counts, starts[k].LocalSets[i])
+		}
+		if a.col.NumSets() != a.theta {
+			return nil, fmt.Errorf("%w: ad %d shards hold %d sets for θ=%d", errDrift, a.j, a.col.NumSets(), a.theta)
+		}
+	}
+	for k := range c.clients {
+		res.TotalSetsSampled += starts[k].Fresh
+	}
+
+	attention := core.NewAttention(n, kappa)
+	eligible := attention.CanTake
+
+	// Main loop — Algorithm 2 lines 4–19 with the commit step distributed:
+	// scan locally over the aggregate counters, pick the winner with the
+	// existing tie-break order, broadcast the commit, and fold the
+	// gathered per-shard decrements back into the aggregates.
+	active := make([]*coordAd, 0, len(ads))
+	for {
+		active = active[:0]
+		for _, a := range ads {
+			if !a.saturated {
+				active = append(active, a)
+			}
+		}
+		for _, a := range active {
+			c.scanAd(a, n, lambda, opts.CandidateDepth, eligible)
+			if c.verify && len(a.nodes) > 0 {
+				if err := c.verifyGains(ctx, runID, a); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var best *coordAd
+		for _, a := range active {
+			if !a.candOK {
+				continue
+			}
+			if best == nil || a.candDrop > best.candDrop {
+				best = a
+			}
+		}
+		if best == nil {
+			break
+		}
+
+		a := best
+		bestU, bestMg := a.candU, a.candMg
+		covered, err := c.scatterCover(ctx, a, func(cl Client) (CommitReply, error) {
+			return cl.Commit(ctx, CommitRequest{RunID: runID, Ad: a.j, Node: bestU})
+		})
+		if err != nil {
+			return nil, err
+		}
+		if a.col.Coverage(bestU) != 0 {
+			return nil, fmt.Errorf("%w: residual coverage of %d nonzero after cluster commit", errDrift, bestU)
+		}
+		delta := a.ctps.At(bestU)
+		mass := delta * float64(covered)
+		a.col.Drop(bestU)
+		attention.Take(bestU)
+		a.seeds = append(a.seeds, bestU)
+		a.seedMass = append(a.seedMass, mass)
+		a.revenue += bestMg
+		res.Iterations++
+		if diff := mass - delta*a.candScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
+			return nil, fmt.Errorf("%w: commit mass %g disagrees with scanned score %g", errDrift, mass, delta*a.candScore)
+		}
+
+		if len(a.seeds) >= maxSeeds {
+			a.saturated = true
+			continue
+		}
+
+		// Iterative seed-set-size estimation (lines 14–18), θ growth, and
+		// UpdateEstimates — same math as core, with growth and credits
+		// scatter-gathered.
+		if len(a.seeds) == a.sTarget {
+			gap := a.budget - a.revenue
+			if gap <= 0 || bestMg <= 0 {
+				continue
+			}
+			growth := int(math.Floor(gap / bestMg))
+			if growth < 1 {
+				continue
+			}
+			a.sTarget += growth
+			kpt := core.KPTFromWidths(a.widths, a.sTarget, n, m, a.powMemo)
+			achieved := float64(n) * float64(a.col.NumCovered()) / float64(a.theta) * (1 - opts.Eps)
+			optLB := math.Max(kpt, achieved)
+			want := rrset.Theta(int64(n), int64(a.sTarget), opts.Eps, opts.Ell, optLB, opts.MinTheta, opts.MaxTheta)
+			if want > a.theta {
+				boundary := a.col.NumSets()
+				grows := make([]GrowReply, len(c.clients))
+				err = c.scatter(func(k int, cl Client) error {
+					var err error
+					grows[k], err = cl.Grow(ctx, GrowRequest{RunID: runID, Ad: a.j, FromGlobal: a.theta, ToGlobal: want})
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				grown := 0
+				for k := range c.clients {
+					a.col.AddCounts(grows[k].Added.Nodes, grows[k].Added.Counts, grows[k].LocalSets)
+					grown += grows[k].LocalSets
+					res.TotalSetsSampled += grows[k].Fresh
+				}
+				if grown != want-a.theta {
+					return nil, fmt.Errorf("%w: ad %d growth appended %d sets for window %d", errDrift, a.j, grown, want-a.theta)
+				}
+				a.theta = want
+				a.revenue = 0
+				for s, seed := range a.seeds {
+					covered, err := c.scatterCover(ctx, a, func(cl Client) (CommitReply, error) {
+						return cl.Credit(ctx, CreditRequest{RunID: runID, Ad: a.j, Node: seed, FromGlobal: boundary})
+					})
+					if err != nil {
+						return nil, err
+					}
+					a.seedMass[s] += a.ctps.At(seed) * float64(covered)
+					a.revenue += a.cpe * float64(n) * a.seedMass[s] / float64(a.theta)
+				}
+			}
+		}
+	}
+
+	for _, a := range ads {
+		res.Alloc.Seeds[a.j] = a.seeds
+		res.EstRevenue[a.j] = a.revenue
+		res.FinalTheta[a.j] = a.theta
+		res.FinalSeedTarget[a.j] = a.sTarget
+		res.MemBytes += a.col.MemBytes()
+		reused := int64(a.theta)
+		if int64(a.have) < reused {
+			reused = int64(a.have)
+		}
+		res.SetsReused += reused
+	}
+	return res, nil
+}
+
+// scanAd evaluates one ad's frontier candidates against the aggregate
+// counters — SelectBestNode over the shard-summed coverage, with scores
+// and comparisons identical to the single-node scan.
+func (c *Coordinator) scanAd(a *coordAd, n int, lambda float64, depth int, eligible func(int32) bool) {
+	a.nodes, a.covs = a.col.TopNodesInto(depth, eligible, a.nodes, a.covs)
+	if len(a.nodes) == 0 {
+		a.saturated = true
+		a.candOK = false
+		return
+	}
+	a.candOK = false
+	for ci, u := range a.nodes {
+		score := float64(a.covs[ci])
+		mg := a.cpe * float64(n) * a.ctps.At(u) * score / float64(a.theta)
+		d := core.RegretDrop(a.budget-a.revenue, mg, lambda)
+		if d <= 0 {
+			continue
+		}
+		if !a.candOK || d > a.candDrop {
+			a.candU, a.candScore, a.candMg, a.candDrop = u, score, mg, d
+		}
+		a.candOK = true
+	}
+	if !a.candOK {
+		a.saturated = true
+	}
+}
+
+// scatterCover broadcasts one commit-shaped RPC, folds every shard's
+// decrements into the ad's aggregate counters in shard order, and returns
+// the cluster-wide covered count.
+func (c *Coordinator) scatterCover(ctx context.Context, a *coordAd, call func(cl Client) (CommitReply, error)) (int, error) {
+	if len(c.clients) == 1 {
+		reply, err := call(c.clients[0])
+		if err != nil {
+			return 0, err
+		}
+		a.col.ApplyCover(reply.Covered, reply.Delta.Nodes, reply.Delta.Counts)
+		return reply.Covered, nil
+	}
+	replies := make([]CommitReply, len(c.clients))
+	err := c.scatter(func(k int, cl Client) error {
+		var err error
+		replies[k], err = call(cl)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	covered := 0
+	for k := range c.clients {
+		a.col.ApplyCover(replies[k].Covered, replies[k].Delta.Nodes, replies[k].Delta.Counts)
+		covered += replies[k].Covered
+	}
+	return covered, nil
+}
+
+// verifyGains scatter-gathers the frontier candidates' per-shard marginal
+// gains and checks their sums against the aggregate counters — the
+// Verify-mode drift detector.
+func (c *Coordinator) verifyGains(ctx context.Context, runID string, a *coordAd) error {
+	sums := make([]int32, len(a.nodes))
+	gains := make([]GainsReply, len(c.clients))
+	err := c.scatter(func(k int, cl Client) error {
+		var err error
+		gains[k], err = cl.Gains(ctx, GainsRequest{RunID: runID, Ad: a.j, Nodes: a.nodes})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for k := range c.clients {
+		if len(gains[k].Cov) != len(a.nodes) {
+			return fmt.Errorf("%w: shard %d scored %d of %d candidates", errDrift, k, len(gains[k].Cov), len(a.nodes))
+		}
+		for i, g := range gains[k].Cov {
+			sums[i] += g
+		}
+	}
+	for i, u := range a.nodes {
+		if int(sums[i]) != a.covs[i] {
+			return fmt.Errorf("%w: candidate %d gain sums to %d across shards, coordinator holds %d", errDrift, u, sums[i], a.covs[i])
+		}
+	}
+	return nil
+}
+
+// lookupWidths returns the cached merged pilots for every listed ad at
+// the given size, or nil if any is missing (the caller then requests full
+// widths for all of them). The cache is scoped to one epoch — mutations
+// reshuffle the position↔stream mapping, so it resets when the epoch
+// moves.
+func (c *Coordinator) lookupWidths(epoch uint64, ads []int, want int) [][]int64 {
+	c.widthMu.Lock()
+	defer c.widthMu.Unlock()
+	if c.widthEpoch != epoch {
+		c.widthEpoch = epoch
+		c.widthCache = map[widthKey][]int64{}
+		return nil
+	}
+	out := make([][]int64, len(ads))
+	for i, j := range ads {
+		w, ok := c.widthCache[widthKey{ad: j, want: want}]
+		if !ok {
+			return nil
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// storeWidths caches one ad's merged pilot (read-only from here on).
+func (c *Coordinator) storeWidths(epoch uint64, ad, want int, widths []int64) {
+	c.widthMu.Lock()
+	defer c.widthMu.Unlock()
+	if c.widthEpoch != epoch {
+		return
+	}
+	c.widthCache[widthKey{ad: ad, want: want}] = widths
+}
+
+// mergeWidths interleaves per-shard pilot width slices back into global
+// stream order: position g of the merged pilot comes from the shard owning
+// block g/StreamBlockSize. Integer widths merge exactly; the order matters
+// because KPT sums them as floats.
+func (c *Coordinator) mergeWidths(perShard [][]int64, want int) ([]int64, error) {
+	for k := range perShard {
+		if need := c.part.Range(k).LocalCount(want); len(perShard[k]) != need {
+			return nil, fmt.Errorf("shard %d shipped %d pilot widths, its slice of %d is %d", k, len(perShard[k]), want, need)
+		}
+	}
+	merged := make([]int64, 0, want)
+	cursors := make([]int, len(perShard))
+	for g := 0; g < want; g++ {
+		k := (g / rrset.StreamBlockSize) % c.part.NumShards()
+		merged = append(merged, perShard[k][cursors[k]])
+		cursors[k]++
+	}
+	return merged, nil
+}
+
+// endRun closes a run on every shard, best-effort.
+func (c *Coordinator) endRun(runID string) {
+	ctx := context.Background()
+	c.scatter(func(k int, cl Client) error {
+		cl.End(ctx, runID)
+		return nil
+	})
+}
+
+// wrapEpochErr translates a shard-side stale-epoch rejection into
+// core.ErrStaleEpoch so callers (serve's 409 path, epoch-pinned clients)
+// handle distributed and single-node races identically.
+func wrapEpochErr(err error) error {
+	if errors.Is(err, ErrStaleEpoch) {
+		return fmt.Errorf("%w: %v", core.ErrStaleEpoch, err)
+	}
+	return err
+}
+
+// specToAd materializes a template-cloned AdSpec against a campaign
+// instance — shared by the shard-side mutation and the coordinator's
+// campaign mirror so both construct bit-identical advertisers.
+func specToAd(inst *core.Instance, spec AdSpec) (core.Ad, error) {
+	if spec.Name == "" {
+		return core.Ad{}, errors.New("shard: ad name required")
+	}
+	for _, a := range inst.Ads {
+		if a.Name == spec.Name {
+			return core.Ad{}, fmt.Errorf("shard: ad %q already exists", spec.Name)
+		}
+	}
+	if spec.Template < 0 || spec.Template >= len(inst.Ads) {
+		return core.Ad{}, fmt.Errorf("shard: template %d out of range (campaign has %d ads)", spec.Template, len(inst.Ads))
+	}
+	if spec.CTP < 0 || spec.CTP > 1 {
+		return core.Ad{}, fmt.Errorf("shard: ctp %g must be in [0, 1]", spec.CTP)
+	}
+	tmpl := inst.Ads[spec.Template]
+	ctps := tmpl.Params.CTPs
+	if spec.CTP > 0 {
+		ctps = topic.ConstCTP{Nodes: inst.G.N(), P: spec.CTP}
+	}
+	return core.Ad{
+		Name:   spec.Name,
+		Budget: spec.Budget,
+		CPE:    spec.CPE,
+		Params: topic.ItemParams{Probs: tmpl.Params.Probs, CTPs: ctps},
+	}, nil
+}
+
+// Warm presamples the whole cluster to the depth a single-node BuildIndex
+// would: per ad, the global pilot plus the first Eq. 5 target from the
+// pilot's KPT estimate. Like its single-node counterpart it only changes
+// how much is sampled ahead of traffic, never any allocation's content.
+func (c *Coordinator) Warm(ctx context.Context, opts core.TIRMOptions) error {
+	c.mu.RLock()
+	numAds := len(c.inst.Ads)
+	c.mu.RUnlock()
+	for j := 0; j < numAds; j++ {
+		if err := c.warmAd(ctx, j, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warmAd presamples one ad cluster-wide (the distributed mirror of core's
+// per-ad presample): global pilot → KPT at s = 1 → θ → ensure.
+func (c *Coordinator) warmAd(ctx context.Context, j int, opts core.TIRMOptions) error {
+	opts = opts.WithDefaults()
+	c.mu.RLock()
+	inst, epoch := c.inst, c.epoch
+	c.mu.RUnlock()
+	n, m := inst.G.N(), inst.G.M()
+	pilots := make([]PilotReply, len(c.clients))
+	err := c.scatter(func(k int, cl Client) error {
+		var err error
+		pilots[k], err = cl.Pilot(ctx, PilotRequest{Epoch: epoch, Ads: []int{j}, Want: opts.MinTheta})
+		return err
+	})
+	if err != nil {
+		return wrapEpochErr(err)
+	}
+	perShard := make([][]int64, len(c.clients))
+	for k := range c.clients {
+		perShard[k] = pilots[k].Widths[0]
+	}
+	widths, err := c.mergeWidths(perShard, opts.MinTheta)
+	if err != nil {
+		return fmt.Errorf("%w: ad %d pilot: %v", errDrift, j, err)
+	}
+	kpt := core.KPTFromWidths(widths, 1, n, m, nil)
+	want := rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
+	return wrapEpochErr(c.scatter(func(k int, cl Client) error {
+		_, err := cl.Ensure(ctx, EnsureRequest{Epoch: epoch, Ad: j, Want: want})
+		return err
+	}))
+}
+
+// AddAdBase activates roster position base on every shard (how simulated
+// arrivals join a sharded campaign), advances the epoch, and warms the new
+// ad to the same depth a single-node AddAd presamples. Returns the new
+// ad's campaign position.
+func (c *Coordinator) AddAdBase(ctx context.Context, base int, opts core.TIRMOptions) (int, error) {
+	if base < 0 || base >= len(c.roster.Ads) {
+		return 0, fmt.Errorf("shard: roster position %d out of range (roster has %d)", base, len(c.roster.Ads))
+	}
+	return c.addAd(ctx, AddAdRequest{Base: base}, c.roster.Ads[base], opts)
+}
+
+// AddAdSpec adds a template-cloned advertiser on every shard — the
+// sharded form of the serve layer's POST /ads.
+func (c *Coordinator) AddAdSpec(ctx context.Context, spec AdSpec, opts core.TIRMOptions) (int, error) {
+	c.mu.RLock()
+	inst := c.inst
+	c.mu.RUnlock()
+	ad, err := specToAd(inst, spec)
+	if err != nil {
+		return 0, err
+	}
+	return c.addAd(ctx, AddAdRequest{Base: -1, Spec: spec}, ad, opts)
+}
+
+// addAd broadcasts one campaign addition, keeps the coordinator's mirror
+// in lockstep, and warms the new ad.
+func (c *Coordinator) addAd(ctx context.Context, req AddAdRequest, ad core.Ad, opts core.TIRMOptions) (int, error) {
+	c.mu.Lock()
+	req.Epoch = c.epoch
+	var pos int
+	for k, cl := range c.clients {
+		reply, err := cl.AddAd(ctx, req)
+		if err != nil {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("shard: add ad on shard %d: %w (cluster epochs may have diverged; restart the cluster)", k, wrapEpochErr(err))
+		}
+		if k == 0 {
+			pos = reply.Position
+			c.epoch = reply.Epoch
+		} else if reply.Epoch != c.epoch || reply.Position != pos {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("%w: shard %d reports epoch %d pos %d, shard 0 epoch %d pos %d — restart the cluster",
+				errDrift, k, reply.Epoch, reply.Position, c.epoch, pos)
+		}
+	}
+	inst := *c.inst
+	inst.Ads = append(append([]core.Ad(nil), c.inst.Ads...), ad)
+	c.inst = &inst
+	c.mu.Unlock()
+	// The mutation is committed cluster-wide at this point; warm-up is a
+	// prefetch that never changes allocation content, so its failure is
+	// logged rather than reported — selection simply samples on demand.
+	if err := c.warmAd(ctx, pos, opts); err != nil {
+		c.logf("shard: warm-up of new ad %d failed (selection will sample on demand): %v", pos, err)
+	}
+	return pos, nil
+}
+
+// RemoveAd retires the campaign position on every shard, keeping the
+// mirror and epoch in lockstep.
+func (c *Coordinator) RemoveAd(ctx context.Context, pos int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pos < 0 || pos >= len(c.inst.Ads) {
+		return fmt.Errorf("shard: remove ad %d, campaign has %d", pos, len(c.inst.Ads))
+	}
+	req := RemoveAdRequest{Epoch: c.epoch, Pos: pos}
+	for k, cl := range c.clients {
+		reply, err := cl.RemoveAd(ctx, req)
+		if err != nil {
+			return fmt.Errorf("shard: remove ad on shard %d: %w (cluster epochs may have diverged; restart the cluster)", k, wrapEpochErr(err))
+		}
+		if k == 0 {
+			c.epoch = reply.Epoch
+		} else if reply.Epoch != c.epoch {
+			return fmt.Errorf("%w: shard %d epoch %d after removal, shard 0 at %d — restart the cluster", errDrift, k, reply.Epoch, c.epoch)
+		}
+	}
+	inst := *c.inst
+	inst.Ads = append(append([]core.Ad(nil), c.inst.Ads[:pos]...), c.inst.Ads[pos+1:]...)
+	c.inst = &inst
+	return nil
+}

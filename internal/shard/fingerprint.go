@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/core"
+)
+
+// campaignFingerprint hashes one campaign set precisely enough that a
+// coordinator's mirror (a roster prefix) can be validated against a live
+// shard's current campaign: ad count and, per ad in position order, the
+// name, budget, and CPE, three sampled CTP values (first, middle, last
+// node — enough to distinguish a uniform-CTP clone from its template's
+// vector), all folded over core.InstanceFingerprint (graph topology +
+// per-ad propagation profiles). Computed identically shard-side (Info)
+// and coordinator-side (NewCoordinator), so any campaign the mirror
+// cannot represent — a mutated live cluster fronted by a freshly
+// restarted coordinator — is detected instead of silently mis-priced.
+func campaignFingerprint(inst *core.Instance) uint64 {
+	h := fnv.New64a()
+	var b8 [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		h.Write(b8[:])
+	}
+	w64(core.InstanceFingerprint(inst))
+	w64(uint64(len(inst.Ads)))
+	n := inst.G.N()
+	probes := []int32{0, int32(n / 2), int32(n - 1)}
+	for _, ad := range inst.Ads {
+		h.Write([]byte(ad.Name))
+		h.Write([]byte{0})
+		w64(math.Float64bits(ad.Budget))
+		w64(math.Float64bits(ad.CPE))
+		for _, u := range probes {
+			w64(math.Float64bits(ad.Params.CTPs.At(u)))
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,270 @@
+// HTTP/JSON transport for the shard protocol. Every payload field is an
+// integer (see protocol.go), so JSON round-trips are exact and a
+// coordinator over HTTP produces bit-identical allocations to one over the
+// in-process transport — pinned by the golden tests. Sentinel errors map
+// onto status codes (409 stale epoch, 404 unknown run, 503 draining) and
+// back, so retry logic is transport-blind.
+
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler returns the shard daemon's HTTP routes (mounted by cmd/adshard):
+//
+//	GET  /healthz       — liveness
+//	GET  /shard/info    — ShardInfo
+//	POST /shard/pilot   — PilotRequest  → PilotReply
+//	POST /shard/ensure  — EnsureRequest → EnsureReply
+//	POST /shard/start   — StartRequest  → StartReply
+//	POST /shard/commit  — CommitRequest → CommitReply
+//	POST /shard/credit  — CreditRequest → CommitReply
+//	POST /shard/grow    — GrowRequest   → GrowReply
+//	POST /shard/gains   — GainsRequest  → GainsReply
+//	POST /shard/end     — {"runId": …}  → {}
+//	POST /shard/ads     — AddAdRequest  → MutateReply
+//	POST /shard/remove  — RemoveAdRequest → MutateReply
+//	POST /shard/drain   — {} (refuse new runs from now on)
+func (s *Shard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		shardWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/shard/info", func(w http.ResponseWriter, r *http.Request) {
+		shardWriteJSON(w, http.StatusOK, s.Info())
+	})
+	mux.HandleFunc("/shard/pilot", rpc(func(req PilotRequest) (PilotReply, error) { return s.Pilot(req) }))
+	mux.HandleFunc("/shard/ensure", rpc(func(req EnsureRequest) (EnsureReply, error) { return s.Ensure(req) }))
+	mux.HandleFunc("/shard/start", rpc(func(req StartRequest) (StartReply, error) { return s.Start(req) }))
+	mux.HandleFunc("/shard/commit", rpc(func(req CommitRequest) (CommitReply, error) { return s.Commit(req) }))
+	mux.HandleFunc("/shard/credit", rpc(func(req CreditRequest) (CommitReply, error) { return s.Credit(req) }))
+	mux.HandleFunc("/shard/grow", rpc(func(req GrowRequest) (GrowReply, error) { return s.Grow(req) }))
+	mux.HandleFunc("/shard/gains", rpc(func(req GainsRequest) (GainsReply, error) { return s.Gains(req) }))
+	mux.HandleFunc("/shard/end", rpc(func(req endRequest) (struct{}, error) {
+		s.End(req.RunID)
+		return struct{}{}, nil
+	}))
+	mux.HandleFunc("/shard/ads", rpc(func(req AddAdRequest) (MutateReply, error) { return s.AddAd(req) }))
+	mux.HandleFunc("/shard/remove", rpc(func(req RemoveAdRequest) (MutateReply, error) { return s.RemoveAd(req) }))
+	mux.HandleFunc("/shard/drain", rpc(func(req struct{}) (struct{}, error) {
+		s.Drain()
+		return struct{}{}, nil
+	}))
+	return mux
+}
+
+// endRequest is the wire form of End.
+type endRequest struct {
+	// RunID names the run to close.
+	RunID string `json:"runId"`
+}
+
+// shardErrorBody is the wire form of an RPC error.
+type shardErrorBody struct {
+	// Error is the message; sentinel identity travels in the status code.
+	Error string `json:"error"`
+}
+
+// statusOf maps sentinel errors onto HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrStaleEpoch):
+		return http.StatusConflict
+	case errors.Is(err, ErrUnknownRun):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errOf is statusOf's inverse on the client side.
+func errOf(status int, msg string) error {
+	switch status {
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrStaleEpoch, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrUnknownRun, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", ErrDraining, msg)
+	default:
+		return fmt.Errorf("shard: rpc failed (%d): %s", status, msg)
+	}
+}
+
+// rpc adapts one typed shard operation into a POST JSON handler.
+func rpc[Req, Reply any](fn func(Req) (Reply, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			shardWriteJSON(w, http.StatusMethodNotAllowed, shardErrorBody{Error: "use POST"})
+			return
+		}
+		var req Req
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+		if err := dec.Decode(&req); err != nil {
+			shardWriteJSON(w, http.StatusBadRequest, shardErrorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+		reply, err := fn(req)
+		if err != nil {
+			shardWriteJSON(w, statusOf(err), shardErrorBody{Error: err.Error()})
+			return
+		}
+		shardWriteJSON(w, http.StatusOK, reply)
+	}
+}
+
+func shardWriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// HTTPClient speaks the shard protocol to a remote shard daemon.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPClient creates a client for a shard daemon at addr
+// ("host:port" or a full http:// base URL).
+func NewHTTPClient(addr string) *HTTPClient {
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	return &HTTPClient{
+		base: strings.TrimRight(addr, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// call POSTs one JSON request and decodes the reply into out.
+func (c *HTTPClient) call(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb shardErrorBody
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<10))
+		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
+			return errOf(resp.StatusCode, eb.Error)
+		}
+		return errOf(resp.StatusCode, string(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Info implements Client.
+func (c *HTTPClient) Info(ctx context.Context) (ShardInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/shard/info", nil)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<10))
+		return ShardInfo{}, errOf(resp.StatusCode, string(msg))
+	}
+	var info ShardInfo
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// Pilot implements Client.
+func (c *HTTPClient) Pilot(ctx context.Context, req PilotRequest) (PilotReply, error) {
+	var out PilotReply
+	return out, c.call(ctx, "/shard/pilot", req, &out)
+}
+
+// Ensure implements Client.
+func (c *HTTPClient) Ensure(ctx context.Context, req EnsureRequest) (EnsureReply, error) {
+	var out EnsureReply
+	return out, c.call(ctx, "/shard/ensure", req, &out)
+}
+
+// Start implements Client.
+func (c *HTTPClient) Start(ctx context.Context, req StartRequest) (StartReply, error) {
+	var out StartReply
+	return out, c.call(ctx, "/shard/start", req, &out)
+}
+
+// Commit implements Client.
+func (c *HTTPClient) Commit(ctx context.Context, req CommitRequest) (CommitReply, error) {
+	var out CommitReply
+	return out, c.call(ctx, "/shard/commit", req, &out)
+}
+
+// Credit implements Client.
+func (c *HTTPClient) Credit(ctx context.Context, req CreditRequest) (CommitReply, error) {
+	var out CommitReply
+	return out, c.call(ctx, "/shard/credit", req, &out)
+}
+
+// Grow implements Client.
+func (c *HTTPClient) Grow(ctx context.Context, req GrowRequest) (GrowReply, error) {
+	var out GrowReply
+	return out, c.call(ctx, "/shard/grow", req, &out)
+}
+
+// Gains implements Client.
+func (c *HTTPClient) Gains(ctx context.Context, req GainsRequest) (GainsReply, error) {
+	var out GainsReply
+	return out, c.call(ctx, "/shard/gains", req, &out)
+}
+
+// End implements Client.
+func (c *HTTPClient) End(ctx context.Context, runID string) error {
+	var out struct{}
+	return c.call(ctx, "/shard/end", endRequest{RunID: runID}, &out)
+}
+
+// AddAd implements Client.
+func (c *HTTPClient) AddAd(ctx context.Context, req AddAdRequest) (MutateReply, error) {
+	var out MutateReply
+	return out, c.call(ctx, "/shard/ads", req, &out)
+}
+
+// RemoveAd implements Client.
+func (c *HTTPClient) RemoveAd(ctx context.Context, req RemoveAdRequest) (MutateReply, error) {
+	var out MutateReply
+	return out, c.call(ctx, "/shard/remove", req, &out)
+}
+
+// Drain asks the daemon to refuse new runs (not part of the coordinator's
+// Client surface — an operator action).
+func (c *HTTPClient) Drain(ctx context.Context) error {
+	var out struct{}
+	return c.call(ctx, "/shard/drain", struct{}{}, &out)
+}
+
+// Interface compliance.
+var (
+	_ Client = LocalClient{}
+	_ Client = (*HTTPClient)(nil)
+)

@@ -1,0 +1,34 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/rrset"
+)
+
+// Partitioner splits the deterministic RR block stream into K disjoint
+// shard slices. Blocks are assigned round-robin (block b belongs to shard
+// b mod K — see rrset.StreamPartition), which keeps every shard's share of
+// a growing stream balanced at every prefix length; the union of the K
+// slices is byte-identical to the single-node stream at any θ.
+type Partitioner struct {
+	k int
+}
+
+// NewPartitioner creates a K-way partitioner (K ≥ 1; K = 1 is the
+// single-node identity split).
+func NewPartitioner(k int) (Partitioner, error) {
+	if k < 1 {
+		return Partitioner{}, fmt.Errorf("shard: partitioner needs K ≥ 1, got %d", k)
+	}
+	return Partitioner{k: k}, nil
+}
+
+// NumShards returns K.
+func (p Partitioner) NumShards() int { return p.k }
+
+// Range returns shard k's slice of the stream — the partition a
+// BuildShardIndex shard samples with.
+func (p Partitioner) Range(k int) rrset.StreamPartition {
+	return rrset.StreamPartition{NumShards: p.k, Shard: k}
+}

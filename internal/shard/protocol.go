@@ -1,0 +1,325 @@
+// The shard RPC protocol: the coverage / marginal-gain / commit steps of a
+// distributed selection run, plus shard lifecycle (info, epoch-synced
+// campaign mutations, drain). Every payload field is an integer — widths,
+// set counts, coverage counts, sparse decrement vectors — so a reply's
+// bytes carry no floating-point representation at all, and the in-process
+// and HTTP/JSON transports are interchangeable bit for bit.
+
+package shard
+
+import (
+	"context"
+	"errors"
+)
+
+// Wire-level sentinel errors. The HTTP transport maps them onto status
+// codes and back, so coordinator retry logic behaves identically over
+// either transport.
+var (
+	// ErrStaleEpoch reports that the shard's campaign epoch moved past the
+	// one the request was prepared for (mirrors core.ErrStaleEpoch).
+	ErrStaleEpoch = errors.New("shard: campaign epoch changed since the request was prepared")
+	// ErrUnknownRun reports an RPC against a run id the shard does not
+	// hold — never opened, already ended, or reaped after idling.
+	ErrUnknownRun = errors.New("shard: unknown run id")
+	// ErrDraining reports that the shard refuses new runs while it drains.
+	ErrDraining = errors.New("shard: draining, not accepting new runs")
+)
+
+// SparseCounts is a sparse per-node integer vector: node Nodes[i] carries
+// Counts[i]. It ships initial coverage, growth credits, and commit
+// decrements.
+type SparseCounts struct {
+	// Nodes lists the touched nodes.
+	Nodes []int32 `json:"nodes"`
+	// Counts holds each node's count, aligned with Nodes.
+	Counts []int32 `json:"counts"`
+}
+
+// DatasetParams identifies the generated instance a shard daemon was
+// launched with, so a coordinator host can rebuild the identical roster
+// locally instead of shipping graphs over the wire (identity is still
+// enforced by the fingerprint — these are a convenience, not a proof).
+type DatasetParams struct {
+	// Name is the registered dataset generator.
+	Name string `json:"name"`
+	// Seed is the generator seed.
+	Seed uint64 `json:"seed"`
+	// Scale is the dataset scale.
+	Scale float64 `json:"scale"`
+	// NumAds is the advertiser-count override (0 = dataset default).
+	NumAds int `json:"numAds"`
+}
+
+// ShardInfo describes one shard — identity, partition slot, campaign
+// state, and load — for cluster validation and health reporting.
+type ShardInfo struct {
+	// Dataset names the generated instance the daemon was launched with
+	// (zero value for in-process shards, which share the roster directly).
+	Dataset DatasetParams `json:"dataset"`
+	// Shard is the partition slot in [0, NumShards).
+	Shard int `json:"shard"`
+	// NumShards is the cluster's K.
+	NumShards int `json:"numShards"`
+	// Seed is the stream seed the shard samples under.
+	Seed uint64 `json:"seed"`
+	// Fingerprint is core.InstanceFingerprint of the shard's full base
+	// roster; a coordinator refuses a cluster with mixed fingerprints.
+	Fingerprint uint64 `json:"fingerprint"`
+	// CampaignFingerprint hashes the shard's *current* campaign set —
+	// positions, names, budgets, CPEs, propagation profiles, sampled CTPs
+	// (see campaignFingerprint). A coordinator reconstructs its campaign
+	// mirror as a roster prefix, which is only valid while no mutations
+	// have landed; this fingerprint lets it detect a mutated live cluster
+	// and refuse to mirror it wrongly.
+	CampaignFingerprint uint64 `json:"campaignFingerprint"`
+	// Epoch is the shard's current campaign epoch.
+	Epoch uint64 `json:"epoch"`
+	// NumAds is the current campaign size.
+	NumAds int `json:"numAds"`
+	// RosterAds is the size of the full base roster the shard was built
+	// from (campaign arrivals activate roster positions).
+	RosterAds int `json:"rosterAds"`
+	// SetsSampled counts local RR-sets drawn over the shard's lifetime.
+	SetsSampled int64 `json:"setsSampled"`
+	// MemBytes is the exact footprint of the shard's stored sample.
+	MemBytes int64 `json:"memBytes"`
+	// OpenRuns is the number of live selection runs.
+	OpenRuns int `json:"openRuns"`
+	// Draining reports whether the shard refuses new runs.
+	Draining bool `json:"draining"`
+}
+
+// PilotRequest asks for the shard's slices of per-ad pilot widths: for
+// each listed ad, the widths of its local sets below the global prefix
+// Want, growing samples as needed.
+type PilotRequest struct {
+	// Epoch pins the campaign epoch the ad positions refer to.
+	Epoch uint64 `json:"epoch"`
+	// Ads lists the ad positions to pilot.
+	Ads []int `json:"ads"`
+	// Want is the global pilot size (TIRMOptions.MinTheta after defaults).
+	Want int `json:"want"`
+	// SkipWidths elides the width payload from the reply: the shard still
+	// grows every listed ad's sample to the pilot prefix (so Fresh/Have
+	// accounting is identical), but ships no widths — the coordinator
+	// already holds them cached, and pilot widths are immutable for a
+	// given (epoch, ad, want).
+	SkipWidths bool `json:"skipWidths,omitempty"`
+}
+
+// PilotReply carries per-ad local pilot widths, aligned with the request's
+// Ads. Have reports each ad's local set count before this call grew
+// anything (the warm-start baseline), Fresh the local sets drawn by it.
+type PilotReply struct {
+	// Widths[i] are the local widths of request ad i, ascending global order.
+	Widths [][]int64 `json:"widths"`
+	// Have[i] is request ad i's pre-call local set count.
+	Have []int `json:"have"`
+	// Fresh is the total local sets this call drew.
+	Fresh int64 `json:"fresh"`
+}
+
+// StartRequest opens a selection run: the shard builds one local coverage
+// collection per listed ad over its slice of the global prefix
+// [0, Thetas[i]).
+type StartRequest struct {
+	// RunID names the run for subsequent Commit/Credit/Grow/Gains/End.
+	RunID string `json:"runId"`
+	// Epoch pins the campaign epoch; the whole run stays on it.
+	Epoch uint64 `json:"epoch"`
+	// Ads lists the participating ad positions.
+	Ads []int `json:"ads"`
+	// Thetas holds each ad's global θ, aligned with Ads.
+	Thetas []int `json:"thetas"`
+}
+
+// StartReply reports each ad's initial local coverage.
+type StartReply struct {
+	// Cov[i] is request ad i's initial per-node local coverage (nodes with
+	// nonzero counts only).
+	Cov []SparseCounts `json:"cov"`
+	// LocalSets[i] is how many local sets back request ad i's collection.
+	LocalSets []int `json:"localSets"`
+	// Fresh is the total local sets this call drew.
+	Fresh int64 `json:"fresh"`
+}
+
+// CommitRequest retires seed Node's residual local coverage for one ad —
+// the shard half of Algorithm 2's commit step.
+type CommitRequest struct {
+	// RunID names the run.
+	RunID string `json:"runId"`
+	// Ad is the ad position within the run.
+	Ad int `json:"ad"`
+	// Node is the committed seed.
+	Node int32 `json:"node"`
+}
+
+// CommitReply reports a commit's (or credit's) local effect: Covered newly
+// covered local sets and the sparse per-node coverage decrements. Summed
+// across the cluster these reproduce the single-node effect exactly.
+// Slices may alias shard-internal buffers that are reused by the next call
+// for the same run — consume before issuing it.
+type CommitReply struct {
+	// Covered is the number of local sets newly covered.
+	Covered int `json:"covered"`
+	// Delta holds the per-node residual-coverage decrements.
+	Delta SparseCounts `json:"delta"`
+}
+
+// CreditRequest re-credits an existing seed with coverage among sets
+// appended at or past a global stream position (Algorithm 4's
+// UpdateEstimates, restricted to the growth window).
+type CreditRequest struct {
+	// RunID names the run.
+	RunID string `json:"runId"`
+	// Ad is the ad position within the run.
+	Ad int `json:"ad"`
+	// Node is the already-committed seed being re-credited.
+	Node int32 `json:"node"`
+	// FromGlobal is the global stream position growth started at.
+	FromGlobal int `json:"fromGlobal"`
+}
+
+// GrowRequest extends one ad's run collection with the shard's slice of
+// global stream sets [FromGlobal, ToGlobal) — θ rose mid-run.
+type GrowRequest struct {
+	// RunID names the run.
+	RunID string `json:"runId"`
+	// Ad is the ad position within the run.
+	Ad int `json:"ad"`
+	// FromGlobal is the ad's current global θ.
+	FromGlobal int `json:"fromGlobal"`
+	// ToGlobal is the new global θ.
+	ToGlobal int `json:"toGlobal"`
+}
+
+// GrowReply reports the growth's local effect.
+type GrowReply struct {
+	// Added holds the appended sets' per-node coverage counts.
+	Added SparseCounts `json:"added"`
+	// LocalSets is how many local sets the growth appended.
+	LocalSets int `json:"localSets"`
+	// Fresh is the local sets freshly drawn (0 when the sample already
+	// held the window).
+	Fresh int64 `json:"fresh"`
+}
+
+// GainsRequest reads the residual local coverage of candidate nodes — the
+// per-shard marginal-gain contributions of a frontier. The coordinator's
+// optional verify mode scatter-gathers these each round and checks the
+// sums against its aggregate counters, catching shard drift in flight.
+type GainsRequest struct {
+	// RunID names the run.
+	RunID string `json:"runId"`
+	// Ad is the ad position within the run.
+	Ad int `json:"ad"`
+	// Nodes lists the frontier candidates to score.
+	Nodes []int32 `json:"nodes"`
+}
+
+// GainsReply carries the candidates' residual local coverage, aligned with
+// the request's Nodes.
+type GainsReply struct {
+	// Cov[i] is the residual local coverage of request node i.
+	Cov []int32 `json:"cov"`
+}
+
+// AdSpec describes an advertiser to add by template cloning: the new ad
+// shares the Template position's mixed edge probabilities with its own
+// budget, CPE, and optionally a uniform CTP (0 keeps the template's
+// vector) — the same shape internal/serve's POST /ads accepts, chosen
+// because arbitrary per-edge vectors have no JSON-sized representation.
+type AdSpec struct {
+	// Name labels the new ad (must be unique in the campaign).
+	Name string `json:"name"`
+	// Budget is the ad's budget B_i.
+	Budget float64 `json:"budget"`
+	// CPE is the ad's cost-per-engagement.
+	CPE float64 `json:"cpe"`
+	// CTP, when > 0, is a uniform click-through probability.
+	CTP float64 `json:"ctp,omitempty"`
+	// Template is the campaign position whose propagation profile the new
+	// ad clones.
+	Template int `json:"template,omitempty"`
+}
+
+// AddAdRequest appends an advertiser to the shard's campaign set. Exactly
+// one of the two forms is used: Base ≥ 0 activates that position of the
+// shard's full generated roster (how simulated arrivals join), Base < 0
+// clones Spec from a live campaign ad.
+type AddAdRequest struct {
+	// Epoch pins the campaign epoch the mutation applies to.
+	Epoch uint64 `json:"epoch"`
+	// Base is the roster position to activate, or -1 for Spec.
+	Base int `json:"base"`
+	// Spec is the template-cloned form (Base < 0).
+	Spec AdSpec `json:"spec"`
+}
+
+// RemoveAdRequest retires the advertiser at a campaign position.
+type RemoveAdRequest struct {
+	// Epoch pins the campaign epoch the mutation applies to.
+	Epoch uint64 `json:"epoch"`
+	// Pos is the campaign position to remove.
+	Pos int `json:"pos"`
+}
+
+// MutateReply reports the campaign set after a mutation.
+type MutateReply struct {
+	// Epoch is the shard's campaign epoch after the mutation.
+	Epoch uint64 `json:"epoch"`
+	// Position is the added ad's campaign position (AddAd only).
+	Position int `json:"position"`
+	// NumAds is the campaign size after the mutation.
+	NumAds int `json:"numAds"`
+}
+
+// EnsureRequest grows one ad's sample to cover the global prefix
+// [0, Want) and syncs its inverted index — coordinator-driven warm-up, the
+// distributed equivalent of BuildIndex's presampling.
+type EnsureRequest struct {
+	// Epoch pins the campaign epoch the ad position refers to.
+	Epoch uint64 `json:"epoch"`
+	// Ad is the ad position to warm.
+	Ad int `json:"ad"`
+	// Want is the global prefix the sample must cover.
+	Want int `json:"want"`
+}
+
+// EnsureReply reports warm-up growth.
+type EnsureReply struct {
+	// Fresh is the local sets freshly drawn.
+	Fresh int64 `json:"fresh"`
+}
+
+// Client is the coordinator's view of one shard, over any transport. The
+// in-process LocalClient calls the Shard directly; HTTPClient speaks the
+// same protocol as JSON over the shard daemon's /shard/ endpoints. Reply
+// buffers of Commit/Credit may be reused by the next call against the same
+// run — the coordinator consumes each reply before the next RPC.
+type Client interface {
+	// Info reports the shard's identity and state.
+	Info(ctx context.Context) (ShardInfo, error)
+	// Pilot returns per-ad local pilot widths.
+	Pilot(ctx context.Context, req PilotRequest) (PilotReply, error)
+	// Ensure warms one ad's sample to a global prefix.
+	Ensure(ctx context.Context, req EnsureRequest) (EnsureReply, error)
+	// Start opens a selection run and returns initial coverage.
+	Start(ctx context.Context, req StartRequest) (StartReply, error)
+	// Commit retires a committed seed's residual local coverage.
+	Commit(ctx context.Context, req CommitRequest) (CommitReply, error)
+	// Credit re-credits a seed within a growth window.
+	Credit(ctx context.Context, req CreditRequest) (CommitReply, error)
+	// Grow extends a run collection with a stream window.
+	Grow(ctx context.Context, req GrowRequest) (GrowReply, error)
+	// Gains reads frontier candidates' residual local coverage.
+	Gains(ctx context.Context, req GainsRequest) (GainsReply, error)
+	// End closes a run and frees its state.
+	End(ctx context.Context, runID string) error
+	// AddAd appends an advertiser to the campaign set.
+	AddAd(ctx context.Context, req AddAdRequest) (MutateReply, error)
+	// RemoveAd retires the advertiser at a campaign position.
+	RemoveAd(ctx context.Context, req RemoveAdRequest) (MutateReply, error)
+}

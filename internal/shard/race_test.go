@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCoordinatorConcurrentAllocate exercises the coordinator under
+// concurrent allocations interleaved with campaign mutations (run with
+// -race in CI): every successful allocation must be internally consistent,
+// and races with mutations must surface as clean core.ErrStaleEpoch
+// failures, never as drift or corruption.
+func TestCoordinatorConcurrentAllocate(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	ctx := context.Background()
+	coord, _, err := NewLocalCluster(inst, 8, 3, 2, Config{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Warm(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := coord.Allocate(ctx, core.Request{Opts: opts}); err != nil &&
+					!errors.Is(err, core.ErrStaleEpoch) {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := coord.AddAdBase(ctx, 8, opts); err != nil {
+			errc <- err
+			return
+		}
+		if err := coord.RemoveAd(ctx, 0); err != nil {
+			errc <- err
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// After the dust settles, the cluster must still agree with a fresh
+	// single-node index over the same mutation history.
+	epoch, ci := coord.EpochInst()
+	if epoch != 3 {
+		t.Fatalf("epoch %d after two mutations, want 3", epoch)
+	}
+	res, err := coord.Allocate(ctx, core.Request{Opts: opts, Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alloc.Seeds) != len(ci.Ads) {
+		t.Fatalf("allocation covers %d ads, campaign has %d", len(res.Alloc.Seeds), len(ci.Ads))
+	}
+}

@@ -1,0 +1,407 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rrset"
+)
+
+// maxOpenRuns bounds concurrent selection runs per shard; each run holds
+// per-ad coverage collections, so an unbounded count would let a stuck or
+// malicious coordinator grow the process without limit.
+const maxOpenRuns = 64
+
+// runTTL is how long an idle run survives before being reaped — the
+// backstop for a coordinator that died mid-run and never sent End.
+const runTTL = 10 * time.Minute
+
+// Shard hosts one slice of the partitioned RR-set universe: a per-range
+// core.Index epoch (samples of exactly this shard's blocks of every ad's
+// stream) plus the per-run coverage collections distributed selection runs
+// mutate. It implements the full RPC surface of Client transport-side; use
+// LocalClient for in-process access or Handler for HTTP.
+//
+// Concurrency: distinct runs may proceed concurrently (each owns its
+// collections), but the RPCs of one run must be issued sequentially — the
+// coordinator's loop is sequential per run by construction, and reply
+// buffers are reused across a run's calls.
+type Shard struct {
+	part   rrset.StreamPartition
+	roster *core.Instance // full generated roster; arrivals activate positions
+	idx    *core.Index
+	// Dataset optionally names the generated instance for Info (set by the
+	// daemon before serving; never read by the shard runtime itself).
+	Dataset DatasetParams
+
+	lifeMu sync.Mutex // serializes campaign mutations with their epoch checks
+
+	mu       sync.Mutex
+	runs     map[string]*shardRun
+	draining atomic.Bool
+
+	runsOpened atomic.Int64
+	commits    atomic.Int64
+}
+
+// shardRun is one distributed selection run's shard-local state.
+type shardRun struct {
+	ep       core.EpochView
+	ads      map[int]*shardRunAd
+	lastUsed atomic.Int64 // unix nanos; written by run ops, read by the reaper
+
+	// Per-call scratch, shared across the run's ads (run RPCs are
+	// sequential): stamp/pos drive sparse-count accumulation, nodes/counts
+	// back the replies.
+	stamp    []uint64
+	stampGen uint64
+	pos      []int32
+	nodes    []int32
+	counts   []int32
+}
+
+// shardRunAd is one ad's coverage state within a run.
+type shardRunAd struct {
+	col   *rrset.Collection
+	theta int // global θ the collection's local sets correspond to
+}
+
+// NewShard builds a shard over roster.Ads[:initialAds] (0 = all): a
+// per-range index that samples only part's blocks. No presampling happens
+// here — the coordinator warms the cluster globally (Pilot + Ensure) so θ
+// targets are sized from whole-stream pilots exactly as a single node
+// would.
+func NewShard(roster *core.Instance, initialAds int, seed uint64, part rrset.StreamPartition) (*Shard, error) {
+	if initialAds <= 0 || initialAds > len(roster.Ads) {
+		initialAds = len(roster.Ads)
+	}
+	base := *roster
+	base.Ads = append([]core.Ad(nil), roster.Ads[:initialAds]...)
+	idx, err := core.BuildShardIndex(&base, seed, part)
+	if err != nil {
+		return nil, err
+	}
+	return newShard(roster, idx), nil
+}
+
+// NewShardFromIndex wraps a shard index restored by
+// core.LoadShardIndexSnapshot (or built elsewhere). roster supplies the
+// full arrival roster; the index's instance must be a positional prefix of
+// it for Base adds to stay meaningful.
+func NewShardFromIndex(roster *core.Instance, idx *core.Index) (*Shard, error) {
+	if idx.NumAds() > len(roster.Ads) {
+		return nil, fmt.Errorf("shard: index has %d ads, roster only %d", idx.NumAds(), len(roster.Ads))
+	}
+	return newShard(roster, idx), nil
+}
+
+func newShard(roster *core.Instance, idx *core.Index) *Shard {
+	return &Shard{
+		part:   idx.Partition(),
+		roster: roster,
+		idx:    idx,
+		runs:   map[string]*shardRun{},
+	}
+}
+
+// Index exposes the shard's per-range index (snapshot persistence in
+// cmd/adshard writes through it).
+func (s *Shard) Index() *core.Index { return s.idx }
+
+// Drain makes the shard refuse new runs; in-flight runs finish normally.
+// There is no undrain — a drained shard is on its way out.
+func (s *Shard) Drain() { s.draining.Store(true) }
+
+// Info implements the Client surface shard-side.
+func (s *Shard) Info() ShardInfo {
+	s.mu.Lock()
+	open := len(s.runs)
+	s.mu.Unlock()
+	ep := s.idx.CurrentEpoch()
+	return ShardInfo{
+		Dataset:             s.Dataset,
+		Shard:               s.part.Shard,
+		NumShards:           s.part.Size(),
+		Seed:                s.idx.Seed(),
+		Fingerprint:         core.InstanceFingerprint(s.roster),
+		CampaignFingerprint: campaignFingerprint(ep.Inst()),
+		Epoch:               ep.Version(),
+		NumAds:              ep.NumAds(),
+		RosterAds:           len(s.roster.Ads),
+		SetsSampled:         s.idx.SetsSampled(),
+		MemBytes:            s.idx.MemBytes(),
+		OpenRuns:            open,
+		Draining:            s.draining.Load(),
+	}
+}
+
+// epochView resolves the current epoch and checks it against the pinned
+// one a request carries.
+func (s *Shard) epochView(epoch uint64) (core.EpochView, error) {
+	ep := s.idx.CurrentEpoch()
+	if epoch != 0 && epoch != ep.Version() {
+		return core.EpochView{}, fmt.Errorf("%w: request prepared for epoch %d, shard is at %d",
+			ErrStaleEpoch, epoch, ep.Version())
+	}
+	return ep, nil
+}
+
+// checkAds validates ad positions against an epoch.
+func checkAds(ep core.EpochView, ads []int) error {
+	for _, j := range ads {
+		if j < 0 || j >= ep.NumAds() {
+			return fmt.Errorf("shard: ad %d out of range (campaign has %d)", j, ep.NumAds())
+		}
+	}
+	return nil
+}
+
+// Pilot implements the Client surface shard-side.
+func (s *Shard) Pilot(req PilotRequest) (PilotReply, error) {
+	ep, err := s.epochView(req.Epoch)
+	if err != nil {
+		return PilotReply{}, err
+	}
+	if err := checkAds(ep, req.Ads); err != nil {
+		return PilotReply{}, err
+	}
+	reply := PilotReply{
+		Have: make([]int, len(req.Ads)),
+	}
+	if !req.SkipWidths {
+		reply.Widths = make([][]int64, len(req.Ads))
+	}
+	for i, j := range req.Ads {
+		reply.Have[i] = ep.AdHave(j)
+		widths, fresh := ep.AdPilot(j, req.Want)
+		if !req.SkipWidths {
+			reply.Widths[i] = widths
+		}
+		reply.Fresh += fresh
+	}
+	return reply, nil
+}
+
+// Ensure implements the Client surface shard-side.
+func (s *Shard) Ensure(req EnsureRequest) (EnsureReply, error) {
+	ep, err := s.epochView(req.Epoch)
+	if err != nil {
+		return EnsureReply{}, err
+	}
+	if err := checkAds(ep, []int{req.Ad}); err != nil {
+		return EnsureReply{}, err
+	}
+	return EnsureReply{Fresh: ep.AdEnsure(req.Ad, req.Want)}, nil
+}
+
+// Start implements the Client surface shard-side.
+func (s *Shard) Start(req StartRequest) (StartReply, error) {
+	if s.draining.Load() {
+		return StartReply{}, ErrDraining
+	}
+	ep, err := s.epochView(req.Epoch)
+	if err != nil {
+		return StartReply{}, err
+	}
+	if err := checkAds(ep, req.Ads); err != nil {
+		return StartReply{}, err
+	}
+	if len(req.Thetas) != len(req.Ads) {
+		return StartReply{}, fmt.Errorf("shard: %d thetas for %d ads", len(req.Thetas), len(req.Ads))
+	}
+	run := &shardRun{ep: ep, ads: make(map[int]*shardRunAd, len(req.Ads))}
+	run.lastUsed.Store(time.Now().UnixNano())
+
+	s.mu.Lock()
+	s.reapLocked(time.Now())
+	if len(s.runs) >= maxOpenRuns {
+		s.mu.Unlock()
+		return StartReply{}, fmt.Errorf("shard: %d runs already open", maxOpenRuns)
+	}
+	if _, dup := s.runs[req.RunID]; dup {
+		s.mu.Unlock()
+		return StartReply{}, fmt.Errorf("shard: run %q already open", req.RunID)
+	}
+	s.runs[req.RunID] = run
+	s.mu.Unlock()
+
+	n := ep.Inst().G.N()
+	reply := StartReply{
+		Cov:       make([]SparseCounts, len(req.Ads)),
+		LocalSets: make([]int, len(req.Ads)),
+	}
+	for i, j := range req.Ads {
+		v, inv, fresh := ep.AdView(j, req.Thetas[i])
+		reply.Fresh += fresh
+		col := rrset.NewCollectionFromFamily(n, v, inv)
+		run.ads[j] = &shardRunAd{col: col, theta: req.Thetas[i]}
+		var sc SparseCounts
+		for u := 0; u < n; u++ {
+			if c := col.Coverage(int32(u)); c > 0 {
+				sc.Nodes = append(sc.Nodes, int32(u))
+				sc.Counts = append(sc.Counts, int32(c))
+			}
+		}
+		reply.Cov[i] = sc
+		reply.LocalSets[i] = v.Len()
+	}
+	s.runsOpened.Add(1)
+	return reply, nil
+}
+
+// run resolves a run and one of its ads.
+func (s *Shard) run(runID string, ad int) (*shardRun, *shardRunAd, error) {
+	s.mu.Lock()
+	r, ok := s.runs[runID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownRun, runID)
+	}
+	r.lastUsed.Store(time.Now().UnixNano())
+	ra, ok := r.ads[ad]
+	if !ok {
+		return nil, nil, fmt.Errorf("shard: run %q has no ad %d", runID, ad)
+	}
+	return r, ra, nil
+}
+
+// Commit implements the Client surface shard-side.
+func (s *Shard) Commit(req CommitRequest) (CommitReply, error) {
+	r, ra, err := s.run(req.RunID, req.Ad)
+	if err != nil {
+		return CommitReply{}, err
+	}
+	covered, nodes, decs := ra.col.CoverNodeDelta(req.Node, r.nodes, r.counts)
+	r.nodes, r.counts = nodes, decs
+	s.commits.Add(1)
+	return CommitReply{Covered: covered, Delta: SparseCounts{Nodes: nodes, Counts: decs}}, nil
+}
+
+// Credit implements the Client surface shard-side.
+func (s *Shard) Credit(req CreditRequest) (CommitReply, error) {
+	r, ra, err := s.run(req.RunID, req.Ad)
+	if err != nil {
+		return CommitReply{}, err
+	}
+	localFirst := s.part.LocalCount(req.FromGlobal)
+	covered, nodes, decs := ra.col.CountAndCoverFromDelta(req.Node, localFirst, r.nodes, r.counts)
+	r.nodes, r.counts = nodes, decs
+	return CommitReply{Covered: covered, Delta: SparseCounts{Nodes: nodes, Counts: decs}}, nil
+}
+
+// Grow implements the Client surface shard-side.
+func (s *Shard) Grow(req GrowRequest) (GrowReply, error) {
+	r, ra, err := s.run(req.RunID, req.Ad)
+	if err != nil {
+		return GrowReply{}, err
+	}
+	if req.FromGlobal != ra.theta {
+		return GrowReply{}, fmt.Errorf("shard: grow from θ=%d, run ad is at %d", req.FromGlobal, ra.theta)
+	}
+	v, fresh := r.ep.AdWindow(req.Ad, req.FromGlobal, req.ToGlobal)
+	added := r.sparseFromView(r.ep.Inst().G.N(), v)
+	ra.col.AddFamily(v)
+	ra.theta = req.ToGlobal
+	return GrowReply{Added: added, LocalSets: v.Len(), Fresh: fresh}, nil
+}
+
+// sparseFromView accumulates a view's per-node membership counts into the
+// run's reusable sparse buffers.
+func (r *shardRun) sparseFromView(n int, v rrset.FamilyView) SparseCounts {
+	if len(r.stamp) < n {
+		r.stamp = make([]uint64, n)
+		r.pos = make([]int32, n)
+	}
+	r.stampGen++
+	gen := r.stampGen
+	r.nodes, r.counts = r.nodes[:0], r.counts[:0]
+	for i := 0; i < v.Len(); i++ {
+		for _, u := range v.Set(i) {
+			if r.stamp[u] == gen {
+				r.counts[r.pos[u]]++
+				continue
+			}
+			r.stamp[u] = gen
+			r.pos[u] = int32(len(r.nodes))
+			r.nodes = append(r.nodes, u)
+			r.counts = append(r.counts, 1)
+		}
+	}
+	return SparseCounts{Nodes: r.nodes, Counts: r.counts}
+}
+
+// Gains implements the Client surface shard-side.
+func (s *Shard) Gains(req GainsRequest) (GainsReply, error) {
+	_, ra, err := s.run(req.RunID, req.Ad)
+	if err != nil {
+		return GainsReply{}, err
+	}
+	out := make([]int32, len(req.Nodes))
+	for i, u := range req.Nodes {
+		out[i] = int32(ra.col.Coverage(u))
+	}
+	return GainsReply{Cov: out}, nil
+}
+
+// End implements the Client surface shard-side. Ending an unknown run is a
+// no-op (the coordinator ends best-effort on error paths).
+func (s *Shard) End(runID string) {
+	s.mu.Lock()
+	delete(s.runs, runID)
+	s.mu.Unlock()
+}
+
+// reapLocked drops runs idle past runTTL. Caller holds s.mu.
+func (s *Shard) reapLocked(now time.Time) {
+	for id, r := range s.runs {
+		if now.UnixNano()-r.lastUsed.Load() > int64(runTTL) {
+			delete(s.runs, id)
+		}
+	}
+}
+
+// AddAd implements the Client surface shard-side: it appends the requested
+// advertiser (roster activation or template clone) to the campaign set,
+// advancing the epoch. The coordinator broadcasts the identical mutation
+// to every shard, so stream-id assignment — and with it every future
+// sample — stays in lockstep across the cluster.
+func (s *Shard) AddAd(req AddAdRequest) (MutateReply, error) {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	ep, err := s.epochView(req.Epoch)
+	if err != nil {
+		return MutateReply{}, err
+	}
+	var ad core.Ad
+	if req.Base >= 0 {
+		if req.Base >= len(s.roster.Ads) {
+			return MutateReply{}, fmt.Errorf("shard: roster position %d out of range (roster has %d)", req.Base, len(s.roster.Ads))
+		}
+		ad = s.roster.Ads[req.Base]
+	} else {
+		if ad, err = specToAd(ep.Inst(), req.Spec); err != nil {
+			return MutateReply{}, err
+		}
+	}
+	pos, err := s.idx.AddAd(ad, core.TIRMOptions{})
+	if err != nil {
+		return MutateReply{}, err
+	}
+	return MutateReply{Epoch: s.idx.Epoch(), Position: pos, NumAds: s.idx.NumAds()}, nil
+}
+
+// RemoveAd implements the Client surface shard-side.
+func (s *Shard) RemoveAd(req RemoveAdRequest) (MutateReply, error) {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if _, err := s.epochView(req.Epoch); err != nil {
+		return MutateReply{}, err
+	}
+	if err := s.idx.RemoveAd(req.Pos); err != nil {
+		return MutateReply{}, err
+	}
+	return MutateReply{Epoch: s.idx.Epoch(), NumAds: s.idx.NumAds()}, nil
+}

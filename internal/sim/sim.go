@@ -15,10 +15,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/shard"
 	"repro/internal/xrand"
 )
 
@@ -51,6 +53,13 @@ type Config struct {
 	// Opts are the TIRM options for index presampling and every
 	// re-allocation.
 	Opts core.TIRMOptions
+	// Shards, when ≥ 2, runs the whole lifecycle against an in-process
+	// sharded cluster (internal/shard): K shard indexes behind a
+	// scatter-gather coordinator, with campaign churn broadcast in
+	// lockstep. The trace is bit-identical to the single-node run — the
+	// distributed hot path replayed under the exact same workload, which
+	// TestLifecycleShardedMatchesSingleNode pins.
+	Shards int
 }
 
 func (c Config) withDefaults(numAds int) Config {
@@ -144,9 +153,71 @@ type Result struct {
 	Reallocations int
 }
 
+// engine abstracts where the lifecycle's index lives: a single-node
+// core.Index or a sharded cluster behind a coordinator. Both are driven by
+// the identical event stream, and both produce the identical trace.
+type engine interface {
+	// Inst returns the current campaign instance.
+	Inst() *core.Instance
+	// EpochInst returns the current epoch and instance as one pair.
+	EpochInst() (uint64, *core.Instance)
+	// Epoch returns the current campaign epoch.
+	Epoch() uint64
+	// AddAd activates the arrival at roster position rosterPos (= the
+	// index the ad had in the full instance).
+	AddAd(rosterPos int, ad core.Ad, opts core.TIRMOptions) error
+	// RemoveAd retires the campaign position.
+	RemoveAd(pos int) error
+	// Allocate runs one selection.
+	Allocate(req core.Request) (*core.TIRMResult, error)
+	// SetsSampled reports lifetime RR-sets drawn.
+	SetsSampled() (int64, error)
+}
+
+// coreEngine drives a single-node index.
+type coreEngine struct {
+	idx  *core.Index
+	pool *core.WorkspacePool
+}
+
+func (e *coreEngine) Inst() *core.Instance                { return e.idx.Inst() }
+func (e *coreEngine) EpochInst() (uint64, *core.Instance) { return e.idx.EpochInst() }
+func (e *coreEngine) Epoch() uint64                       { return e.idx.Epoch() }
+func (e *coreEngine) AddAd(_ int, ad core.Ad, opts core.TIRMOptions) error {
+	_, err := e.idx.AddAd(ad, opts)
+	return err
+}
+func (e *coreEngine) RemoveAd(pos int) error { return e.idx.RemoveAd(pos) }
+func (e *coreEngine) Allocate(req core.Request) (*core.TIRMResult, error) {
+	req.Pool = e.pool
+	return core.AllocateFromIndex(e.idx, req)
+}
+func (e *coreEngine) SetsSampled() (int64, error) { return e.idx.SetsSampled(), nil }
+
+// shardEngine drives an in-process sharded cluster.
+type shardEngine struct {
+	coord *shard.Coordinator
+}
+
+func (e *shardEngine) Inst() *core.Instance                { return e.coord.Inst() }
+func (e *shardEngine) EpochInst() (uint64, *core.Instance) { return e.coord.EpochInst() }
+func (e *shardEngine) Epoch() uint64                       { return e.coord.Epoch() }
+func (e *shardEngine) AddAd(rosterPos int, _ core.Ad, opts core.TIRMOptions) error {
+	_, err := e.coord.AddAdBase(context.Background(), rosterPos, opts)
+	return err
+}
+func (e *shardEngine) RemoveAd(pos int) error { return e.coord.RemoveAd(context.Background(), pos) }
+func (e *shardEngine) Allocate(req core.Request) (*core.TIRMResult, error) {
+	return e.coord.Allocate(context.Background(), req)
+}
+func (e *shardEngine) SetsSampled() (int64, error) {
+	return e.coord.SetsSampled(context.Background())
+}
+
 // Run simulates the lifecycle workload over inst's advertisers: the first
 // Config.InitialAds are live at round 1, the rest arrive in order as the
-// event stream fires. Deterministic for a fixed (inst, seed, cfg).
+// event stream fires. Deterministic for a fixed (inst, seed, cfg) — at any
+// Config.Shards setting.
 func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
@@ -156,19 +227,34 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 	initial := make([]core.Ad, cfg.InitialAds)
 	copy(initial, inst.Ads[:cfg.InitialAds])
 	queue := inst.Ads[cfg.InitialAds:]
-	base := *inst
-	base.Ads = initial
-	idx, err := core.BuildIndex(&base, seed, cfg.Opts)
-	if err != nil {
-		return nil, err
+	var idx engine
+	if cfg.Shards >= 2 {
+		coord, _, err := shard.NewLocalCluster(inst, cfg.InitialAds, seed, cfg.Shards, shard.Config{})
+		if err != nil {
+			return nil, err
+		}
+		// Warm mirrors BuildIndex's presampling, so round-by-round growth
+		// accounting matches the single-node trace exactly.
+		if err := coord.Warm(context.Background(), cfg.Opts); err != nil {
+			return nil, err
+		}
+		idx = &shardEngine{coord: coord}
+	} else {
+		base := *inst
+		base.Ads = initial
+		built, err := core.BuildIndex(&base, seed, cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		// One pool for the whole run: every periodic/churn re-allocation
+		// after the first recycles its selection workspace, which is what
+		// keeps the lifecycle loop's steady-state rounds allocation-quiet.
+		idx = &coreEngine{idx: built, pool: &core.WorkspacePool{}}
 	}
 
 	events := xrand.New(seed).Split(0xe7e)
 	evalRoot := xrand.New(seed).Split(0x5c0)
-	// One pool for the whole run: every periodic/churn re-allocation after
-	// the first recycles its selection workspace, which is what keeps the
-	// lifecycle loop's steady-state rounds allocation-quiet.
-	pool := &core.WorkspacePool{}
+	nextRoster := cfg.InitialAds // roster position of the next arrival
 
 	res := &Result{Trace: make([]RoundReport, 0, cfg.Rounds)}
 	fates := make(map[string]*AdFate, len(inst.Ads))
@@ -202,9 +288,10 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 		if len(queue) > 0 && events.Bernoulli(cfg.ArrivalProb) {
 			ad := queue[0]
 			queue = queue[1:]
-			if _, err := idx.AddAd(ad, cfg.Opts); err != nil {
+			if err := idx.AddAd(nextRoster, ad, cfg.Opts); err != nil {
 				return nil, fmt.Errorf("sim: round %d add %q: %w", r, ad.Name, err)
 			}
+			nextRoster++
 			fates[ad.Name] = &AdFate{Name: ad.Name, Budget: ad.Budget, Joined: r}
 			fateOrder = append(fateOrder, ad.Name)
 			rep.Events = append(rep.Events, "join:"+ad.Name)
@@ -222,11 +309,10 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 			for j, ad := range curr.Ads {
 				spentVec[j] = spent[ad.Name]
 			}
-			out, err := core.AllocateFromIndex(idx, core.Request{
+			out, err := idx.Allocate(core.Request{
 				Opts:        cfg.Opts,
 				SpentBudget: spentVec,
 				Epoch:       epoch,
-				Pool:        pool,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d re-allocation: %w", r, err)
@@ -285,7 +371,11 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 		res.Ads[i] = *f
 	}
 	res.FinalEpoch = idx.Epoch()
-	res.TotalSetsSampled = idx.SetsSampled()
+	sampled, err := idx.SetsSampled()
+	if err != nil {
+		return nil, fmt.Errorf("sim: final sample count: %w", err)
+	}
+	res.TotalSetsSampled = sampled
 	return res, nil
 }
 

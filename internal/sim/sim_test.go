@@ -167,3 +167,36 @@ func BenchmarkLifecycleSim(b *testing.B) {
 		}
 	}
 }
+
+// TestLifecycleShardedMatchesSingleNode pins the distributed hot path
+// under the full lifecycle workload: running the identical event stream
+// against an in-process sharded cluster (K = 2 and 3) reproduces the
+// single-node trace bit for bit — every round's epoch, allocation-derived
+// revenue, spend, regret, and growth accounting.
+func TestLifecycleShardedMatchesSingleNode(t *testing.T) {
+	single, err := Run(flixsterTiny(), 11, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3} {
+		cfg := fastCfg()
+		cfg.Shards = k
+		sharded, err := Run(flixsterTiny(), 11, cfg)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if !reflect.DeepEqual(single.Trace, sharded.Trace) {
+			t.Fatalf("K=%d: trace diverged from single-node run", k)
+		}
+		if !reflect.DeepEqual(single.Ads, sharded.Ads) {
+			t.Fatalf("K=%d: ad fates diverged from single-node run", k)
+		}
+		if single.FinalEpoch != sharded.FinalEpoch || single.TotalSetsSampled != sharded.TotalSetsSampled ||
+			single.Reallocations != sharded.Reallocations {
+			t.Fatalf("K=%d: run stats diverged: epoch %d vs %d, sets %d vs %d, reallocs %d vs %d",
+				k, single.FinalEpoch, sharded.FinalEpoch,
+				single.TotalSetsSampled, sharded.TotalSetsSampled,
+				single.Reallocations, sharded.Reallocations)
+		}
+	}
+}
