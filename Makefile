@@ -3,13 +3,13 @@ GO ?= go
 # Fast packages worth the race detector on every run; the root package's
 # paper-replication tests are slower and covered by `test`.
 RACE_PKGS = ./internal/core/... ./internal/rrset/... ./internal/serve/... \
-            ./internal/sim/... ./internal/shard/... \
+            ./internal/sim/... ./internal/shard/... ./internal/obs/... \
             ./internal/graph/... ./internal/xrand/... ./internal/topic/...
 
 # Packages whose exported API must stay fully documented (docs-check);
 # cmd/doccheck walks the ASTs, so the gate needs no external tooling.
 DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim \
-           ./internal/shard
+           ./internal/shard ./internal/obs
 
 # Hot-path benchmarks guarded by `make bench` and CI: index build/warm, the
 # snapshot codec — the paths the flat-arena (CSR) layout is accountable
@@ -23,7 +23,7 @@ DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim \
 # after a reviewed perf change. BENCH_head.json is the throwaway stream
 # `make bench-compare` writes for the current HEAD; it is .gitignore'd and
 # must never be committed.
-BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkWarmWorkspaceReuse|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim|BenchmarkServeAllocate|BenchmarkShardedAllocate
+BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkWarmWorkspaceReuse|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim|BenchmarkServeAllocate|BenchmarkShardedAllocate|BenchmarkObsOverhead
 BENCH_PKGS    = . ./internal/rrset ./internal/sim ./internal/serve ./internal/shard
 
 # Extra flags for bench-compare (CI passes "-benchtime 1x -short" to keep

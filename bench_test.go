@@ -465,6 +465,58 @@ func BenchmarkWarmWorkspaceReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkObsOverhead prices the observability hooks on the warm
+// allocation path: "nil-observer" is the production fast path (no observer
+// attached — no clocks are read, so allocs/op must match the pooled warm
+// baseline exactly), "observed" attaches an AllocObserver and pays the
+// per-phase time.Now() calls plus one callback per run. The delta is the
+// instrumentation bill; benchdiff guards it from growing.
+func BenchmarkObsOverhead(b *testing.B) {
+	inst := gen.Flixster(gen.Options{Seed: 5, Scale: 0.02})
+	opts := socialads.TIRMOptions{Eps: 0.3, MinTheta: 5000, MaxTheta: 50000}
+	idx, err := socialads.BuildIndex(inst, 42, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Grow the index to the θs selection needs so both variants are warm.
+	if _, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("nil-observer", func(b *testing.B) {
+		pool := &socialads.AllocWorkspacePool{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := socialads.AllocateFromIndex(idx, socialads.AllocRequest{Opts: opts, Pool: pool}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		pool := &socialads.AllocWorkspacePool{}
+		var obs countingObserver
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := socialads.AllocRequest{Opts: opts, Pool: pool, Observer: &obs}
+			if _, err := socialads.AllocateFromIndex(idx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if obs.calls != b.N {
+			b.Fatalf("observer saw %d runs, want %d", obs.calls, b.N)
+		}
+	})
+}
+
+// countingObserver is the cheapest possible AllocObserver: it counts
+// callbacks so BenchmarkObsOverhead measures the hook cost, not the
+// consumer's.
+type countingObserver struct{ calls int }
+
+func (c *countingObserver) ObserveAllocation(socialads.AllocPhaseTimings) { c.calls++ }
+
 // BenchmarkIndexBuild measures the cold index-build path alone — the
 // reverse-BFS sampling plus the flat-arena (CSR) storage and one-pass
 // inverted-index construction — with allocation counts reported. This is

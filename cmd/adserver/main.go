@@ -22,7 +22,7 @@
 //	DELETE /ads/promo?dataset=flixster&seed=1&scale=0.02
 //	POST   /spend       {"dataset":"flixster","seed":1,"scale":0.02,
 //	                     "spend":{"ad00":12.5}}
-//	GET    /datasets, /stats, /healthz
+//	GET    /datasets, /stats, /healthz, /metrics
 package main
 
 import (

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -50,16 +51,17 @@ func main() {
 		numShards = flag.Int("shards", 1, "cluster size K")
 		snapshots = flag.String("snapshots", "", "directory for shard snapshots (empty = in-memory only)")
 		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, allocs, goroutine profiles; see EXPERIMENTS.md for a hot-path profiling walkthrough)")
 	)
 	flag.Parse()
 	rrset.SetMaxWorkers(*workers)
-	if err := run(*addr, *dataset, *seed, *scale, *ads, *shardID, *numShards, *snapshots); err != nil {
+	if err := run(*addr, *dataset, *seed, *scale, *ads, *shardID, *numShards, *snapshots, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "adshard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShards int, snapshots string) error {
+func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShards int, snapshots string, pprofOn bool) error {
 	p, err := shard.NewPartitioner(numShards)
 	if err != nil {
 		return err
@@ -102,10 +104,27 @@ func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShar
 		}
 	}
 	s.Dataset = shard.DatasetParams{Name: dataset, Seed: seed, Scale: scale, NumAds: ads}
+	s.Logf = log.Printf
+
+	handler := s.Handler()
+	if pprofOn {
+		// Profiling rides the serving mux behind an explicit opt-in flag:
+		// pprof exposes process internals, so an open production endpoint
+		// should not mount it by accident.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("adshard: pprof enabled at /debug/pprof/")
+	}
 
 	hs := &http.Server{
 		Addr:              addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

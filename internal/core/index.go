@@ -11,6 +11,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/rrset"
@@ -476,6 +477,12 @@ type Request struct {
 	// Pooling never changes results — allocations are byte-identical with
 	// or without a warm workspace.
 	Pool *WorkspacePool
+	// Observer, when non-nil, receives a per-phase wall-time breakdown of
+	// the run (estimation, scan, commit, grow) after the result is
+	// assembled. Timing never influences the allocation, and a nil
+	// observer skips every clock read — the warm path stays
+	// allocation-identical with observation off.
+	Observer AllocObserver
 }
 
 // validate resolves the request against the instance, returning the ad
@@ -631,6 +638,16 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 	defer pool.put(ws)
 	ws.attention.reset(n, kappa)
 
+	// Phase timing accumulates on the stack and is delivered in one call at
+	// the end; every clock read is behind the nil check so an unobserved
+	// run never touches the clock.
+	observer := req.Observer
+	var timings PhaseTimings
+	var phaseStart time.Time
+	if observer != nil {
+		phaseStart = time.Now()
+	}
+
 	// Initialization (Algorithm 2 lines 1–3): s_j = 1, θ_j = L(s_j, ε),
 	// with R_j the stream prefix instead of a private sample. Ads whose
 	// residual budget is already ≤ 0 are fully served: they get empty seed
@@ -688,6 +705,9 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 		res.TotalSetsSampled += a.fresh
 		a.fresh = 0
 	}
+	if observer != nil {
+		timings.Phase[PhaseEstimate] = time.Since(phaseStart)
+	}
 
 	// scanAd evaluates one ad's candidates — SelectBestNode (Algorithm 3):
 	// max residual coverage among eligible nodes, extended to the top
@@ -725,6 +745,9 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 	// Main loop (Algorithm 2 lines 4–19): parallel per-ad candidate scan,
 	// sequential reduction and commit.
 	for {
+		if observer != nil {
+			phaseStart = time.Now()
+		}
 		ws.active = ws.active[:0]
 		for _, a := range ws.ads {
 			if !a.saturated {
@@ -741,8 +764,14 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 				best = a
 			}
 		}
+		if observer != nil {
+			timings.Phase[PhaseScan] += time.Since(phaseStart)
+		}
 		if best == nil {
 			break // line 14: no (user, ad) pair reduces regret
+		}
+		if observer != nil {
+			phaseStart = time.Now()
 		}
 
 		// Commit (lines 10–12): allocate, record the claimed mass, and
@@ -760,6 +789,10 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 		if diff := mass - a.delta(bestU)*a.candScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
 			// The scan and commit disagree only on a bug.
 			panic("core: TIRM coverage bookkeeping out of sync")
+		}
+		if observer != nil {
+			timings.Phase[PhaseCommit] += time.Since(phaseStart)
+			timings.Rounds++
 		}
 
 		if len(a.seeds) >= maxSeeds {
@@ -789,6 +822,9 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 			optLB := math.Max(kpt, achieved)
 			want := rrset.Theta(int64(n), int64(a.sTarget), opts.Eps, opts.Ell, optLB, opts.MinTheta, opts.MaxTheta)
 			if want > a.theta {
+				if observer != nil {
+					phaseStart = time.Now()
+				}
 				boundary := a.col.numSets()
 				a.grow(idx, res, want)
 				// UpdateEstimates (Algorithm 4): credit existing seeds, in
@@ -799,6 +835,9 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 				for k, seed := range a.seeds {
 					a.seedMass[k] += a.col.creditFrom(seed, a.delta(seed), boundary)
 					a.revenue += a.cpe * float64(n) * a.seedMass[k] / float64(a.theta)
+				}
+				if observer != nil {
+					timings.Phase[PhaseGrow] += time.Since(phaseStart)
 				}
 			}
 		}
@@ -815,6 +854,9 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 			reused = int64(a.haveBefore)
 		}
 		res.SetsReused += reused
+	}
+	if observer != nil {
+		observer.ObserveAllocation(timings)
 	}
 	return res, nil
 }

@@ -1,0 +1,70 @@
+// Allocation phase observability: an optional per-request hook that
+// reports where an AllocateFromIndex run spent its time, phase by phase.
+// The hook is pull-free and allocation-free — the run accumulates plain
+// durations on its own stack and makes exactly one ObserveAllocation call
+// at the end — and a nil observer costs nothing: every time.Now() on the
+// hot path is guarded by the nil check, so the warm-path allocation count
+// and the allocation bytes are untouched (the golden byte-identity and
+// allocs/op benchmarks both cover this).
+
+package core
+
+import "time"
+
+// AllocPhase names one phase of the Algorithm 2 selection loop for
+// per-phase timing. The phases partition a run's wall time minus result
+// assembly: estimation (θ sizing and coverage-state setup), candidate
+// scanning, seed commits, and θ growth with seed re-crediting.
+type AllocPhase int
+
+// The allocation phases, in the order a run first enters them.
+const (
+	// PhaseEstimate covers setup: per-ad budget resolution, the pilot KPT
+	// estimate, θ sizing (Eq. 5), and coverage-state initialization.
+	PhaseEstimate AllocPhase = iota
+	// PhaseScan covers the parallel per-ad candidate scans (Algorithm 3)
+	// plus the sequential cross-ad reduction, summed over all rounds.
+	PhaseScan
+	// PhaseCommit covers seed commits: claimed-mass retirement, attention
+	// bookkeeping, and the scan/commit consistency check.
+	PhaseCommit
+	// PhaseGrow covers θ growth past the stored prefix and the
+	// UpdateEstimates re-crediting of existing seeds (Algorithm 4).
+	PhaseGrow
+	// NumAllocPhases is the number of phases; valid AllocPhase values are
+	// [0, NumAllocPhases).
+	NumAllocPhases
+)
+
+// allocPhaseNames indexes AllocPhase.String; keep in AllocPhase order.
+var allocPhaseNames = [NumAllocPhases]string{"estimate", "scan", "commit", "grow"}
+
+// String returns the phase's stable lowercase label (the value used as the
+// phase= metric label by instrumented hosts).
+func (p AllocPhase) String() string {
+	if p < 0 || p >= NumAllocPhases {
+		return "unknown"
+	}
+	return allocPhaseNames[p]
+}
+
+// PhaseTimings is the per-run timing breakdown delivered to an
+// AllocObserver: cumulative wall time per phase plus the number of
+// selection rounds (committed seeds) the run took.
+type PhaseTimings struct {
+	// Phase holds cumulative wall time per AllocPhase.
+	Phase [NumAllocPhases]time.Duration
+	// Rounds counts main-loop iterations that committed a seed; it equals
+	// TIRMResult.Iterations for the same run.
+	Rounds int
+}
+
+// AllocObserver receives one PhaseTimings per completed allocation run.
+// Implementations must be safe for concurrent calls when the observer is
+// shared across concurrent allocations (internal/serve shares one per
+// server). A nil Request.Observer disables timing entirely.
+type AllocObserver interface {
+	// ObserveAllocation is called once, after the run's result is
+	// assembled but before AllocateFromIndex returns.
+	ObserveAllocation(PhaseTimings)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingObserver captures the timings handed to ObserveAllocation.
+type recordingObserver struct {
+	calls   int
+	timings PhaseTimings
+}
+
+func (o *recordingObserver) ObserveAllocation(t PhaseTimings) {
+	o.calls++
+	o.timings = t
+}
+
+// TestObserverDoesNotPerturbAllocation pins the observability contract: an
+// attached observer only watches. The allocation, revenues, and θ values
+// must be byte-identical with and without it.
+func TestObserverDoesNotPerturbAllocation(t *testing.T) {
+	inst := randomInstance(31, 50, 200, 3, 2, 0.01)
+	opts := TIRMOptions{MinTheta: 6000, MaxTheta: 40000}
+	idx, err := BuildIndex(inst, 11, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AllocateFromIndex(idx, Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &recordingObserver{}
+	watched, err := AllocateFromIndex(idx, Request{Opts: opts, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAllocation(t, plain.Alloc, watched.Alloc)
+	for i := range plain.EstRevenue {
+		if plain.EstRevenue[i] != watched.EstRevenue[i] {
+			t.Errorf("ad %d est revenue %v vs %v", i, plain.EstRevenue[i], watched.EstRevenue[i])
+		}
+		if plain.FinalTheta[i] != watched.FinalTheta[i] {
+			t.Errorf("ad %d θ %d vs %d", i, plain.FinalTheta[i], watched.FinalTheta[i])
+		}
+	}
+	if obs.calls != 1 {
+		t.Fatalf("observer called %d times, want 1", obs.calls)
+	}
+}
+
+// TestObserverPhaseTimings checks the reported breakdown is coherent: the
+// round count equals the committed iterations, the phases the run must
+// enter report non-zero wall time, and every duration is non-negative.
+func TestObserverPhaseTimings(t *testing.T) {
+	inst := randomInstance(31, 50, 200, 3, 2, 0.01)
+	opts := TIRMOptions{MinTheta: 6000, MaxTheta: 40000}
+	idx, err := BuildIndex(inst, 11, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &recordingObserver{}
+	res, err := AllocateFromIndex(idx, Request{Opts: opts, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.timings.Rounds != res.Iterations {
+		t.Errorf("observer saw %d rounds, result has %d iterations", obs.timings.Rounds, res.Iterations)
+	}
+	for p := AllocPhase(0); p < NumAllocPhases; p++ {
+		if obs.timings.Phase[p] < 0 {
+			t.Errorf("phase %s has negative duration %v", p, obs.timings.Phase[p])
+		}
+	}
+	if obs.timings.Phase[PhaseEstimate] <= 0 {
+		t.Error("estimate phase reports no wall time")
+	}
+	if res.Iterations > 0 && obs.timings.Phase[PhaseScan] <= 0 {
+		t.Error("run committed seeds but scan phase reports no wall time")
+	}
+	var total time.Duration
+	for _, d := range obs.timings.Phase {
+		total += d
+	}
+	if total <= 0 {
+		t.Error("all phases report zero wall time")
+	}
+}
+
+// TestAllocPhaseString pins the phase labels metrics are keyed by.
+func TestAllocPhaseString(t *testing.T) {
+	want := map[AllocPhase]string{
+		PhaseEstimate:  "estimate",
+		PhaseScan:      "scan",
+		PhaseCommit:    "commit",
+		PhaseGrow:      "grow",
+		NumAllocPhases: "unknown",
+		AllocPhase(-1): "unknown",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("AllocPhase(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}

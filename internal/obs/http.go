@@ -1,0 +1,107 @@
+// HTTP server instrumentation: one middleware that meters every request
+// (per-endpoint count/latency/status), establishes the trace context
+// (extracting X-Trace-Id or minting one), echoes the id on the response,
+// and emits a structured key=value request log line.
+
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTPMetrics is the per-endpoint request telemetry Instrument records.
+type HTTPMetrics struct {
+	// Requests counts completed requests by endpoint and status code.
+	Requests *CounterVec
+	// Latency is the per-endpoint request duration histogram in seconds.
+	Latency *HistogramVec
+}
+
+// NewHTTPMetrics registers the standard request metrics under
+// prefix_http_requests_total and prefix_http_request_seconds.
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec(prefix+"_http_requests_total",
+			"Completed HTTP requests by endpoint and status code.", "endpoint", "code"),
+		Latency: r.HistogramVec(prefix+"_http_request_seconds",
+			"HTTP request duration in seconds by endpoint.", DefBuckets, "endpoint"),
+	}
+}
+
+// InstrumentOptions shapes the Instrument middleware.
+type InstrumentOptions struct {
+	// Component tags the log lines (component=adserver, component=adshard).
+	Component string
+	// Logf receives one structured key=value line per request; nil
+	// disables request logging (metrics and trace propagation still run).
+	Logf func(format string, args ...any)
+	// Endpoint maps a request onto its metric label. It must return a
+	// bounded set of values — label cardinality is forever. Nil uses the
+	// first path segment ("/ads/banner-3" → "ads"), which is bounded for
+	// mux-routed APIs.
+	Endpoint func(r *http.Request) string
+}
+
+// Instrument wraps next so every request is metered into m, carries a
+// trace id in its context (minted unless the client sent X-Trace-Id), has
+// that id echoed on the response, and is logged as one key=value line.
+func Instrument(next http.Handler, m *HTTPMetrics, o InstrumentOptions) http.Handler {
+	endpoint := o.Endpoint
+	if endpoint == nil {
+		endpoint = DefaultEndpoint
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		trace := r.Header.Get(TraceHeader)
+		if trace == "" {
+			trace = NewTraceID()
+		}
+		w.Header().Set(TraceHeader, trace)
+		r = r.WithContext(WithTrace(r.Context(), trace))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		seconds := time.Since(start).Seconds()
+		ep := endpoint(r)
+		m.Requests.With(ep, strconv.Itoa(sw.code)).Inc()
+		m.Latency.With(ep).Observe(seconds)
+		if o.Logf != nil {
+			o.Logf("component=%s trace=%s method=%s path=%s status=%d durMs=%.3f",
+				o.Component, trace, r.Method, r.URL.Path, sw.code, seconds*1e3)
+		}
+	})
+}
+
+// DefaultEndpoint is Instrument's default label mapping: the first path
+// segment, or "root" for "/".
+func DefaultEndpoint(r *http.Request) string {
+	p := strings.TrimPrefix(r.URL.Path, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	if p == "" {
+		return "root"
+	}
+	return p
+}
+
+// statusWriter captures the response status code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the code before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer when it streams.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

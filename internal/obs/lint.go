@@ -1,0 +1,236 @@
+// Lint validates a Prometheus text exposition — the checker behind the
+// /metrics tests. It is deliberately strict about the invariants scrape
+// consumers rely on (typed families, numeric values, cumulative monotone
+// histogram buckets closed by +Inf and agreeing with _count) and
+// deliberately ignorant of anything this package never emits.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a text-format exposition for well-formedness: every sample
+// belongs to a family declared with # TYPE (and # HELP), values are
+// numeric, counters are finite and non-negative, and every histogram
+// child has non-decreasing cumulative buckets ending in a +Inf bucket
+// equal to its _count. Returns the first violation found.
+func Lint(r io.Reader) error {
+	types := map[string]string{}     // family → type
+	help := map[string]bool{}        // family → has HELP
+	hists := map[string]*histCheck{} // family+labels(without le) → bucket state
+	counts := map[string]float64{}   // family+labels → _count value (histograms)
+	infs := map[string]float64{}     // family+labels → +Inf bucket value
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(text, "# HELP "), " ", 2)
+			help[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", line, text)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", line, fields[1])
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		fam, sample := familyOf(name, types)
+		typ, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no # TYPE declaration", line, name)
+		}
+		if !help[fam] {
+			return fmt.Errorf("line %d: family %s has no # HELP line", line, fam)
+		}
+		switch typ {
+		case "counter":
+			if math.IsNaN(value) || math.IsInf(value, 0) || value < 0 {
+				return fmt.Errorf("line %d: counter %s has non-counter value %v", line, name, value)
+			}
+		case "histogram":
+			switch sample {
+			case "_bucket":
+				le, rest, err := splitLE(labels)
+				if err != nil {
+					return fmt.Errorf("line %d: %s: %v", line, name, err)
+				}
+				key := fam + "{" + rest + "}"
+				hc := hists[key]
+				if hc == nil {
+					hc = &histCheck{lastLE: math.Inf(-1)}
+					hists[key] = hc
+				}
+				if le <= hc.lastLE {
+					return fmt.Errorf("line %d: %s bucket bounds not increasing (le=%v after %v)", line, key, le, hc.lastLE)
+				}
+				if value < hc.lastCum {
+					return fmt.Errorf("line %d: %s buckets not cumulative (%v after %v at le=%v)", line, key, value, hc.lastCum, le)
+				}
+				hc.lastLE, hc.lastCum = le, value
+				if math.IsInf(le, 1) {
+					infs[key] = value
+				}
+			case "_count":
+				counts[fam+"{"+labels+"}"] = value
+			case "_sum":
+				if math.IsNaN(value) {
+					return fmt.Errorf("line %d: %s is NaN", line, name)
+				}
+			default:
+				return fmt.Errorf("line %d: histogram family %s has stray sample %s", line, fam, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, want := range counts {
+		inf, ok := infs[key]
+		if !ok {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if inf != want {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, inf, want)
+		}
+	}
+	for key := range infs {
+		if _, ok := counts[key]; !ok {
+			return fmt.Errorf("histogram %s has buckets but no _count", key)
+		}
+	}
+	return nil
+}
+
+// histCheck tracks one histogram child's bucket progression.
+type histCheck struct {
+	lastLE  float64
+	lastCum float64
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(text string) (name, labels string, value float64, err error) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", text)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", text)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("non-numeric value in %q: %v", text, err)
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, labels, value, nil
+}
+
+// familyOf strips a histogram sample suffix when the base family is a
+// declared histogram, returning (family, suffix).
+func familyOf(name string, types map[string]string) (fam, sample string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base, suffix
+		}
+	}
+	return name, ""
+}
+
+// splitLE extracts the le bound from a bucket's label string and returns
+// the remaining labels in sorted order (so children group stably).
+func splitLE(labels string) (le float64, rest string, err error) {
+	parts := splitLabels(labels)
+	var others []string
+	found := false
+	for _, p := range parts {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return 0, "", fmt.Errorf("malformed label %q", p)
+		}
+		v = strings.Trim(v, `"`)
+		if k == "le" {
+			found = true
+			if v == "+Inf" {
+				le = math.Inf(1)
+			} else if le, err = strconv.ParseFloat(v, 64); err != nil {
+				return 0, "", fmt.Errorf("bad le %q", v)
+			}
+			continue
+		}
+		others = append(others, p)
+	}
+	if !found {
+		return 0, "", fmt.Errorf("bucket sample without le label in {%s}", labels)
+	}
+	sort.Strings(others)
+	return le, strings.Join(others, ","), nil
+}
+
+// splitLabels splits `k1="v1",k2="v2"` respecting quoted commas.
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(labels):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(labels[i])
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}

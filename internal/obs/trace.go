@@ -1,0 +1,47 @@
+// Trace-context propagation: a request-scoped trace id travels in
+// context.Context inside a process and in the X-Trace-Id header between
+// daemons (coordinator → shard RPCs), so one distributed allocation can be
+// reconstructed from the structured request logs of every daemon it
+// touched.
+
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// TraceHeader is the HTTP header trace ids travel in between daemons.
+const TraceHeader = "X-Trace-Id"
+
+// traceKey is the private context key trace ids live under.
+type traceKey struct{}
+
+// traceFallback seeds ids if the system entropy source ever fails —
+// uniqueness within the process is all the logs need.
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-character trace id.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns ctx carrying the trace id.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// Trace returns the trace id carried by ctx, or "" if none.
+func Trace(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

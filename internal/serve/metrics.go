@@ -1,0 +1,190 @@
+// Server telemetry: the /metrics exposition (internal/obs) for the
+// allocation service. One serverMetrics per Server owns the registry, the
+// per-endpoint HTTP metrics the Instrument middleware records, the
+// allocation outcome counters/latency histograms, and scrape-time
+// gauge/counter views over the state the server already tracks (cache
+// counters, workspace pools, index memory) — those stay single-sourced in
+// Server and are only *read* at scrape time, so /stats and /metrics can
+// never disagree.
+
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// Failure reasons for the adserver_alloc_failures_total counter. Bounded
+// by construction: every rejected or errored allocation maps onto exactly
+// one of these.
+const (
+	// failStaleEpoch is a 409: a campaign mutation swapped the epoch
+	// between request shaping and the run.
+	failStaleEpoch = "stale_epoch"
+	// failCap is a 503: the live-campaign cap refused to pin another
+	// cache entry (errTooManyLiveCampaigns).
+	failCap = "cap"
+	// failBadRequest is a 400: invalid parameters or request shape.
+	failBadRequest = "bad_request"
+	// failInternal is a 500: the index build failed.
+	failInternal = "internal"
+	// failUpstream is a 502: a shard RPC failed mid-distributed-selection.
+	failUpstream = "upstream"
+)
+
+// serverMetrics is the server's observability surface. It implements
+// core.AllocObserver so a Request.Observer can feed the per-phase
+// histograms straight from the selection loop.
+type serverMetrics struct {
+	reg  *obs.Registry
+	http *obs.HTTPMetrics
+
+	allocations   *obs.Counter
+	allocFailures *obs.CounterVec // reason
+	allocSeconds  *obs.Histogram
+	// phaseSeconds are the adserver_alloc_phase_seconds{phase} children
+	// resolved once at startup, indexed by core.AllocPhase so the observer
+	// callback never touches the vec's map.
+	phaseSeconds [core.NumAllocPhases]*obs.Histogram
+	allocRounds  *obs.Histogram
+
+	// shard is non-nil in coordinator mode: the RPC-level telemetry the
+	// instrumented shard clients record (see ConnectShards).
+	shard *shard.Metrics
+}
+
+// allocRoundBuckets sizes the rounds-per-allocation histogram: a round
+// commits one seed, so the paper's settings land in the tens to hundreds.
+var allocRoundBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// newServerMetrics builds the registry for s. The scrape-time funcs close
+// over s and read its existing counters and cache state, so registration
+// must happen after the fields they touch exist (New constructs the
+// metrics last).
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:  reg,
+		http: obs.NewHTTPMetrics(reg, "adserver"),
+		allocations: reg.Counter("adserver_allocations_total",
+			"Successful allocation runs served (single-node and coordinator mode)."),
+		allocFailures: reg.CounterVec("adserver_alloc_failures_total",
+			"Refused or errored allocation requests by reason (stale_epoch=409 epoch race, cap=503 live-campaign cap, bad_request=400, internal=500 index build, upstream=502 shard RPC).",
+			"reason"),
+		allocSeconds: reg.Histogram("adserver_alloc_seconds",
+			"End-to-end selection wall time per successful /allocate, in seconds.", obs.DefBuckets),
+		allocRounds: reg.Histogram("adserver_alloc_rounds",
+			"Selection rounds (committed seeds) per observed allocation run.", allocRoundBuckets),
+	}
+	phaseVec := reg.HistogramVec("adserver_alloc_phase_seconds",
+		"Cumulative wall time per allocation phase (estimate, scan, commit, grow) per run, in seconds.",
+		obs.DefBuckets, "phase")
+	for p := core.AllocPhase(0); p < core.NumAllocPhases; p++ {
+		m.phaseSeconds[p] = phaseVec.With(p.String())
+	}
+
+	reg.CounterFunc("adserver_cache_hits_total",
+		"Requests served entirely from a cached instance+index.",
+		func() uint64 { return uint64(s.cacheHits.Load()) })
+	reg.CounterFunc("adserver_cache_misses_total",
+		"Requests that generated an instance or built an index.",
+		func() uint64 { return uint64(s.cacheMisses.Load()) })
+	reg.CounterFunc("adserver_cache_coalesced_total",
+		"Requests that waited on another caller's in-flight build.",
+		func() uint64 { return uint64(s.coalesced.Load()) })
+	reg.CounterFunc("adserver_snapshot_loads_total",
+		"Index builds answered by loading a snapshot from disk.",
+		func() uint64 { return uint64(s.snapshotLoads.Load()) })
+	reg.CounterFunc("adserver_ads_added_total",
+		"Advertisers added via POST /ads.",
+		func() uint64 { return uint64(s.adsAdded.Load()) })
+	reg.CounterFunc("adserver_ads_removed_total",
+		"Advertisers removed via DELETE /ads/{name}.",
+		func() uint64 { return uint64(s.adsRemoved.Load()) })
+	reg.CounterFunc("adserver_spend_updates_total",
+		"Engagement-ledger updates via POST /spend.",
+		func() uint64 { return uint64(s.spendUpdates.Load()) })
+	reg.CounterFunc("adserver_epoch_swaps_total",
+		"Campaign-epoch swaps (every successful ad add or remove swaps one).",
+		func() uint64 { return uint64(s.adsAdded.Load() + s.adsRemoved.Load()) })
+	reg.CounterFunc("adserver_workspace_hits_total",
+		"Allocation workspaces recycled from a pool, summed over live cache entries.",
+		func() uint64 { h, _ := s.workspaceTotals(); return uint64(h) })
+	reg.CounterFunc("adserver_workspace_misses_total",
+		"Allocation workspaces freshly constructed, summed over live cache entries.",
+		func() uint64 { _, miss := s.workspaceTotals(); return uint64(miss) })
+	reg.GaugeFunc("adserver_index_mem_bytes",
+		"Stored RR-set sample footprint in bytes (summed over cached indexes; the cluster sum in coordinator mode).",
+		func() float64 { return float64(s.indexMemTotal()) })
+	reg.GaugeFunc("adserver_cache_entries",
+		"Cached instance+index entries currently live.",
+		func() float64 { return float64(s.cacheEntryCount()) })
+	reg.GaugeFunc("adserver_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return m
+}
+
+// ObserveAllocation feeds one run's phase breakdown into the histograms;
+// serverMetrics is the core.AllocObserver every local selection run gets.
+func (m *serverMetrics) ObserveAllocation(t core.PhaseTimings) {
+	for p := core.AllocPhase(0); p < core.NumAllocPhases; p++ {
+		m.phaseSeconds[p].Observe(t.Phase[p].Seconds())
+	}
+	m.allocRounds.Observe(float64(t.Rounds))
+}
+
+// failAlloc counts one refused or errored allocation under its reason.
+func (m *serverMetrics) failAlloc(reason string) {
+	m.allocFailures.With(reason).Inc()
+}
+
+// allocFailureCounts snapshots the failure counter for /stats; nil when no
+// failure has been recorded yet (so the JSON field stays absent).
+func (s *Server) allocFailureCounts() map[string]uint64 {
+	snap := s.metrics.allocFailures.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	return snap
+}
+
+// workspaceTotals sums the per-entry workspace-pool counters over the live
+// cache (the same aggregation /stats reports).
+func (s *Server) workspaceTotals() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		h, m := e.pool.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// indexMemTotal sums built-index sample footprints; in coordinator mode it
+// is the health-probe-refreshed cluster sum.
+func (s *Server) indexMemTotal() int64 {
+	if s.sharded != nil {
+		return s.sharded.memBytes.Load()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, e := range s.entries {
+		if e.indexBuilt() {
+			total += e.idx.MemBytes()
+		}
+	}
+	return total
+}
+
+// cacheEntryCount reads the live cache size.
+func (s *Server) cacheEntryCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -33,6 +33,7 @@
 //	GET    /datasets    — registered dataset generators
 //	GET    /stats       — cache and lifecycle counters, per-index memory
 //	GET    /healthz     — liveness probe
+//	GET    /metrics     — Prometheus text exposition (see docs/OBSERVABILITY.md)
 package serve
 
 import (
@@ -55,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/topic"
 	"repro/internal/xrand"
 )
@@ -111,6 +113,10 @@ type Options struct {
 type Server struct {
 	opts  Options
 	start time.Time
+
+	// metrics is the server's /metrics surface; it doubles as the
+	// core.AllocObserver local selection runs report phase timings to.
+	metrics *serverMetrics
 
 	// sharded is non-nil in coordinator mode (see ConnectShards).
 	sharded *shardedState
@@ -332,10 +338,15 @@ func New(opts Options) *Server {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
-	return &Server{opts: opts, start: time.Now(), entries: map[string]*entry{}}
+	s := &Server{opts: opts, start: time.Now(), entries: map[string]*entry{}}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in the obs middleware
+// so every request is metered per endpoint, carries a trace id (minted
+// unless the client sent X-Trace-Id), and is logged as one structured
+// key=value line through Options.Logf.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -346,7 +357,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/ads", s.handleAddAd)
 	mux.HandleFunc("/ads/", s.handleRemoveAd)
 	mux.HandleFunc("/spend", s.handleSpend)
-	return mux
+	mux.Handle("/metrics", s.metrics.reg.Handler())
+	return obs.Instrument(mux, s.metrics.http, obs.InstrumentOptions{
+		Component: "adserver",
+		Logf:      s.opts.Logf,
+	})
 }
 
 // Warm builds (or loads) the instance and index for the given parameters
@@ -696,9 +711,13 @@ type StatsResponse struct {
 	IndexMemByDataset map[string]int64 `json:"indexMemByDataset"`
 	// WorkspaceHits/WorkspaceMisses aggregate the per-entry workspace-pool
 	// counters over the live cache (evicted entries drop out).
-	WorkspaceHits   int64        `json:"workspaceHits"`
-	WorkspaceMisses int64        `json:"workspaceMisses"`
-	Entries         []EntryStats `json:"entries"`
+	WorkspaceHits   int64 `json:"workspaceHits"`
+	WorkspaceMisses int64 `json:"workspaceMisses"`
+	// AllocFailures counts refused or errored allocation requests by
+	// reason (stale_epoch, cap, bad_request, internal, upstream); absent
+	// until the first failure.
+	AllocFailures map[string]uint64 `json:"allocFailures,omitempty"`
+	Entries       []EntryStats      `json:"entries"`
 	// Sharded is present only in coordinator mode: the cluster's identity,
 	// per-shard health, and distributed-allocation counters.
 	Sharded *ShardedStatsSection `json:"sharded,omitempty"`
@@ -712,6 +731,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			AdsRemoved:        s.adsRemoved.Load(),
 			SpendUpdates:      s.spendUpdates.Load(),
 			IndexMemByDataset: map[string]int64{},
+			AllocFailures:     s.allocFailureCounts(),
 			Entries:           []EntryStats{},
 			Sharded:           s.shardedStats(r.Context()),
 		}
@@ -739,6 +759,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AdsRemoved:        s.adsRemoved.Load(),
 		SpendUpdates:      s.spendUpdates.Load(),
 		IndexMemByDataset: map[string]int64{},
+		AllocFailures:     s.allocFailureCounts(),
 		Entries:           make([]EntryStats, 0, len(entries)),
 	}
 	for _, e := range entries {
@@ -868,11 +889,13 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	e, created, waitedInst, err := s.entryFor(req.InstanceParams)
 	if err != nil {
+		s.metrics.failAlloc(failBadRequest)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	idx, cold, waitedIdx, err := s.indexFor(e)
 	if err != nil {
+		s.metrics.failAlloc(failInternal)
 		httpError(w, http.StatusInternalServerError, "index build: %v", err)
 		return
 	}
@@ -890,13 +913,14 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	// a positionally misaligned allocation.
 	epoch, curInst := idx.EpochInst()
 	coreReq := core.Request{
-		Opts:    req.Opts.toOptions(s.opts.MaxTheta),
-		Ads:     req.Ads,
-		Budgets: req.Budgets,
-		CPEs:    req.CPEs,
-		Lambda:  req.Lambda,
-		Epoch:   epoch,
-		Pool:    &e.pool,
+		Opts:     req.Opts.toOptions(s.opts.MaxTheta),
+		Ads:      req.Ads,
+		Budgets:  req.Budgets,
+		CPEs:     req.CPEs,
+		Lambda:   req.Lambda,
+		Epoch:    epoch,
+		Pool:     &e.pool,
+		Observer: s.metrics,
 	}
 	if req.Kappa > 0 {
 		coreReq.Kappa = core.ConstKappa(req.Kappa)
@@ -911,12 +935,16 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	allocObjects, allocBytes := objAfter-objBefore, bytesAfter-bytesBefore
 	if err != nil {
 		if errors.Is(err, core.ErrStaleEpoch) {
+			s.metrics.failAlloc(failStaleEpoch)
 			httpError(w, http.StatusConflict, "campaign set changed mid-request, retry: %v", err)
 			return
 		}
+		s.metrics.failAlloc(failBadRequest)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.metrics.allocations.Inc()
+	s.metrics.allocSeconds.Observe(time.Since(started).Seconds())
 	e.allocs.Add(1)
 	// Accumulated only for successful runs: e.allocs is the divisor of the
 	// /stats per-request averages, so failed runs must not contribute.
@@ -1174,6 +1202,7 @@ func (s *Server) lifecycleEntry(w http.ResponseWriter, p InstanceParams) (*entry
 	e, err := s.mutationEntry(p)
 	if err != nil {
 		if errors.Is(err, errTooManyLiveCampaigns) {
+			s.metrics.failAlloc(failCap)
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		} else {
 			httpError(w, http.StatusBadRequest, "%v", err)

@@ -62,9 +62,15 @@ func (s *Server) ConnectShards(ctx context.Context) error {
 	}
 	st := &shardedState{addrs: s.opts.Shards, spent: map[string]float64{}}
 	st.clients = make([]shard.Client, len(st.addrs))
+	// All RPC telemetry rides the server's own registry so one /metrics
+	// scrape covers the serving host and its view of the fabric. Guarded
+	// for ConnectShards retries — families register once per server.
+	if s.metrics.shard == nil {
+		s.metrics.shard = shard.NewMetrics(s.metrics.reg, "adserver")
+	}
 	var first shard.DatasetParams
 	for i, addr := range st.addrs {
-		cl := shard.NewHTTPClient(addr)
+		cl := shard.InstrumentClient(shard.NewHTTPClient(addr), i, s.metrics.shard)
 		info, err := cl.Info(ctx)
 		if err != nil {
 			return fmt.Errorf("serve: shard %s unreachable: %w", addr, err)
@@ -81,7 +87,11 @@ func (s *Server) ConnectShards(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("serve: rebuilding cluster instance %s: %w", st.params.Key(), err)
 	}
-	coord, err := shard.NewCoordinator(ctx, st.clients, shard.Config{Roster: roster, Logf: s.opts.Logf})
+	coord, err := shard.NewCoordinator(ctx, st.clients, shard.Config{
+		Roster:  roster,
+		Logf:    s.opts.Logf,
+		Metrics: s.metrics.shard,
+	})
 	if err != nil {
 		return err
 	}
@@ -138,16 +148,21 @@ func (s *Server) handleAllocateSharded(w http.ResponseWriter, r *http.Request, r
 	if req.Residual {
 		coreReq.SpentBudget = st.spendVector(curInst)
 	}
+	coreReq.Observer = s.metrics
 	started := time.Now()
 	res, err := st.coord.Allocate(r.Context(), coreReq)
 	if err != nil {
 		if errors.Is(err, core.ErrStaleEpoch) {
+			s.metrics.failAlloc(failStaleEpoch)
 			httpError(w, http.StatusConflict, "campaign set changed mid-request, retry: %v", err)
 			return
 		}
+		s.metrics.failAlloc(failUpstream)
 		httpError(w, http.StatusBadGateway, "sharded allocation: %v", err)
 		return
 	}
+	s.metrics.allocations.Inc()
+	s.metrics.allocSeconds.Observe(time.Since(started).Seconds())
 	st.mu.Lock()
 	st.allocs++
 	st.mu.Unlock()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rrset"
 	"repro/internal/topic"
 )
@@ -33,6 +34,10 @@ type Config struct {
 	Verify bool
 	// Logf receives operational messages (default log.Printf).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives scatter-gather round timings (the
+	// per-RPC metrics come from wrapping clients with InstrumentClient —
+	// usually against the same Metrics).
+	Metrics *Metrics
 }
 
 // Coordinator runs distributed CELF over a cluster of K shards: it owns
@@ -50,6 +55,7 @@ type Coordinator struct {
 	verify  bool
 	roster  *core.Instance
 	logf    func(format string, args ...any)
+	metrics *Metrics
 	id      string
 	runSeq  atomic.Uint64
 
@@ -133,6 +139,7 @@ func NewCoordinator(ctx context.Context, clients []Client, cfg Config) (*Coordin
 		verify:     cfg.Verify,
 		roster:     cfg.Roster,
 		logf:       cfg.Logf,
+		metrics:    cfg.Metrics,
 		id:         fmt.Sprintf("run-%x", time.Now().UnixNano()),
 		inst:       &inst,
 		epoch:      first.Epoch,
@@ -219,6 +226,23 @@ func (c *Coordinator) scatter(fn func(k int, cl Client) error) error {
 	return nil
 }
 
+// roundStart reads the clock only when round metrics are on; paired with
+// roundDone around each scatter-gather round.
+func (c *Coordinator) roundStart() time.Time {
+	if c.metrics == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// roundDone books one scatter round under its phase label.
+func (c *Coordinator) roundDone(phase string, start time.Time) {
+	if c.metrics == nil {
+		return
+	}
+	c.metrics.roundSeconds.With(phase).Observe(time.Since(start).Seconds())
+}
+
 // coordAd is the coordinator's per-advertiser selection state — the
 // distributed mirror of core's per-ad slot, with the coverage collection
 // replaced by an aggregate counter collection.
@@ -257,6 +281,13 @@ var errDrift = errors.New("shard: cluster state drifted across shards")
 // state lives on the coordinator). A campaign mutation racing the run
 // fails it with core.ErrStaleEpoch, like Request.Epoch pinning.
 func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIRMResult, error) {
+	// Every distributed allocation carries a trace id: reuse the caller's
+	// (the serve middleware put it in ctx) or stamp a fresh one, so each
+	// shard RPC's X-Trace-Id ties the whole scatter-gather fan-out to one
+	// request in every daemon's logs.
+	if obs.Trace(ctx) == "" {
+		ctx = obs.WithTrace(ctx, obs.NewTraceID())
+	}
 	c.mu.RLock()
 	inst, epoch := c.inst, c.epoch
 	c.mu.RUnlock()
@@ -317,6 +348,15 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	}
 	runID := fmt.Sprintf("%s-%d", c.id, c.runSeq.Add(1))
 
+	// Per-phase timing mirrors core's: accumulated on the stack behind nil
+	// checks, delivered in one ObserveAllocation call on success.
+	observer := req.Observer
+	var timings core.PhaseTimings
+	var phaseStart time.Time
+	if observer != nil {
+		phaseStart = time.Now()
+	}
+
 	// Phase 1 — pilot scatter-gather: each shard ships its slice of every
 	// ad's pilot widths; merging them in global stream order reconstructs
 	// the exact pilot a single node would hold, so KPT and the θ targets
@@ -326,6 +366,7 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	// the accounting identical to a cold coordinator).
 	cachedWidths := c.lookupWidths(epoch, activeIDs, opts.MinTheta)
 	pilots := make([]PilotReply, len(c.clients))
+	round := c.roundStart()
 	err = c.scatter(func(k int, cl Client) error {
 		var err error
 		pilots[k], err = cl.Pilot(ctx, PilotRequest{
@@ -333,6 +374,7 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 		})
 		return err
 	})
+	c.roundDone("pilot", round)
 	if err != nil {
 		return nil, wrapEpochErr(err)
 	}
@@ -366,11 +408,13 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	// collections; the coordinator sums the initial counts into one
 	// counter collection per ad. All integers, applied in shard order.
 	starts := make([]StartReply, len(c.clients))
+	round = c.roundStart()
 	err = c.scatter(func(k int, cl Client) error {
 		var err error
 		starts[k], err = cl.Start(ctx, StartRequest{RunID: runID, Epoch: epoch, Ads: activeIDs, Thetas: thetas})
 		return err
 	})
+	c.roundDone("start", round)
 	if err != nil {
 		c.endRun(runID)
 		return nil, wrapEpochErr(err)
@@ -389,6 +433,9 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	for k := range c.clients {
 		res.TotalSetsSampled += starts[k].Fresh
 	}
+	if observer != nil {
+		timings.Phase[core.PhaseEstimate] = time.Since(phaseStart)
+	}
 
 	attention := core.NewAttention(n, kappa)
 	eligible := attention.CanTake
@@ -399,6 +446,9 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	// gathered per-shard decrements back into the aggregates.
 	active := make([]*coordAd, 0, len(ads))
 	for {
+		if observer != nil {
+			phaseStart = time.Now()
+		}
 		active = active[:0]
 		for _, a := range ads {
 			if !a.saturated {
@@ -422,15 +472,23 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 				best = a
 			}
 		}
+		if observer != nil {
+			timings.Phase[core.PhaseScan] += time.Since(phaseStart)
+		}
 		if best == nil {
 			break
+		}
+		if observer != nil {
+			phaseStart = time.Now()
 		}
 
 		a := best
 		bestU, bestMg := a.candU, a.candMg
+		round = c.roundStart()
 		covered, err := c.scatterCover(ctx, a, func(cl Client) (CommitReply, error) {
 			return cl.Commit(ctx, CommitRequest{RunID: runID, Ad: a.j, Node: bestU})
 		})
+		c.roundDone("commit", round)
 		if err != nil {
 			return nil, err
 		}
@@ -447,6 +505,10 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 		res.Iterations++
 		if diff := mass - delta*a.candScore; diff > 1e-6*(1+mass) || diff < -1e-6*(1+mass) {
 			return nil, fmt.Errorf("%w: commit mass %g disagrees with scanned score %g", errDrift, mass, delta*a.candScore)
+		}
+		if observer != nil {
+			timings.Phase[core.PhaseCommit] += time.Since(phaseStart)
+			timings.Rounds++
 		}
 
 		if len(a.seeds) >= maxSeeds {
@@ -472,13 +534,18 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 			optLB := math.Max(kpt, achieved)
 			want := rrset.Theta(int64(n), int64(a.sTarget), opts.Eps, opts.Ell, optLB, opts.MinTheta, opts.MaxTheta)
 			if want > a.theta {
+				if observer != nil {
+					phaseStart = time.Now()
+				}
 				boundary := a.col.NumSets()
 				grows := make([]GrowReply, len(c.clients))
+				round = c.roundStart()
 				err = c.scatter(func(k int, cl Client) error {
 					var err error
 					grows[k], err = cl.Grow(ctx, GrowRequest{RunID: runID, Ad: a.j, FromGlobal: a.theta, ToGlobal: want})
 					return err
 				})
+				c.roundDone("grow", round)
 				if err != nil {
 					return nil, err
 				}
@@ -494,14 +561,19 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 				a.theta = want
 				a.revenue = 0
 				for s, seed := range a.seeds {
+					round = c.roundStart()
 					covered, err := c.scatterCover(ctx, a, func(cl Client) (CommitReply, error) {
 						return cl.Credit(ctx, CreditRequest{RunID: runID, Ad: a.j, Node: seed, FromGlobal: boundary})
 					})
+					c.roundDone("credit", round)
 					if err != nil {
 						return nil, err
 					}
 					a.seedMass[s] += a.ctps.At(seed) * float64(covered)
 					a.revenue += a.cpe * float64(n) * a.seedMass[s] / float64(a.theta)
+				}
+				if observer != nil {
+					timings.Phase[core.PhaseGrow] += time.Since(phaseStart)
 				}
 			}
 		}
@@ -518,6 +590,9 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 			reused = int64(a.have)
 		}
 		res.SetsReused += reused
+	}
+	if observer != nil {
+		observer.ObserveAllocation(timings)
 	}
 	return res, nil
 }
@@ -585,11 +660,13 @@ func (c *Coordinator) scatterCover(ctx context.Context, a *coordAd, call func(cl
 func (c *Coordinator) verifyGains(ctx context.Context, runID string, a *coordAd) error {
 	sums := make([]int32, len(a.nodes))
 	gains := make([]GainsReply, len(c.clients))
+	round := c.roundStart()
 	err := c.scatter(func(k int, cl Client) error {
 		var err error
 		gains[k], err = cl.Gains(ctx, GainsRequest{RunID: runID, Ad: a.j, Nodes: a.nodes})
 		return err
 	})
+	c.roundDone("gains", round)
 	if err != nil {
 		return err
 	}

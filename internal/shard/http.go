@@ -17,6 +17,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler returns the shard daemon's HTTP routes (mounted by cmd/adshard):
@@ -34,8 +36,16 @@ import (
 //	POST /shard/ads     — AddAdRequest  → MutateReply
 //	POST /shard/remove  — RemoveAdRequest → MutateReply
 //	POST /shard/drain   — {} (refuse new runs from now on)
+//	GET  /metrics       — Prometheus text exposition
+//
+// Every route is wrapped in the obs middleware: per-endpoint request
+// metrics, X-Trace-Id extraction/echo (so a coordinator's trace id ties
+// its RPC fan-out together in the logs of every daemon), and — when
+// Shard.Logf is set — one structured key=value log line per request.
 func (s *Shard) Handler() http.Handler {
+	reg, httpMetrics := s.observability()
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		shardWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -59,7 +69,24 @@ func (s *Shard) Handler() http.Handler {
 		s.Drain()
 		return struct{}{}, nil
 	}))
-	return mux
+	return obs.Instrument(mux, httpMetrics, obs.InstrumentOptions{
+		Component: "adshard",
+		Logf:      s.Logf,
+		// RPC routes all share the "shard" first path segment; label by the
+		// full (bounded) route so per-operation latency stays visible.
+		Endpoint: shardEndpoint,
+	})
+}
+
+// shardEndpoint maps a daemon route onto its metric label: the full path
+// with slashes flattened ("/shard/commit" → "shard_commit"). The route set
+// is fixed by the mux, so cardinality is bounded.
+func shardEndpoint(r *http.Request) string {
+	p := strings.Trim(r.URL.Path, "/")
+	if p == "" {
+		return "root"
+	}
+	return strings.ReplaceAll(p, "/", "_")
 }
 
 // endRequest is the wire form of End.
@@ -161,6 +188,9 @@ func (c *HTTPClient) call(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace := obs.Trace(ctx); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -182,6 +212,9 @@ func (c *HTTPClient) Info(ctx context.Context) (ShardInfo, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/shard/info", nil)
 	if err != nil {
 		return ShardInfo{}, err
+	}
+	if trace := obs.Trace(ctx); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

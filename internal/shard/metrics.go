@@ -1,0 +1,160 @@
+// RPC-level telemetry for the shard fabric, recorded coordinator-side: an
+// instrumented Client decorator meters every RPC (count, latency, outcome)
+// per operation and shard slot over either transport, and the coordinator
+// times its scatter-gather rounds per phase. One Metrics is shared by all
+// of a cluster's clients so the host exposes a single family; internal/
+// serve wires it into the adserver registry in ConnectShards.
+
+package shard
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the shard-fabric telemetry surface: per-RPC counters and
+// latency histograms (recorded by InstrumentClient) plus coordinator
+// scatter-round timings (recorded when Config.Metrics is set).
+type Metrics struct {
+	rpcs         *obs.CounterVec   // op, shard, outcome
+	rpcSeconds   *obs.HistogramVec // op, shard
+	roundSeconds *obs.HistogramVec // phase
+}
+
+// NewMetrics registers the fabric metrics on r under
+// prefix_shard_rpcs_total, prefix_shard_rpc_seconds, and
+// prefix_coordinator_round_seconds.
+func NewMetrics(r *obs.Registry, prefix string) *Metrics {
+	return &Metrics{
+		rpcs: r.CounterVec(prefix+"_shard_rpcs_total",
+			"Shard RPCs by operation, shard slot, and outcome (ok or error).",
+			"op", "shard", "outcome"),
+		rpcSeconds: r.HistogramVec(prefix+"_shard_rpc_seconds",
+			"Shard RPC round-trip latency in seconds by operation and shard slot.",
+			obs.DefBuckets, "op", "shard"),
+		roundSeconds: r.HistogramVec(prefix+"_coordinator_round_seconds",
+			"Coordinator scatter-gather round wall time in seconds by phase (pilot, start, commit, grow, credit, gains).",
+			obs.DefBuckets, "phase"),
+	}
+}
+
+// record books one finished RPC.
+func (m *Metrics) record(op, shard string, start time.Time, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	m.rpcs.With(op, shard, outcome).Inc()
+	m.rpcSeconds.With(op, shard).Observe(time.Since(start).Seconds())
+}
+
+// InstrumentClient wraps cl so every RPC against shard slot `shard` is
+// metered into m. Transport-blind: wrap a LocalClient or an HTTPClient the
+// same way. A nil m returns cl unchanged.
+func InstrumentClient(cl Client, shard int, m *Metrics) Client {
+	if m == nil {
+		return cl
+	}
+	return &instrumentedClient{cl: cl, shard: strconv.Itoa(shard), m: m}
+}
+
+// instrumentedClient decorates a Client with per-RPC telemetry.
+type instrumentedClient struct {
+	cl    Client
+	shard string
+	m     *Metrics
+}
+
+// Info implements Client.
+func (c *instrumentedClient) Info(ctx context.Context) (ShardInfo, error) {
+	start := time.Now()
+	out, err := c.cl.Info(ctx)
+	c.m.record("info", c.shard, start, err)
+	return out, err
+}
+
+// Pilot implements Client.
+func (c *instrumentedClient) Pilot(ctx context.Context, req PilotRequest) (PilotReply, error) {
+	start := time.Now()
+	out, err := c.cl.Pilot(ctx, req)
+	c.m.record("pilot", c.shard, start, err)
+	return out, err
+}
+
+// Ensure implements Client.
+func (c *instrumentedClient) Ensure(ctx context.Context, req EnsureRequest) (EnsureReply, error) {
+	start := time.Now()
+	out, err := c.cl.Ensure(ctx, req)
+	c.m.record("ensure", c.shard, start, err)
+	return out, err
+}
+
+// Start implements Client.
+func (c *instrumentedClient) Start(ctx context.Context, req StartRequest) (StartReply, error) {
+	start := time.Now()
+	out, err := c.cl.Start(ctx, req)
+	c.m.record("start", c.shard, start, err)
+	return out, err
+}
+
+// Commit implements Client.
+func (c *instrumentedClient) Commit(ctx context.Context, req CommitRequest) (CommitReply, error) {
+	start := time.Now()
+	out, err := c.cl.Commit(ctx, req)
+	c.m.record("commit", c.shard, start, err)
+	return out, err
+}
+
+// Credit implements Client.
+func (c *instrumentedClient) Credit(ctx context.Context, req CreditRequest) (CommitReply, error) {
+	start := time.Now()
+	out, err := c.cl.Credit(ctx, req)
+	c.m.record("credit", c.shard, start, err)
+	return out, err
+}
+
+// Grow implements Client.
+func (c *instrumentedClient) Grow(ctx context.Context, req GrowRequest) (GrowReply, error) {
+	start := time.Now()
+	out, err := c.cl.Grow(ctx, req)
+	c.m.record("grow", c.shard, start, err)
+	return out, err
+}
+
+// Gains implements Client.
+func (c *instrumentedClient) Gains(ctx context.Context, req GainsRequest) (GainsReply, error) {
+	start := time.Now()
+	out, err := c.cl.Gains(ctx, req)
+	c.m.record("gains", c.shard, start, err)
+	return out, err
+}
+
+// End implements Client.
+func (c *instrumentedClient) End(ctx context.Context, runID string) error {
+	start := time.Now()
+	err := c.cl.End(ctx, runID)
+	c.m.record("end", c.shard, start, err)
+	return err
+}
+
+// AddAd implements Client.
+func (c *instrumentedClient) AddAd(ctx context.Context, req AddAdRequest) (MutateReply, error) {
+	start := time.Now()
+	out, err := c.cl.AddAd(ctx, req)
+	c.m.record("addAd", c.shard, start, err)
+	return out, err
+}
+
+// RemoveAd implements Client.
+func (c *instrumentedClient) RemoveAd(ctx context.Context, req RemoveAdRequest) (MutateReply, error) {
+	start := time.Now()
+	out, err := c.cl.RemoveAd(ctx, req)
+	c.m.record("removeAd", c.shard, start, err)
+	return out, err
+}
+
+// Interface compliance.
+var _ Client = (*instrumentedClient)(nil)

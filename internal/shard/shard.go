@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rrset"
 )
 
@@ -36,6 +37,11 @@ type Shard struct {
 	// Dataset optionally names the generated instance for Info (set by the
 	// daemon before serving; never read by the shard runtime itself).
 	Dataset DatasetParams
+	// Logf, when set before Handler is called, receives one structured
+	// key=value line per HTTP request (component=adshard, trace id, method,
+	// path, status, duration). Nil disables request logging; metrics and
+	// trace propagation run either way. cmd/adshard sets it to log.Printf.
+	Logf func(format string, args ...any)
 
 	lifeMu sync.Mutex // serializes campaign mutations with their epoch checks
 
@@ -45,6 +51,12 @@ type Shard struct {
 
 	runsOpened atomic.Int64
 	commits    atomic.Int64
+
+	// obsOnce guards the lazily built /metrics registry (Handler's first
+	// call); tests that never serve HTTP pay nothing for it.
+	obsOnce sync.Once
+	obsReg  *obs.Registry
+	obsHTTP *obs.HTTPMetrics
 }
 
 // shardRun is one distributed selection run's shard-local state.
@@ -110,6 +122,52 @@ func newShard(roster *core.Instance, idx *core.Index) *Shard {
 // Index exposes the shard's per-range index (snapshot persistence in
 // cmd/adshard writes through it).
 func (s *Shard) Index() *core.Index { return s.idx }
+
+// observability lazily builds the daemon's /metrics registry: the HTTP
+// request metrics the Handler middleware records plus scrape-time views
+// over the shard state Info already reports (epoch, campaign size, sample
+// counts and footprint, open runs, commits, drain flag).
+func (s *Shard) observability() (*obs.Registry, *obs.HTTPMetrics) {
+	s.obsOnce.Do(func() {
+		reg := obs.NewRegistry()
+		s.obsHTTP = obs.NewHTTPMetrics(reg, "adshard")
+		reg.GaugeFunc("adshard_epoch",
+			"Campaign epoch the shard currently serves.",
+			func() float64 { return float64(s.idx.CurrentEpoch().Version()) })
+		reg.GaugeFunc("adshard_campaign_ads",
+			"Advertisers in the shard's current campaign set.",
+			func() float64 { return float64(s.idx.CurrentEpoch().NumAds()) })
+		reg.CounterFunc("adshard_sets_sampled_total",
+			"Local RR sets drawn over the shard's lifetime.",
+			func() uint64 { return uint64(s.idx.SetsSampled()) })
+		reg.GaugeFunc("adshard_index_mem_bytes",
+			"Stored-sample footprint of the shard's per-range index in bytes.",
+			func() float64 { return float64(s.idx.MemBytes()) })
+		reg.GaugeFunc("adshard_open_runs",
+			"Live distributed selection runs holding state on this shard.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(len(s.runs))
+			})
+		reg.CounterFunc("adshard_runs_opened_total",
+			"Selection runs opened on this shard over its lifetime.",
+			func() uint64 { return uint64(s.runsOpened.Load()) })
+		reg.CounterFunc("adshard_commits_total",
+			"Seed commits applied on this shard over its lifetime.",
+			func() uint64 { return uint64(s.commits.Load()) })
+		reg.GaugeFunc("adshard_draining",
+			"1 when the shard refuses new runs, 0 otherwise.",
+			func() float64 {
+				if s.draining.Load() {
+					return 1
+				}
+				return 0
+			})
+		s.obsReg = reg
+	})
+	return s.obsReg, s.obsHTTP
+}
 
 // Drain makes the shard refuse new runs; in-flight runs finish normally.
 // There is no undrain — a drained shard is on its way out.

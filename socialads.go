@@ -87,6 +87,16 @@ type (
 	// AllocateFromIndex (set it as AllocRequest.Pool); reuse makes warm
 	// allocations nearly allocation-free without changing their results.
 	AllocWorkspacePool = core.WorkspacePool
+	// AllocPhase names one phase of a selection run — estimation, CELF
+	// scan, commit, or sample growth (see AllocObserver).
+	AllocPhase = core.AllocPhase
+	// AllocPhaseTimings reports per-phase wall time and the round count of
+	// one selection run.
+	AllocPhaseTimings = core.PhaseTimings
+	// AllocObserver receives per-phase timings after each selection run
+	// (set one as AllocRequest.Observer); a nil observer costs nothing —
+	// no clocks are read and the allocation result is unchanged either way.
+	AllocObserver = core.AllocObserver
 	// GreedyOptions configures Algorithm 1.
 	GreedyOptions = core.GreedyOptions
 	// GreedyResult reports Algorithm 1's allocation.
@@ -101,6 +111,19 @@ type (
 
 	// DatasetOptions parameterizes the synthetic dataset analogues.
 	DatasetOptions = gen.Options
+)
+
+// Phases of a selection run, in execution order; index
+// AllocPhaseTimings.Phase with them (see AllocObserver).
+const (
+	// PhaseEstimate is KPT estimation, θ sizing, and fresh coverage sums.
+	PhaseEstimate = core.PhaseEstimate
+	// PhaseScan is the CELF marginal-gain scans.
+	PhaseScan = core.PhaseScan
+	// PhaseCommit is seed commits and coverage updates.
+	PhaseCommit = core.PhaseCommit
+	// PhaseGrow is on-demand sample growth plus re-credit.
+	PhaseGrow = core.PhaseGrow
 )
 
 // NewGraphBuilder creates a builder for a graph with n nodes.
