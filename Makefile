@@ -23,7 +23,7 @@ DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim \
 # after a reviewed perf change. BENCH_head.json is the throwaway stream
 # `make bench-compare` writes for the current HEAD; it is .gitignore'd and
 # must never be committed.
-BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkWarmWorkspaceReuse|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim|BenchmarkServeAllocate|BenchmarkShardedAllocate|BenchmarkObsOverhead
+BENCH_PATTERN = BenchmarkIndexBuild|BenchmarkIndexColdVsWarm|BenchmarkWarmWorkspaceReuse|BenchmarkSnapshotCodec|BenchmarkBuildInverted|BenchmarkLifecycleSim|BenchmarkServeAllocate|BenchmarkShardedAllocate|BenchmarkObsOverhead|BenchmarkKernels|BenchmarkAllocateBatch
 BENCH_PKGS    = . ./internal/rrset ./internal/sim ./internal/serve ./internal/shard
 
 # Extra flags for bench-compare (CI passes "-benchtime 1x -short" to keep

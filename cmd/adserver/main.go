@@ -53,20 +53,36 @@ func main() {
 		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS); pin it so index builds don't saturate every core of a serving host")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, allocs, goroutine profiles; see EXPERIMENTS.md for a hot-path profiling walkthrough)")
 		shards    = flag.String("shards", "", "comma-separated adshard addresses (host:port, in slot order): serve /allocate by distributed scatter-gather over this cluster instead of a local index")
+		kernel    = flag.String("kernel", "", "coverage kernel for requests that don't pick their own: auto (density heuristic, the default), sparse, or bitset — changes sweep cost, never allocations")
 	)
 	flag.Parse()
 	rrset.SetMaxWorkers(*workers)
-	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta, *pprofOn, *shards); err != nil {
+	if err := checkKernelFlag(*kernel); err != nil {
+		fmt.Fprintln(os.Stderr, "adserver:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta, *pprofOn, *shards, *kernel); err != nil {
 		fmt.Fprintln(os.Stderr, "adserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, snapshots, preload string, maxScale float64, maxTheta int, pprofOn bool, shards string) error {
+// checkKernelFlag rejects bad -kernel values at startup rather than per
+// request (the names mirror core.Request.Kernel).
+func checkKernelFlag(kernel string) error {
+	switch kernel {
+	case "", "auto", "sparse", "bitset":
+		return nil
+	}
+	return fmt.Errorf("unknown -kernel %q (want auto, sparse, or bitset)", kernel)
+}
+
+func run(addr, snapshots, preload string, maxScale float64, maxTheta int, pprofOn bool, shards, kernel string) error {
 	opts := serve.Options{
-		SnapshotDir: snapshots,
-		MaxScale:    maxScale,
-		MaxTheta:    maxTheta,
+		SnapshotDir:   snapshots,
+		MaxScale:      maxScale,
+		MaxTheta:      maxTheta,
+		DefaultKernel: kernel,
 	}
 	if shards != "" {
 		for _, a := range strings.Split(shards, ",") {

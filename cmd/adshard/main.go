@@ -52,16 +52,23 @@ func main() {
 		snapshots = flag.String("snapshots", "", "directory for shard snapshots (empty = in-memory only)")
 		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, allocs, goroutine profiles; see EXPERIMENTS.md for a hot-path profiling walkthrough)")
+		kernel    = flag.String("kernel", "", "coverage kernel for runs whose StartRequest leaves the choice open: auto (density heuristic, the default), sparse, or bitset — changes local sweep cost, never the reply integers")
 	)
 	flag.Parse()
 	rrset.SetMaxWorkers(*workers)
-	if err := run(*addr, *dataset, *seed, *scale, *ads, *shardID, *numShards, *snapshots, *pprofOn); err != nil {
+	switch *kernel {
+	case "", "auto", "sparse", "bitset":
+	default:
+		fmt.Fprintf(os.Stderr, "adshard: unknown -kernel %q (want auto, sparse, or bitset)\n", *kernel)
+		os.Exit(2)
+	}
+	if err := run(*addr, *dataset, *seed, *scale, *ads, *shardID, *numShards, *snapshots, *pprofOn, *kernel); err != nil {
 		fmt.Fprintln(os.Stderr, "adshard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShards int, snapshots string, pprofOn bool) error {
+func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShards int, snapshots string, pprofOn bool, kernel string) error {
 	p, err := shard.NewPartitioner(numShards)
 	if err != nil {
 		return err
@@ -105,6 +112,7 @@ func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShar
 	}
 	s.Dataset = shard.DatasetParams{Name: dataset, Seed: seed, Scale: scale, NumAds: ads}
 	s.Logf = log.Printf
+	s.DefaultKernel = kernel
 
 	handler := s.Handler()
 	if pprofOn {

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/rrset"
+)
+
+// sameTIRMResult compares the full request-visible surface of two results:
+// the allocation, the estimates, and the θ/seed-target traces.
+func sameTIRMResult(t *testing.T, a, b *TIRMResult) {
+	t.Helper()
+	sameAllocation(t, a.Alloc, b.Alloc)
+	for i := range a.EstRevenue {
+		if a.EstRevenue[i] != b.EstRevenue[i] {
+			t.Errorf("ad %d est revenue %v vs %v", i, a.EstRevenue[i], b.EstRevenue[i])
+		}
+		if a.FinalTheta[i] != b.FinalTheta[i] {
+			t.Errorf("ad %d θ %d vs %d", i, a.FinalTheta[i], b.FinalTheta[i])
+		}
+		if a.FinalSeedTarget[i] != b.FinalSeedTarget[i] {
+			t.Errorf("ad %d seed target %d vs %d", i, a.FinalSeedTarget[i], b.FinalSeedTarget[i])
+		}
+	}
+}
+
+// TestKernelRequestGolden pins the cross-kernel determinism contract at the
+// request level: the same request forced onto the sparse kernel, forced onto
+// the bitset kernel, and left on auto-selection must produce byte-identical
+// allocations and estimates — the kernel changes cost, never results.
+func TestKernelRequestGolden(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		opts TIRMOptions
+	}{
+		{"hard", TIRMOptions{MinTheta: 6000, MaxTheta: 40000}},
+		{"soft", TIRMOptions{MinTheta: 6000, MaxTheta: 40000, SoftCoverage: true}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			inst := randomInstance(31, 50, 200, 3, 2, 0.01)
+			idx, err := BuildIndex(inst, 11, cfg.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := AllocateFromIndex(idx, Request{Opts: cfg.opts, Kernel: "sparse"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := base.KernelCounts[rrset.KernelSparse]; got != len(inst.Ads) {
+				t.Errorf("sparse run: KernelCounts[sparse] = %d, want %d", got, len(inst.Ads))
+			}
+			forced, err := AllocateFromIndex(idx, Request{Opts: cfg.opts, Kernel: "bitset"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := forced.KernelCounts[rrset.KernelBitset]; got != len(inst.Ads) {
+				t.Errorf("bitset run: KernelCounts[bitset] = %d, want %d (forced builds must activate)", got, len(inst.Ads))
+			}
+			sameTIRMResult(t, base, forced)
+			for _, kernel := range []string{"", "auto"} {
+				auto, err := AllocateFromIndex(idx, Request{Opts: cfg.opts, Kernel: kernel})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameTIRMResult(t, base, auto)
+				var total int
+				for _, c := range auto.KernelCounts {
+					total += c
+				}
+				if total != len(inst.Ads) {
+					t.Errorf("kernel %q: KernelCounts sums to %d, want %d", kernel, total, len(inst.Ads))
+				}
+			}
+		})
+	}
+}
+
+// TestKernelRequestValidation: unknown kernel names are rejected up front.
+func TestKernelRequestValidation(t *testing.T) {
+	inst := fig1Instance(t, 0)
+	idx, err := BuildIndex(inst, 7, TIRMOptions{MinTheta: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllocateFromIndex(idx, Request{Opts: TIRMOptions{MinTheta: 5000}, Kernel: "dense"}); err == nil {
+		t.Fatal("unknown kernel name accepted")
+	}
+}
+
+// TestAllocateBatchMatchesSequential pins the batch contract: every item of
+// a mixed batch — different budgets, ad subsets, kernels, options, and one
+// deliberately bad request — must return exactly what the sequential
+// AllocateFromIndex call with the same request returns, and the bad item
+// must fail alone without poisoning its siblings.
+func TestAllocateBatchMatchesSequential(t *testing.T) {
+	inst := randomInstance(60, 50, 200, 3, 2, 0)
+	opts := TIRMOptions{MinTheta: 6000, MaxTheta: 40000}
+	idx, err := BuildIndex(inst, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.02
+	reqs := []Request{
+		{Opts: opts},
+		{Opts: opts, Kernel: "bitset"},
+		{Opts: opts, Kernel: "sparse", Budgets: []float64{1, 2, 3}},
+		{Opts: opts, Ads: []int{0, 2}},
+		{Opts: opts, Kernel: "no-such-kernel"}, // must fail alone
+		{Opts: opts, Lambda: &lambda},
+		{Opts: TIRMOptions{MinTheta: 6000, MaxTheta: 40000, SoftCoverage: true}},
+		{Opts: opts, Kappa: ConstKappa(1)},
+	}
+	want := make([]BatchResult, len(reqs))
+	for i := range reqs {
+		res, err := AllocateFromIndex(idx, reqs[i])
+		want[i] = BatchResult{Res: res, Err: err}
+	}
+	got := AllocateBatch(idx, reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(got), len(reqs))
+	}
+	for i := range got {
+		if (got[i].Err != nil) != (want[i].Err != nil) {
+			t.Fatalf("item %d: batch err %v vs sequential err %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Err != nil {
+			continue
+		}
+		sameTIRMResult(t, want[i].Res, got[i].Res)
+	}
+	if got[4].Err == nil {
+		t.Error("bad request in slot 4 did not fail")
+	}
+	for i, r := range got {
+		if i != 4 && r.Err != nil {
+			t.Errorf("sibling item %d poisoned by bad request: %v", i, r.Err)
+		}
+	}
+	if out := AllocateBatch(idx, nil); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestAllocateBatchPinsEpoch runs batches while the campaign set churns
+// underneath: every item of one batch must observe the same epoch, so all
+// results within a batch have one consistent ad count and identical
+// requests yield identical allocations.
+func TestAllocateBatchPinsEpoch(t *testing.T) {
+	inst := randomInstance(77, 40, 160, 3, 2, 0)
+	opts := TIRMOptions{MinTheta: 1024, MaxTheta: 4096}
+	idx, err := BuildIndex(inst, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			extra := inst.Ads[i%len(inst.Ads)]
+			extra.Name = "churn"
+			if _, err := idx.AddAd(extra, opts); err != nil {
+				t.Errorf("concurrent AddAd: %v", err)
+				return
+			}
+			if err := idx.RemoveAd(idx.NumAds() - 1); err != nil {
+				t.Errorf("concurrent RemoveAd: %v", err)
+				return
+			}
+		}
+	}()
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{Opts: opts}
+	}
+	for round := 0; round < 4; round++ {
+		out := AllocateBatch(idx, reqs)
+		for i, r := range out {
+			if r.Err != nil {
+				t.Fatalf("round %d item %d: %v", round, i, r.Err)
+			}
+			if len(r.Res.Alloc.Seeds) != len(out[0].Res.Alloc.Seeds) {
+				t.Fatalf("round %d: item %d saw %d ads, item 0 saw %d — epoch not pinned",
+					round, i, len(r.Res.Alloc.Seeds), len(out[0].Res.Alloc.Seeds))
+			}
+			sameTIRMResult(t, out[0].Res, r.Res)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAllocateBatchStaleEpoch: an item pinned to a bygone epoch fails with
+// ErrStaleEpoch exactly as it would alone, while current-epoch siblings in
+// the same batch succeed.
+func TestAllocateBatchStaleEpoch(t *testing.T) {
+	inst := randomInstance(60, 50, 200, 3, 2, 0)
+	opts := TIRMOptions{MinTheta: 1024, MaxTheta: 4096}
+	idx, err := BuildIndex(inst, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := idx.Epoch()
+	extra := inst.Ads[0]
+	extra.Name = "late"
+	if _, err := idx.AddAd(extra, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := AllocateBatch(idx, []Request{
+		{Opts: opts, Epoch: old},
+		{Opts: opts},
+		{Opts: opts, Epoch: idx.Epoch()},
+	})
+	if !errors.Is(out[0].Err, ErrStaleEpoch) {
+		t.Errorf("stale item: err = %v, want ErrStaleEpoch", out[0].Err)
+	}
+	for i := 1; i < 3; i++ {
+		if out[i].Err != nil {
+			t.Errorf("current-epoch item %d failed: %v", i, out[i].Err)
+		}
+	}
+}

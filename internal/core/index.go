@@ -483,12 +483,26 @@ type Request struct {
 	// observer skips every clock read — the warm path stays
 	// allocation-identical with observation off.
 	Observer AllocObserver
+	// Kernel selects the coverage kernel for this run's per-ad cover
+	// sweeps: "" or "auto" lets each ad use the bitset kernel exactly when
+	// the index's density heuristic built its membership bitmap (see
+	// rrset.Inverted.PrepareCover); "sparse" forces the cover-join scan;
+	// "bitset" forces the dense kernel, paying the one-time bitmap build
+	// for ads the heuristic skipped. Kernels never change the allocation —
+	// selections are byte-identical either way (golden-pinned); only the
+	// sweep cost differs. TIRMResult.KernelCounts reports what ran.
+	Kernel string
 }
 
 // validate resolves the request against the instance, returning the ad
 // subset and effective λ/κ.
 func (req *Request) validate(inst *Instance) (adIDs []int, lambda float64, kappa AttentionBounds, err error) {
 	h := len(inst.Ads)
+	switch req.Kernel {
+	case "", "auto", "sparse", "bitset":
+	default:
+		return nil, 0, nil, fmt.Errorf("core: unknown coverage kernel %q (want auto, sparse, or bitset)", req.Kernel)
+	}
 	if req.Budgets != nil && len(req.Budgets) != h {
 		return nil, 0, nil, fmt.Errorf("core: request overrides %d budgets, instance has %d ads", len(req.Budgets), h)
 	}
@@ -569,6 +583,9 @@ type selAd struct {
 	seeds      []int32
 	seedMass   []float64 // δ-scaled claimed set mass per seed
 	saturated  bool
+	// kernel records which coverage kernel this ad's collection activated
+	// (summed into TIRMResult.KernelCounts after the setup barrier).
+	kernel rrset.KernelID
 	// powMemo is the per-slot scratch for kptFromWidths cache misses (the
 	// per-width Pow terms); retained across pooled runs.
 	powMemo map[int64]float64
@@ -684,6 +701,11 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 	// across the bounded worker group; per-ad sample counts are summed
 	// sequentially after the barrier.
 	soft := opts.SoftCoverage
+	wantKernel := rrset.KernelBitset // ""/"auto": bitset iff the density heuristic built the bitmap
+	if req.Kernel == "sparse" {
+		wantKernel = rrset.KernelSparse
+	}
+	forceBits := req.Kernel == "bitset"
 	runner.each(ws.ads, func(a *selAd) {
 		_, widths, fresh := a.src.prefix(opts.MinTheta)
 		a.fresh = fresh
@@ -692,18 +714,24 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 		a.theta = rrset.Theta(int64(n), 1, opts.Eps, opts.Ell, kpt, opts.MinTheta, opts.MaxTheta)
 		sets, _, inv, fresh := a.src.view(a.theta)
 		a.fresh += fresh
+		if forceBits {
+			inv.PrepareCoverBits()
+		}
 		if soft {
 			a.col.soft = a.ws.Weighted(n, sets, inv)
 			a.col.hard = nil
+			a.kernel = a.col.soft.UseKernel(wantKernel)
 		} else {
 			a.col.hard = a.ws.Collection(n, sets, inv)
 			a.col.soft = nil
+			a.kernel = a.col.hard.UseKernel(wantKernel)
 		}
 	})
 	for _, a := range ws.ads {
 		idx.sampled.Add(a.fresh)
 		res.TotalSetsSampled += a.fresh
 		a.fresh = 0
+		res.KernelCounts[a.kernel]++
 	}
 	if observer != nil {
 		timings.Phase[PhaseEstimate] = time.Since(phaseStart)

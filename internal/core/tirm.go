@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/rrset"
 	"repro/internal/xrand"
 )
 
@@ -77,6 +78,11 @@ type TIRMResult struct {
 	// (Table 4 instrumentation).
 	MemBytes   int64
 	Iterations int
+	// KernelCounts tallies, by rrset.KernelID, how many per-ad coverage
+	// collections ran on each cover kernel this run (sparse vs bitset —
+	// see Request.Kernel). A fixed array, not a map, so the warm path
+	// stays allocation-free.
+	KernelCounts [rrset.NumKernels]int
 }
 
 // kptFromWidths evaluates TIM's width statistic KPT(s) = n·mean(κ_s(R))/2

@@ -321,4 +321,5 @@ func (a *selAd) reset(j int, cpe, budget float64, ctps topic.CTP, src *adSample)
 	a.seedMass = a.seedMass[:0]
 	a.saturated = false
 	a.candOK = false
+	a.kernel = rrset.KernelSparse
 }

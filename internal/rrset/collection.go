@@ -132,6 +132,18 @@ type Collection struct {
 	seen    []uint64   // TopNodes / delta-cover per-call dedup stamps
 	seenGen uint64
 	dpos    []int32 // delta-cover per-node output positions (counter.go)
+
+	kern CoverKernel // active cover kernel; nil means sparse
+	bits *coverBits  // first segment's membership bitmap (bitset kernel)
+	covw []uint64    // covered-set mask over the first segment (bitset kernel)
+
+	// dsink is the delta-capture sink reused across CoverNodeDelta /
+	// CountAndCoverFromDelta calls. Living on the (already heap-resident)
+	// collection, its address can cross the CoverKernel interface without
+	// forcing a fresh heap escape per cover — the sharded commit path
+	// stays allocation-free. Its buffer fields are caller-owned and niled
+	// after every call, so the collection never pins them.
+	dsink deltaSink
 }
 
 // NewCollection creates an empty index over n nodes.
@@ -180,7 +192,8 @@ func (c *Collection) MemBytes() int64 {
 	return total +
 		int64(len(c.covered)) + // covered flags
 		int64(c.n)*5 + // cov counters + dead flags
-		int64(len(c.pq))*8
+		int64(len(c.pq))*8 +
+		int64(len(c.covw))*8 // bitset kernel's covered-word mask
 }
 
 // NumSets returns the total number of sets ever added.
@@ -250,6 +263,66 @@ func (c *Collection) Reset(n int, v FamilyView, inv *Inverted) {
 	c.segs = append(c.segs[:0], covSegment{base: 0, view: v, inv: inv, cut: c.cut})
 	c.pq = c.pq[:0]
 	c.stale = true
+	c.kern = nil
+	c.bits = nil
+}
+
+// Kernel returns the identifier of the collection's active cover kernel.
+func (c *Collection) Kernel() KernelID {
+	if c.kern != nil {
+		return c.kern.ID()
+	}
+	return KernelSparse
+}
+
+// kernel resolves the active kernel implementation (sparse by default).
+func (c *Collection) kernel() CoverKernel {
+	if c.kern != nil {
+		return c.kern
+	}
+	return Kernels[KernelSparse]
+}
+
+// UseKernel selects the cover kernel for this collection and returns the
+// kernel actually activated. Requesting KernelBitset succeeds only when
+// the collection is a fresh warm-start over one shared base-0 segment
+// whose inverted index has its membership bitmap prepared (PrepareCover's
+// density heuristic or PrepareCoverBits) and no set has been covered yet;
+// otherwise — counter collections, hand-grown collections, unprepared
+// indexes, mid-run switches — the sparse kernel stays active. Call it
+// right after Reset / NewCollectionFromFamily, before any cover
+// operation. The covered-word mask recycles its backing array across
+// Reset cycles, so steady-state activation allocates nothing.
+func (c *Collection) UseKernel(id KernelID) KernelID {
+	if id != KernelBitset {
+		c.kern = nil
+		c.bits = nil
+		return KernelSparse
+	}
+	if len(c.segs) != 1 || c.segs[0].base != 0 || c.ncov != 0 {
+		return c.Kernel()
+	}
+	cb := c.segs[0].inv.preparedBits()
+	if cb == nil || cb.sets < c.numSets {
+		return c.Kernel()
+	}
+	k := c.numSets
+	kw := (k + 63) / 64
+	if cap(c.covw) < kw {
+		c.covw = make([]uint64, kw)
+	}
+	c.covw = c.covw[:kw]
+	for i := range c.covw {
+		c.covw[i] = 0
+	}
+	// Pre-set the bits past the view's set count so the sweep needs no
+	// tail masking: ids ≥ k read as already covered.
+	if r := uint(k) & 63; r != 0 {
+		c.covw[kw-1] = ^uint64(0) << r
+	}
+	c.kern = Kernels[KernelBitset]
+	c.bits = cb
+	return KernelBitset
 }
 
 // NewCollectionFromFamily builds a collection over a prebuilt sample view
@@ -382,66 +455,19 @@ func (c *Collection) TopNodesInto(k int, eligible func(int32) bool, nodes []int3
 // exactly.
 //
 // This is the single hottest loop of a warm allocation — every committed
-// seed retires its covered sets here — and the serving workload covers
-// mostly tiny sets, where the classic id → offsets → arena hop costs a
-// cache miss per set. The walk therefore prefers the inverted index's
-// cover join (one sequential record stream per node, members inlined; see
-// coverJoin), falling back to the arena hop for spilled sets and for
-// segments whose join was never prepared — per-request θ-growth segments
-// and hand-built collections, state too short-lived to amortize a join
-// build. Record order equals id order, so the covering
-// sequence — and with it every downstream estimate — is unchanged.
+// seed retires its covered sets here — so the walk itself is delegated to
+// the collection's active cover kernel (see CoverKernel): the sparse
+// kernel prefers the inverted index's cover join (one sequential record
+// stream per node, members inlined; see coverJoin), falling back to the
+// arena hop for spilled sets and for segments whose join was never
+// prepared — per-request θ-growth segments and hand-built collections,
+// state too short-lived to amortize a join build; the bitset kernel sweeps
+// packed membership words. Either way sets retire in ascending id order,
+// so the covering sequence — and with it every downstream estimate — is
+// unchanged.
 func (c *Collection) CoverNode(u int32) int {
 	c.syncHeap()
-	covered := 0
-	cov, cvd := c.cov, c.covered
-	for si := range c.segs {
-		seg := &c.segs[si]
-		base := seg.base
-		offs, mem := seg.view.offsets, seg.view.members
-		if j := seg.inv.preparedJoin(); j != nil {
-			limit := int32(seg.end())
-			row := j.row(u)
-			for p := 0; p < len(row); {
-				id, sz := row[p], row[p+1]
-				if id >= limit {
-					break
-				}
-				var members []int32
-				if sz == joinSpill {
-					p += 2
-					if cvd[id] {
-						continue
-					}
-					i := int(id - base)
-					members = mem[offs[i]:offs[i+1]]
-				} else {
-					members = row[p+2 : p+2+int(sz)]
-					p += 2 + int(sz)
-					if cvd[id] {
-						continue
-					}
-				}
-				cvd[id] = true
-				covered++
-				for _, w := range members {
-					cov[w]--
-				}
-			}
-			continue
-		}
-		for _, id := range seg.idsOf(u) {
-			if cvd[id] {
-				continue
-			}
-			cvd[id] = true
-			covered++
-			i := int(id - base)
-			for _, w := range mem[offs[i]:offs[i+1]] {
-				cov[w]--
-			}
-		}
-	}
+	covered := c.kernel().coverNode(c, u)
 	c.ncov += covered
 	if c.cov[u] != 0 {
 		panic(fmt.Sprintf("rrset: residual coverage of %d nonzero after CoverNode", u))
@@ -455,27 +481,7 @@ func (c *Collection) CoverNode(u int32) int {
 // in freshly appended samples without double-counting across seeds.
 func (c *Collection) CountAndCoverFrom(u int32, firstID int) int {
 	c.syncHeap()
-	covered := 0
-	cov, cvd := c.cov, c.covered
-	for si := range c.segs {
-		seg := &c.segs[si]
-		if seg.end() <= firstID {
-			continue
-		}
-		base := seg.base
-		offs, mem := seg.view.offsets, seg.view.members
-		for _, id := range seg.idsOf(u) {
-			if int(id) < firstID || cvd[id] {
-				continue
-			}
-			cvd[id] = true
-			covered++
-			i := int(id - base)
-			for _, w := range mem[offs[i]:offs[i+1]] {
-				cov[w]--
-			}
-		}
-	}
+	covered := c.kernel().countAndCoverFrom(c, u, firstID)
 	c.ncov += covered
 	return covered
 }

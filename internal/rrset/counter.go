@@ -78,90 +78,25 @@ func (c *Collection) deltaScratch() []int32 {
 // the shard's own heap, so the (still lazy, still correct) rebuild is
 // deferred until someone actually queries it.
 func (c *Collection) CoverNodeDelta(u int32, nodes []int32, decs []int32) (covered int, outNodes []int32, outDecs []int32) {
-	nodes, decs = nodes[:0], decs[:0]
-	if len(c.seen) < c.n {
-		c.seen = make([]uint64, c.n)
-	}
-	dpos := c.deltaScratch()
-	c.seenGen++
-	gen := c.seenGen
-	cov, cvd := c.cov, c.covered
-	record := func(w int32) {
-		if c.seen[w] == gen {
-			decs[dpos[w]]++
-			return
-		}
-		c.seen[w] = gen
-		dpos[w] = int32(len(nodes))
-		nodes = append(nodes, w)
-		decs = append(decs, 1)
-	}
-	for si := range c.segs {
-		seg := &c.segs[si]
-		base := seg.base
-		offs, mem := seg.view.offsets, seg.view.members
-		for _, id := range seg.idsOf(u) {
-			if cvd[id] {
-				continue
-			}
-			cvd[id] = true
-			covered++
-			i := int(id - base)
-			for _, w := range mem[offs[i]:offs[i+1]] {
-				cov[w]--
-				record(w)
-			}
-		}
-	}
+	s := c.newDeltaSink(nodes, decs)
+	covered = c.kernel().coverDelta(c, u, 0, s)
 	c.ncov += covered
 	if c.cov[u] != 0 {
 		panic(fmt.Sprintf("rrset: residual coverage of %d nonzero after CoverNodeDelta", u))
 	}
-	return covered, nodes, decs
+	outNodes, outDecs = s.nodes, s.decs
+	s.nodes, s.decs = nil, nil // buffers are caller-owned; do not pin them
+	return covered, outNodes, outDecs
 }
 
 // CountAndCoverFromDelta is CountAndCoverFrom with the same sparse delta
 // capture (and deferred heap sync) as CoverNodeDelta, restricted to sets
 // with id ≥ firstID (local ids of this collection).
 func (c *Collection) CountAndCoverFromDelta(u int32, firstID int, nodes []int32, decs []int32) (covered int, outNodes []int32, outDecs []int32) {
-	nodes, decs = nodes[:0], decs[:0]
-	if len(c.seen) < c.n {
-		c.seen = make([]uint64, c.n)
-	}
-	dpos := c.deltaScratch()
-	c.seenGen++
-	gen := c.seenGen
-	cov, cvd := c.cov, c.covered
-	record := func(w int32) {
-		if c.seen[w] == gen {
-			decs[dpos[w]]++
-			return
-		}
-		c.seen[w] = gen
-		dpos[w] = int32(len(nodes))
-		nodes = append(nodes, w)
-		decs = append(decs, 1)
-	}
-	for si := range c.segs {
-		seg := &c.segs[si]
-		if seg.end() <= firstID {
-			continue
-		}
-		base := seg.base
-		offs, mem := seg.view.offsets, seg.view.members
-		for _, id := range seg.idsOf(u) {
-			if int(id) < firstID || cvd[id] {
-				continue
-			}
-			cvd[id] = true
-			covered++
-			i := int(id - base)
-			for _, w := range mem[offs[i]:offs[i+1]] {
-				cov[w]--
-				record(w)
-			}
-		}
-	}
+	s := c.newDeltaSink(nodes, decs)
+	covered = c.kernel().coverDelta(c, u, firstID, s)
 	c.ncov += covered
-	return covered, nodes, decs
+	outNodes, outDecs = s.nodes, s.decs
+	s.nodes, s.decs = nil, nil // buffers are caller-owned; do not pin them
+	return covered, outNodes, outDecs
 }

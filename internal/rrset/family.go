@@ -186,6 +186,9 @@ type Inverted struct {
 
 	joinMu sync.Mutex // serializes the one-time join build
 	join   atomic.Pointer[coverJoin]
+
+	bitsMu sync.Mutex // serializes the one-time bitmap build
+	bits   atomic.Pointer[coverBits]
 }
 
 // BuildInverted indexes v over an n-node universe. Set i of the view gets
@@ -226,11 +229,14 @@ func (ix *Inverted) IDs(u int32) []int32 { return ix.ids[ix.off[u]:ix.off[u+1]] 
 func (ix *Inverted) Count(u int32) int { return int(ix.off[u+1] - ix.off[u]) }
 
 // MemBytes returns the index's exact data footprint (including the cover
-// join once built; this never triggers the build).
+// join and membership bitmap once built; this never triggers the builds).
 func (ix *Inverted) MemBytes() int64 {
 	total := 4*int64(len(ix.ids)) + 8*int64(len(ix.off))
 	if j := ix.join.Load(); j != nil {
 		total += j.memBytes()
+	}
+	if b := ix.bits.Load(); b != nil {
+		total += b.memBytes()
 	}
 	return total
 }
@@ -277,7 +283,90 @@ func (j *coverJoin) memBytes() int64 {
 // not prepared — a per-request growth segment, a hand-built collection —
 // keeps the plain arena-hop path, which is the right trade for state too
 // short-lived to amortize the build.
-func (ix *Inverted) PrepareCover() { ix.coverJoin() }
+//
+// On dense samples it additionally builds the packed membership bitmap the
+// bitset coverage kernel sweeps (see coverBits). The density heuristic
+// compares the average inverted-row length to the set count: the bitmap
+// costs n·⌈k/64⌉ words, so it is built exactly when 64·memberships ≥ n·k —
+// i.e. when the bitmap is at most twice the size of the id rows it
+// shadows, which is also the regime where AND-NOT word sweeps beat
+// per-membership scans. Sparse samples skip the build and collections fall
+// back to the sparse kernel; PrepareCoverBits forces the build regardless
+// (the Request-level kernel override).
+func (ix *Inverted) PrepareCover() {
+	ix.coverJoin()
+	n := ix.NumNodes()
+	k := ix.src.Len()
+	if k > 0 && n > 0 && int64(len(ix.ids))*64 >= int64(n)*int64(k) {
+		ix.coverBits()
+	}
+}
+
+// PrepareCoverBits builds the packed membership bitmap unconditionally —
+// the hook behind a "bitset" kernel override, paying the dense
+// representation even where the density heuristic would not. Idempotent
+// and safe for concurrent use.
+func (ix *Inverted) PrepareCoverBits() { ix.coverBits() }
+
+// HasCoverBits reports whether the membership bitmap has been built (a
+// lock-free peek that never constructs).
+func (ix *Inverted) HasCoverBits() bool { return ix.bits.Load() != nil }
+
+// preparedBits returns the membership bitmap if a Prepare call has built
+// it, nil otherwise — never constructs.
+func (ix *Inverted) preparedBits() *coverBits { return ix.bits.Load() }
+
+// coverBits is per-node RR-set membership as packed words: node u's row is
+// wpr uint64 words in which bit i (local set id) is set iff set base+i
+// contains u — the dense mirror of the inverted index's id rows that the
+// bitset coverage kernel AND-NOTs against a covered-set mask instead of
+// scanning ids one at a time. Immutable once built, derived data of the
+// Inverted exactly like coverJoin.
+type coverBits struct {
+	words []uint64 // n rows of wpr words each
+	wpr   int      // words per row = ⌈sets/64⌉
+	sets  int      // number of sets the bitmap covers
+}
+
+// row returns u's membership words.
+func (b *coverBits) row(u int32) []uint64 {
+	s := int(u) * b.wpr
+	return b.words[s : s+b.wpr]
+}
+
+// memBytes returns the bitmap's exact data footprint.
+func (b *coverBits) memBytes() int64 { return 8 * int64(len(b.words)) }
+
+// coverBits returns the membership bitmap, building it at most once (nil
+// for an empty index). Safe for concurrent use: readers load an atomic
+// pointer, the build is serialized by bitsMu.
+func (ix *Inverted) coverBits() *coverBits {
+	if b := ix.bits.Load(); b != nil {
+		return b
+	}
+	k := ix.src.Len()
+	if k == 0 || len(ix.ids) == 0 {
+		return nil
+	}
+	ix.bitsMu.Lock()
+	defer ix.bitsMu.Unlock()
+	if b := ix.bits.Load(); b != nil {
+		return b
+	}
+	n := ix.NumNodes()
+	wpr := (k + 63) / 64
+	words := make([]uint64, n*wpr)
+	for u := 0; u < n; u++ {
+		row := words[u*wpr : (u+1)*wpr]
+		for _, id := range ix.ids[ix.off[u]:ix.off[u+1]] {
+			lb := uint32(id - ix.base)
+			row[lb>>6] |= 1 << (lb & 63)
+		}
+	}
+	b := &coverBits{words: words, wpr: wpr, sets: k}
+	ix.bits.Store(b)
+	return b
+}
 
 // preparedJoin returns the cover join if PrepareCover has built it, nil
 // otherwise — a lock-free peek that never constructs.

@@ -1,0 +1,604 @@
+// Coverage kernels: pluggable implementations of the count-and-cover
+// sweeps at the heart of the greedy allocation loop. Every committed seed
+// must discover the not-yet-covered sets containing it and decrement the
+// residual coverage of their members; that inner loop dominates a warm
+// allocation's profile. Two implementations share one contract:
+//
+//   - sparse: the historical cover-join / inverted-row scan — one record
+//     stream (or id row + arena hop) per node, cost proportional to the
+//     node's membership count. Right for sparse instances, growth
+//     segments, and hand-built collections.
+//   - bitset: per-node RR-set membership packed as uint64 words (see
+//     coverBits), so discovering newly covered sets is a word-wise
+//     AND-NOT + popcount sweep with an unrolled 4-words-per-iteration
+//     inner loop and no data-dependent branches until a word actually
+//     holds new sets. Right for dense instances where inverted rows
+//     approach the set count.
+//
+// Kernels differ only in how covered sets are *discovered*; sets are then
+// retired in ascending id order with identical per-member updates either
+// way, so heap evolution, tie-breaking, float summation order — and
+// therefore the final allocation — are byte-identical across kernels
+// (pinned by FuzzKernelEquivalence and the golden tests).
+
+package rrset
+
+import mbits "math/bits"
+
+// KernelID identifies a coverage-kernel implementation; the zero value is
+// the sparse kernel.
+type KernelID uint8
+
+const (
+	// KernelSparse is the cover-join / inverted-row scan — the default,
+	// and the only kernel usable on growth segments and counter
+	// collections.
+	KernelSparse KernelID = iota
+	// KernelBitset is the dense branch-free kernel over packed per-node
+	// membership words (requires PrepareCoverBits on the inverted index).
+	KernelBitset
+	// NumKernels counts the kernel implementations (array-sizing aid for
+	// per-kernel tallies).
+	NumKernels int = iota
+)
+
+// kernelNames maps KernelID to its registry name.
+var kernelNames = [NumKernels]string{"sparse", "bitset"}
+
+// String returns the kernel's registry name ("sparse", "bitset").
+func (k KernelID) String() string {
+	if int(k) < len(kernelNames) {
+		return kernelNames[k]
+	}
+	return "unknown"
+}
+
+// KernelByName resolves a registry name to its KernelID.
+func KernelByName(name string) (KernelID, bool) {
+	for id, n := range kernelNames {
+		if n == name {
+			return KernelID(id), true
+		}
+	}
+	return 0, false
+}
+
+// CoverKernel is one coverage-kernel implementation. The exported surface
+// is the identity pair (Name/ID); the sweep operations are internal —
+// callers select a kernel per collection with UseKernel and keep using the
+// ordinary Collection / WeightedCollection methods, which dispatch here.
+type CoverKernel interface {
+	// Name returns the kernel's registry name.
+	Name() string
+	// ID returns the kernel's identifier.
+	ID() KernelID
+
+	// coverNode discovers and retires every uncovered set containing u,
+	// returning the count (CoverNode minus heap sync and bookkeeping).
+	coverNode(c *Collection, u int32) int
+	// countAndCoverFrom is coverNode restricted to sets with id ≥ firstID.
+	countAndCoverFrom(c *Collection, u int32, firstID int) int
+	// coverDelta is countAndCoverFrom capturing per-node decrements into
+	// the sink (firstID 0 reproduces CoverNodeDelta).
+	coverDelta(c *Collection, u int32, firstID int, s *deltaSink) int
+	// commitFrom applies a weighted commit over sets with id ≥ firstID.
+	commitFrom(c *WeightedCollection, u int32, delta float64, firstID int) float64
+}
+
+// Kernels holds the kernel implementations indexed by KernelID.
+var Kernels = [NumKernels]CoverKernel{sparseKernel{}, bitsetKernel{}}
+
+// sparseKernel walks cover-join record streams (or inverted rows + arena
+// hops) — the historical implementation, factored behind the interface.
+type sparseKernel struct{}
+
+// Name returns "sparse".
+func (sparseKernel) Name() string { return kernelNames[KernelSparse] }
+
+// ID returns KernelSparse.
+func (sparseKernel) ID() KernelID { return KernelSparse }
+
+func (sparseKernel) coverNode(c *Collection, u int32) int {
+	return sparseCoverSegs(c, u, c.segs)
+}
+
+func (sparseKernel) countAndCoverFrom(c *Collection, u int32, firstID int) int {
+	return sparseCountFromSegs(c, u, firstID, c.segs)
+}
+
+func (sparseKernel) coverDelta(c *Collection, u int32, firstID int, s *deltaSink) int {
+	return sparseDeltaSegs(c, u, firstID, c.segs, s)
+}
+
+func (sparseKernel) commitFrom(c *WeightedCollection, u int32, delta float64, firstID int) float64 {
+	return sparseCommitSegs(c, u, delta, firstID, c.segs)
+}
+
+// bitsetKernel sweeps packed membership words for the collection's first
+// (shared, base-0) segment and falls back to the sparse walk for growth
+// segments, whose id ranges start past the bitmap. Segment id ranges are
+// disjoint and ascending, so the combined covering order is still
+// ascending by id — identical to the sparse kernel's.
+type bitsetKernel struct{}
+
+// Name returns "bitset".
+func (bitsetKernel) Name() string { return kernelNames[KernelBitset] }
+
+// ID returns KernelBitset.
+func (bitsetKernel) ID() KernelID { return KernelBitset }
+
+func (bitsetKernel) coverNode(c *Collection, u int32) int {
+	covered := c.bitsetCover(u)
+	if len(c.segs) > 1 {
+		covered += sparseCoverSegs(c, u, c.segs[1:])
+	}
+	return covered
+}
+
+func (bitsetKernel) countAndCoverFrom(c *Collection, u int32, firstID int) int {
+	covered := c.bitsetCountFrom(u, firstID)
+	if len(c.segs) > 1 {
+		covered += sparseCountFromSegs(c, u, firstID, c.segs[1:])
+	}
+	return covered
+}
+
+func (bitsetKernel) coverDelta(c *Collection, u int32, firstID int, s *deltaSink) int {
+	covered := c.bitsetDeltaFrom(u, firstID, s)
+	if len(c.segs) > 1 {
+		covered += sparseDeltaSegs(c, u, firstID, c.segs[1:], s)
+	}
+	return covered
+}
+
+func (bitsetKernel) commitFrom(c *WeightedCollection, u int32, delta float64, firstID int) float64 {
+	total := c.bitsetCommitFrom(u, delta, firstID)
+	if len(c.segs) > 1 {
+		total += sparseCommitSegs(c, u, delta, firstID, c.segs[1:])
+	}
+	return total
+}
+
+// sparseCoverSegs is the sparse CoverNode walk over the given segments:
+// prefer the prepared cover join's sequential record stream, fall back to
+// the inverted row + arena hop. Record order equals id order, so the
+// covering sequence is the historical one.
+func sparseCoverSegs(c *Collection, u int32, segs []covSegment) int {
+	covered := 0
+	cov, cvd := c.cov, c.covered
+	for si := range segs {
+		seg := &segs[si]
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		if j := seg.inv.preparedJoin(); j != nil {
+			limit := int32(seg.end())
+			row := j.row(u)
+			for p := 0; p < len(row); {
+				id, sz := row[p], row[p+1]
+				if id >= limit {
+					break
+				}
+				var members []int32
+				if sz == joinSpill {
+					p += 2
+					if cvd[id] {
+						continue
+					}
+					i := int(id - base)
+					members = mem[offs[i]:offs[i+1]]
+				} else {
+					members = row[p+2 : p+2+int(sz)]
+					p += 2 + int(sz)
+					if cvd[id] {
+						continue
+					}
+				}
+				cvd[id] = true
+				covered++
+				for _, w := range members {
+					cov[w]--
+				}
+			}
+			continue
+		}
+		for _, id := range seg.idsOf(u) {
+			if cvd[id] {
+				continue
+			}
+			cvd[id] = true
+			covered++
+			i := int(id - base)
+			for _, w := range mem[offs[i]:offs[i+1]] {
+				cov[w]--
+			}
+		}
+	}
+	return covered
+}
+
+// sparseCountFromSegs is the sparse CountAndCoverFrom walk over the given
+// segments (inverted rows + arena hops; the credit path is rare enough
+// that the join adds nothing).
+func sparseCountFromSegs(c *Collection, u int32, firstID int, segs []covSegment) int {
+	covered := 0
+	cov, cvd := c.cov, c.covered
+	for si := range segs {
+		seg := &segs[si]
+		if seg.end() <= firstID {
+			continue
+		}
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		for _, id := range seg.idsOf(u) {
+			if int(id) < firstID || cvd[id] {
+				continue
+			}
+			cvd[id] = true
+			covered++
+			i := int(id - base)
+			for _, w := range mem[offs[i]:offs[i+1]] {
+				cov[w]--
+			}
+		}
+	}
+	return covered
+}
+
+// sparseDeltaSegs is sparseCountFromSegs additionally recording every
+// per-member decrement into the sink (the sharded delta-capture path).
+func sparseDeltaSegs(c *Collection, u int32, firstID int, segs []covSegment, s *deltaSink) int {
+	covered := 0
+	cov, cvd := c.cov, c.covered
+	for si := range segs {
+		seg := &segs[si]
+		if seg.end() <= firstID {
+			continue
+		}
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		for _, id := range seg.idsOf(u) {
+			if int(id) < firstID || cvd[id] {
+				continue
+			}
+			cvd[id] = true
+			covered++
+			i := int(id - base)
+			for _, w := range mem[offs[i]:offs[i+1]] {
+				cov[w]--
+				s.record(w)
+			}
+		}
+	}
+	return covered
+}
+
+// sparseCommitSegs is the sparse weighted commit walk over the given
+// segments (WeightedCollection.commitFrom's historical body).
+func sparseCommitSegs(c *WeightedCollection, u int32, delta float64, firstID int, segs []covSegment) float64 {
+	var total float64
+	wcov, weight := c.wcov, c.weight
+	for si := range segs {
+		seg := &segs[si]
+		if seg.end() <= firstID {
+			continue
+		}
+		base := seg.base
+		offs, mem := seg.view.offsets, seg.view.members
+		if j := seg.inv.preparedJoin(); j != nil {
+			// Sequential record-stream walk — see Collection.CoverNode for
+			// why this beats the per-set arena hop on the commit path.
+			limit := int32(seg.end())
+			first := int32(firstID)
+			row := j.row(u)
+			for p := 0; p < len(row); {
+				id, sz := row[p], row[p+1]
+				if id >= limit {
+					break
+				}
+				var members []int32
+				if sz == joinSpill {
+					p += 2
+					i := int(id - base)
+					members = mem[offs[i]:offs[i+1]]
+				} else {
+					members = row[p+2 : p+2+int(sz)]
+					p += 2 + int(sz)
+				}
+				if id < first {
+					continue
+				}
+				w := weight[id]
+				if w == 0 {
+					continue
+				}
+				dec := w * delta
+				weight[id] = w - dec
+				c.claimed += dec
+				total += dec
+				for _, x := range members {
+					wcov[x] -= dec
+					if wcov[x] < 0 {
+						wcov[x] = 0 // clamp float drift
+					}
+				}
+			}
+			continue
+		}
+		for _, id := range seg.idsOf(u) {
+			if int(id) < firstID {
+				continue
+			}
+			w := weight[id]
+			if w == 0 {
+				continue
+			}
+			dec := w * delta
+			weight[id] = w - dec
+			c.claimed += dec
+			total += dec
+			i := int(id - base)
+			for _, x := range mem[offs[i]:offs[i+1]] {
+				wcov[x] -= dec
+				if wcov[x] < 0 {
+					wcov[x] = 0 // clamp float drift
+				}
+			}
+		}
+	}
+	return total
+}
+
+// bitsetCover is the dense CoverNode sweep over the first segment: new
+// sets are row AND-NOT covered-words, four words per iteration; only a
+// word actually holding new sets takes the extraction branch. covw's
+// excess tail bits are pre-set by UseKernel, so no per-word masking is
+// needed.
+func (c *Collection) bitsetCover(u int32) int {
+	row := c.bits.row(u)
+	covw := c.covw
+	seg := &c.segs[0]
+	offs, mem := seg.view.offsets, seg.view.members
+	covered := 0
+	kw := len(covw)
+	w := 0
+	for ; w+4 <= kw; w += 4 {
+		n0 := row[w] &^ covw[w]
+		n1 := row[w+1] &^ covw[w+1]
+		n2 := row[w+2] &^ covw[w+2]
+		n3 := row[w+3] &^ covw[w+3]
+		if n0|n1|n2|n3 == 0 {
+			continue
+		}
+		if n0 != 0 {
+			covered += c.coverWord(w, n0, offs, mem)
+		}
+		if n1 != 0 {
+			covered += c.coverWord(w+1, n1, offs, mem)
+		}
+		if n2 != 0 {
+			covered += c.coverWord(w+2, n2, offs, mem)
+		}
+		if n3 != 0 {
+			covered += c.coverWord(w+3, n3, offs, mem)
+		}
+	}
+	for ; w < kw; w++ {
+		if nw := row[w] &^ covw[w]; nw != 0 {
+			covered += c.coverWord(w, nw, offs, mem)
+		}
+	}
+	return covered
+}
+
+// coverWord retires the sets in one word of new coverage: mark them
+// covered (bitmap and bool array both, keeping the sparse walk's view
+// truthful for growth segments and credit passes) and decrement their
+// members' residual coverage. Bits extract in ascending order, so sets
+// retire ascending by id exactly as the sparse walk would.
+func (c *Collection) coverWord(w int, nw uint64, offs []int64, mem []int32) int {
+	c.covw[w] |= nw
+	cov, cvd := c.cov, c.covered
+	base := int32(w << 6)
+	covered := 0
+	for nw != 0 {
+		id := base + int32(mbits.TrailingZeros64(nw))
+		nw &= nw - 1
+		cvd[id] = true
+		covered++
+		for _, x := range mem[offs[id]:offs[id+1]] {
+			cov[x]--
+		}
+	}
+	return covered
+}
+
+// bitsetCountFrom is bitsetCover restricted to sets with id ≥ firstID:
+// the start word is masked once, the rest of the sweep is the plain loop
+// (the credit path is far off the per-iteration hot loop).
+func (c *Collection) bitsetCountFrom(u int32, firstID int) int {
+	covw := c.covw
+	kw := len(covw)
+	fw := firstID >> 6
+	if fw >= kw {
+		return 0
+	}
+	row := c.bits.row(u)
+	seg := &c.segs[0]
+	offs, mem := seg.view.offsets, seg.view.members
+	covered := 0
+	if nw := row[fw] &^ covw[fw] & (^uint64(0) << uint(firstID&63)); nw != 0 {
+		covered += c.coverWord(fw, nw, offs, mem)
+	}
+	for w := fw + 1; w < kw; w++ {
+		if nw := row[w] &^ covw[w]; nw != 0 {
+			covered += c.coverWord(w, nw, offs, mem)
+		}
+	}
+	return covered
+}
+
+// bitsetDeltaFrom is bitsetCountFrom recording per-member decrements into
+// the sink (firstID 0 covers the CoverNodeDelta case).
+func (c *Collection) bitsetDeltaFrom(u int32, firstID int, s *deltaSink) int {
+	covw := c.covw
+	kw := len(covw)
+	fw := firstID >> 6
+	if fw >= kw {
+		return 0
+	}
+	row := c.bits.row(u)
+	seg := &c.segs[0]
+	offs, mem := seg.view.offsets, seg.view.members
+	covered := 0
+	if nw := row[fw] &^ covw[fw] & (^uint64(0) << uint(firstID&63)); nw != 0 {
+		covered += c.coverWordDelta(fw, nw, offs, mem, s)
+	}
+	for w := fw + 1; w < kw; w++ {
+		if nw := row[w] &^ covw[w]; nw != 0 {
+			covered += c.coverWordDelta(w, nw, offs, mem, s)
+		}
+	}
+	return covered
+}
+
+// coverWordDelta is coverWord with sink recording.
+func (c *Collection) coverWordDelta(w int, nw uint64, offs []int64, mem []int32, s *deltaSink) int {
+	c.covw[w] |= nw
+	cov, cvd := c.cov, c.covered
+	base := int32(w << 6)
+	covered := 0
+	for nw != 0 {
+		id := base + int32(mbits.TrailingZeros64(nw))
+		nw &= nw - 1
+		cvd[id] = true
+		covered++
+		for _, x := range mem[offs[id]:offs[id+1]] {
+			cov[x]--
+			s.record(x)
+		}
+	}
+	return covered
+}
+
+// bitsetCommitFrom is the dense weighted commit over the first segment:
+// live sets are row AND-NOT zero-weight-words (a set's bit moves to zerow
+// exactly when its weight reaches 0, which the sparse walk's w == 0 skip
+// mirrors), so the per-set weight math runs in the same ascending order
+// with bit-identical float accumulation.
+func (c *WeightedCollection) bitsetCommitFrom(u int32, delta float64, firstID int) float64 {
+	zerow := c.zerow
+	kw := len(zerow)
+	fw := firstID >> 6
+	if fw >= kw {
+		return 0
+	}
+	row := c.bits.row(u)
+	seg := &c.segs[0]
+	offs, mem := seg.view.offsets, seg.view.members
+	var total float64
+	if firstID == 0 {
+		w := 0
+		for ; w+4 <= kw; w += 4 {
+			l0 := row[w] &^ zerow[w]
+			l1 := row[w+1] &^ zerow[w+1]
+			l2 := row[w+2] &^ zerow[w+2]
+			l3 := row[w+3] &^ zerow[w+3]
+			if l0|l1|l2|l3 == 0 {
+				continue
+			}
+			if l0 != 0 {
+				c.commitWord(w, l0, delta, offs, mem, &total)
+			}
+			if l1 != 0 {
+				c.commitWord(w+1, l1, delta, offs, mem, &total)
+			}
+			if l2 != 0 {
+				c.commitWord(w+2, l2, delta, offs, mem, &total)
+			}
+			if l3 != 0 {
+				c.commitWord(w+3, l3, delta, offs, mem, &total)
+			}
+		}
+		for ; w < kw; w++ {
+			if lw := row[w] &^ zerow[w]; lw != 0 {
+				c.commitWord(w, lw, delta, offs, mem, &total)
+			}
+		}
+		return total
+	}
+	if lw := row[fw] &^ zerow[fw] & (^uint64(0) << uint(firstID&63)); lw != 0 {
+		c.commitWord(fw, lw, delta, offs, mem, &total)
+	}
+	for w := fw + 1; w < kw; w++ {
+		if lw := row[w] &^ zerow[w]; lw != 0 {
+			c.commitWord(w, lw, delta, offs, mem, &total)
+		}
+	}
+	return total
+}
+
+// commitWord applies the weighted commit to the live sets of one word,
+// ascending by id, moving exactly-zeroed weights into the zerow mask. The
+// running total accumulates through the pointer so the float summation
+// stays one linear chain in set-id order — bit-identical to the sparse
+// walk's (per-word partial sums would re-associate the additions).
+func (c *WeightedCollection) commitWord(w int, lw uint64, delta float64, offs []int64, mem []int32, total *float64) {
+	wcov, weight := c.wcov, c.weight
+	base := int32(w << 6)
+	for lw != 0 {
+		b := mbits.TrailingZeros64(lw)
+		lw &= lw - 1
+		id := base + int32(b)
+		wt := weight[id]
+		dec := wt * delta
+		weight[id] = wt - dec
+		c.claimed += dec
+		*total += dec
+		if weight[id] == 0 {
+			c.zerow[w] |= 1 << uint(b)
+		}
+		for _, x := range mem[offs[id]:offs[id+1]] {
+			wcov[x] -= dec
+			if wcov[x] < 0 {
+				wcov[x] = 0 // clamp float drift
+			}
+		}
+	}
+}
+
+// deltaSink accumulates one cover's sparse per-node decrement vector (see
+// CoverNodeDelta): first touch of a node appends it, repeats bump its
+// count in place via the dpos index. A struct, not a closure pair, so the
+// capture allocates nothing on the shard commit path.
+type deltaSink struct {
+	c     *Collection
+	gen   uint64
+	nodes []int32
+	decs  []int32
+}
+
+// newDeltaSink prepares the collection's per-call dedup stamps and wraps
+// the (re-sliced) output buffers in the collection-resident sink (see the
+// dsink field: returning &c.dsink keeps the interface call escape-free).
+func (c *Collection) newDeltaSink(nodes, decs []int32) *deltaSink {
+	if len(c.seen) < c.n {
+		c.seen = make([]uint64, c.n)
+	}
+	c.deltaScratch()
+	c.seenGen++
+	c.dsink = deltaSink{c: c, gen: c.seenGen, nodes: nodes[:0], decs: decs[:0]}
+	return &c.dsink
+}
+
+// record notes one residual-coverage decrement of node w.
+func (s *deltaSink) record(w int32) {
+	c := s.c
+	if c.seen[w] == s.gen {
+		s.decs[c.dpos[w]]++
+		return
+	}
+	c.seen[w] = s.gen
+	c.dpos[w] = int32(len(s.nodes))
+	s.nodes = append(s.nodes, w)
+	s.decs = append(s.decs, 1)
+}

@@ -1,0 +1,438 @@
+package rrset
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// randomKernelFamily draws k random sets over n nodes with roughly avg
+// members each (distinct members, ascending within a set is not required
+// by any kernel and deliberately not enforced here).
+func randomKernelFamily(rng *xrand.Rand, n, k, avg int) *SetFamily {
+	f := NewSetFamily()
+	seen := make([]int, n)
+	gen := 0
+	var set []int32
+	for i := 0; i < k; i++ {
+		gen++
+		sz := 1 + rng.IntN(2*avg-1)
+		if sz > n {
+			sz = n
+		}
+		set = set[:0]
+		for len(set) < sz {
+			u := rng.IntN(n)
+			if seen[u] == gen {
+				continue
+			}
+			seen[u] = gen
+			set = append(set, int32(u))
+		}
+		f.Append(set)
+	}
+	return f
+}
+
+// kernelPair builds a sparse- and a bitset-kernel collection over the same
+// prepared family, failing the test if the bitset kernel does not
+// activate.
+func kernelPair(t testing.TB, n int, f *SetFamily) (sp, bt *Collection) {
+	t.Helper()
+	v := f.View()
+	inv := BuildInverted(n, v, 0)
+	inv.PrepareCover()
+	inv.PrepareCoverBits()
+	sp = NewCollectionFromFamily(n, v, inv)
+	bt = NewCollectionFromFamily(n, v, inv)
+	if got := bt.UseKernel(KernelBitset); got != KernelBitset {
+		t.Fatalf("UseKernel(bitset) = %v, want bitset", got)
+	}
+	if got := sp.Kernel(); got != KernelSparse {
+		t.Fatalf("default kernel = %v, want sparse", got)
+	}
+	return sp, bt
+}
+
+// compareCollections verifies the two collections expose identical
+// observable coverage state.
+func compareCollections(t *testing.T, sp, bt *Collection, tag string) {
+	t.Helper()
+	if sp.NumCovered() != bt.NumCovered() {
+		t.Fatalf("%s: NumCovered sparse=%d bitset=%d", tag, sp.NumCovered(), bt.NumCovered())
+	}
+	for u := 0; u < sp.N(); u++ {
+		if sp.Coverage(int32(u)) != bt.Coverage(int32(u)) {
+			t.Fatalf("%s: Coverage(%d) sparse=%d bitset=%d", tag, u, sp.Coverage(int32(u)), bt.Coverage(int32(u)))
+		}
+	}
+	sn, sc := sp.TopNodes(8, nil)
+	bn, bc := bt.TopNodes(8, nil)
+	if len(sn) != len(bn) {
+		t.Fatalf("%s: TopNodes len sparse=%d bitset=%d", tag, len(sn), len(bn))
+	}
+	for i := range sn {
+		if sn[i] != bn[i] || sc[i] != bc[i] {
+			t.Fatalf("%s: TopNodes[%d] sparse=(%d,%d) bitset=(%d,%d)", tag, i, sn[i], sc[i], bn[i], bc[i])
+		}
+	}
+}
+
+// TestKernelEquivalenceCover drives identical greedy cover sequences
+// through the sparse and bitset kernels — including credit passes and
+// post-activation growth segments — and requires byte-identical coverage
+// state and candidate ordering throughout.
+func TestKernelEquivalenceCover(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		rng := xrand.New(seed)
+		n := 48 + rng.IntN(80)
+		k := 100 + rng.IntN(400)
+		f := randomKernelFamily(rng, n, k, 6)
+		sp, bt := kernelPair(t, n, f)
+		compareCollections(t, sp, bt, "init")
+
+		for it := 0; it < 6; it++ {
+			u, cov, ok := sp.BestNode(nil)
+			bu, bcov, bok := bt.BestNode(nil)
+			if u != bu || cov != bcov || ok != bok {
+				t.Fatalf("BestNode sparse=(%d,%d,%v) bitset=(%d,%d,%v)", u, cov, ok, bu, bcov, bok)
+			}
+			if !ok {
+				break
+			}
+			if got, want := bt.CoverNode(u), sp.CoverNode(u); got != want {
+				t.Fatalf("CoverNode(%d) sparse=%d bitset=%d", u, want, got)
+			}
+			sp.Drop(u)
+			bt.Drop(u)
+			compareCollections(t, sp, bt, "cover")
+		}
+
+		// Credit pass over a mid-stream boundary.
+		boundary := k / 3
+		for u := 0; u < n; u += 7 {
+			if got, want := bt.CountAndCoverFrom(int32(u), boundary), sp.CountAndCoverFrom(int32(u), boundary); got != want {
+				t.Fatalf("CountAndCoverFrom(%d,%d) sparse=%d bitset=%d", u, boundary, want, got)
+			}
+		}
+		compareCollections(t, sp, bt, "credit")
+
+		// Growth after activation: the new segment takes the sparse walk
+		// in both collections.
+		g := randomKernelFamily(rng, n, 40, 5)
+		sp.AddFamily(g.View())
+		bt.AddFamily(g.View())
+		u, _, ok := sp.BestNode(nil)
+		bu, _, bok := bt.BestNode(nil)
+		if u != bu || ok != bok {
+			t.Fatalf("post-growth BestNode sparse=(%d,%v) bitset=(%d,%v)", u, ok, bu, bok)
+		}
+		if ok {
+			if got, want := bt.CoverNode(u), sp.CoverNode(u); got != want {
+				t.Fatalf("post-growth CoverNode(%d) sparse=%d bitset=%d", u, want, got)
+			}
+		}
+		compareCollections(t, sp, bt, "growth")
+	}
+}
+
+// TestKernelEquivalenceDelta checks the sharded delta-capture path: both
+// kernels must emit the same covered counts and the same sparse decrement
+// vectors in the same order.
+func TestKernelEquivalenceDelta(t *testing.T) {
+	rng := xrand.New(11)
+	n := 64
+	k := 300
+	f := randomKernelFamily(rng, n, k, 6)
+	sp, bt := kernelPair(t, n, f)
+
+	var sn, sd, bn, bd []int32
+	for it := 0; it < 5; it++ {
+		u, cov, ok := sp.BestNode(nil)
+		bu, bcov, bok := bt.BestNode(nil)
+		if u != bu || cov != bcov || ok != bok {
+			t.Fatalf("BestNode sparse=(%d,%d,%v) bitset=(%d,%d,%v)", u, cov, ok, bu, bcov, bok)
+		}
+		if !ok {
+			break
+		}
+		var sc, bc int
+		sc, sn, sd = sp.CoverNodeDelta(u, sn, sd)
+		bc, bn, bd = bt.CoverNodeDelta(u, bn, bd)
+		if sc != bc || len(sn) != len(bn) {
+			t.Fatalf("CoverNodeDelta(%d): covered %d/%d, nodes %d/%d", u, sc, bc, len(sn), len(bn))
+		}
+		for i := range sn {
+			if sn[i] != bn[i] || sd[i] != bd[i] {
+				t.Fatalf("CoverNodeDelta(%d)[%d]: sparse=(%d,%d) bitset=(%d,%d)", u, i, sn[i], sd[i], bn[i], bd[i])
+			}
+		}
+		sp.Drop(u)
+		bt.Drop(u)
+	}
+
+	boundary := k / 2
+	for u := 0; u < n; u += 5 {
+		var sc, bc int
+		sc, sn, sd = sp.CountAndCoverFromDelta(int32(u), boundary, sn, sd)
+		bc, bn, bd = bt.CountAndCoverFromDelta(int32(u), boundary, bn, bd)
+		if sc != bc || len(sn) != len(bn) {
+			t.Fatalf("CountAndCoverFromDelta(%d): covered %d/%d, nodes %d/%d", u, sc, bc, len(sn), len(bn))
+		}
+		for i := range sn {
+			if sn[i] != bn[i] || sd[i] != bd[i] {
+				t.Fatalf("CountAndCoverFromDelta(%d)[%d]: sparse=(%d,%d) bitset=(%d,%d)", u, i, sn[i], sd[i], bn[i], bd[i])
+			}
+		}
+	}
+	compareCollections(t, sp, bt, "delta")
+}
+
+// TestKernelEquivalenceWeighted checks the soft-coverage commit: claimed
+// mass, per-node weighted coverages, and candidate order must match the
+// sparse kernel bit for bit (identical float operation order).
+func TestKernelEquivalenceWeighted(t *testing.T) {
+	rng := xrand.New(23)
+	n := 56
+	k := 250
+	f := randomKernelFamily(rng, n, k, 6)
+	v := f.View()
+	inv := BuildInverted(n, v, 0)
+	inv.PrepareCover()
+	inv.PrepareCoverBits()
+	sp := NewWeightedCollectionFromFamily(n, v, inv)
+	bt := NewWeightedCollectionFromFamily(n, v, inv)
+	if got := bt.UseKernel(KernelBitset); got != KernelBitset {
+		t.Fatalf("UseKernel(bitset) = %v, want bitset", got)
+	}
+
+	deltas := []float64{1, 0.5, 0.25, 0.75, 1, 0.1}
+	for it, delta := range deltas {
+		u, wc, ok := sp.BestNode(nil)
+		bu, bwc, bok := bt.BestNode(nil)
+		if u != bu || wc != bwc || ok != bok {
+			t.Fatalf("iter %d: BestNode sparse=(%d,%g,%v) bitset=(%d,%g,%v)", it, u, wc, ok, bu, bwc, bok)
+		}
+		if !ok {
+			break
+		}
+		st := sp.Commit(u, delta)
+		bb := bt.Commit(u, delta)
+		if st != bb {
+			t.Fatalf("iter %d: Commit(%d,%g) sparse=%v bitset=%v", it, u, delta, st, bb)
+		}
+		if sp.CoveredMass() != bt.CoveredMass() {
+			t.Fatalf("iter %d: CoveredMass sparse=%v bitset=%v", it, sp.CoveredMass(), bt.CoveredMass())
+		}
+		for w := 0; w < n; w++ {
+			if sp.WeightedCoverage(int32(w)) != bt.WeightedCoverage(int32(w)) {
+				t.Fatalf("iter %d: WeightedCoverage(%d) sparse=%v bitset=%v", it, w, sp.WeightedCoverage(int32(w)), bt.WeightedCoverage(int32(w)))
+			}
+		}
+		sp.Drop(u)
+		bt.Drop(u)
+	}
+
+	// Credit pass and growth mirror the hard-mode test.
+	if st, bb := sp.CreditFrom(3, 0.5, k/2), bt.CreditFrom(3, 0.5, k/2); st != bb {
+		t.Fatalf("CreditFrom sparse=%v bitset=%v", st, bb)
+	}
+	g := randomKernelFamily(rng, n, 30, 5)
+	sp.AddFamily(g.View())
+	bt.AddFamily(g.View())
+	if st, bb := sp.Commit(5, 0.5), bt.Commit(5, 0.5); st != bb {
+		t.Fatalf("post-growth Commit sparse=%v bitset=%v", st, bb)
+	}
+	for w := 0; w < n; w++ {
+		if sp.WeightedCoverage(int32(w)) != bt.WeightedCoverage(int32(w)) {
+			t.Fatalf("post-growth WeightedCoverage(%d) sparse=%v bitset=%v", w, sp.WeightedCoverage(int32(w)), bt.WeightedCoverage(int32(w)))
+		}
+	}
+}
+
+// TestKernelDensityHeuristic checks that PrepareCover builds the bitmap
+// exactly when 64·memberships ≥ n·k, and that UseKernel degrades to sparse
+// when the bitmap is absent or the collection shape disqualifies it.
+func TestKernelDensityHeuristic(t *testing.T) {
+	rng := xrand.New(5)
+
+	// Dense: 64 sets of ~16 members over 32 nodes → memberships·64 ≫ n·k.
+	dense := randomKernelFamily(rng, 32, 64, 16)
+	dv := dense.View()
+	dinv := BuildInverted(32, dv, 0)
+	dinv.PrepareCover()
+	if !dinv.HasCoverBits() {
+		t.Fatal("dense sample: PrepareCover did not build the bitmap")
+	}
+
+	// Sparse: 4096 sets of ~2 members over 2048 nodes → far below the gate.
+	sparse := randomKernelFamily(rng, 2048, 4096, 2)
+	sv := sparse.View()
+	sinv := BuildInverted(2048, sv, 0)
+	sinv.PrepareCover()
+	if sinv.HasCoverBits() {
+		t.Fatal("sparse sample: PrepareCover built the bitmap against the density gate")
+	}
+	c := NewCollectionFromFamily(2048, sv, sinv)
+	if got := c.UseKernel(KernelBitset); got != KernelSparse {
+		t.Fatalf("UseKernel without bitmap = %v, want sparse fallback", got)
+	}
+
+	// Counter collections hold no segments and must stay sparse.
+	cc := NewCounterCollection(16)
+	if got := cc.UseKernel(KernelBitset); got != KernelSparse {
+		t.Fatalf("counter UseKernel = %v, want sparse", got)
+	}
+
+	// Mid-run switches are refused: coverage already happened.
+	mid := NewCollectionFromFamily(32, dv, dinv)
+	u, _, _ := mid.BestNode(nil)
+	mid.CoverNode(u)
+	if got := mid.UseKernel(KernelBitset); got != KernelSparse {
+		t.Fatalf("mid-run UseKernel = %v, want sparse", got)
+	}
+
+	// KernelByName round-trips the registry.
+	for id := 0; id < NumKernels; id++ {
+		got, ok := KernelByName(KernelID(id).String())
+		if !ok || got != KernelID(id) {
+			t.Fatalf("KernelByName(%q) = %v,%v", KernelID(id).String(), got, ok)
+		}
+	}
+	if _, ok := KernelByName("dense"); ok {
+		t.Fatal("KernelByName accepted an unknown name")
+	}
+}
+
+// FuzzKernelEquivalence fuzzes random families and cover/commit sequences
+// through both kernels — hard coverage, soft coverage, and counter-mode
+// deltas — requiring identical coverage counts, heap orders, and sparse
+// decrement vectors.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(16), uint8(3))
+	f.Add(uint64(99), uint8(32), uint8(200), uint8(7))
+	f.Add(uint64(123456), uint8(64), uint8(255), uint8(12))
+	f.Fuzz(func(t *testing.T, seed uint64, nn, kk, avg uint8) {
+		n := 4 + int(nn)%96
+		k := 8 + int(kk)
+		a := 1 + int(avg)%10
+		if a >= n {
+			a = n - 1
+		}
+		rng := xrand.New(seed)
+		fam := randomKernelFamily(rng, n, k, a)
+		v := fam.View()
+		inv := BuildInverted(n, v, 0)
+		inv.PrepareCover()
+		inv.PrepareCoverBits()
+
+		sp := NewCollectionFromFamily(n, v, inv)
+		bt := NewCollectionFromFamily(n, v, inv)
+		if bt.UseKernel(KernelBitset) != KernelBitset {
+			t.Skip("bitset kernel unavailable")
+		}
+		wsp := NewWeightedCollectionFromFamily(n, v, inv)
+		wbt := NewWeightedCollectionFromFamily(n, v, inv)
+		if wbt.UseKernel(KernelBitset) != KernelBitset {
+			t.Skip("bitset kernel unavailable")
+		}
+		var sn, sd, bn, bd []int32
+		for it := 0; it < 8; it++ {
+			u := int32(rng.IntN(n))
+			switch it % 4 {
+			case 0:
+				if got, want := bt.CoverNode(u), sp.CoverNode(u); got != want {
+					t.Fatalf("CoverNode(%d) sparse=%d bitset=%d", u, want, got)
+				}
+			case 1:
+				boundary := rng.IntN(k + 4)
+				if got, want := bt.CountAndCoverFrom(u, boundary), sp.CountAndCoverFrom(u, boundary); got != want {
+					t.Fatalf("CountAndCoverFrom(%d,%d) sparse=%d bitset=%d", u, boundary, want, got)
+				}
+			case 2:
+				boundary := rng.IntN(k + 4)
+				var sc, bc int
+				sc, sn, sd = sp.CountAndCoverFromDelta(u, boundary, sn, sd)
+				bc, bn, bd = bt.CountAndCoverFromDelta(u, boundary, bn, bd)
+				if sc != bc || len(sn) != len(bn) {
+					t.Fatalf("delta(%d,%d): covered %d/%d nodes %d/%d", u, boundary, sc, bc, len(sn), len(bn))
+				}
+				for i := range sn {
+					if sn[i] != bn[i] || sd[i] != bd[i] {
+						t.Fatalf("delta(%d)[%d] mismatch", u, i)
+					}
+				}
+			case 3:
+				delta := float64(1+rng.IntN(4)) / 4
+				if st, bb := wsp.Commit(u, delta), wbt.Commit(u, delta); st != bb {
+					t.Fatalf("Commit(%d,%g) sparse=%v bitset=%v", u, delta, st, bb)
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			if sp.Coverage(int32(u)) != bt.Coverage(int32(u)) {
+				t.Fatalf("Coverage(%d) sparse=%d bitset=%d", u, sp.Coverage(int32(u)), bt.Coverage(int32(u)))
+			}
+			if wsp.WeightedCoverage(int32(u)) != wbt.WeightedCoverage(int32(u)) {
+				t.Fatalf("WeightedCoverage(%d) mismatch", u)
+			}
+		}
+		if sp.NumCovered() != bt.NumCovered() || wsp.CoveredMass() != wbt.CoveredMass() {
+			t.Fatal("aggregate coverage mismatch")
+		}
+		sN, sC := sp.TopNodes(5, nil)
+		bN, bC := bt.TopNodes(5, nil)
+		if len(sN) != len(bN) {
+			t.Fatal("TopNodes length mismatch")
+		}
+		for i := range sN {
+			if sN[i] != bN[i] || sC[i] != bC[i] {
+				t.Fatal("TopNodes order mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkKernels compares the cover kernels on a greedy commit loop
+// across instance densities. The dense configuration is the one the
+// bitset kernel is accountable for (≥1.5× over sparse); the sparse
+// configuration documents the regime the density heuristic keeps on the
+// sparse kernel (the bitmap would not pay for itself).
+func BenchmarkKernels(b *testing.B) {
+	type cfg struct {
+		name    string
+		n, k, a int
+	}
+	configs := []cfg{
+		// Dense: avg row length k·a/n ≈ 937 vs k/64 = 192 words/row.
+		{name: "dense", n: 512, k: 12288, a: 39},
+		// Sparse: avg row length ≈ 18 — far below k/64 = 128.
+		{name: "sparse", n: 4096, k: 8192, a: 9},
+	}
+	for _, cf := range configs {
+		rng := xrand.New(1)
+		fam := randomKernelFamily(rng, cf.n, cf.k, cf.a)
+		v := fam.View()
+		inv := BuildInverted(cf.n, v, 0)
+		inv.PrepareCover()
+		inv.PrepareCoverBits()
+		ws := NewWorkspace()
+		for kid := 0; kid < NumKernels; kid++ {
+			id := KernelID(kid)
+			b.Run(cf.name+"/"+id.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c := ws.Collection(cf.n, v, inv)
+					c.UseKernel(id)
+					// Cover every node: the first few commits retire
+					// nearly all sets, the rest are scan-dominated — the
+					// regime the greedy loop spends its iterations in
+					// once seeds accumulate, where kernels differ most.
+					for u := 0; u < cf.n; u++ {
+						c.CoverNode(int32(u))
+					}
+				}
+			})
+		}
+	}
+}

@@ -43,6 +43,10 @@ type WeightedCollection struct {
 	aside   []wcovEntry // TopNodes scratch
 	seen    []uint64    // TopNodes per-call dedup stamps
 	seenGen uint64
+
+	kern  CoverKernel // active cover kernel; nil means sparse
+	bits  *coverBits  // first segment's membership bitmap (bitset kernel)
+	zerow []uint64    // zero-weight-set mask over the first segment (bitset kernel)
 }
 
 // NewWeightedCollection creates an empty weighted index over n nodes.
@@ -149,6 +153,62 @@ func (c *WeightedCollection) Reset(n int, v FamilyView, inv *Inverted) {
 	c.segs = append(c.segs[:0], covSegment{base: 0, view: v, inv: inv, cut: c.cut})
 	c.pq = c.pq[:0]
 	c.stale = true
+	c.kern = nil
+	c.bits = nil
+}
+
+// Kernel returns the identifier of the collection's active cover kernel.
+func (c *WeightedCollection) Kernel() KernelID {
+	if c.kern != nil {
+		return c.kern.ID()
+	}
+	return KernelSparse
+}
+
+// kernel resolves the active kernel implementation (sparse by default).
+func (c *WeightedCollection) kernel() CoverKernel {
+	if c.kern != nil {
+		return c.kern
+	}
+	return Kernels[KernelSparse]
+}
+
+// UseKernel selects the cover kernel, mirroring Collection.UseKernel's
+// contract for the soft-coverage mode: KernelBitset activates only on a
+// fresh warm-start collection (one base-0 segment, prepared bitmap, no
+// mass claimed yet) and the zero-weight-word mask recycles its backing
+// array; anything else keeps the sparse kernel. Returns the kernel
+// actually activated.
+func (c *WeightedCollection) UseKernel(id KernelID) KernelID {
+	if id != KernelBitset {
+		c.kern = nil
+		c.bits = nil
+		return KernelSparse
+	}
+	if len(c.segs) != 1 || c.segs[0].base != 0 || c.claimed != 0 {
+		return c.Kernel()
+	}
+	cb := c.segs[0].inv.preparedBits()
+	if cb == nil || cb.sets < c.numSets {
+		return c.Kernel()
+	}
+	k := c.numSets
+	kw := (k + 63) / 64
+	if cap(c.zerow) < kw {
+		c.zerow = make([]uint64, kw)
+	}
+	c.zerow = c.zerow[:kw]
+	for i := range c.zerow {
+		c.zerow[i] = 0
+	}
+	// Pre-set the bits past the view's set count so the sweep needs no
+	// tail masking: ids ≥ k read as zero-weight.
+	if r := uint(k) & 63; r != 0 {
+		c.zerow[kw-1] = ^uint64(0) << r
+	}
+	c.kern = Kernels[KernelBitset]
+	c.bits = cb
+	return KernelBitset
 }
 
 // NewWeightedCollectionFromFamily mirrors rrset.NewCollectionFromFamily for
@@ -285,77 +345,7 @@ func (c *WeightedCollection) commitFrom(u int32, delta float64, firstID int) flo
 		panic("rrset: CTP out of [0,1]")
 	}
 	c.syncHeap()
-	var total float64
-	wcov, weight := c.wcov, c.weight
-	for si := range c.segs {
-		seg := &c.segs[si]
-		if seg.end() <= firstID {
-			continue
-		}
-		base := seg.base
-		offs, mem := seg.view.offsets, seg.view.members
-		if j := seg.inv.preparedJoin(); j != nil {
-			// Sequential record-stream walk — see Collection.CoverNode for
-			// why this beats the per-set arena hop on the commit path.
-			limit := int32(seg.end())
-			first := int32(firstID)
-			row := j.row(u)
-			for p := 0; p < len(row); {
-				id, sz := row[p], row[p+1]
-				if id >= limit {
-					break
-				}
-				var members []int32
-				if sz == joinSpill {
-					p += 2
-					i := int(id - base)
-					members = mem[offs[i]:offs[i+1]]
-				} else {
-					members = row[p+2 : p+2+int(sz)]
-					p += 2 + int(sz)
-				}
-				if id < first {
-					continue
-				}
-				w := weight[id]
-				if w == 0 {
-					continue
-				}
-				dec := w * delta
-				weight[id] = w - dec
-				c.claimed += dec
-				total += dec
-				for _, x := range members {
-					wcov[x] -= dec
-					if wcov[x] < 0 {
-						wcov[x] = 0 // clamp float drift
-					}
-				}
-			}
-			continue
-		}
-		for _, id := range seg.idsOf(u) {
-			if int(id) < firstID {
-				continue
-			}
-			w := weight[id]
-			if w == 0 {
-				continue
-			}
-			dec := w * delta
-			weight[id] = w - dec
-			c.claimed += dec
-			total += dec
-			i := int(id - base)
-			for _, x := range mem[offs[i]:offs[i+1]] {
-				wcov[x] -= dec
-				if wcov[x] < 0 {
-					wcov[x] = 0 // clamp float drift
-				}
-			}
-		}
-	}
-	return total
+	return c.kernel().commitFrom(c, u, delta, firstID)
 }
 
 // MemBytes mirrors Collection.MemBytes for Table 4 instrumentation: the
@@ -369,7 +359,8 @@ func (c *WeightedCollection) MemBytes() int64 {
 	return total +
 		int64(len(c.weight))*8 +
 		int64(c.n)*9 + // wcov + dead
-		int64(len(c.pq))*16
+		int64(len(c.pq))*16 +
+		int64(len(c.zerow))*8 // bitset kernel's zero-weight mask
 }
 
 type wcovEntry struct {

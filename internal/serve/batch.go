@@ -1,0 +1,312 @@
+// POST /allocate/batch: evaluate many selection requests against one
+// pinned campaign epoch in a single round trip.
+//
+// A batch is the serve-layer mirror of core.AllocateBatch (single node)
+// and shard.Coordinator.AllocateBatch (coordinator mode): the instance and
+// index are resolved once, every item is pinned to the same epoch, and the
+// items fan out under the allocator's bounded worker budget sharing the
+// entry's workspace pool. Each item returns exactly what a lone POST
+// /allocate with the same parameters would have returned (golden-pinned),
+// items fail independently, and a campaign mutation racing the batch turns
+// into per-item stale-epoch errors rather than an allocation split across
+// two campaign sets.
+
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// MaxBatchItems caps the number of selection requests one POST
+// /allocate/batch may carry. Batches beyond the cap are rejected with 400
+// rather than queued: the batch path exists to amortize per-request
+// overhead, not to become an unbounded work queue.
+const MaxBatchItems = 64
+
+// AllocateItem is one selection request inside a batch: the per-run fields
+// of AllocateRequest without the instance coordinates (the batch names its
+// instance once). Field semantics match POST /allocate exactly.
+type AllocateItem struct {
+	Kappa    int       `json:"kappa,omitempty"`
+	Lambda   *float64  `json:"lambda,omitempty"`
+	Ads      []int     `json:"ads,omitempty"`
+	Budgets  []float64 `json:"budgets,omitempty"`
+	CPEs     []float64 `json:"cpes,omitempty"`
+	Residual bool      `json:"residual,omitempty"`
+	// Kernel selects the coverage kernel ("auto"/"sparse"/"bitset", see
+	// core.Request.Kernel); it changes sweep cost, never the allocation.
+	Kernel string     `json:"kernel,omitempty"`
+	Opts   TIRMParams `json:"opts,omitempty"`
+}
+
+// AllocateBatchRequest is POST /allocate/batch: one instance, up to
+// MaxBatchItems selection requests evaluated against the same epoch.
+type AllocateBatchRequest struct {
+	InstanceParams
+	Requests []AllocateItem `json:"requests"`
+}
+
+// BatchItemResult is one item's outcome. Exactly one of Error or the
+// result fields is populated: a failed item carries its error string (and
+// Status, the HTTP code the same lone /allocate would have returned) while
+// its siblings still succeed.
+type BatchItemResult struct {
+	Error        string    `json:"error,omitempty"`
+	Status       int       `json:"status,omitempty"`
+	Seeds        [][]int32 `json:"seeds,omitempty"`
+	EstRevenue   []float64 `json:"estRevenue,omitempty"`
+	EstRegret    float64   `json:"estRegret,omitempty"`
+	FinalTheta   []int     `json:"finalTheta,omitempty"`
+	Iterations   int       `json:"iterations,omitempty"`
+	SetsSampled  int64     `json:"setsSampled,omitempty"`
+	SetsReused   int64     `json:"setsReused,omitempty"`
+	SpentBudgets []float64 `json:"spentBudgets,omitempty"`
+}
+
+// AllocateBatchResponse is POST /allocate/batch's result: the shared
+// epoch/ad-name context resolved once, plus one BatchItemResult per
+// request in request order. AllocSeconds is the whole batch's wall time —
+// items run concurrently, so it is not the per-item sum.
+type AllocateBatchResponse struct {
+	Key          string            `json:"key"`
+	Epoch        uint64            `json:"epoch"`
+	ColdBuild    bool              `json:"coldBuild"`
+	AllocSeconds float64           `json:"allocSeconds"`
+	AdNames      []string          `json:"adNames"`
+	Items        []BatchItemResult `json:"items"`
+}
+
+// estRegretOver scores one successful run's regret over the ad subset the
+// request targeted, against the budgets it actually ran with (the same
+// arithmetic POST /allocate reports).
+func estRegretOver(inst *core.Instance, adIDs []int, budgets, spent []float64, res *core.TIRMResult) float64 {
+	if len(adIDs) == 0 {
+		adIDs = make([]int, len(inst.Ads))
+		for i := range adIDs {
+			adIDs[i] = i
+		}
+	}
+	var total float64
+	for _, i := range adIDs {
+		budget := inst.Ads[i].Budget
+		if budgets != nil {
+			budget = budgets[i]
+		}
+		if spent != nil {
+			if budget -= spent[i]; budget < 0 {
+				budget = 0
+			}
+		}
+		total += core.RegretTerm(budget, res.EstRevenue[i], inst.Lambda, len(res.Alloc.Seeds[i]))
+	}
+	return total
+}
+
+// itemResult folds one item's core.BatchResult into the wire shape,
+// recording the success/failure metrics a lone /allocate would have. The
+// upstream flag selects the non-stale failure mapping: 502/upstream in
+// coordinator mode, 400/bad_request locally (where the only errors left
+// after a successful index build are request-shape errors).
+func (s *Server) itemResult(item AllocateItem, coreReq core.Request, br core.BatchResult, curInst *core.Instance, upstream bool) BatchItemResult {
+	if br.Err != nil {
+		out := BatchItemResult{Error: br.Err.Error()}
+		switch {
+		case errors.Is(br.Err, core.ErrStaleEpoch):
+			s.metrics.failAlloc(failStaleEpoch)
+			out.Status = http.StatusConflict
+		case upstream:
+			s.metrics.failAlloc(failUpstream)
+			out.Status = http.StatusBadGateway
+		default:
+			s.metrics.failAlloc(failBadRequest)
+			out.Status = http.StatusBadRequest
+		}
+		return out
+	}
+	res := br.Res
+	s.metrics.allocations.Inc()
+	s.metrics.recordKernels(res.KernelCounts)
+	for i, seeds := range res.Alloc.Seeds {
+		if seeds == nil {
+			res.Alloc.Seeds[i] = []int32{} // JSON: [] for empty, never null
+		}
+	}
+	inst := instWith(curInst, item.Lambda, item.Kappa)
+	return BatchItemResult{
+		Seeds:        res.Alloc.Seeds,
+		EstRevenue:   res.EstRevenue,
+		EstRegret:    estRegretOver(inst, item.Ads, item.Budgets, coreReq.SpentBudget, res),
+		FinalTheta:   res.FinalTheta,
+		Iterations:   res.Iterations,
+		SetsSampled:  res.TotalSetsSampled,
+		SetsReused:   res.SetsReused,
+		SpentBudgets: coreReq.SpentBudget,
+	}
+}
+
+// checkBatchShape rejects empty and oversized batches with 400.
+func checkBatchShape(w http.ResponseWriter, req AllocateBatchRequest) bool {
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, "batch carries no requests")
+		return false
+	}
+	if len(req.Requests) > MaxBatchItems {
+		httpError(w, http.StatusBadRequest,
+			"batch carries %d requests; cap is %d", len(req.Requests), MaxBatchItems)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAllocateBatch(w http.ResponseWriter, r *http.Request) {
+	var req AllocateBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !checkBatchShape(w, req) {
+		return
+	}
+	if s.sharded != nil {
+		s.handleAllocateBatchSharded(w, r, req)
+		return
+	}
+	e, created, waitedInst, err := s.entryFor(req.InstanceParams)
+	if err != nil {
+		s.metrics.failAlloc(failBadRequest)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	idx, cold, waitedIdx, err := s.indexFor(e)
+	if err != nil {
+		s.metrics.failAlloc(failInternal)
+		httpError(w, http.StatusInternalServerError, "index build: %v", err)
+		return
+	}
+	switch {
+	case created || cold:
+		s.cacheMisses.Add(1)
+	case waitedInst || waitedIdx:
+		s.coalesced.Add(1)
+	default:
+		s.cacheHits.Add(1)
+		e.hits.Add(1)
+	}
+	// One epoch for the whole batch: every item is shaped against (and
+	// pinned to) the same campaign set, so a mutation racing the batch
+	// fails items cleanly instead of splitting the batch across epochs.
+	epoch, curInst := idx.EpochInst()
+	// The spend ledger is read once, too — all Residual items in a batch
+	// target the same remaining-budget snapshot.
+	var spent []float64
+	coreReqs := make([]core.Request, len(req.Requests))
+	for i, item := range req.Requests {
+		coreReqs[i] = core.Request{
+			Opts:     item.Opts.toOptions(s.opts.MaxTheta),
+			Ads:      item.Ads,
+			Budgets:  item.Budgets,
+			CPEs:     item.CPEs,
+			Lambda:   item.Lambda,
+			Epoch:    epoch,
+			Pool:     &e.pool,
+			Observer: s.metrics,
+			Kernel:   s.kernelFor(item.Kernel),
+		}
+		if item.Kappa > 0 {
+			coreReqs[i].Kappa = core.ConstKappa(item.Kappa)
+		}
+		if item.Residual {
+			if spent == nil {
+				spent = e.spendVector(curInst)
+			}
+			coreReqs[i].SpentBudget = spent
+		}
+	}
+	started := time.Now()
+	results := core.AllocateBatch(idx, coreReqs)
+	s.metrics.allocSeconds.Observe(time.Since(started).Seconds())
+	items := make([]BatchItemResult, len(results))
+	for i, br := range results {
+		items[i] = s.itemResult(req.Requests[i], coreReqs[i], br, curInst, false)
+		if br.Err == nil {
+			e.allocs.Add(1)
+		}
+	}
+	names := make([]string, len(curInst.Ads))
+	for i, ad := range curInst.Ads {
+		names[i] = ad.Name
+	}
+	writeJSON(w, http.StatusOK, AllocateBatchResponse{
+		Key:          e.key,
+		Epoch:        epoch,
+		ColdBuild:    cold,
+		AllocSeconds: time.Since(started).Seconds(),
+		AdNames:      names,
+		Items:        items,
+	})
+}
+
+// handleAllocateBatchSharded is /allocate/batch in coordinator mode: one
+// scatter-gather pilot round primes the width cache for the union of ads
+// the batch touches, then the items run distributed selection concurrently
+// (shard.Coordinator.AllocateBatch).
+func (s *Server) handleAllocateBatchSharded(w http.ResponseWriter, r *http.Request, req AllocateBatchRequest) {
+	if !s.checkShardedParams(w, req.InstanceParams) {
+		return
+	}
+	st := s.sharded
+	epoch, curInst := st.coord.EpochInst()
+	var spent []float64
+	coreReqs := make([]core.Request, len(req.Requests))
+	for i, item := range req.Requests {
+		coreReqs[i] = core.Request{
+			Opts:     item.Opts.toOptions(s.opts.MaxTheta),
+			Ads:      item.Ads,
+			Budgets:  item.Budgets,
+			CPEs:     item.CPEs,
+			Lambda:   item.Lambda,
+			Epoch:    epoch,
+			Kernel:   s.kernelFor(item.Kernel),
+			Observer: s.metrics,
+		}
+		if item.Kappa > 0 {
+			coreReqs[i].Kappa = core.ConstKappa(item.Kappa)
+		}
+		if item.Residual {
+			if spent == nil {
+				spent = st.spendVector(curInst)
+			}
+			coreReqs[i].SpentBudget = spent
+		}
+	}
+	started := time.Now()
+	results := st.coord.AllocateBatch(r.Context(), coreReqs)
+	s.metrics.allocSeconds.Observe(time.Since(started).Seconds())
+	items := make([]BatchItemResult, len(results))
+	var ok int
+	for i, br := range results {
+		items[i] = s.itemResult(req.Requests[i], coreReqs[i], br, curInst, true)
+		if br.Err == nil {
+			ok++
+		}
+	}
+	if ok > 0 {
+		st.mu.Lock()
+		st.allocs += int64(ok)
+		st.mu.Unlock()
+	}
+	names := make([]string, len(curInst.Ads))
+	for i, ad := range curInst.Ads {
+		names[i] = ad.Name
+	}
+	writeJSON(w, http.StatusOK, AllocateBatchResponse{
+		Key:          st.params.Key(),
+		Epoch:        epoch,
+		AllocSeconds: time.Since(started).Seconds(),
+		AdNames:      names,
+		Items:        items,
+	})
+}

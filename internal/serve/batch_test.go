@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestServerAllocateBatch pins the batch endpoint's contract on a single
+// node: every item matches the lone /allocate for the same parameters
+// (across kernels), bad items fail alone with per-item status codes, the
+// kernel tallies surface in /stats, and shape violations are rejected.
+func TestServerAllocateBatch(t *testing.T) {
+	ts := testServer(t, Options{})
+	params := fig1Request().InstanceParams
+	opts := fig1Request().Opts
+
+	// Reference: lone /allocate per item shape.
+	lone := func(item AllocateItem) AllocateResponse {
+		t.Helper()
+		var out AllocateResponse
+		code := postJSON(t, ts.URL+"/allocate", AllocateRequest{
+			InstanceParams: params,
+			Kappa:          item.Kappa,
+			Lambda:         item.Lambda,
+			Ads:            item.Ads,
+			Budgets:        item.Budgets,
+			Kernel:         item.Kernel,
+			Opts:           item.Opts,
+		}, &out)
+		if code != http.StatusOK {
+			t.Fatalf("lone allocate returned %d", code)
+		}
+		return out
+	}
+
+	lambda := 0.5
+	items := []AllocateItem{
+		{Opts: opts},
+		{Opts: opts, Kernel: "bitset"},
+		{Opts: opts, Kernel: "sparse"},
+		{Opts: opts, Kernel: "definitely-not-a-kernel"}, // fails alone
+		{Opts: opts, Ads: []int{0, 2}, Lambda: &lambda},
+	}
+	want := make([]AllocateResponse, len(items))
+	for i, item := range items {
+		if i == 3 {
+			continue
+		}
+		want[i] = lone(item)
+	}
+
+	var got AllocateBatchResponse
+	if code := postJSON(t, ts.URL+"/allocate/batch", AllocateBatchRequest{
+		InstanceParams: params,
+		Requests:       items,
+	}, &got); code != http.StatusOK {
+		t.Fatalf("batch returned %d", code)
+	}
+	if len(got.Items) != len(items) {
+		t.Fatalf("batch returned %d items for %d requests", len(got.Items), len(items))
+	}
+	for i, item := range got.Items {
+		if i == 3 {
+			if item.Error == "" || item.Status != http.StatusBadRequest {
+				t.Errorf("bad item 3 = %+v, want error with status 400", item)
+			}
+			continue
+		}
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+		if !reflect.DeepEqual(item.Seeds, want[i].Seeds) {
+			t.Errorf("item %d seeds diverged from lone allocate\n want %v\n  got %v", i, want[i].Seeds, item.Seeds)
+		}
+		if !reflect.DeepEqual(item.EstRevenue, want[i].EstRevenue) {
+			t.Errorf("item %d revenue diverged: %v vs %v", i, item.EstRevenue, want[i].EstRevenue)
+		}
+		if item.EstRegret != want[i].EstRegret {
+			t.Errorf("item %d regret %v, lone %v", i, item.EstRegret, want[i].EstRegret)
+		}
+		if got.Epoch != want[i].Epoch {
+			t.Errorf("item %d epoch %d, batch %d", i, want[i].Epoch, got.Epoch)
+		}
+	}
+
+	// Kernel tallies reach /stats: 4 lone + 4 batch successes over 4 ads,
+	// at least one forced run per kernel.
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats returned %d", code)
+	}
+	var total uint64
+	for _, c := range stats.Kernels {
+		total += c
+	}
+	if stats.Kernels["bitset"] == 0 || stats.Kernels["sparse"] == 0 {
+		t.Errorf("stats kernels = %v, want both kernels tallied", stats.Kernels)
+	}
+	if total == 0 {
+		t.Errorf("stats kernels empty after successful allocations")
+	}
+
+	// Shape violations: empty and oversized batches.
+	if code := postJSON(t, ts.URL+"/allocate/batch", AllocateBatchRequest{InstanceParams: params}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty batch returned %d, want 400", code)
+	}
+	over := AllocateBatchRequest{InstanceParams: params, Requests: make([]AllocateItem, MaxBatchItems+1)}
+	if code := postJSON(t, ts.URL+"/allocate/batch", over, nil); code != http.StatusBadRequest {
+		t.Errorf("oversized batch returned %d, want 400", code)
+	}
+}
+
+// TestShardedServeBatch drives /allocate/batch through a 2-shard
+// coordinator and pins every item against the single-node batch (itself
+// already pinned against lone /allocate): distributed batching changes
+// round trips, never allocations.
+func TestShardedServeBatch(t *testing.T) {
+	params := InstanceParams{Dataset: "flixster", Seed: 1, Scale: 0.01}
+	opts := TIRMParams{Eps: 0.3, MinTheta: 1024, MaxTheta: 8192}
+	batch := AllocateBatchRequest{
+		InstanceParams: params,
+		Requests: []AllocateItem{
+			{Opts: opts},
+			{Opts: opts, Kernel: "bitset"},
+			{Opts: opts, Kernel: "not-a-kernel"}, // fails alone
+			{Opts: opts, Ads: []int{0, 3}},
+		},
+	}
+
+	single := testServer(t, Options{})
+	var want AllocateBatchResponse
+	if code := postJSON(t, single.URL+"/allocate/batch", batch, &want); code != http.StatusOK {
+		t.Fatalf("single-node batch: %d", code)
+	}
+
+	front, _ := shardedServer(t, params, 2)
+	var got AllocateBatchResponse
+	if code := postJSON(t, front.URL+"/allocate/batch", batch, &got); code != http.StatusOK {
+		t.Fatalf("sharded batch: %d", code)
+	}
+	if len(got.Items) != len(batch.Requests) {
+		t.Fatalf("sharded batch returned %d items", len(got.Items))
+	}
+	for i := range got.Items {
+		if i == 2 {
+			if got.Items[i].Error == "" {
+				t.Errorf("bad item 2 succeeded in coordinator mode")
+			}
+			continue
+		}
+		if got.Items[i].Error != "" {
+			t.Fatalf("sharded item %d failed: %s", i, got.Items[i].Error)
+		}
+		if !reflect.DeepEqual(got.Items[i].Seeds, want.Items[i].Seeds) {
+			t.Errorf("sharded item %d seeds diverged\n want %v\n  got %v", i, want.Items[i].Seeds, got.Items[i].Seeds)
+		}
+		if got.Items[i].EstRegret != want.Items[i].EstRegret {
+			t.Errorf("sharded item %d regret %v, single-node %v", i, got.Items[i].EstRegret, want.Items[i].EstRegret)
+		}
+	}
+
+	// Foreign-instance batches are refused like lone allocates.
+	other := batch
+	other.Seed = 99
+	if code := postJSON(t, front.URL+"/allocate/batch", other, nil); code != http.StatusBadRequest {
+		t.Errorf("foreign-instance batch returned %d, want 400", code)
+	}
+}

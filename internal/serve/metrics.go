@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/rrset"
 	"repro/internal/shard"
 )
 
@@ -50,6 +51,11 @@ type serverMetrics struct {
 	// callback never touches the vec's map.
 	phaseSeconds [core.NumAllocPhases]*obs.Histogram
 	allocRounds  *obs.Histogram
+	// kernelVec is adserver_kernel_selected_total{kernel}; kernelSelected
+	// holds its children resolved once, indexed by rrset.KernelID so the
+	// per-request record path never touches the vec's map.
+	kernelVec      *obs.CounterVec
+	kernelSelected [rrset.NumKernels]*obs.Counter
 
 	// shard is non-nil in coordinator mode: the RPC-level telemetry the
 	// instrumented shard clients record (see ConnectShards).
@@ -84,6 +90,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 		obs.DefBuckets, "phase")
 	for p := core.AllocPhase(0); p < core.NumAllocPhases; p++ {
 		m.phaseSeconds[p] = phaseVec.With(p.String())
+	}
+	m.kernelVec = reg.CounterVec("adserver_kernel_selected_total",
+		"Per-ad coverage collections run on each cover kernel (sparse cover-join scan vs packed-bitset sweep), summed over successful allocations; in coordinator mode each shard-local collection counts.",
+		"kernel")
+	for id := rrset.KernelID(0); int(id) < rrset.NumKernels; id++ {
+		m.kernelSelected[id] = m.kernelVec.With(id.String())
 	}
 
 	reg.CounterFunc("adserver_cache_hits_total",
@@ -140,6 +152,31 @@ func (m *serverMetrics) ObserveAllocation(t core.PhaseTimings) {
 // failAlloc counts one refused or errored allocation under its reason.
 func (m *serverMetrics) failAlloc(reason string) {
 	m.allocFailures.With(reason).Inc()
+}
+
+// recordKernels folds one successful run's per-kernel collection tallies
+// into adserver_kernel_selected_total.
+func (m *serverMetrics) recordKernels(counts [rrset.NumKernels]int) {
+	for id, c := range counts {
+		if c > 0 {
+			m.kernelSelected[id].Add(uint64(c))
+		}
+	}
+}
+
+// kernelCounts snapshots the kernel counter for /stats; nil until the
+// first successful allocation (so the JSON field stays absent).
+func (s *Server) kernelCounts() map[string]uint64 {
+	snap := s.metrics.kernelVec.Snapshot()
+	for k, v := range snap {
+		if v == 0 {
+			delete(snap, k)
+		}
+	}
+	if len(snap) == 0 {
+		return nil
+	}
+	return snap
 }
 
 // allocFailureCounts snapshots the failure counter for /stats; nil when no

@@ -26,6 +26,7 @@
 // Endpoints:
 //
 //	POST   /allocate    — run TIRM selection against the cached index
+//	POST   /allocate/batch — evaluate many selection requests against one pinned epoch
 //	POST   /evaluate    — neutral Monte Carlo scoring of an allocation
 //	POST   /ads         — add an advertiser to a cached campaign set
 //	DELETE /ads/{name}  — remove an advertiser by name
@@ -100,6 +101,11 @@ type Options struct {
 	// MaxAds rejects requests asking for more advertisers than this
 	// (default DefaultMaxAds).
 	MaxAds int
+	// DefaultKernel, when non-empty, is the coverage kernel requests run
+	// on unless they pick their own ("auto", "sparse", or "bitset"; see
+	// core.Request.Kernel). Empty means auto-selection by density. Kernels
+	// change sweep cost, never any allocation's content.
+	DefaultKernel string
 	// Shards, when non-empty, switches the server into coordinator mode:
 	// /allocate runs distributed scatter-gather selection over these
 	// adshard daemons ("host:port", one per partition slot, in slot
@@ -353,6 +359,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/datasets", s.handleDatasets)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/allocate", s.handleAllocate)
+	mux.HandleFunc("/allocate/batch", s.handleAllocateBatch)
 	mux.HandleFunc("/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/ads", s.handleAddAd)
 	mux.HandleFunc("/ads/", s.handleRemoveAd)
@@ -717,7 +724,12 @@ type StatsResponse struct {
 	// reason (stale_epoch, cap, bad_request, internal, upstream); absent
 	// until the first failure.
 	AllocFailures map[string]uint64 `json:"allocFailures,omitempty"`
-	Entries       []EntryStats      `json:"entries"`
+	// Kernels counts per-ad coverage collections by the cover kernel they
+	// ran on ("sparse" vs "bitset"), summed over successful allocations —
+	// the /stats view of adserver_kernel_selected_total. Absent until the
+	// first successful allocation.
+	Kernels map[string]uint64 `json:"kernels,omitempty"`
+	Entries []EntryStats      `json:"entries"`
 	// Sharded is present only in coordinator mode: the cluster's identity,
 	// per-shard health, and distributed-allocation counters.
 	Sharded *ShardedStatsSection `json:"sharded,omitempty"`
@@ -732,6 +744,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SpendUpdates:      s.spendUpdates.Load(),
 			IndexMemByDataset: map[string]int64{},
 			AllocFailures:     s.allocFailureCounts(),
+			Kernels:           s.kernelCounts(),
 			Entries:           []EntryStats{},
 			Sharded:           s.shardedStats(r.Context()),
 		}
@@ -760,6 +773,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SpendUpdates:      s.spendUpdates.Load(),
 		IndexMemByDataset: map[string]int64{},
 		AllocFailures:     s.allocFailureCounts(),
+		Kernels:           s.kernelCounts(),
 		Entries:           make([]EntryStats, 0, len(entries)),
 	}
 	for _, e := range entries {
@@ -811,13 +825,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // budget and targets the remainder (fully spent ads get no seeds).
 type AllocateRequest struct {
 	InstanceParams
-	Kappa    int        `json:"kappa,omitempty"`
-	Lambda   *float64   `json:"lambda,omitempty"`
-	Ads      []int      `json:"ads,omitempty"`
-	Budgets  []float64  `json:"budgets,omitempty"`
-	CPEs     []float64  `json:"cpes,omitempty"`
-	Residual bool       `json:"residual,omitempty"`
-	Opts     TIRMParams `json:"opts,omitempty"`
+	Kappa    int       `json:"kappa,omitempty"`
+	Lambda   *float64  `json:"lambda,omitempty"`
+	Ads      []int     `json:"ads,omitempty"`
+	Budgets  []float64 `json:"budgets,omitempty"`
+	CPEs     []float64 `json:"cpes,omitempty"`
+	Residual bool      `json:"residual,omitempty"`
+	// Kernel selects the coverage kernel ("auto"/"sparse"/"bitset", see
+	// core.Request.Kernel); it changes sweep cost, never the allocation.
+	Kernel string     `json:"kernel,omitempty"`
+	Opts   TIRMParams `json:"opts,omitempty"`
 }
 
 // TIRMParams is the JSON form of core.TIRMOptions (zero = default).
@@ -921,6 +938,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		Epoch:    epoch,
 		Pool:     &e.pool,
 		Observer: s.metrics,
+		Kernel:   s.kernelFor(req.Kernel),
 	}
 	if req.Kappa > 0 {
 		coreReq.Kappa = core.ConstKappa(req.Kappa)
@@ -945,6 +963,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.allocations.Inc()
 	s.metrics.allocSeconds.Observe(time.Since(started).Seconds())
+	s.metrics.recordKernels(res.KernelCounts)
 	e.allocs.Add(1)
 	// Accumulated only for successful runs: e.allocs is the divisor of the
 	// /stats per-request averages, so failed runs must not contribute.
@@ -1096,6 +1115,15 @@ func instWith(inst *core.Instance, lambda *float64, kappa int) *core.Instance {
 		cp.Kappa = core.ConstKappa(kappa)
 	}
 	return &cp
+}
+
+// kernelFor resolves one request's coverage-kernel choice against the
+// server-wide default (Options.DefaultKernel): explicit request values win.
+func (s *Server) kernelFor(kernel string) string {
+	if kernel != "" {
+		return kernel
+	}
+	return s.opts.DefaultKernel
 }
 
 // --- Campaign lifecycle ---------------------------------------------------

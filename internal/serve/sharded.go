@@ -141,6 +141,7 @@ func (s *Server) handleAllocateSharded(w http.ResponseWriter, r *http.Request, r
 		CPEs:    req.CPEs,
 		Lambda:  req.Lambda,
 		Epoch:   epoch,
+		Kernel:  s.kernelFor(req.Kernel),
 	}
 	if req.Kappa > 0 {
 		coreReq.Kappa = core.ConstKappa(req.Kappa)
@@ -163,6 +164,7 @@ func (s *Server) handleAllocateSharded(w http.ResponseWriter, r *http.Request, r
 	}
 	s.metrics.allocations.Inc()
 	s.metrics.allocSeconds.Observe(time.Since(started).Seconds())
+	s.metrics.recordKernels(res.KernelCounts)
 	st.mu.Lock()
 	st.allocs++
 	st.mu.Unlock()

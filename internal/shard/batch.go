@@ -1,0 +1,173 @@
+// Batched distributed allocation: many selection runs against one pinned
+// cluster epoch (the scatter-gather mirror of core.AllocateBatch).
+//
+// The per-item cost a naive loop pays K times over is the pilot round:
+// every allocation needs each active ad's merged global pilot widths, and
+// a cold width cache re-ships MinTheta int64s per ad per item. AllocateBatch
+// therefore primes the cache with ONE pilot scatter-gather round covering
+// the union of ads the whole batch touches, then fans the items out under a
+// bounded worker budget — steady state, each item's own pilot round ships
+// no width payload at all (SkipWidths), and the batch pays one width
+// transfer total. Each item still runs the ordinary Allocate, so its
+// result is byte-identical to the sequential call (golden-pinned).
+
+package shard
+
+import (
+	"context"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rrset"
+)
+
+// AllocateBatch evaluates many requests against one pinned cluster epoch
+// and returns one core.BatchResult per request, in request order. The
+// epoch is captured once: items that do not pin their own Request.Epoch
+// are pinned to it, so a campaign mutation landing mid-batch fails the
+// remaining items with core.ErrStaleEpoch instead of silently splitting
+// the batch across campaign sets. Items fail independently; one bad
+// request never poisons its siblings.
+func (c *Coordinator) AllocateBatch(ctx context.Context, reqs []core.Request) []core.BatchResult {
+	out := make([]core.BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	c.mu.RLock()
+	inst, epoch := c.inst, c.epoch
+	c.mu.RUnlock()
+	c.primePilots(ctx, inst, epoch, reqs)
+	run := func(i int) {
+		req := reqs[i]
+		if req.Epoch == 0 {
+			req.Epoch = epoch
+		}
+		out[i].Res, out[i].Err = c.Allocate(ctx, req)
+	}
+	workers := batchWorkers(len(reqs))
+	if workers <= 1 {
+		for i := range reqs {
+			run(i)
+		}
+		return out
+	}
+	work := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				run(i)
+				done <- struct{}{}
+			}
+		}()
+	}
+	for i := range reqs {
+		work <- i
+	}
+	close(work)
+	for range reqs {
+		<-done
+	}
+	return out
+}
+
+// batchWorkers bounds a batch's concurrent distributed runs: the same
+// operator knob that caps sampling and selection parallelism
+// (rrset.SetMaxWorkers, GOMAXPROCS by default), additionally capped well
+// below maxOpenRuns so one batch cannot starve a shard's run table.
+func batchWorkers(limit int) int {
+	w := rrset.MaxWorkers()
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > maxOpenRuns/4 {
+		w = maxOpenRuns / 4
+	}
+	if w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// primePilots warms the width cache with one pilot scatter-gather round
+// per distinct pilot size in the batch (one round total when every item
+// shares MinTheta): the union of ads the items activate, full widths,
+// merged and stored. Purely a prefetch — errors are swallowed and bad
+// requests skipped, because each item re-validates and re-fetches on its
+// own; priming never changes any allocation's content.
+func (c *Coordinator) primePilots(ctx context.Context, inst *core.Instance, epoch uint64, reqs []core.Request) {
+	groups := map[int]map[int]bool{}
+	for i := range reqs {
+		req := reqs[i]
+		if req.Epoch != 0 && req.Epoch != epoch {
+			continue
+		}
+		adIDs, _, _, err := req.Resolve(inst)
+		if err != nil {
+			continue
+		}
+		want := req.Opts.WithDefaults().MinTheta
+		g := groups[want]
+		if g == nil {
+			g = make(map[int]bool, len(adIDs))
+			groups[want] = g
+		}
+		for _, j := range adIDs {
+			g[j] = true
+		}
+	}
+	wants := make([]int, 0, len(groups))
+	for want := range groups {
+		wants = append(wants, want)
+	}
+	sort.Ints(wants)
+	for _, want := range wants {
+		ads := make([]int, 0, len(groups[want]))
+		for j := range groups[want] {
+			if !c.hasWidths(epoch, j, want) {
+				ads = append(ads, j)
+			}
+		}
+		if len(ads) == 0 {
+			continue
+		}
+		sort.Ints(ads)
+		pilots := make([]PilotReply, len(c.clients))
+		round := c.roundStart()
+		err := c.scatter(func(k int, cl Client) error {
+			var err error
+			pilots[k], err = cl.Pilot(ctx, PilotRequest{Epoch: epoch, Ads: ads, Want: want})
+			return err
+		})
+		c.roundDone("pilot", round)
+		if err != nil {
+			return
+		}
+		for i, j := range ads {
+			perShard := make([][]int64, len(c.clients))
+			for k := range c.clients {
+				perShard[k] = pilots[k].Widths[i]
+			}
+			merged, err := c.mergeWidths(perShard, want)
+			if err != nil {
+				continue
+			}
+			c.storeWidths(epoch, j, want, merged)
+		}
+	}
+}
+
+// hasWidths reports whether one ad's merged pilot is already cached.
+func (c *Coordinator) hasWidths(epoch uint64, ad, want int) bool {
+	c.widthMu.Lock()
+	defer c.widthMu.Unlock()
+	if c.widthEpoch != epoch {
+		return false
+	}
+	_, ok := c.widthCache[widthKey{ad: ad, want: want}]
+	return ok
+}

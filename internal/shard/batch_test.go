@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rrset"
+)
+
+// TestShardedKernelGolden pins cross-kernel determinism through the
+// distributed path: for K ∈ {1, 4}, forcing the sparse or bitset kernel on
+// every shard's local collections (or leaving auto-selection on) must
+// reproduce the single-node allocation byte for byte — kernels change only
+// local sweep cost, and the protocol's integers are kernel-independent.
+func TestShardedKernelGolden(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	const seed = 42
+	ctx := context.Background()
+
+	idx, err := core.BuildIndex(inst, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AllocateFromIndex(idx, core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 4} {
+		coord, _, err := NewLocalCluster(inst, 0, seed, k, Config{Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Warm(ctx, opts); err != nil {
+			t.Fatal(err)
+		}
+		for _, kernel := range []string{"sparse", "bitset", "auto", ""} {
+			got, err := coord.Allocate(ctx, core.Request{Opts: opts, Kernel: kernel})
+			if err != nil {
+				t.Fatalf("K=%d kernel=%q: %v", k, kernel, err)
+			}
+			mustEqualResults(t, "kernel "+kernel, want, got)
+			var total int
+			for _, c := range got.KernelCounts {
+				total += c
+			}
+			if total != len(inst.Ads)*k {
+				t.Errorf("K=%d kernel=%q: KernelCounts sums to %d, want %d (ads×K)", k, kernel, total, len(inst.Ads)*k)
+			}
+			switch kernel {
+			case "bitset":
+				if got.KernelCounts[rrset.KernelBitset] != len(inst.Ads)*k {
+					t.Errorf("K=%d forced bitset: KernelCounts = %v", k, got.KernelCounts)
+				}
+			case "sparse":
+				if got.KernelCounts[rrset.KernelSparse] != len(inst.Ads)*k {
+					t.Errorf("K=%d forced sparse: KernelCounts = %v", k, got.KernelCounts)
+				}
+			}
+		}
+		if _, err := coord.Allocate(ctx, core.Request{Opts: opts, Kernel: "no-such"}); err == nil {
+			t.Errorf("K=%d: unknown kernel name accepted", k)
+		}
+	}
+}
+
+// TestShardedBatchGolden pins the distributed batch contract at K ∈ {1, 4}:
+// every item of a mixed batch must return exactly what the sequential
+// single-node AllocateFromIndex returns for the same request, bad items
+// fail alone, and the whole batch observes one epoch.
+func TestShardedBatchGolden(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	const seed = 42
+	ctx := context.Background()
+
+	idx, err := core.BuildIndex(inst, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.25
+	reqs := []core.Request{
+		{Opts: opts},
+		{Opts: opts, Kernel: "bitset"},
+		{Opts: opts, Ads: []int{0, 2, 4, 6, 8}},
+		{Opts: opts, Kernel: "no-such-kernel"}, // must fail alone
+		{Opts: opts, Budgets: []float64{9, 8, 7, 6, 5, 9, 8, 7, 6, 5}, Lambda: &lambda},
+	}
+	want := make([]core.BatchResult, len(reqs))
+	for i := range reqs {
+		want[i].Res, want[i].Err = core.AllocateFromIndex(idx, reqs[i])
+	}
+
+	for _, k := range []int{1, 4} {
+		coord, _, err := NewLocalCluster(inst, 0, seed, k, Config{Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Warm(ctx, opts); err != nil {
+			t.Fatal(err)
+		}
+		got := coord.AllocateBatch(ctx, reqs)
+		if len(got) != len(reqs) {
+			t.Fatalf("K=%d: batch returned %d results for %d requests", k, len(got), len(reqs))
+		}
+		for i := range got {
+			if (got[i].Err != nil) != (want[i].Err != nil) {
+				t.Fatalf("K=%d item %d: batch err %v vs single-node err %v", k, i, got[i].Err, want[i].Err)
+			}
+			if got[i].Err != nil {
+				continue
+			}
+			mustEqualResults(t, "batch item", want[i].Res, got[i].Res)
+		}
+		if got[3].Err == nil {
+			t.Errorf("K=%d: bad request in slot 3 did not fail", k)
+		}
+		if out := coord.AllocateBatch(ctx, nil); len(out) != 0 {
+			t.Errorf("K=%d: empty batch returned %d results", k, len(out))
+		}
+	}
+}
+
+// TestShardedBatchStaleEpoch: an item pinned to a bygone cluster epoch
+// fails with core.ErrStaleEpoch while current-epoch siblings succeed.
+func TestShardedBatchStaleEpoch(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	ctx := context.Background()
+	coord, _, err := NewLocalCluster(inst, 6, 5, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Warm(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+	old := coord.Epoch()
+	if _, err := coord.AddAdBase(ctx, 6, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := coord.AllocateBatch(ctx, []core.Request{
+		{Opts: opts, Epoch: old},
+		{Opts: opts},
+	})
+	if !errors.Is(out[0].Err, core.ErrStaleEpoch) {
+		t.Errorf("stale item: err = %v, want core.ErrStaleEpoch", out[0].Err)
+	}
+	if out[1].Err != nil {
+		t.Errorf("current-epoch item failed: %v", out[1].Err)
+	}
+}

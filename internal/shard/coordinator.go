@@ -411,7 +411,7 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	round = c.roundStart()
 	err = c.scatter(func(k int, cl Client) error {
 		var err error
-		starts[k], err = cl.Start(ctx, StartRequest{RunID: runID, Epoch: epoch, Ads: activeIDs, Thetas: thetas})
+		starts[k], err = cl.Start(ctx, StartRequest{RunID: runID, Epoch: epoch, Ads: activeIDs, Thetas: thetas, Kernel: req.Kernel})
 		return err
 	})
 	c.roundDone("start", round)
@@ -428,6 +428,14 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 		}
 		if a.col.NumSets() != a.theta {
 			return nil, fmt.Errorf("%w: ad %d shards hold %d sets for θ=%d", errDrift, a.j, a.col.NumSets(), a.theta)
+		}
+		// Distributed runs hold K local collections per ad; KernelCounts
+		// tallies each of them (so it sums to ads×K, not ads — "auto" may
+		// legitimately pick different kernels on differently dense slices).
+		for k := range c.clients {
+			if i < len(starts[k].Kernels) && int(starts[k].Kernels[i]) < rrset.NumKernels {
+				res.KernelCounts[starts[k].Kernels[i]]++
+			}
 		}
 	}
 	for k := range c.clients {

@@ -132,6 +132,11 @@ type StartRequest struct {
 	Ads []int `json:"ads"`
 	// Thetas holds each ad's global θ, aligned with Ads.
 	Thetas []int `json:"thetas"`
+	// Kernel selects the coverage kernel the shard's local collections run
+	// on, with core.Request.Kernel semantics: "" or "auto" auto-selects per
+	// ad by the density heuristic, "sparse"/"bitset" force. Kernels change
+	// only local sweep cost — every reply integer is kernel-independent.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // StartReply reports each ad's initial local coverage.
@@ -141,6 +146,10 @@ type StartReply struct {
 	Cov []SparseCounts `json:"cov"`
 	// LocalSets[i] is how many local sets back request ad i's collection.
 	LocalSets []int `json:"localSets"`
+	// Kernels[i] is the rrset.KernelID request ad i's local collection
+	// actually activated (a forced "bitset" always activates; "auto"
+	// follows each shard slice's own density).
+	Kernels []uint8 `json:"kernels,omitempty"`
 	// Fresh is the total local sets this call drew.
 	Fresh int64 `json:"fresh"`
 }

@@ -42,6 +42,12 @@ type Shard struct {
 	// path, status, duration). Nil disables request logging; metrics and
 	// trace propagation run either way. cmd/adshard sets it to log.Printf.
 	Logf func(format string, args ...any)
+	// DefaultKernel, when non-empty, is the coverage kernel this shard's
+	// local collections run on when a StartRequest leaves the choice open
+	// ("auto", "sparse", or "bitset"); explicit request values win. Kernels
+	// change only local sweep cost — every reply integer is
+	// kernel-independent, so shards of one cluster may safely differ.
+	DefaultKernel string
 
 	lifeMu sync.Mutex // serializes campaign mutations with their epoch checks
 
@@ -270,6 +276,20 @@ func (s *Shard) Start(req StartRequest) (StartReply, error) {
 	if len(req.Thetas) != len(req.Ads) {
 		return StartReply{}, fmt.Errorf("shard: %d thetas for %d ads", len(req.Thetas), len(req.Ads))
 	}
+	kernel := req.Kernel
+	if kernel == "" {
+		kernel = s.DefaultKernel
+	}
+	wantKernel, forceBits := rrset.KernelBitset, false
+	switch kernel {
+	case "", "auto":
+	case "sparse":
+		wantKernel = rrset.KernelSparse
+	case "bitset":
+		forceBits = true
+	default:
+		return StartReply{}, fmt.Errorf("shard: unknown coverage kernel %q (want auto, sparse, or bitset)", kernel)
+	}
 	run := &shardRun{ep: ep, ads: make(map[int]*shardRunAd, len(req.Ads))}
 	run.lastUsed.Store(time.Now().UnixNano())
 
@@ -290,11 +310,16 @@ func (s *Shard) Start(req StartRequest) (StartReply, error) {
 	reply := StartReply{
 		Cov:       make([]SparseCounts, len(req.Ads)),
 		LocalSets: make([]int, len(req.Ads)),
+		Kernels:   make([]uint8, len(req.Ads)),
 	}
 	for i, j := range req.Ads {
 		v, inv, fresh := ep.AdView(j, req.Thetas[i])
 		reply.Fresh += fresh
+		if forceBits {
+			inv.PrepareCoverBits()
+		}
 		col := rrset.NewCollectionFromFamily(n, v, inv)
+		reply.Kernels[i] = uint8(col.UseKernel(wantKernel))
 		run.ads[j] = &shardRunAd{col: col, theta: req.Thetas[i]}
 		var sc SparseCounts
 		for u := 0; u < n; u++ {

@@ -53,6 +53,11 @@ type Config struct {
 	// Opts are the TIRM options for index presampling and every
 	// re-allocation.
 	Opts core.TIRMOptions
+	// Kernel selects the coverage kernel every re-allocation runs on
+	// (core.Request.Kernel semantics: "" or "auto" picks by density,
+	// "sparse"/"bitset" force). The trace is kernel-independent — kernels
+	// change sweep cost, never an allocation's content.
+	Kernel string
 	// Shards, when ≥ 2, runs the whole lifecycle against an in-process
 	// sharded cluster (internal/shard): K shard indexes behind a
 	// scatter-gather coordinator, with campaign churn broadcast in
@@ -313,6 +318,7 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 				Opts:        cfg.Opts,
 				SpentBudget: spentVec,
 				Epoch:       epoch,
+				Kernel:      cfg.Kernel,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d re-allocation: %w", r, err)

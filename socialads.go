@@ -87,6 +87,9 @@ type (
 	// AllocateFromIndex (set it as AllocRequest.Pool); reuse makes warm
 	// allocations nearly allocation-free without changing their results.
 	AllocWorkspacePool = core.WorkspacePool
+	// AllocBatchResult is one request's outcome in an AllocateBatch call:
+	// exactly one of Res or Err is set.
+	AllocBatchResult = core.BatchResult
 	// AllocPhase names one phase of a selection run — estimation, CELF
 	// scan, commit, or sample growth (see AllocObserver).
 	AllocPhase = core.AllocPhase
@@ -153,6 +156,15 @@ func BuildIndex(inst *Instance, seed uint64, opts TIRMOptions) (*Index, error) {
 // as internal/serve does.
 func AllocateFromIndex(idx *Index, req AllocRequest) (*TIRMResult, error) {
 	return core.AllocateFromIndex(idx, req)
+}
+
+// AllocateBatch evaluates many selection requests against one index with
+// every request pinned to the same campaign epoch, fanning out under the
+// process worker budget. Each result is byte-identical to the sequential
+// AllocateFromIndex call for the same request, and requests fail
+// independently — one bad request never poisons its siblings.
+func AllocateBatch(idx *Index, reqs []AllocRequest) []AllocBatchResult {
+	return core.AllocateBatch(idx, reqs)
 }
 
 // Campaign-lifecycle simulation types (see internal/sim): advertisers join
