@@ -4,12 +4,19 @@ GO ?= go
 # paper-replication tests are slower and covered by `test`.
 RACE_PKGS = ./internal/core/... ./internal/rrset/... ./internal/serve/... \
             ./internal/sim/... ./internal/shard/... ./internal/obs/... \
-            ./internal/graph/... ./internal/xrand/... ./internal/topic/...
+            ./internal/graph/... ./internal/xrand/... ./internal/topic/... \
+            ./internal/bandit/...
 
 # Packages whose exported API must stay fully documented (docs-check);
 # cmd/doccheck walks the ASTs, so the gate needs no external tooling.
 DOC_PKGS = . ./internal/core ./internal/rrset ./internal/serve ./internal/sim \
-           ./internal/shard ./internal/obs
+           ./internal/shard ./internal/obs ./internal/bandit
+
+# Per-package statement-coverage floors enforced by cover-gate, as
+# "import/path:floor" pairs. Floors are deliberate and sparse: only
+# packages whose correctness rests on exhaustive unit tests (rather than
+# the repo-wide golden/replication suites) carry one.
+COVER_FLOORS = ./internal/bandit:85
 
 # Hot-path benchmarks guarded by `make bench` and CI: index build/warm, the
 # snapshot codec — the paths the flat-arena (CSR) layout is accountable
@@ -30,9 +37,9 @@ BENCH_PKGS    = . ./internal/rrset ./internal/sim ./internal/serve ./internal/sh
 # the non-gating delta step cheap).
 BENCH_FLAGS ?=
 
-.PHONY: ci build vet fmt-check docs-check test race bench bench-all bench-ci bench-compare bench-gate serve
+.PHONY: ci build vet fmt-check docs-check test race cover-gate bench bench-all bench-ci bench-compare bench-gate serve
 
-ci: vet fmt-check docs-check build test race bench-ci
+ci: vet fmt-check docs-check build test race cover-gate bench-ci
 
 build:
 	$(GO) build ./...
@@ -55,6 +62,22 @@ test:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Fails when any COVER_FLOORS package's statement coverage (go test
+# -coverprofile, measured by `go tool cover -func`) is below its floor.
+cover-gate:
+	@set -e; for spec in $(COVER_FLOORS); do \
+	    pkg="$${spec%:*}"; floor="$${spec#*:}"; \
+	    profile="$$(mktemp)"; \
+	    $(GO) test -count=1 -coverprofile="$$profile" "$$pkg" >/dev/null; \
+	    pct="$$($(GO) tool cover -func="$$profile" | awk '/^total:/ {sub("%","",$$NF); print $$NF}')"; \
+	    rm -f "$$profile"; \
+	    echo "coverage $$pkg: $$pct% (floor $$floor%)"; \
+	    ok="$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN {print (p >= f) ? 1 : 0}')"; \
+	    if [ "$$ok" != 1 ]; then \
+	        echo "cover-gate: $$pkg coverage $$pct% is below the $$floor% floor" >&2; exit 1; \
+	    fi; \
+	done
 
 # Index build/warm + snapshot codec benchmarks with allocation stats;
 # human-readable to stdout, test2json stream to BENCH_index.json.

@@ -1,0 +1,442 @@
+package bandit
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func mustNew(t *testing.T, policy string, seed uint64) Estimator {
+	t.Helper()
+	e, err := New(policy, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewPolicies(t *testing.T) {
+	for _, policy := range []string{PolicyUCB, PolicyThompson, PolicyFrozen} {
+		e := mustNew(t, policy, 7)
+		if e.Policy() != policy {
+			t.Errorf("Policy() = %q, want %q", e.Policy(), policy)
+		}
+	}
+	if _, err := New("egreedy", 7); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if NewUCB(1).Policy() != PolicyUCB || NewThompson(1).Policy() != PolicyThompson ||
+		NewFrozen().Policy() != PolicyFrozen {
+		t.Error("convenience constructors returned wrong policies")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"valid", Event{Ad: "a", Impressions: 10, Clicks: 3}, true},
+		{"zero counts", Event{Ad: "a"}, true},
+		{"bucketed", Event{Ad: "a", Bucket: 2, Impressions: 5, Clicks: 5}, true},
+		{"no ad", Event{Impressions: 1}, false},
+		{"negative bucket", Event{Ad: "a", Bucket: -1, Impressions: 1}, false},
+		{"negative impressions", Event{Ad: "a", Impressions: -1}, false},
+		{"negative clicks", Event{Ad: "a", Impressions: 1, Clicks: -1}, false},
+		{"clicks exceed impressions", Event{Ad: "a", Impressions: 1, Clicks: 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewUCB(1)
+			err := e.Observe(tc.ev)
+			if tc.ok && err != nil {
+				t.Fatalf("Observe(%+v) = %v", tc.ev, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("Observe(%+v) accepted", tc.ev)
+				}
+				if e.Events() != 0 || e.Impressions(tc.ev.Ad) != 0 {
+					t.Error("rejected event mutated state")
+				}
+			}
+		})
+	}
+}
+
+func TestCountsAndMeans(t *testing.T) {
+	e := NewUCB(1)
+	for _, ev := range []Event{
+		{Ad: "a", Bucket: 0, Impressions: 8, Clicks: 2},
+		{Ad: "a", Bucket: 1, Impressions: 10, Clicks: 8},
+		{Ad: "b", Bucket: 0, Impressions: 4, Clicks: 0},
+	} {
+		if err := e.Observe(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Events() != 3 {
+		t.Errorf("Events() = %d, want 3", e.Events())
+	}
+	if got := e.Impressions("a"); got != 18 {
+		t.Errorf(`Impressions("a") = %d, want 18`, got)
+	}
+	if got := e.Clicks("a"); got != 10 {
+		t.Errorf(`Clicks("a") = %d, want 10`, got)
+	}
+	if got, want := e.Mean("a"), 11.0/20.0; got != want {
+		t.Errorf(`Mean("a") = %v, want %v`, got, want)
+	}
+	if got, want := e.Estimate("a", 0), 3.0/10.0; got != want {
+		t.Errorf(`Estimate("a", 0) = %v, want %v`, got, want)
+	}
+	if got, want := e.Estimate("a", 1), 9.0/12.0; got != want {
+		t.Errorf(`Estimate("a", 1) = %v, want %v`, got, want)
+	}
+	// Unknown ads and untouched buckets read the zero-count prior 1/2.
+	if got := e.Mean("zzz"); got != 0.5 {
+		t.Errorf(`Mean("zzz") = %v, want 0.5`, got)
+	}
+	if got := e.Estimate("b", 9); got != 0.5 {
+		t.Errorf(`Estimate("b", 9) = %v, want 0.5`, got)
+	}
+}
+
+func TestUCBIndex(t *testing.T) {
+	e := NewUCB(1)
+	if got := e.Index("fresh"); got != 1 {
+		t.Fatalf("untried ad index = %v, want 1 (optimism)", got)
+	}
+	// One low-engagement batch: index = mean + bonus, inside (0, 1).
+	if err := e.Observe(Event{Ad: "a", Impressions: 100, Clicks: 5}); err != nil {
+		t.Fatal(err)
+	}
+	mean := e.Mean("a")
+	bonus := DefaultUCBConstant * math.Sqrt(2*math.Log(1+100)/100)
+	if got, want := e.Index("a"), mean+bonus; math.Abs(got-want) > 1e-12 {
+		t.Fatalf(`Index("a") = %v, want mean %v + bonus %v`, got, mean, bonus)
+	}
+	// High-engagement batch clamps at 1.
+	if err := e.Observe(Event{Ad: "hot", Impressions: 10, Clicks: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Index("hot"); got != 1 {
+		t.Fatalf(`Index("hot") = %v, want clamp at 1`, got)
+	}
+	// The bonus shrinks as the ad accumulates pulls.
+	before := e.Index("a") - e.Mean("a")
+	if err := e.Observe(Event{Ad: "a", Impressions: 400, Clicks: 20}); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Index("a") - e.Mean("a")
+	if after >= before {
+		t.Fatalf("UCB bonus grew with pulls: %v → %v", before, after)
+	}
+}
+
+func TestThompsonDeterministicSampling(t *testing.T) {
+	a := NewThompson(42)
+	b := NewThompson(42)
+	for _, e := range []Estimator{a, b} {
+		if err := e.Observe(Event{Ad: "x", Impressions: 50, Clicks: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Index("x") != b.Index("x") {
+		t.Fatalf("same seed+state sampled differently: %v vs %v", a.Index("x"), b.Index("x"))
+	}
+	// Repeated reads without new feedback are stable (pure function of state).
+	if a.Index("x") != a.Index("x") {
+		t.Fatal("repeated Index reads diverged")
+	}
+	if got := a.Index("untried"); got != 1 {
+		t.Fatalf("untried ad index = %v, want 1", got)
+	}
+	c := NewThompson(43)
+	if err := c.Observe(Event{Ad: "x", Impressions: 50, Clicks: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index("x") == a.Index("x") {
+		t.Fatal("different seeds produced identical posterior samples")
+	}
+	// New feedback moves the draw: the uniform depends on the counts.
+	before := a.Index("x")
+	if err := a.Observe(Event{Ad: "x", Impressions: 50, Clicks: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Index("x") == before {
+		t.Fatal("posterior sample ignored new counts")
+	}
+	if idx := a.Index("x"); idx < minIndex || idx > 1 {
+		t.Fatalf("index %v outside [%v, 1]", idx, minIndex)
+	}
+}
+
+func TestFrozenNeverUpdates(t *testing.T) {
+	e := NewFrozen()
+	if err := e.Observe(Event{Ad: "a", Impressions: 1000, Clicks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Index("a"); got != 1 {
+		t.Fatalf("frozen index moved to %v", got)
+	}
+	base := []float64{0.25, 0.75}
+	got := e.Overrides([]string{"a", "b"}, base)
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("frozen overrides %v, want base %v", got, base)
+	}
+	// Counts still accumulate (the baseline observes, it just never acts).
+	if e.Impressions("a") != 1000 || e.Events() != 1 {
+		t.Error("frozen estimator dropped the counts")
+	}
+}
+
+func TestOverridesAndEffectiveCPE(t *testing.T) {
+	e := NewUCB(1)
+	if err := e.Observe(Event{Ad: "a", Impressions: 200, Clicks: 10}); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b"}
+	base := []float64{2, 3}
+	got := e.Overrides(names, base)
+	for i, name := range names {
+		want := e.EffectiveCPE(name, base[i])
+		if got[i] != want {
+			t.Errorf("override[%d] = %v, want %v", i, got[i], want)
+		}
+		if got[i] <= 0 {
+			t.Errorf("override[%d] = %v, must stay positive for core validation", i, got[i])
+		}
+	}
+	if got[1] != 3 {
+		t.Errorf("untried ad override %v, want base 3", got[1])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	e.Overrides(names, []float64{1})
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, policy := range []string{PolicyUCB, PolicyThompson, PolicyFrozen} {
+		t.Run(policy, func(t *testing.T) {
+			e := mustNew(t, policy, 99)
+			for i, ev := range []Event{
+				{Ad: "beta", Bucket: 1, Impressions: 30, Clicks: 12},
+				{Ad: "alpha", Bucket: 2, Impressions: 7, Clicks: 0},
+				{Ad: "alpha", Bucket: 0, Impressions: 15, Clicks: 15},
+				{Ad: "beta", Bucket: 1, Impressions: 5, Clicks: 1},
+			} {
+				if err := e.Observe(ev); err != nil {
+					t.Fatalf("event %d: %v", i, err)
+				}
+			}
+			st := e.Snapshot()
+			// Cells come out sorted by (Ad, Bucket).
+			for i := 1; i < len(st.Cells); i++ {
+				p, c := st.Cells[i-1], st.Cells[i]
+				if p.Ad > c.Ad || (p.Ad == c.Ad && p.Bucket >= c.Bucket) {
+					t.Fatalf("cells not sorted: %+v before %+v", p, c)
+				}
+			}
+			r, err := Restore(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r.Snapshot(), st) {
+				t.Fatalf("snapshot changed across restore:\n%+v\n%+v", r.Snapshot(), st)
+			}
+			for _, ad := range []string{"alpha", "beta", "untried"} {
+				if r.Index(ad) != e.Index(ad) {
+					t.Errorf("restored Index(%q) = %v, want %v", ad, r.Index(ad), e.Index(ad))
+				}
+				if r.Mean(ad) != e.Mean(ad) {
+					t.Errorf("restored Mean(%q) = %v, want %v", ad, r.Mean(ad), e.Mean(ad))
+				}
+			}
+			if r.Events() != e.Events() {
+				t.Errorf("restored Events() = %d, want %d", r.Events(), e.Events())
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		st   State
+	}{
+		{"unknown policy", State{Policy: "egreedy"}},
+		{"negative events", State{Policy: PolicyUCB, Events: -1}},
+		{"negative constant", State{Policy: PolicyUCB, UCBConstFP: -1}},
+		{"cell without ad", State{Policy: PolicyUCB, Cells: []Cell{{Impressions: 1}}}},
+		{"negative bucket", State{Policy: PolicyUCB, Cells: []Cell{{Ad: "a", Bucket: -1}}}},
+		{"clicks exceed impressions", State{Policy: PolicyUCB, Cells: []Cell{{Ad: "a", Impressions: 1, Clicks: 2}}}},
+		{"duplicate cell", State{Policy: PolicyUCB, Cells: []Cell{{Ad: "a", Impressions: 1}, {Ad: "a", Impressions: 2}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Restore(tc.st); err == nil {
+				t.Fatalf("Restore(%+v) accepted", tc.st)
+			}
+		})
+	}
+}
+
+func TestExploration(t *testing.T) {
+	e := NewUCB(1)
+	// Untried: index 1, mean 1/2 → optimism 1/2.
+	if got := e.Exploration("a"); got != 0.5 {
+		t.Fatalf("untried exploration = %v, want 0.5", got)
+	}
+	if err := e.Observe(Event{Ad: "a", Impressions: 1000, Clicks: 300}); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Exploration("a")
+	if after < 0 || after >= 0.5 {
+		t.Fatalf("exploration after 1000 pulls = %v, want in [0, 0.5)", after)
+	}
+}
+
+func TestInvNormCDF(t *testing.T) {
+	if got := invNormCDF(0.5); math.Abs(got) > 1e-9 {
+		t.Errorf("invNormCDF(0.5) = %v, want 0", got)
+	}
+	if got := invNormCDF(0.975); math.Abs(got-1.959964) > 1e-4 {
+		t.Errorf("invNormCDF(0.975) = %v, want ≈1.96", got)
+	}
+	for _, p := range []float64{1e-9, 0.001, 0.01, 0.3, 0.7, 0.99, 0.999, 1 - 1e-9} {
+		lo, hi := invNormCDF(p), invNormCDF(1-p)
+		if math.Abs(lo+hi) > 1e-7 {
+			t.Errorf("asymmetric: invNormCDF(%v)=%v, invNormCDF(%v)=%v", p, lo, 1-p, hi)
+		}
+		if p < 0.5 && lo >= 0 {
+			t.Errorf("invNormCDF(%v) = %v, want negative", p, lo)
+		}
+	}
+}
+
+// TestConcurrentObserve exercises the mutex under -race: concurrent
+// feedback and reads must neither race nor drop events.
+func TestConcurrentObserve(t *testing.T) {
+	e := NewThompson(5)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ad := string(rune('a' + w%3))
+			for i := 0; i < perWorker; i++ {
+				if err := e.Observe(Event{Ad: ad, Impressions: 2, Clicks: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = e.Index(ad)
+				_ = e.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.Events() != workers*perWorker {
+		t.Fatalf("Events() = %d, want %d", e.Events(), workers*perWorker)
+	}
+}
+
+// FuzzEstimatorInvariants drives both learning policies through arbitrary
+// feedback sequences and checks the structural invariants the rest of the
+// stack leans on: estimates stay in (0,1), counts are monotone, the UCB
+// bonus never grows when an ad accumulates pulls, indexes stay in
+// [minIndex, 1], and serialize→restore round-trips state exactly.
+func FuzzEstimatorInvariants(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 3})
+	f.Add([]byte{1, 1, 200, 199, 2, 0, 0, 0, 1, 3, 50, 25})
+	f.Add([]byte{9, 9, 255, 255, 9, 9, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ucb := NewUCB(3)
+		ts := NewThompson(3)
+		for len(data) >= 4 {
+			ev := Event{
+				Ad:          string(rune('a' + int(data[0])%3)),
+				Bucket:      int(data[1]) % 4,
+				Impressions: int64(data[2]),
+			}
+			ev.Clicks = int64(data[3]) % (ev.Impressions + 1)
+			data = data[4:]
+
+			prevImps := ucb.Impressions(ev.Ad)
+			prevClicks := ucb.Clicks(ev.Ad)
+			prevEvents := ucb.Events()
+			prevIdx := ucb.Index(ev.Ad)
+			prevBonus := prevIdx - ucb.Mean(ev.Ad)
+
+			for _, e := range []Estimator{ucb, ts} {
+				if err := e.Observe(ev); err != nil {
+					t.Fatalf("Observe(%+v) = %v", ev, err)
+				}
+			}
+
+			// Counts are monotone and event counting is exact.
+			if ucb.Impressions(ev.Ad) != prevImps+ev.Impressions ||
+				ucb.Clicks(ev.Ad) != prevClicks+ev.Clicks {
+				t.Fatal("counts not monotone-additive")
+			}
+			if ucb.Events() != prevEvents+1 {
+				t.Fatal("event counter skipped")
+			}
+
+			for _, e := range []Estimator{ucb, ts} {
+				m := e.Mean(ev.Ad)
+				if !(m > 0 && m < 1) {
+					t.Fatalf("%s mean %v outside (0,1)", e.Policy(), m)
+				}
+				est := e.Estimate(ev.Ad, ev.Bucket)
+				if !(est > 0 && est < 1) {
+					t.Fatalf("%s estimate %v outside (0,1)", e.Policy(), est)
+				}
+				idx := e.Index(ev.Ad)
+				if idx < minIndex || idx > 1 {
+					t.Fatalf("%s index %v outside [%v, 1]", e.Policy(), idx, minIndex)
+				}
+				if x := e.Exploration(ev.Ad); x < 0 || x > 1 {
+					t.Fatalf("%s exploration %v outside [0,1]", e.Policy(), x)
+				}
+			}
+
+			// UCB bonus shrinks with pulls: when neither side clamps at 1,
+			// observing this ad cannot grow its exploration bonus (the ad's
+			// n and the table's N grew by the same amount).
+			if ev.Impressions > 0 {
+				idx := ucb.Index(ev.Ad)
+				if prevIdx < 1 && idx < 1 {
+					bonus := idx - ucb.Mean(ev.Ad)
+					if bonus > prevBonus+1e-12 {
+						t.Fatalf("UCB bonus grew with pulls: %v → %v", prevBonus, bonus)
+					}
+				}
+			}
+		}
+
+		// Serialize → restore round-trips exactly, including the policy
+		// index for every ad seen (and one never seen).
+		for _, e := range []Estimator{ucb, ts} {
+			st := e.Snapshot()
+			r, err := Restore(st)
+			if err != nil {
+				t.Fatalf("Restore(%+v) = %v", st, err)
+			}
+			if !reflect.DeepEqual(r.Snapshot(), st) {
+				t.Fatal("snapshot not stable across restore")
+			}
+			for _, ad := range []string{"a", "b", "c", "never"} {
+				if r.Index(ad) != e.Index(ad) {
+					t.Fatalf("%s restored index diverged for %q", e.Policy(), ad)
+				}
+			}
+		}
+	})
+}

@@ -154,6 +154,48 @@ func (v *CounterVec) Snapshot() map[string]uint64 {
 	return out
 }
 
+// GaugeVec is a gauge family partitioned by a fixed set of label names;
+// the same cardinality rules as CounterVec apply (children live forever,
+// so label values must be bounded by construction — the serve layer keys
+// per-ad gauges on campaign names, which the server already caps).
+type GaugeVec struct {
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label values; cacheable
+// like CounterVec.With.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := vecKey(v.labels, values)
+	v.mu.RLock()
+	g := v.children[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[key]; g == nil {
+		g = &Gauge{}
+		v.children[key] = g
+	}
+	return g
+}
+
+// Snapshot returns the current child values keyed by their joined label
+// values, mirroring CounterVec.Snapshot.
+func (v *GaugeVec) Snapshot() map[string]float64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]float64, len(v.children))
+	for key, g := range v.children {
+		out[strings.ReplaceAll(key, vecSep, ",")] = g.Value()
+	}
+	return out
+}
+
 // HistogramVec is a histogram family partitioned by a fixed set of label
 // names; the same cardinality rules as CounterVec apply.
 type HistogramVec struct {
@@ -270,6 +312,20 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		emitSample(w, name, "", formatFloat(g.Value()))
 	}})
 	return g
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{labels: labels, children: map[string]*Gauge{}}
+	r.register(family{name: name, help: help, typ: "gauge", emit: func(w *bufio.Writer) {
+		v.mu.RLock()
+		keys := sortedKeys(v.children)
+		for _, key := range keys {
+			emitSample(w, name, renderLabels(labels, splitKey(key), "", 0), formatFloat(v.children[key].Value()))
+		}
+		v.mu.RUnlock()
+	}})
+	return v
 }
 
 // GaugeFunc registers a gauge computed from fn at scrape time.

@@ -246,22 +246,91 @@ func TestMetricsHandler(t *testing.T) {
 	}
 }
 
-func TestLintCatchesViolations(t *testing.T) {
-	cases := map[string]string{
-		"no TYPE": "some_total 3\n",
-		"non-cumulative buckets": "# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+// histHeader is a well-formed histogram family declaration shared by the
+// malformed-exposition table below.
+const histHeader = "# HELP h_seconds H.\n# TYPE h_seconds histogram\n"
+
+// TestLintRejectsMalformedExposition is the table-driven contract for the
+// checker: every way this package could corrupt an exposition (or a
+// hand-rolled one could lie to a scraper) is rejected with a diagnostic
+// that names the problem.
+func TestLintRejectsMalformedExposition(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // substring of the lint error; "" means must pass
+	}{
+		{"valid counter", "# HELP c_total C.\n# TYPE c_total counter\nc_total 3\n", ""},
+		{"valid negative gauge", "# HELP g G.\n# TYPE g gauge\ng -1.5\n", ""},
+		{"valid histogram", histHeader +
+			`h_seconds_bucket{le="0.1"} 3` + "\n" + `h_seconds_bucket{le="+Inf"} 5` + "\n" +
+			"h_seconds_sum 1.2\nh_seconds_count 5\n", ""},
+		{"no TYPE", "some_total 3\n", "no # TYPE"},
+		{"no HELP", "# TYPE c_total counter\nc_total 3\n", "no # HELP"},
+		{"malformed TYPE line", "# TYPE c_total\nc_total 3\n", "malformed TYPE"},
+		{"unknown metric type", "# TYPE c_total widget\nc_total 3\n", "unknown metric type"},
+		{"negative counter", "# HELP c_total C.\n# TYPE c_total counter\nc_total -1\n", "non-counter value"},
+		{"infinite counter", "# HELP c_total C.\n# TYPE c_total counter\nc_total +Inf\n", "non-counter value"},
+		{"NaN counter", "# HELP c_total C.\n# TYPE c_total counter\nc_total NaN\n", "non-counter value"},
+		{"non-numeric value", "# HELP g G.\n# TYPE g gauge\ng abc\n", "non-numeric value"},
+		{"missing value", "# HELP g G.\n# TYPE g gauge\ng\n", "malformed sample"},
+		{"invalid metric name", "# HELP g G.\n# TYPE g gauge\n" + `bad-name 1` + "\n", "invalid metric name"},
+		{"unbalanced braces", "# HELP g G.\n# TYPE g gauge\n" + `g{a="b" 1` + "\n", "unbalanced braces"},
+		{"bucket without le", histHeader + `h_seconds_bucket{shard="0"} 1` + "\n", "without le"},
+		{"malformed label", histHeader + `h_seconds_bucket{le="0.1",oops} 1` + "\n", "malformed label"},
+		{"bad le bound", histHeader + `h_seconds_bucket{le="wide"} 1` + "\n", "bad le"},
+		{"bucket bounds not increasing", histHeader +
+			`h_seconds_bucket{le="0.5"} 1` + "\n" + `h_seconds_bucket{le="0.1"} 2` + "\n",
+			"bounds not increasing"},
+		{"non-cumulative buckets", histHeader +
 			`h_seconds_bucket{le="0.1"} 5` + "\n" + `h_seconds_bucket{le="+Inf"} 3` + "\n" +
-			"h_seconds_sum 1\nh_seconds_count 3\n",
-		"missing +Inf": "# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+			"h_seconds_sum 1\nh_seconds_count 3\n", "not cumulative"},
+		{"missing +Inf bucket", histHeader +
 			`h_seconds_bucket{le="0.1"} 5` + "\n" + "h_seconds_sum 1\nh_seconds_count 5\n",
-		"+Inf != count": "# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+			"no +Inf bucket"},
+		{"+Inf disagrees with count", histHeader +
 			`h_seconds_bucket{le="+Inf"} 4` + "\n" + "h_seconds_sum 1\nh_seconds_count 5\n",
-		"negative counter": "# HELP c_total C.\n# TYPE c_total counter\nc_total -1\n",
-		"non-numeric":      "# HELP g G.\n# TYPE g gauge\ng abc\n",
+			"+Inf bucket 4 != count 5"},
+		{"buckets but no count", histHeader + `h_seconds_bucket{le="+Inf"} 4` + "\n",
+			"buckets but no _count"},
+		{"NaN sum", histHeader +
+			`h_seconds_bucket{le="+Inf"} 0` + "\n" + "h_seconds_sum NaN\nh_seconds_count 0\n",
+			"is NaN"},
+		{"stray histogram sample", histHeader + "h_seconds 1\n", "stray sample"},
 	}
-	for name, in := range cases {
-		if err := Lint(strings.NewReader(in)); err == nil {
-			t.Errorf("lint accepted %s:\n%s", name, in)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Lint(strings.NewReader(tc.in))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("lint rejected valid exposition: %v\n%s", err, tc.in)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("lint accepted malformed exposition:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("lint error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_estimate", "Estimates.", "ad")
+	v.With("zeta").Set(0.75)
+	v.With("alpha").Set(0.25)
+	v.With("alpha").Set(0.5) // same child, last write wins
+	out := scrape(t, r)
+	alpha := strings.Index(out, `test_estimate{ad="alpha"} 0.5`)
+	zeta := strings.Index(out, `test_estimate{ad="zeta"} 0.75`)
+	if alpha < 0 || zeta < 0 || alpha > zeta {
+		t.Errorf("gauge vec children missing or unsorted:\n%s", out)
+	}
+	snap := v.Snapshot()
+	if snap["alpha"] != 0.5 || snap["zeta"] != 0.75 {
+		t.Errorf("snapshot %v", snap)
 	}
 }

@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"net/http"
 	"reflect"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
 )
 
 // TestServerAllocateBatch pins the batch endpoint's contract on a single
@@ -165,5 +169,95 @@ func TestShardedServeBatch(t *testing.T) {
 	other.Seed = 99
 	if code := postJSON(t, front.URL+"/allocate/batch", other, nil); code != http.StatusBadRequest {
 		t.Errorf("foreign-instance batch returned %d, want 400", code)
+	}
+}
+
+// TestBatchItemErrorIsolation pins per-item failure independence at the
+// layer where every failure class is reachable: the HTTP handler pins one
+// epoch for the whole batch (so a stale item cannot be synthesized over
+// the wire), but the core batch engine it wraps evaluates each item's own
+// pinned epoch — a mixed batch of valid, stale-epoch, and bad-request
+// items must fail exactly the broken items and leave their siblings
+// byte-identical to lone runs.
+func TestBatchItemErrorIsolation(t *testing.T) {
+	inst := gen.Fig1Instance(0)
+	idx, err := core.BuildIndex(inst, 1, core.TIRMOptions{MaxTheta: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.TIRMOptions{MinTheta: 3000, MaxTheta: 20000}
+	epoch := idx.Epoch()
+
+	lone, err := core.AllocateFromIndex(idx, core.Request{Opts: opts, Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		req       core.Request
+		wantStale bool // else: wantErr distinguishes bad-request from ok
+		wantErr   bool
+	}{
+		{name: "valid", req: core.Request{Opts: opts, Epoch: epoch}},
+		{name: "stale-epoch", req: core.Request{Opts: opts, Epoch: epoch + 7}, wantStale: true, wantErr: true},
+		{name: "bad-subset", req: core.Request{Opts: opts, Epoch: epoch, Ads: []int{99}}, wantErr: true},
+		{name: "bad-budgets", req: core.Request{Opts: opts, Epoch: epoch, Budgets: []float64{1}}, wantErr: true},
+		{name: "valid-again", req: core.Request{Opts: opts, Epoch: epoch}},
+	}
+	reqs := make([]core.Request, len(cases))
+	for i, c := range cases {
+		reqs[i] = c.req
+	}
+	results := core.AllocateBatch(idx, reqs)
+	if len(results) != len(cases) {
+		t.Fatalf("%d results for %d items", len(results), len(cases))
+	}
+	for i, c := range cases {
+		br := results[i]
+		if c.wantErr {
+			if br.Err == nil {
+				t.Errorf("%s: succeeded, want error", c.name)
+				continue
+			}
+			if got := errors.Is(br.Err, core.ErrStaleEpoch); got != c.wantStale {
+				t.Errorf("%s: stale=%v (err %v), want stale=%v", c.name, got, br.Err, c.wantStale)
+			}
+			continue
+		}
+		if br.Err != nil {
+			t.Errorf("%s: failed alone: %v", c.name, br.Err)
+			continue
+		}
+		if !reflect.DeepEqual(br.Res.Alloc.Seeds, lone.Alloc.Seeds) {
+			t.Errorf("%s: seeds diverged from lone run despite broken siblings\n got %v\nwant %v",
+				c.name, br.Res.Alloc.Seeds, lone.Alloc.Seeds)
+		}
+	}
+
+	// The wire mapping: itemResult translates each failure class to the
+	// status a lone /allocate would have returned — 409 for stale epochs on
+	// either path, 400 locally, 502 when a shard RPC failed upstream.
+	s := New(Options{Logf: t.Logf})
+	staleRes := results[1]
+	badRes := results[2]
+	for _, c := range []struct {
+		name       string
+		br         core.BatchResult
+		upstream   bool
+		wantStatus int
+	}{
+		{"stale-local", staleRes, false, http.StatusConflict},
+		{"stale-upstream", staleRes, true, http.StatusConflict},
+		{"bad-local", badRes, false, http.StatusBadRequest},
+		{"bad-upstream", badRes, true, http.StatusBadGateway},
+	} {
+		out := s.itemResult(AllocateItem{}, core.Request{}, c.br, inst, c.upstream)
+		if out.Status != c.wantStatus || out.Error == "" {
+			t.Errorf("%s: status=%d error=%q, want status %d with message", c.name, out.Status, out.Error, c.wantStatus)
+		}
+		if out.Seeds != nil {
+			t.Errorf("%s: failed item carries seeds", c.name)
+		}
 	}
 }

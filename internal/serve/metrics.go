@@ -57,6 +57,13 @@ type serverMetrics struct {
 	kernelVec      *obs.CounterVec
 	kernelSelected [rrset.NumKernels]*obs.Counter
 
+	// Bandit-layer telemetry: events applied via POST /feedback, the
+	// per-ad learned estimates, and the exploration share of each ad's
+	// index observed at feedback time.
+	feedbackEvents    *obs.Counter
+	banditEstimate    *obs.GaugeVec // ad
+	banditExploration *obs.Histogram
+
 	// shard is non-nil in coordinator mode: the RPC-level telemetry the
 	// instrumented shard clients record (see ConnectShards).
 	shard *shard.Metrics
@@ -65,6 +72,11 @@ type serverMetrics struct {
 // allocRoundBuckets sizes the rounds-per-allocation histogram: a round
 // commits one seed, so the paper's settings land in the tens to hundreds.
 var allocRoundBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// explorationBuckets sizes the bandit exploration-share histogram: the
+// share lives in [0, 1], starts near 1 (untried ads explore maximally)
+// and decays toward 0 as counts accumulate.
+var explorationBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1}
 
 // newServerMetrics builds the registry for s. The scrape-time funcs close
 // over s and read its existing counters and cache state, so registration
@@ -91,6 +103,14 @@ func newServerMetrics(s *Server) *serverMetrics {
 	for p := core.AllocPhase(0); p < core.NumAllocPhases; p++ {
 		m.phaseSeconds[p] = phaseVec.With(p.String())
 	}
+	m.feedbackEvents = reg.Counter("adserver_feedback_events_total",
+		"Engagement feedback events (per-ad impression/click batches) applied via POST /feedback.")
+	m.banditEstimate = reg.GaugeVec("adserver_bandit_estimate",
+		"Learned per-ad engagement estimate (Laplace-smoothed click-through mean) after the latest feedback batch.",
+		"ad")
+	m.banditExploration = reg.Histogram("adserver_bandit_exploration",
+		"Exploration share of each campaign ad's bandit index (index minus smoothed mean, clamped at 0) observed per feedback batch.",
+		explorationBuckets)
 	m.kernelVec = reg.CounterVec("adserver_kernel_selected_total",
 		"Per-ad coverage collections run on each cover kernel (sparse cover-join scan vs packed-bitset sweep), summed over successful allocations; in coordinator mode each shard-local collection counts.",
 		"kernel")
@@ -119,6 +139,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc("adserver_spend_updates_total",
 		"Engagement-ledger updates via POST /spend.",
 		func() uint64 { return uint64(s.spendUpdates.Load()) })
+	reg.CounterFunc("adserver_feedback_updates_total",
+		"Estimator batch updates via POST /feedback.",
+		func() uint64 { return uint64(s.feedbackUpdates.Load()) })
 	reg.CounterFunc("adserver_epoch_swaps_total",
 		"Campaign-epoch swaps (every successful ad add or remove swaps one).",
 		func() uint64 { return uint64(s.adsAdded.Load() + s.adsRemoved.Load()) })
@@ -147,6 +170,17 @@ func (m *serverMetrics) ObserveAllocation(t core.PhaseTimings) {
 		m.phaseSeconds[p].Observe(t.Phase[p].Seconds())
 	}
 	m.allocRounds.Observe(float64(t.Rounds))
+}
+
+// recordFeedback books one applied POST /feedback batch: the event count
+// and, per current campaign ad, the learned estimate gauge and the
+// exploration-share observation.
+func (m *serverMetrics) recordFeedback(events int, ads []AdEstimate) {
+	m.feedbackEvents.Add(uint64(events))
+	for _, a := range ads {
+		m.banditEstimate.With(a.Name).Set(a.Mean)
+		m.banditExploration.Observe(a.Exploration)
+	}
 }
 
 // failAlloc counts one refused or errored allocation under its reason.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/gen"
 )
@@ -213,6 +214,158 @@ func TestServerAllocateRaceUnderMutation(t *testing.T) {
 	}
 	if !reflect.DeepEqual(gotOut.Seeds, freshOut.Seeds) {
 		t.Fatalf("hammered entry's final allocation diverged from the fresh-index replay:\n got %v\nwant %v",
+			gotOut.Seeds, freshOut.Seeds)
+	}
+	if gotOut.Epoch != freshOut.Epoch {
+		t.Fatalf("epochs diverged: %d vs %d", gotOut.Epoch, freshOut.Epoch)
+	}
+}
+
+// postFeedback fires one POST /feedback without touching testing.T (safe
+// from worker goroutines).
+func postFeedback(url string, req FeedbackRequest) (int, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url+"/feedback", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// raceFeedbackEvent is the deterministic event worker g posts each
+// iteration: fixed per-worker counts so the aggregate estimator state
+// after the storm is a pure function of the worker set, not the
+// interleaving (event counts are additive integers, so batches commute).
+func raceFeedbackEvent(names []string, g int) bandit.Event {
+	return bandit.Event{
+		Ad:          names[g%len(names)],
+		Impressions: 20,
+		Clicks:      int64(2 + 3*g),
+	}
+}
+
+// TestFeedbackRaceUnderMutation hammers POST /feedback concurrently with
+// bandit /allocate, POST /ads, POST /spend, and DELETE /ads on one cache
+// entry — run under -race in CI. Because feedback is name-keyed,
+// epoch-tolerant, and additive, the storm must end in a state where the
+// final bandit allocation is byte-identical to a fresh server that
+// replayed the same mutations serially and ingested the same events in
+// one batch.
+func TestFeedbackRaceUnderMutation(t *testing.T) {
+	ts := testServer(t, Options{})
+
+	// Warm the entry and learn the campaign's ad names.
+	var warm AllocateResponse
+	if code := postJSON(t, ts.URL+"/allocate", AllocateRequest{InstanceParams: raceParams, Opts: raceOpts}, &warm); code != http.StatusOK {
+		t.Fatalf("warm allocate: HTTP %d", code)
+	}
+	names := warm.AdNames
+
+	// Seed the estimator before the storm so bandit allocations never 400.
+	if code, err := postFeedback(ts.URL, FeedbackRequest{
+		InstanceParams: raceParams,
+		Events:         []bandit.Event{raceFeedbackEvent(names, 0)},
+	}); err != nil || code != http.StatusOK {
+		t.Fatalf("seed feedback: code=%d err=%v", code, err)
+	}
+
+	const feedbackWorkers, allocWorkers, iters, cycles = 4, 4, 6, 3
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	stop := make(chan struct{})
+	for g := 0; g < feedbackWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				code, err := postFeedback(ts.URL, FeedbackRequest{
+					InstanceParams: raceParams,
+					Events:         []bandit.Event{raceFeedbackEvent(names, g)},
+				})
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Sprintf("feedback g%d i%d: code=%d err=%v", g, i, code, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < allocWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, code, err := postAllocate(ts.URL, AllocateRequest{
+					InstanceParams: raceParams, Opts: raceOpts, Bandit: true, Residual: g%2 == 0,
+				})
+				if err != nil {
+					errs <- fmt.Sprintf("alloc g%d: %v", g, err)
+					return
+				}
+				// 409 = epoch race with a mutation: the documented clean
+				// outcome. Everything else must succeed.
+				if code != http.StatusOK && code != http.StatusConflict {
+					errs <- fmt.Sprintf("alloc g%d: HTTP %d", g, code)
+					return
+				}
+			}
+		}(g)
+	}
+	for k := 0; k < cycles; k++ {
+		mutateOnce(t, ts.URL, names[0])
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Fresh server: serial replay of the identical mutation history plus
+	// the storm's aggregate event stream in a single batch.
+	fresh := testServer(t, Options{})
+	if code := postJSON(t, fresh.URL+"/allocate", AllocateRequest{InstanceParams: raceParams, Opts: raceOpts}, nil); code != http.StatusOK {
+		t.Fatalf("fresh warm: HTTP %d", code)
+	}
+	replay := []bandit.Event{raceFeedbackEvent(names, 0)} // the pre-storm seed batch
+	for g := 0; g < feedbackWorkers; g++ {
+		for i := 0; i < iters; i++ {
+			replay = append(replay, raceFeedbackEvent(names, g))
+		}
+	}
+	if code := postJSON(t, fresh.URL+"/feedback", FeedbackRequest{
+		InstanceParams: raceParams, Events: replay,
+	}, nil); code != http.StatusOK {
+		t.Fatalf("replay feedback: HTTP %d", code)
+	}
+	for k := 0; k < cycles; k++ {
+		mutateOnce(t, fresh.URL, names[0])
+	}
+
+	final := AllocateRequest{InstanceParams: raceParams, Opts: raceOpts, Bandit: true, Residual: true}
+	var gotOut, freshOut AllocateResponse
+	if code := postJSON(t, ts.URL+"/allocate", final, &gotOut); code != http.StatusOK {
+		t.Fatalf("hammered final allocate: HTTP %d", code)
+	}
+	if code := postJSON(t, fresh.URL+"/allocate", final, &freshOut); code != http.StatusOK {
+		t.Fatalf("fresh final allocate: HTTP %d", code)
+	}
+	if !reflect.DeepEqual(gotOut.SpentBudgets, freshOut.SpentBudgets) {
+		t.Fatalf("spend ledgers diverged: %v vs %v", gotOut.SpentBudgets, freshOut.SpentBudgets)
+	}
+	if !reflect.DeepEqual(gotOut.Seeds, freshOut.Seeds) {
+		t.Fatalf("hammered entry's final bandit allocation diverged from the fresh replay:\n got %v\nwant %v",
 			gotOut.Seeds, freshOut.Seeds)
 	}
 	if gotOut.Epoch != freshOut.Epoch {

@@ -31,6 +31,7 @@
 //	POST   /ads         — add an advertiser to a cached campaign set
 //	DELETE /ads/{name}  — remove an advertiser by name
 //	POST   /spend       — record engagement spend / read residual budgets
+//	POST   /feedback    — apply engagement events to the bandit estimator
 //	GET    /datasets    — registered dataset generators
 //	GET    /stats       — cache and lifecycle counters, per-index memory
 //	GET    /healthz     — liveness probe
@@ -54,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/gen"
@@ -130,13 +132,14 @@ type Server struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	coalesced     atomic.Int64
-	snapshotLoads atomic.Int64
-	adsAdded      atomic.Int64
-	adsRemoved    atomic.Int64
-	spendUpdates  atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	coalesced       atomic.Int64
+	snapshotLoads   atomic.Int64
+	adsAdded        atomic.Int64
+	adsRemoved      atomic.Int64
+	spendUpdates    atomic.Int64
+	feedbackUpdates atomic.Int64
 }
 
 // entry is one cached instance plus its lazily built index. The two are
@@ -183,6 +186,12 @@ type entry struct {
 	spendMu  sync.Mutex
 	spent    map[string]float64
 	mutating atomic.Int32
+
+	// estMu guards the bandit estimator (nil until the first POST
+	// /feedback). Separate from lifeMu: feedback is name-keyed and
+	// epoch-tolerant, so it never serializes against campaign mutations.
+	estMu sync.Mutex
+	est   bandit.Estimator
 }
 
 // currentInst returns the entry's latest campaign view: the index's current
@@ -364,6 +373,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/ads", s.handleAddAd)
 	mux.HandleFunc("/ads/", s.handleRemoveAd)
 	mux.HandleFunc("/spend", s.handleSpend)
+	mux.HandleFunc("/feedback", s.handleFeedback)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return obs.Instrument(mux, s.metrics.http, obs.InstrumentOptions{
 		Component: "adserver",
@@ -714,6 +724,7 @@ type StatsResponse struct {
 	AdsAdded          int64            `json:"adsAdded"`
 	AdsRemoved        int64            `json:"adsRemoved"`
 	SpendUpdates      int64            `json:"spendUpdates"`
+	FeedbackUpdates   int64            `json:"feedbackUpdates"`
 	IndexMemBytes     int64            `json:"indexMemBytes"`
 	IndexMemByDataset map[string]int64 `json:"indexMemByDataset"`
 	// WorkspaceHits/WorkspaceMisses aggregate the per-entry workspace-pool
@@ -742,6 +753,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			AdsAdded:          s.adsAdded.Load(),
 			AdsRemoved:        s.adsRemoved.Load(),
 			SpendUpdates:      s.spendUpdates.Load(),
+			FeedbackUpdates:   s.feedbackUpdates.Load(),
 			IndexMemByDataset: map[string]int64{},
 			AllocFailures:     s.allocFailureCounts(),
 			Kernels:           s.kernelCounts(),
@@ -771,6 +783,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AdsAdded:          s.adsAdded.Load(),
 		AdsRemoved:        s.adsRemoved.Load(),
 		SpendUpdates:      s.spendUpdates.Load(),
+		FeedbackUpdates:   s.feedbackUpdates.Load(),
 		IndexMemByDataset: map[string]int64{},
 		AllocFailures:     s.allocFailureCounts(),
 		Kernels:           s.kernelCounts(),
@@ -831,6 +844,11 @@ type AllocateRequest struct {
 	Budgets  []float64 `json:"budgets,omitempty"`
 	CPEs     []float64 `json:"cpes,omitempty"`
 	Residual bool      `json:"residual,omitempty"`
+	// Bandit applies the campaign's learned engagement estimates (built
+	// from POST /feedback events) as effective-CPE overrides for this run.
+	// Mutually exclusive with explicit CPEs; 400 when no feedback has been
+	// recorded yet.
+	Bandit bool `json:"bandit,omitempty"`
 	// Kernel selects the coverage kernel ("auto"/"sparse"/"bitset", see
 	// core.Request.Kernel); it changes sweep cost, never the allocation.
 	Kernel string     `json:"kernel,omitempty"`
@@ -929,11 +947,26 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	// against: a campaign mutation racing in turns into a clean 409, never
 	// a positionally misaligned allocation.
 	epoch, curInst := idx.EpochInst()
+	reqCPEs := req.CPEs
+	if req.Bandit {
+		if req.CPEs != nil {
+			s.metrics.failAlloc(failBadRequest)
+			httpError(w, http.StatusBadRequest, "bandit and cpes are mutually exclusive")
+			return
+		}
+		cpes, err := e.banditCPEs(curInst)
+		if err != nil {
+			s.metrics.failAlloc(failBadRequest)
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		reqCPEs = cpes
+	}
 	coreReq := core.Request{
 		Opts:     req.Opts.toOptions(s.opts.MaxTheta),
 		Ads:      req.Ads,
 		Budgets:  req.Budgets,
-		CPEs:     req.CPEs,
+		CPEs:     reqCPEs,
 		Lambda:   req.Lambda,
 		Epoch:    epoch,
 		Pool:     &e.pool,

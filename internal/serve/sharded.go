@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/shard"
 )
@@ -46,6 +47,12 @@ type shardedState struct {
 	mu     sync.Mutex // guards spent and allocs only (never held across RPCs)
 	spent  map[string]float64
 	allocs int64
+
+	// estMu guards the host-side bandit estimator (nil until the first
+	// POST /feedback); its integer snapshot broadcasts to every shard
+	// after each batch, outside this lock.
+	estMu sync.Mutex
+	est   bandit.Estimator
 
 	// memBytes caches the cluster's summed sample footprint, refreshed by
 	// the health probes — /allocate reports it without sweeping shards.
@@ -134,11 +141,26 @@ func (s *Server) handleAllocateSharded(w http.ResponseWriter, r *http.Request, r
 	}
 	st := s.sharded
 	epoch, curInst := st.coord.EpochInst()
+	reqCPEs := req.CPEs
+	if req.Bandit {
+		if req.CPEs != nil {
+			s.metrics.failAlloc(failBadRequest)
+			httpError(w, http.StatusBadRequest, "bandit and cpes are mutually exclusive")
+			return
+		}
+		cpes, err := st.banditCPEs(curInst)
+		if err != nil {
+			s.metrics.failAlloc(failBadRequest)
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		reqCPEs = cpes
+	}
 	coreReq := core.Request{
 		Opts:    req.Opts.toOptions(s.opts.MaxTheta),
 		Ads:     req.Ads,
 		Budgets: req.Budgets,
-		CPEs:    req.CPEs,
+		CPEs:    reqCPEs,
 		Lambda:  req.Lambda,
 		Epoch:   epoch,
 		Kernel:  s.kernelFor(req.Kernel),

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rrset"
@@ -929,4 +930,19 @@ func (c *Coordinator) RemoveAd(ctx context.Context, pos int) error {
 	inst.Ads = append(append([]core.Ad(nil), c.inst.Ads[:pos]...), c.inst.Ads[pos+1:]...)
 	c.inst = &inst
 	return nil
+}
+
+// SyncEstimates broadcasts a bandit estimator snapshot to every shard,
+// concurrently, so sharded allocation and any shard-local consumer see
+// the same integer estimate table. Unlike campaign mutations it carries
+// no epoch pin — estimator state is name-keyed and epoch-free — so a
+// failed shard can simply be retried with the next (monotone) snapshot.
+func (c *Coordinator) SyncEstimates(ctx context.Context, st bandit.State) error {
+	req := SyncEstimatesRequest{State: st}
+	return c.scatter(func(k int, cl Client) error {
+		if err := cl.SyncEstimates(ctx, req); err != nil {
+			return fmt.Errorf("shard: sync estimates on shard %d: %w", k, err)
+		}
+		return nil
+	})
 }

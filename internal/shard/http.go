@@ -35,6 +35,7 @@ import (
 //	POST /shard/end     — {"runId": …}  → {}
 //	POST /shard/ads     — AddAdRequest  → MutateReply
 //	POST /shard/remove  — RemoveAdRequest → MutateReply
+//	POST /shard/estimates — SyncEstimatesRequest → {}
 //	POST /shard/drain   — {} (refuse new runs from now on)
 //	GET  /metrics       — Prometheus text exposition
 //
@@ -65,6 +66,9 @@ func (s *Shard) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/shard/ads", rpc(func(req AddAdRequest) (MutateReply, error) { return s.AddAd(req) }))
 	mux.HandleFunc("/shard/remove", rpc(func(req RemoveAdRequest) (MutateReply, error) { return s.RemoveAd(req) }))
+	mux.HandleFunc("/shard/estimates", rpc(func(req SyncEstimatesRequest) (struct{}, error) {
+		return struct{}{}, s.SyncEstimates(req)
+	}))
 	mux.HandleFunc("/shard/drain", rpc(func(req struct{}) (struct{}, error) {
 		s.Drain()
 		return struct{}{}, nil
@@ -287,6 +291,12 @@ func (c *HTTPClient) AddAd(ctx context.Context, req AddAdRequest) (MutateReply, 
 func (c *HTTPClient) RemoveAd(ctx context.Context, req RemoveAdRequest) (MutateReply, error) {
 	var out MutateReply
 	return out, c.call(ctx, "/shard/remove", req, &out)
+}
+
+// SyncEstimates implements Client.
+func (c *HTTPClient) SyncEstimates(ctx context.Context, req SyncEstimatesRequest) error {
+	var out struct{}
+	return c.call(ctx, "/shard/estimates", req, &out)
 }
 
 // Drain asks the daemon to refuse new runs (not part of the coordinator's

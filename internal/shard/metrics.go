@@ -156,5 +156,13 @@ func (c *instrumentedClient) RemoveAd(ctx context.Context, req RemoveAdRequest) 
 	return out, err
 }
 
+// SyncEstimates implements Client.
+func (c *instrumentedClient) SyncEstimates(ctx context.Context, req SyncEstimatesRequest) error {
+	start := time.Now()
+	err := c.cl.SyncEstimates(ctx, req)
+	c.m.record("syncEstimates", c.shard, start, err)
+	return err
+}
+
 // Interface compliance.
 var _ Client = (*instrumentedClient)(nil)

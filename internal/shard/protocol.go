@@ -10,6 +10,8 @@ package shard
 import (
 	"context"
 	"errors"
+
+	"repro/internal/bandit"
 )
 
 // Wire-level sentinel errors. The HTTP transport maps them onto status
@@ -285,6 +287,20 @@ type MutateReply struct {
 	NumAds int `json:"numAds"`
 }
 
+// SyncEstimatesRequest broadcasts a full bandit estimator snapshot to a
+// shard. The payload is bandit.State — impression/click counts, an event
+// counter, and the UCB exploration constant in 16.16 fixed point, all
+// integers — so the snapshot survives the JSON transport bit for bit and
+// every replica that restores it computes identical effective-CPE
+// overrides. The coordinator pushes a fresh snapshot after each feedback
+// batch; shards keep only the latest (Events is monotone, so stale
+// rebroadcasts are ignored).
+type SyncEstimatesRequest struct {
+	// State is the integer-only estimator snapshot, cells sorted by
+	// (Ad, Bucket).
+	State bandit.State `json:"state"`
+}
+
 // EnsureRequest grows one ad's sample to cover the global prefix
 // [0, Want) and syncs its inverted index — coordinator-driven warm-up, the
 // distributed equivalent of BuildIndex's presampling.
@@ -331,4 +347,6 @@ type Client interface {
 	AddAd(ctx context.Context, req AddAdRequest) (MutateReply, error)
 	// RemoveAd retires the advertiser at a campaign position.
 	RemoveAd(ctx context.Context, req RemoveAdRequest) (MutateReply, error)
+	// SyncEstimates replaces the shard's bandit estimator snapshot.
+	SyncEstimates(ctx context.Context, req SyncEstimatesRequest) error
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rrset"
@@ -54,6 +55,13 @@ type Shard struct {
 	mu       sync.Mutex
 	runs     map[string]*shardRun
 	draining atomic.Bool
+
+	// estMu guards est, the latest bandit estimator snapshot broadcast by
+	// the coordinator (see SyncEstimates). Separate from mu: estimator
+	// syncs arrive between selection runs and must never contend with the
+	// run-table hot path.
+	estMu sync.Mutex
+	est   *bandit.State
 
 	runsOpened atomic.Int64
 	commits    atomic.Int64
@@ -487,4 +495,35 @@ func (s *Shard) RemoveAd(req RemoveAdRequest) (MutateReply, error) {
 		return MutateReply{}, err
 	}
 	return MutateReply{Epoch: s.idx.Epoch(), NumAds: s.idx.NumAds()}, nil
+}
+
+// SyncEstimates implements the Client surface shard-side: it validates
+// and stores the broadcast bandit estimator snapshot. Estimator state is
+// name-keyed and epoch-free (feedback survives campaign churn), so the
+// sync carries no epoch pin. A snapshot with an Events count at or below
+// the stored one is ignored — out-of-order rebroadcasts cannot roll the
+// shard's view backwards.
+func (s *Shard) SyncEstimates(req SyncEstimatesRequest) error {
+	if _, err := bandit.Restore(req.State); err != nil {
+		return fmt.Errorf("shard: bad estimator snapshot: %w", err)
+	}
+	s.estMu.Lock()
+	defer s.estMu.Unlock()
+	if s.est != nil && req.State.Events <= s.est.Events {
+		return nil
+	}
+	st := req.State
+	s.est = &st
+	return nil
+}
+
+// Estimates returns the latest synced bandit estimator snapshot, with ok
+// reporting whether one has arrived.
+func (s *Shard) Estimates() (st bandit.State, ok bool) {
+	s.estMu.Lock()
+	defer s.estMu.Unlock()
+	if s.est == nil {
+		return bandit.State{}, false
+	}
+	return *s.est, true
 }

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/shard"
@@ -65,6 +66,19 @@ type Config struct {
 	// distributed hot path replayed under the exact same workload, which
 	// TestLifecycleShardedMatchesSingleNode pins.
 	Shards int
+	// Bandit, when non-empty, runs the lifecycle in online-CPE-learning
+	// mode with the named bandit policy ("ucb", "thompson", or the
+	// never-update baseline "frozen"). Each ad gets a hidden true
+	// engagement rate q_j (a deterministic function of its name); the
+	// Monte Carlo engagement events of every round feed a
+	// bandit.Estimator, re-allocations consume the estimator's
+	// effective-CPE overrides, and each round additionally scores a
+	// known-CPE oracle allocation (CPE_j·q_j) on the same paired eval
+	// stream. The trace then carries the cumulative regret of the
+	// learning policy against that oracle — bit-reproducible at any
+	// Shards setting. Empty keeps the classic known-CPE lifecycle,
+	// byte-identical to previous releases.
+	Bandit string
 }
 
 func (c Config) withDefaults(numAds int) Config {
@@ -126,6 +140,15 @@ type RoundReport struct {
 	// RegretOverBudget is Regret / Σ B_i over live ads (the paper's
 	// reporting unit).
 	RegretOverBudget float64
+	// OracleRevenue is the round's q-scaled revenue of the known-CPE
+	// oracle allocation (bandit mode only; 0 otherwise).
+	OracleRevenue float64
+	// OracleRegret is the oracle allocation's Eq. 3 score this round
+	// (bandit mode only).
+	OracleRegret float64
+	// BanditRegret is the cumulative learning regret through this round:
+	// Σ over rounds of (Regret − OracleRegret). Bandit mode only.
+	BanditRegret float64
 }
 
 // AdFate is one advertiser's end-of-run bookkeeping.
@@ -156,6 +179,11 @@ type Result struct {
 	TotalSetsSampled int64
 	// Reallocations counts selection runs.
 	Reallocations int
+	// CumulativeRegret is the final cumulative learning regret against
+	// the known-CPE oracle (bandit mode only; 0 otherwise).
+	CumulativeRegret float64
+	// Estimator is the final estimator snapshot (nil unless bandit mode).
+	Estimator *bandit.State
 }
 
 // engine abstracts where the lifecycle's index lives: a single-node
@@ -219,6 +247,49 @@ func (e *shardEngine) SetsSampled() (int64, error) {
 	return e.coord.SetsSampled(context.Background())
 }
 
+// banditState carries the online-learning side of a bandit-mode run: the
+// estimator under test, the feedback event stream, and the oracle's
+// standing allocation for the regret comparison.
+type banditState struct {
+	est         bandit.Estimator
+	fbRoot      *xrand.Rand
+	oracleSeeds map[string][]int32
+	cum         float64
+}
+
+// trueEngagementRate is the hidden per-ad engagement probability q_j a
+// bandit-mode run must learn: a deterministic hash of the ad name spread
+// over [0.35, 0.95], so the workload mixes strong and weak campaigns
+// without any extra configuration or RNG draw.
+func trueEngagementRate(name string) float64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return 0.35 + 0.6*float64(h%10000)/10000
+}
+
+// trueCPEs returns the oracle's effective CPEs, CPE_j·q_j.
+func trueCPEs(curr *core.Instance) []float64 {
+	out := make([]float64, len(curr.Ads))
+	for j, ad := range curr.Ads {
+		out[j] = ad.CPE * trueEngagementRate(ad.Name)
+	}
+	return out
+}
+
+// learnedCPEs returns the estimator's effective CPEs, CPE_j·index_j.
+func (bs *banditState) learnedCPEs(curr *core.Instance) []float64 {
+	names := make([]string, len(curr.Ads))
+	base := make([]float64, len(curr.Ads))
+	for j, ad := range curr.Ads {
+		names[j] = ad.Name
+		base[j] = ad.CPE
+	}
+	return bs.est.Overrides(names, base)
+}
+
 // Run simulates the lifecycle workload over inst's advertisers: the first
 // Config.InitialAds are live at round 1, the rest arrive in order as the
 // event stream fires. Deterministic for a fixed (inst, seed, cfg) — at any
@@ -261,6 +332,22 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 	evalRoot := xrand.New(seed).Split(0x5c0)
 	nextRoster := cfg.InitialAds // roster position of the next arrival
 
+	// Bandit mode: all extra streams and state are split off up front, so
+	// the classic (Bandit == "") event and eval streams are untouched and
+	// existing traces replay byte-identically.
+	var bs *banditState
+	if cfg.Bandit != "" {
+		est, err := bandit.New(cfg.Bandit, xrand.New(seed).Split(0xba4d17).Seed())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		bs = &banditState{
+			est:         est,
+			fbRoot:      xrand.New(seed).Split(0xfeedb4),
+			oracleSeeds: map[string][]int32{},
+		}
+	}
+
 	res := &Result{Trace: make([]RoundReport, 0, cfg.Rounds)}
 	fates := make(map[string]*AdFate, len(inst.Ads))
 	var fateOrder []string
@@ -287,6 +374,9 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 			fates[name].Departed = r
 			delete(spent, name)
 			delete(seeds, name)
+			if bs != nil {
+				delete(bs.oracleSeeds, name)
+			}
 			rep.Events = append(rep.Events, "leave:"+name)
 			needRealloc = true
 		}
@@ -314,8 +404,32 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 			for j, ad := range curr.Ads {
 				spentVec[j] = spent[ad.Name]
 			}
+			var cpes []float64
+			if bs != nil {
+				// The known-CPE oracle allocates first against CPE_j·q_j —
+				// the benchmark the learning policy's regret is measured
+				// against. It runs through the same engine (and so grows
+				// the index identically at any shard count) but never
+				// becomes the standing allocation.
+				oracle, err := idx.Allocate(core.Request{
+					Opts:        cfg.Opts,
+					CPEs:        trueCPEs(curr),
+					SpentBudget: spentVec,
+					Epoch:       epoch,
+					Kernel:      cfg.Kernel,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("sim: round %d oracle allocation: %w", r, err)
+				}
+				for j, ad := range curr.Ads {
+					bs.oracleSeeds[ad.Name] = oracle.Alloc.Seeds[j]
+				}
+				rep.SetsSampled += oracle.TotalSetsSampled
+				cpes = bs.learnedCPEs(curr)
+			}
 			out, err := idx.Allocate(core.Request{
 				Opts:        cfg.Opts,
+				CPEs:        cpes,
 				SpentBudget: spentVec,
 				Epoch:       epoch,
 				Kernel:      cfg.Kernel,
@@ -327,7 +441,7 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 				seeds[ad.Name] = out.Alloc.Seeds[j]
 			}
 			rep.Reallocated = true
-			rep.SetsSampled = out.TotalSetsSampled
+			rep.SetsSampled += out.TotalSetsSampled
 			res.Reallocations++
 			needRealloc = false
 		}
@@ -339,8 +453,25 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 			alloc.Seeds[j] = seeds[ad.Name]
 		}
 		out := eval.Evaluate(curr, alloc, cfg.EvalRuns, evalRoot.Split(uint64(r)))
+		// In bandit mode the oracle's standing allocation is scored on the
+		// same Split(r) eval stream — Split is a pure function of (seed,
+		// idx), so both evaluations see identical cascades and the regret
+		// difference isolates allocation quality from Monte Carlo noise.
+		var oracleOut *eval.Outcome
+		if bs != nil {
+			oalloc := &core.Allocation{Seeds: make([][]int32, len(curr.Ads))}
+			for j, ad := range curr.Ads {
+				oalloc.Seeds[j] = bs.oracleSeeds[ad.Name]
+			}
+			oracleOut = eval.Evaluate(curr, oalloc, cfg.EvalRuns, evalRoot.Split(uint64(r)))
+		}
 		for j, ad := range curr.Ads {
 			rev := out.Ads[j].Revenue
+			if bs != nil {
+				// Realized value scales by the hidden engagement rate: a
+				// spread impression only pays out when it engages.
+				rev *= trueEngagementRate(ad.Name)
+			}
 			ds := cfg.EngagementRate * rev
 			if room := ad.Budget - spent[ad.Name]; ds > room {
 				ds = room
@@ -357,6 +488,37 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 			rep.Revenue += rev
 			rep.Regret += regretTerm(residual, rev, curr.Lambda, len(alloc.Seeds[j]))
 			rep.TotalSeeds += len(alloc.Seeds[j])
+			if bs != nil {
+				orev := oracleOut.Ads[j].Revenue * trueEngagementRate(ad.Name)
+				rep.OracleRevenue += orev
+				rep.OracleRegret += regretTerm(residual, orev, curr.Lambda, len(bs.oracleSeeds[ad.Name]))
+			}
+		}
+		if bs != nil {
+			bs.cum += rep.Regret - rep.OracleRegret
+			rep.BanditRegret = bs.cum
+
+			// Feedback: every Monte Carlo cascade run is an impression of
+			// the ad's seed set; each engages with probability q_j. The
+			// estimator only sees these observable events — never q_j.
+			fb := bs.fbRoot.Split(uint64(r))
+			for j, ad := range curr.Ads {
+				rj := fb.Split(uint64(j))
+				q := trueEngagementRate(ad.Name)
+				var clicks int64
+				for i := 0; i < cfg.EvalRuns; i++ {
+					if rj.Bernoulli(q) {
+						clicks++
+					}
+				}
+				if err := bs.est.Observe(bandit.Event{
+					Ad:          ad.Name,
+					Impressions: int64(cfg.EvalRuns),
+					Clicks:      clicks,
+				}); err != nil {
+					return nil, fmt.Errorf("sim: round %d feedback: %w", r, err)
+				}
+			}
 		}
 		var totalBudget float64
 		for _, ad := range curr.Ads {
@@ -382,6 +544,11 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: final sample count: %w", err)
 	}
 	res.TotalSetsSampled = sampled
+	if bs != nil {
+		res.CumulativeRegret = bs.cum
+		st := bs.est.Snapshot()
+		res.Estimator = &st
+	}
 	return res, nil
 }
 

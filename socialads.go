@@ -35,6 +35,7 @@ package socialads
 import (
 	"io"
 
+	"repro/internal/bandit"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/diffusion"
@@ -189,6 +190,46 @@ type (
 // a fixed (inst, seed, cfg); see examples/lifecycle.
 func RunLifecycle(inst *Instance, seed uint64, cfg LifecycleConfig) (*LifecycleResult, error) {
 	return sim.Run(inst, seed, cfg)
+}
+
+// Online-CPE-learning types (see internal/bandit and DESIGN.md §8): the
+// allocator treats each ad's cost-per-engagement as known, but in
+// production the engagement rate behind it must be learned from click
+// feedback. An estimator maintains per-ad counts and turns them into
+// effective-CPE overrides for AllocRequest.CPEs; a nil estimator (or one
+// with no feedback) leaves allocations byte-identical to today's.
+type (
+	// EngagementEstimator learns per-ad engagement rates from feedback
+	// events and scores ads with a bandit policy index in (0, 1].
+	EngagementEstimator = bandit.Estimator
+	// EngagementEvent is one batch of impression/click feedback for an ad.
+	EngagementEvent = bandit.Event
+	// EstimatorState is an integer-only estimator snapshot: the shard
+	// broadcast payload and the exact Snapshot/RestoreEstimator format.
+	EstimatorState = bandit.State
+)
+
+// Estimator policies accepted by NewEstimator (and LifecycleConfig.Bandit).
+const (
+	// PolicyUCB is UCB1: optimism proportional to count uncertainty.
+	PolicyUCB = bandit.PolicyUCB
+	// PolicyThompson is seeded, state-free Thompson sampling.
+	PolicyThompson = bandit.PolicyThompson
+	// PolicyFrozen never updates its index — the regret-harness baseline.
+	PolicyFrozen = bandit.PolicyFrozen
+)
+
+// NewEstimator creates an engagement estimator for the given policy
+// ("ucb", "thompson", or "frozen"). The seed drives Thompson sampling;
+// identical (policy, seed, feedback) always yields identical overrides.
+func NewEstimator(policy string, seed uint64) (EngagementEstimator, error) {
+	return bandit.New(policy, seed)
+}
+
+// RestoreEstimator rebuilds an estimator from a snapshot, exactly: the
+// result is indistinguishable from the estimator that produced the state.
+func RestoreEstimator(st EstimatorState) (EngagementEstimator, error) {
+	return bandit.Restore(st)
 }
 
 // SaveIndex persists an index in the binary snapshot format; LoadIndex
