@@ -52,7 +52,10 @@ func main() {
 		maxTheta  = flag.Int("maxtheta", serve.DefaultMaxTheta, "server-side cap on per-ad RR sample size")
 		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS); pin it so index builds don't saturate every core of a serving host")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, allocs, goroutine profiles; see EXPERIMENTS.md for a hot-path profiling walkthrough)")
-		shards    = flag.String("shards", "", "comma-separated adshard addresses (host:port, in slot order): serve /allocate by distributed scatter-gather over this cluster instead of a local index")
+		shards    = flag.String("shards", "", "comma-separated adshard addresses (host:port, slot-major: with -replicas R, each slot's R replicas are consecutive): serve /allocate by distributed scatter-gather over this cluster instead of a local index")
+		replicas  = flag.Int("replicas", 1, "replication factor R in coordinator mode: every partition range is served by R adshard replicas with automatic failover")
+		rpcTO     = flag.Duration("rpc-timeout", 30*time.Second, "per-attempt deadline for fast shard RPCs in coordinator mode (sampling-heavy ops get 10x)")
+		probeIvl  = flag.Duration("probe-interval", 15*time.Second, "background replica health probe period in coordinator mode (0 = probe only on /healthz)")
 		kernel    = flag.String("kernel", "", "coverage kernel for requests that don't pick their own: auto (density heuristic, the default), sparse, or bitset — changes sweep cost, never allocations")
 	)
 	flag.Parse()
@@ -61,7 +64,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adserver:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *snapshots, *preload, *maxScale, *maxTheta, *pprofOn, *shards, *kernel); err != nil {
+	opts := serve.Options{
+		SnapshotDir:   *snapshots,
+		MaxScale:      *maxScale,
+		MaxTheta:      *maxTheta,
+		DefaultKernel: *kernel,
+		Replicas:      *replicas,
+		RPCTimeout:    *rpcTO,
+		ProbeInterval: *probeIvl,
+	}
+	if err := run(*addr, *preload, *pprofOn, *shards, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "adserver:", err)
 		os.Exit(1)
 	}
@@ -77,13 +89,7 @@ func checkKernelFlag(kernel string) error {
 	return fmt.Errorf("unknown -kernel %q (want auto, sparse, or bitset)", kernel)
 }
 
-func run(addr, snapshots, preload string, maxScale float64, maxTheta int, pprofOn bool, shards, kernel string) error {
-	opts := serve.Options{
-		SnapshotDir:   snapshots,
-		MaxScale:      maxScale,
-		MaxTheta:      maxTheta,
-		DefaultKernel: kernel,
-	}
+func run(addr, preload string, pprofOn bool, shards string, opts serve.Options) error {
 	if shards != "" {
 		for _, a := range strings.Split(shards, ",") {
 			if a = strings.TrimSpace(a); a != "" {
@@ -99,6 +105,7 @@ func run(addr, snapshots, preload string, maxScale float64, maxTheta int, pprofO
 		if err != nil {
 			return err
 		}
+		defer srv.Close()
 	}
 
 	if preload != "" {

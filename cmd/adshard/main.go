@@ -53,6 +53,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "cap on RR-sampling worker goroutines (0 = GOMAXPROCS)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, allocs, goroutine profiles; see EXPERIMENTS.md for a hot-path profiling walkthrough)")
 		kernel    = flag.String("kernel", "", "coverage kernel for runs whose StartRequest leaves the choice open: auto (density heuristic, the default), sparse, or bitset — changes local sweep cost, never the reply integers")
+		rpcTO     = flag.Duration("rpc-timeout", 0, "server-side bound on a single RPC handler (http.Server write timeout; 0 = unbounded — sampling-heavy ops can legitimately run long, coordinators bound their side with per-attempt deadlines)")
 	)
 	flag.Parse()
 	rrset.SetMaxWorkers(*workers)
@@ -62,13 +63,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adshard: unknown -kernel %q (want auto, sparse, or bitset)\n", *kernel)
 		os.Exit(2)
 	}
-	if err := run(*addr, *dataset, *seed, *scale, *ads, *shardID, *numShards, *snapshots, *pprofOn, *kernel); err != nil {
+	if err := run(*addr, *dataset, *seed, *scale, *ads, *shardID, *numShards, *snapshots, *pprofOn, *kernel, *rpcTO); err != nil {
 		fmt.Fprintln(os.Stderr, "adshard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShards int, snapshots string, pprofOn bool, kernel string) error {
+func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShards int, snapshots string, pprofOn bool, kernel string, rpcTimeout time.Duration) error {
 	p, err := shard.NewPartitioner(numShards)
 	if err != nil {
 		return err
@@ -134,6 +135,7 @@ func run(addr, dataset string, seed uint64, scale float64, ads, shardID, numShar
 		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      rpcTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // MaxBatchItems caps the number of selection requests one POST
@@ -118,6 +119,9 @@ func (s *Server) itemResult(item AllocateItem, coreReq core.Request, br core.Bat
 		case errors.Is(br.Err, core.ErrStaleEpoch):
 			s.metrics.failAlloc(failStaleEpoch)
 			out.Status = http.StatusConflict
+		case errors.Is(br.Err, shard.ErrPartitionUnavailable):
+			s.metrics.failAlloc(failUnavailable)
+			out.Status = http.StatusServiceUnavailable
 		case upstream:
 			s.metrics.failAlloc(failUpstream)
 			out.Status = http.StatusBadGateway

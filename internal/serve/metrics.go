@@ -34,6 +34,9 @@ const (
 	failInternal = "internal"
 	// failUpstream is a 502: a shard RPC failed mid-distributed-selection.
 	failUpstream = "upstream"
+	// failUnavailable is a 503: every replica of some partition range is
+	// down (shard.ErrPartitionUnavailable) — the cluster is degraded.
+	failUnavailable = "unavailable"
 )
 
 // serverMetrics is the server's observability surface. It implements

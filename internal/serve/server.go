@@ -110,9 +110,24 @@ type Options struct {
 	DefaultKernel string
 	// Shards, when non-empty, switches the server into coordinator mode:
 	// /allocate runs distributed scatter-gather selection over these
-	// adshard daemons ("host:port", one per partition slot, in slot
-	// order) instead of a local index. Call ConnectShards before serving.
+	// adshard daemons ("host:port") instead of a local index. The list is
+	// slot-major: with Replicas = R, each partition slot's R replicas are
+	// consecutive entries. Call ConnectShards before serving.
 	Shards []string
+	// Replicas is the replication factor R in coordinator mode: every
+	// partition range is served by R interchangeable shard daemons with
+	// automatic failover (default 1, unreplicated). len(Shards) must be a
+	// multiple of R.
+	Replicas int
+	// RPCTimeout is the per-attempt deadline for fast shard RPCs in
+	// coordinator mode; sampling-heavy ops get 10× this (default 30s, see
+	// shard.RetryPolicy).
+	RPCTimeout time.Duration
+	// ProbeInterval, when > 0, runs a background prober in coordinator
+	// mode that re-checks replica health and revives recovered replicas
+	// every interval (replicas also revive on /healthz probes). Pair with
+	// Close.
+	ProbeInterval time.Duration
 	// Logf receives operational messages (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -128,6 +143,12 @@ type Server struct {
 
 	// sharded is non-nil in coordinator mode (see ConnectShards).
 	sharded *shardedState
+
+	// proberStop ends the background replica prober (see Close); nil
+	// unless ConnectShards started one.
+	proberStop chan struct{}
+	proberDone chan struct{}
+	closeOnce  sync.Once
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -645,13 +666,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // HealthResponse is GET /healthz. Shards is present only in coordinator
-// mode; status "degraded" (with HTTP 503) means at least one shard is
-// unreachable and distributed allocations will fail.
+// mode, one row per shard replica; status "degraded" (with HTTP 503)
+// means some partition range has no reachable replica at all, so
+// distributed allocations will fail. Individual dead replicas of a
+// replicated range leave status "ok" — their rows show reachable:false
+// and the range keeps serving via failover.
 type HealthResponse struct {
 	// Status is "ok" or "degraded".
 	Status string `json:"status"`
-	// Shards carries per-shard health in coordinator mode.
+	// Shards carries per-replica health in coordinator mode.
 	Shards []ShardHealth `json:"shards,omitempty"`
+	// DegradedRanges lists partition slots with no reachable replica
+	// (present only when Status is "degraded").
+	DegradedRanges []int `json:"degradedRanges,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -660,9 +687,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	health, degraded := s.sharded.shardHealth(r.Context())
-	resp := HealthResponse{Status: "ok", Shards: health}
+	resp := HealthResponse{Status: "ok", Shards: health, DegradedRanges: degraded}
 	code := http.StatusOK
-	if degraded {
+	if len(degraded) > 0 {
 		resp.Status = "degraded"
 		code = http.StatusServiceUnavailable
 	}

@@ -33,10 +33,12 @@ import (
 // shardedState is the serve layer's coordinator-mode half: the cluster
 // handle, the instance mirror's cache key, and the host-side spend ledger.
 type shardedState struct {
-	addrs   []string
-	clients []shard.Client
-	coord   *shard.Coordinator
-	params  InstanceParams
+	addrs    []string // slot-major: addrs[slot*replicas+rep]
+	replicas int
+	sets     []*shard.ReplicaSet
+	clients  []shard.Client
+	coord    *shard.Coordinator
+	params   InstanceParams
 
 	// lifeMu serializes campaign mutations (name lookups + the cluster
 	// broadcast); the ledger mutex below must never be held across a
@@ -61,33 +63,68 @@ type shardedState struct {
 
 // ConnectShards dials every configured shard, validates the cluster (slot
 // order, matching dataset parameters, instance fingerprints — see
-// shard.NewCoordinator), rebuilds the instance locally, and switches the
-// server into coordinator mode. Call once at startup, before serving.
+// shard.NewCoordinator and shard.NewReplicaSet), rebuilds the instance
+// locally, and switches the server into coordinator mode. With
+// Options.Replicas = R > 1, the address list is read slot-major (R
+// consecutive addresses per partition range) and each range is fronted by
+// a failover ReplicaSet; a range only needs one reachable replica to
+// connect. Every per-replica client is wrapped in the retry layer
+// (Options.RPCTimeout), so transient RPC failures — including estimator
+// syncs from /feedback — heal without surfacing. Call once at startup,
+// before serving; pair with Close when Options.ProbeInterval is set.
 func (s *Server) ConnectShards(ctx context.Context) error {
 	if len(s.opts.Shards) == 0 {
 		return errors.New("serve: no shard addresses configured")
 	}
-	st := &shardedState{addrs: s.opts.Shards, spent: map[string]float64{}}
-	st.clients = make([]shard.Client, len(st.addrs))
+	r := s.opts.Replicas
+	if r <= 0 {
+		r = 1
+	}
+	if len(s.opts.Shards)%r != 0 {
+		return fmt.Errorf("serve: %d shard addresses do not divide into replica groups of %d", len(s.opts.Shards), r)
+	}
+	k := len(s.opts.Shards) / r
+	st := &shardedState{addrs: s.opts.Shards, replicas: r, spent: map[string]float64{}}
 	// All RPC telemetry rides the server's own registry so one /metrics
 	// scrape covers the serving host and its view of the fabric. Guarded
 	// for ConnectShards retries — families register once per server.
 	if s.metrics.shard == nil {
 		s.metrics.shard = shard.NewMetrics(s.metrics.reg, "adserver")
 	}
-	var first shard.DatasetParams
-	for i, addr := range st.addrs {
-		cl := shard.InstrumentClient(shard.NewHTTPClient(addr), i, s.metrics.shard)
-		info, err := cl.Info(ctx)
-		if err != nil {
-			return fmt.Errorf("serve: shard %s unreachable: %w", addr, err)
+	st.sets = make([]*shard.ReplicaSet, k)
+	st.clients = make([]shard.Client, k)
+	for slot := 0; slot < k; slot++ {
+		reps := make([]shard.Client, r)
+		for rep := 0; rep < r; rep++ {
+			addr := st.addrs[slot*r+rep]
+			cl := shard.InstrumentClient(shard.NewHTTPClient(addr), slot, s.metrics.shard)
+			reps[rep] = shard.NewRetryClient(cl, shard.RetryPolicy{
+				Timeout: s.opts.RPCTimeout,
+				Seed:    uint64(slot*r + rep + 1),
+			}, s.metrics.shard)
 		}
-		if i == 0 {
+		set, err := shard.NewReplicaSet(ctx, reps, shard.ReplicaSetConfig{
+			Slot:    slot,
+			Metrics: s.metrics.shard,
+			Logf:    s.opts.Logf,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: range %d (%v): %w", slot, st.addrs[slot*r:(slot+1)*r], err)
+		}
+		st.sets[slot] = set
+		st.clients[slot] = set
+	}
+	var first shard.DatasetParams
+	for slot, set := range st.sets {
+		info, err := set.Info(ctx)
+		if err != nil {
+			return fmt.Errorf("serve: range %d unreachable: %w", slot, err)
+		}
+		if slot == 0 {
 			first = info.Dataset
 		} else if info.Dataset != first {
-			return fmt.Errorf("serve: shard %s serves %+v, shard %s serves %+v", addr, info.Dataset, st.addrs[0], first)
+			return fmt.Errorf("serve: range %d serves %+v, range 0 serves %+v", slot, info.Dataset, first)
 		}
-		st.clients[i] = cl
 	}
 	st.params = InstanceParams{Dataset: first.Name, Seed: first.Seed, Scale: first.Scale, NumAds: first.NumAds}
 	roster, err := BuildDataset(st.params)
@@ -104,11 +141,48 @@ func (s *Server) ConnectShards(ctx context.Context) error {
 	}
 	st.coord = coord
 	s.sharded = st
-	if _, degraded := st.shardHealth(ctx); degraded {
-		s.opts.Logf("serve: warning: cluster already degraded at connect time")
+	if _, degraded := st.shardHealth(ctx); len(degraded) > 0 {
+		s.opts.Logf("serve: warning: cluster already degraded at connect time (ranges %v)", degraded)
 	}
-	s.opts.Logf("serve: coordinator mode over %d shards, instance %s", len(st.clients), st.params.Key())
+	s.startProber()
+	s.opts.Logf("serve: coordinator mode over %d ranges × %d replicas, instance %s", k, r, st.params.Key())
 	return nil
+}
+
+// startProber launches the background replica prober when
+// Options.ProbeInterval is set. shardHealth both reports and revives
+// (through ReplicaSet.Probe), so the prober is just a periodic health
+// sweep nobody has to request; /healthz remains an on-demand one.
+func (s *Server) startProber() {
+	if s.opts.ProbeInterval <= 0 || s.proberStop != nil {
+		return
+	}
+	s.proberStop = make(chan struct{})
+	s.proberDone = make(chan struct{})
+	go func() {
+		defer close(s.proberDone)
+		t := time.NewTicker(s.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.proberStop:
+				return
+			case <-t.C:
+				s.sharded.shardHealth(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the background prober, if any. Safe to call repeatedly and
+// on servers that never started one.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.proberStop != nil {
+			close(s.proberStop)
+			<-s.proberDone
+		}
+	})
 }
 
 // checkShardedParams rejects requests for any instance other than the
@@ -178,6 +252,11 @@ func (s *Server) handleAllocateSharded(w http.ResponseWriter, r *http.Request, r
 		if errors.Is(err, core.ErrStaleEpoch) {
 			s.metrics.failAlloc(failStaleEpoch)
 			httpError(w, http.StatusConflict, "campaign set changed mid-request, retry: %v", err)
+			return
+		}
+		if errors.Is(err, shard.ErrPartitionUnavailable) {
+			s.metrics.failAlloc(failUnavailable)
+			httpError(w, http.StatusServiceUnavailable, "cluster degraded: %v", err)
 			return
 		}
 		s.metrics.failAlloc(failUpstream)
@@ -366,7 +445,7 @@ func (s *Server) handleSpendSharded(w http.ResponseWriter, r *http.Request, req 
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// ShardHealth is one shard's health line in /healthz and /stats.
+// ShardHealth is one shard replica's health line in /healthz and /stats.
 type ShardHealth struct {
 	// Addr is the shard daemon's address.
 	Addr string `json:"addr"`
@@ -376,6 +455,8 @@ type ShardHealth struct {
 	Error string `json:"error,omitempty"`
 	// Shard is the partition slot.
 	Shard int `json:"shard"`
+	// Replica is the replica index within the slot (0 when unreplicated).
+	Replica int `json:"replica,omitempty"`
 	// Epoch is the shard's campaign epoch.
 	Epoch uint64 `json:"epoch,omitempty"`
 	// NumAds is the shard's campaign size.
@@ -390,34 +471,46 @@ type ShardHealth struct {
 	Draining bool `json:"draining,omitempty"`
 }
 
-// shardHealth probes every shard with a bounded timeout and, when the
-// whole cluster answers, refreshes the cached sample-footprint sum that
-// /allocate reports (so the request path never sweeps shards itself).
-func (st *shardedState) shardHealth(ctx context.Context) (out []ShardHealth, degraded bool) {
+// shardHealth probes every replica of every range with a bounded timeout
+// (via ReplicaSet.Probe, so a probe doubles as a revive attempt for
+// replicas that fell out of the rotation). degraded lists the partition
+// ranges with no reachable replica at all — only those make the cluster
+// unable to serve; a range with one dead replica out of R still reports
+// healthy. When every range answers, the cached sample-footprint sum that
+// /allocate reports is refreshed from one replica per range (so the
+// request path never sweeps shards itself).
+func (st *shardedState) shardHealth(ctx context.Context) (out []ShardHealth, degraded []int) {
 	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
 	defer cancel()
-	infos, errs := st.coord.Infos(ctx)
-	out = make([]ShardHealth, len(st.addrs))
+	out = make([]ShardHealth, 0, len(st.addrs))
 	var mem int64
-	for k, addr := range st.addrs {
-		h := ShardHealth{Addr: addr, Shard: k}
-		if errs[k] != nil {
-			h.Error = errs[k].Error()
-			degraded = true
-		} else {
-			h.Reachable = true
-			h.Shard = infos[k].Shard
-			h.Epoch = infos[k].Epoch
-			h.NumAds = infos[k].NumAds
-			h.SetsSampled = infos[k].SetsSampled
-			h.MemBytes = infos[k].MemBytes
-			h.OpenRuns = infos[k].OpenRuns
-			h.Draining = infos[k].Draining
-			mem += infos[k].MemBytes
+	for slot, set := range st.sets {
+		up := false
+		for rep, rs := range set.Probe(ctx) {
+			h := ShardHealth{Addr: st.addrs[slot*st.replicas+rep], Shard: slot, Replica: rep}
+			if rs.Err != nil {
+				h.Error = rs.Err.Error()
+			}
+			if rs.Reachable {
+				h.Reachable = true
+				h.Epoch = rs.Info.Epoch
+				h.NumAds = rs.Info.NumAds
+				h.SetsSampled = rs.Info.SetsSampled
+				h.MemBytes = rs.Info.MemBytes
+				h.OpenRuns = rs.Info.OpenRuns
+				h.Draining = rs.Info.Draining
+				if !up {
+					mem += rs.Info.MemBytes
+				}
+				up = true
+			}
+			out = append(out, h)
 		}
-		out[k] = h
+		if !up {
+			degraded = append(degraded, slot)
+		}
 	}
-	if !degraded {
+	if len(degraded) == 0 {
 		st.memBytes.Store(mem)
 	}
 	return out, degraded
@@ -427,8 +520,10 @@ func (st *shardedState) shardHealth(ctx context.Context) (out []ShardHealth, deg
 type ShardedStatsSection struct {
 	// Key is the cluster's instance key.
 	Key string `json:"key"`
-	// NumShards is the cluster's K.
+	// NumShards is the cluster's K (partition ranges).
 	NumShards int `json:"numShards"`
+	// Replicas is R, the replication factor per range.
+	Replicas int `json:"replicas"`
 	// Epoch is the coordinator's campaign epoch.
 	Epoch uint64 `json:"epoch"`
 	// Allocations counts distributed selections served.
@@ -453,6 +548,7 @@ func (s *Server) shardedStats(ctx context.Context) *ShardedStatsSection {
 	return &ShardedStatsSection{
 		Key:         st.params.Key(),
 		NumShards:   st.coord.NumShards(),
+		Replicas:    st.replicas,
 		Epoch:       st.coord.Epoch(),
 		Allocations: allocs,
 		SpentTotal:  spent,

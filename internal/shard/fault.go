@@ -1,0 +1,301 @@
+// Deterministic fault injection for the shard fabric. FaultClient wraps
+// any Client with a scriptable per-op fault plan: rules fire by op name,
+// call index, and (optionally) a seeded coin flip, injecting errors,
+// delays, deadline blocks, or drop-after-send (the op executes, its reply
+// is discarded) — the failure modes a real network exhibits, reproduced
+// bit-for-bit under a fixed seed. The golden fault tests and internal/
+// sim's chaos mode drive replicated clusters through these plans and pin
+// the allocations byte-identical to fault-free single-node runs.
+
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// ErrInjected is the error FaultError and FaultDropAfterSend rules return.
+// It classifies as retryable (it stands in for a transport failure).
+var ErrInjected = errors.New("shard: injected fault")
+
+// FaultKind selects what a matching rule does to the call.
+type FaultKind int
+
+const (
+	// FaultError fails the call immediately without invoking the
+	// underlying client — a connection that never got through.
+	FaultError FaultKind = iota
+	// FaultDelay sleeps Delay (bounded by the context), then calls
+	// through — a slow replica.
+	FaultDelay
+	// FaultTimeout blocks until the context expires (or Delay passes,
+	// when set) without invoking the underlying client, then fails — a
+	// black-holed request.
+	FaultTimeout
+	// FaultDropAfterSend invokes the underlying client, discards its
+	// reply, and fails — the request applied server-side but the reply
+	// was lost, the case the sequence guard exists for.
+	FaultDropAfterSend
+)
+
+// FaultRule is one entry of a fault plan.
+type FaultRule struct {
+	// Op names the RPC the rule applies to ("commit", "pilot", …, the
+	// InstrumentClient op labels); "*" matches every op.
+	Op string
+	// From is the 0-based per-op call index the rule arms at (calls are
+	// counted per op name across the client's lifetime; "*" rules count
+	// against the total).
+	From int
+	// Count caps how many times the rule fires; 0 means no cap.
+	Count int
+	// Kind is what the rule does when it fires.
+	Kind FaultKind
+	// Delay is the sleep for FaultDelay and the optional unblock bound
+	// for FaultTimeout.
+	Delay time.Duration
+	// Prob, when in (0, 1), gates each firing on a deterministic seeded
+	// coin flip; 0 (or ≥ 1) fires unconditionally.
+	Prob float64
+}
+
+// FaultClient wraps a Client with a deterministic fault plan. Safe for
+// concurrent use; rule matching and the coin-flip stream are serialized,
+// so a fixed (seed, call order) reproduces the same faults.
+type FaultClient struct {
+	cl Client
+
+	mu    sync.Mutex
+	rng   *xrand.Rand
+	rules []FaultRule
+	fired []int          // per-rule firing counts
+	calls map[string]int // per-op call counts
+}
+
+// NewFaultClient wraps cl with a plan. seed drives the Prob coin flips.
+func NewFaultClient(cl Client, seed uint64, rules ...FaultRule) *FaultClient {
+	return &FaultClient{
+		cl:    cl,
+		rng:   xrand.New(seed),
+		rules: rules,
+		fired: make([]int, len(rules)),
+		calls: map[string]int{},
+	}
+}
+
+// Fired returns how many times each rule has fired, aligned with the
+// constructor's rules — test assertions that a plan actually exercised
+// the paths it scripted.
+func (c *FaultClient) Fired() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.fired...)
+}
+
+// match books one call against op and returns the first armed matching
+// rule, if any.
+func (c *FaultClient) match(op string) (FaultRule, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.calls[op]
+	c.calls[op]++
+	total := c.calls["*"]
+	c.calls["*"]++
+	for i, r := range c.rules {
+		at := idx
+		if r.Op == "*" {
+			at = total
+		} else if r.Op != op {
+			continue
+		}
+		if at < r.From {
+			continue
+		}
+		if r.Count > 0 && c.fired[i] >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && !c.rng.Bernoulli(r.Prob) {
+			continue
+		}
+		c.fired[i]++
+		return r, true
+	}
+	return FaultRule{}, false
+}
+
+// apply runs one call under the plan. fn invokes the underlying client.
+func (c *FaultClient) apply(ctx context.Context, op string, fn func() error) error {
+	r, ok := c.match(op)
+	if !ok {
+		return fn()
+	}
+	switch r.Kind {
+	case FaultError:
+		return ErrInjected
+	case FaultDelay:
+		if !faultSleep(ctx, r.Delay) {
+			return ctx.Err()
+		}
+		return fn()
+	case FaultTimeout:
+		if r.Delay > 0 {
+			if !faultSleep(ctx, r.Delay) {
+				return ctx.Err()
+			}
+			return ErrInjected
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	case FaultDropAfterSend:
+		fn()
+		return ErrInjected
+	default:
+		return ErrInjected
+	}
+}
+
+// faultSleep sleeps d bounded by ctx; false means the context won.
+func faultSleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Info implements Client.
+func (c *FaultClient) Info(ctx context.Context) (ShardInfo, error) {
+	var out ShardInfo
+	err := c.apply(ctx, "info", func() error {
+		var err error
+		out, err = c.cl.Info(ctx)
+		return err
+	})
+	return out, err
+}
+
+// Pilot implements Client.
+func (c *FaultClient) Pilot(ctx context.Context, req PilotRequest) (PilotReply, error) {
+	var out PilotReply
+	err := c.apply(ctx, "pilot", func() error {
+		var err error
+		out, err = c.cl.Pilot(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Ensure implements Client.
+func (c *FaultClient) Ensure(ctx context.Context, req EnsureRequest) (EnsureReply, error) {
+	var out EnsureReply
+	err := c.apply(ctx, "ensure", func() error {
+		var err error
+		out, err = c.cl.Ensure(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Start implements Client.
+func (c *FaultClient) Start(ctx context.Context, req StartRequest) (StartReply, error) {
+	var out StartReply
+	err := c.apply(ctx, "start", func() error {
+		var err error
+		out, err = c.cl.Start(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Commit implements Client.
+func (c *FaultClient) Commit(ctx context.Context, req CommitRequest) (CommitReply, error) {
+	var out CommitReply
+	err := c.apply(ctx, "commit", func() error {
+		var err error
+		out, err = c.cl.Commit(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Credit implements Client.
+func (c *FaultClient) Credit(ctx context.Context, req CreditRequest) (CommitReply, error) {
+	var out CommitReply
+	err := c.apply(ctx, "credit", func() error {
+		var err error
+		out, err = c.cl.Credit(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Grow implements Client.
+func (c *FaultClient) Grow(ctx context.Context, req GrowRequest) (GrowReply, error) {
+	var out GrowReply
+	err := c.apply(ctx, "grow", func() error {
+		var err error
+		out, err = c.cl.Grow(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Gains implements Client.
+func (c *FaultClient) Gains(ctx context.Context, req GainsRequest) (GainsReply, error) {
+	var out GainsReply
+	err := c.apply(ctx, "gains", func() error {
+		var err error
+		out, err = c.cl.Gains(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// End implements Client.
+func (c *FaultClient) End(ctx context.Context, runID string) error {
+	return c.apply(ctx, "end", func() error {
+		return c.cl.End(ctx, runID)
+	})
+}
+
+// AddAd implements Client.
+func (c *FaultClient) AddAd(ctx context.Context, req AddAdRequest) (MutateReply, error) {
+	var out MutateReply
+	err := c.apply(ctx, "addAd", func() error {
+		var err error
+		out, err = c.cl.AddAd(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// RemoveAd implements Client.
+func (c *FaultClient) RemoveAd(ctx context.Context, req RemoveAdRequest) (MutateReply, error) {
+	var out MutateReply
+	err := c.apply(ctx, "removeAd", func() error {
+		var err error
+		out, err = c.cl.RemoveAd(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// SyncEstimates implements Client.
+func (c *FaultClient) SyncEstimates(ctx context.Context, req SyncEstimatesRequest) error {
+	return c.apply(ctx, "syncEstimates", func() error {
+		return c.cl.SyncEstimates(ctx, req)
+	})
+}
+
+// Interface compliance.
+var _ Client = (*FaultClient)(nil)

@@ -2,8 +2,10 @@
 // integer (see protocol.go), so JSON round-trips are exact and a
 // coordinator over HTTP produces bit-identical allocations to one over the
 // in-process transport — pinned by the golden tests. Sentinel errors map
-// onto status codes (409 stale epoch, 404 unknown run, 503 draining) and
-// back, so retry logic is transport-blind.
+// onto status codes (409 stale epoch, 404 unknown run, 412 bad sequence,
+// 503 draining) and back, and every other non-200 decodes into a typed
+// RPCError carrying the status, so retry classification is
+// transport-blind.
 
 package shard
 
@@ -112,11 +114,29 @@ func statusOf(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrUnknownRun):
 		return http.StatusNotFound
+	case errors.Is(err, ErrBadSeq):
+		return http.StatusPreconditionFailed
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// RPCError is a non-sentinel RPC failure with its HTTP status preserved,
+// so the retry layer can classify what the sentinels don't cover: 5xx
+// (the shard or a proxy in front of it failed — retryable) versus 4xx
+// (the request itself is wrong — terminal).
+type RPCError struct {
+	// Status is the HTTP status code the shard answered with.
+	Status int
+	// Msg is the error body.
+	Msg string
+}
+
+// Error implements error.
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("shard: rpc failed (%d): %s", e.Status, e.Msg)
 }
 
 // errOf is statusOf's inverse on the client side.
@@ -126,10 +146,12 @@ func errOf(status int, msg string) error {
 		return fmt.Errorf("%w: %s", ErrStaleEpoch, msg)
 	case http.StatusNotFound:
 		return fmt.Errorf("%w: %s", ErrUnknownRun, msg)
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("%w: %s", ErrBadSeq, msg)
 	case http.StatusServiceUnavailable:
 		return fmt.Errorf("%w: %s", ErrDraining, msg)
 	default:
-		return fmt.Errorf("shard: rpc failed (%d): %s", status, msg)
+		return &RPCError{Status: status, Msg: msg}
 	}
 }
 
@@ -167,22 +189,50 @@ func shardWriteJSON(w http.ResponseWriter, status int, v any) {
 type HTTPClient struct {
 	base string
 	hc   *http.Client
+
+	// CallTimeout, when > 0, bounds each RPC that arrives without a
+	// context deadline of its own. A caller-supplied deadline always wins
+	// (the retry layer sets per-attempt, per-op deadlines), and Drain is
+	// exempt — draining a loaded shard may legitimately take long. It
+	// replaces the old flat 5-minute http.Client timeout, which capped
+	// every call including ones whose context asked for longer.
+	CallTimeout time.Duration
 }
 
 // NewHTTPClient creates a client for a shard daemon at addr
-// ("host:port" or a full http:// base URL).
+// ("host:port" or a full http:// base URL). RPCs are unbounded unless the
+// caller's context carries a deadline or CallTimeout is set.
 func NewHTTPClient(addr string) *HTTPClient {
 	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
 		addr = "http://" + addr
 	}
 	return &HTTPClient{
 		base: strings.TrimRight(addr, "/"),
-		hc:   &http.Client{Timeout: 5 * time.Minute},
+		hc:   &http.Client{},
 	}
 }
 
-// call POSTs one JSON request and decodes the reply into out.
+// withDeadline applies CallTimeout when ctx has no deadline of its own.
+func (c *HTTPClient) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.CallTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.CallTimeout)
+}
+
+// call POSTs one JSON request and decodes the reply into out, under the
+// default deadline policy.
 func (c *HTTPClient) call(ctx context.Context, path string, in, out any) error {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	return c.post(ctx, path, in, out)
+}
+
+// post POSTs one JSON request and decodes the reply into out.
+func (c *HTTPClient) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -213,6 +263,8 @@ func (c *HTTPClient) call(ctx context.Context, path string, in, out any) error {
 
 // Info implements Client.
 func (c *HTTPClient) Info(ctx context.Context) (ShardInfo, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/shard/info", nil)
 	if err != nil {
 		return ShardInfo{}, err
@@ -300,10 +352,12 @@ func (c *HTTPClient) SyncEstimates(ctx context.Context, req SyncEstimatesRequest
 }
 
 // Drain asks the daemon to refuse new runs (not part of the coordinator's
-// Client surface — an operator action).
+// Client surface — an operator action). Drain ignores CallTimeout — it is
+// bounded only by the caller's context, since draining a loaded shard may
+// take longer than any per-RPC deadline.
 func (c *HTTPClient) Drain(ctx context.Context) error {
 	var out struct{}
-	return c.call(ctx, "/shard/drain", struct{}{}, &out)
+	return c.post(ctx, "/shard/drain", struct{}{}, &out)
 }
 
 // Interface compliance.

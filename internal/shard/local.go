@@ -100,3 +100,51 @@ func NewLocalCluster(roster *core.Instance, initialAds int, seed uint64, k int, 
 	}
 	return coord, shards, nil
 }
+
+// NewReplicaCluster builds K partition ranges with r in-process replicas
+// each and a coordinator fronting the K ReplicaSets. wrap, when non-nil,
+// decorates each replica's client (slot-major: replica rep of slot) — the
+// hook the fault tests and internal/sim's chaos mode use to splice
+// FaultClient/RetryClient stacks under the replica layer. The returned
+// shards are slot-major: shards[slot*r+rep].
+func NewReplicaCluster(roster *core.Instance, initialAds int, seed uint64, k, r int, cfg Config, wrap func(slot, rep int, cl Client) Client) (*Coordinator, []*ReplicaSet, []*Shard, error) {
+	if r <= 0 {
+		r = 1
+	}
+	p, err := NewPartitioner(k)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctx := context.Background()
+	shards := make([]*Shard, 0, k*r)
+	sets := make([]*ReplicaSet, k)
+	clients := make([]Client, k)
+	for slot := 0; slot < k; slot++ {
+		reps := make([]Client, r)
+		for rep := 0; rep < r; rep++ {
+			s, err := NewShard(roster, initialAds, seed, p.Range(slot))
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			shards = append(shards, s)
+			var cl Client = LocalClient{S: s}
+			if wrap != nil {
+				cl = wrap(slot, rep, cl)
+			}
+			reps[rep] = cl
+		}
+		set, err := NewReplicaSet(ctx, reps, ReplicaSetConfig{Slot: slot, Metrics: cfg.Metrics, Logf: cfg.Logf})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sets[slot] = set
+		clients[slot] = set
+	}
+	cfg.Roster = roster
+	cfg.InitialAds = initialAds
+	coord, err := NewCoordinator(ctx, clients, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return coord, sets, shards, nil
+}

@@ -19,14 +19,18 @@ import (
 // latency histograms (recorded by InstrumentClient) plus coordinator
 // scatter-round timings (recorded when Config.Metrics is set).
 type Metrics struct {
-	rpcs         *obs.CounterVec   // op, shard, outcome
-	rpcSeconds   *obs.HistogramVec // op, shard
-	roundSeconds *obs.HistogramVec // phase
+	rpcs           *obs.CounterVec   // op, shard, outcome
+	rpcSeconds     *obs.HistogramVec // op, shard
+	roundSeconds   *obs.HistogramVec // phase
+	retries        *obs.CounterVec   // op, reason (RetryClient)
+	failovers      *obs.CounterVec   // range (ReplicaSet)
+	replicaHealthy *obs.GaugeVec     // range, replica (ReplicaSet)
 }
 
 // NewMetrics registers the fabric metrics on r under
-// prefix_shard_rpcs_total, prefix_shard_rpc_seconds, and
-// prefix_coordinator_round_seconds.
+// prefix_shard_rpcs_total, prefix_shard_rpc_seconds,
+// prefix_coordinator_round_seconds, prefix_shard_rpc_retries_total,
+// prefix_shard_failovers_total, and prefix_shard_replica_healthy.
 func NewMetrics(r *obs.Registry, prefix string) *Metrics {
 	return &Metrics{
 		rpcs: r.CounterVec(prefix+"_shard_rpcs_total",
@@ -38,6 +42,15 @@ func NewMetrics(r *obs.Registry, prefix string) *Metrics {
 		roundSeconds: r.HistogramVec(prefix+"_coordinator_round_seconds",
 			"Coordinator scatter-gather round wall time in seconds by phase (pilot, start, commit, grow, credit, gains).",
 			obs.DefBuckets, "phase"),
+		retries: r.CounterVec(prefix+"_shard_rpc_retries_total",
+			"Shard RPC retries by operation and reason (timeout, draining, server, connection).",
+			"op", "reason"),
+		failovers: r.CounterVec(prefix+"_shard_failovers_total",
+			"Replica failovers by partition range: ops served by a non-preferred replica after the owner failed.",
+			"range"),
+		replicaHealthy: r.GaugeVec(prefix+"_shard_replica_healthy",
+			"Per-replica health (1 healthy, 0 unhealthy) by partition range and replica index.",
+			"range", "replica"),
 	}
 }
 

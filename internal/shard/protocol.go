@@ -26,6 +26,11 @@ var (
 	ErrUnknownRun = errors.New("shard: unknown run id")
 	// ErrDraining reports that the shard refuses new runs while it drains.
 	ErrDraining = errors.New("shard: draining, not accepting new runs")
+	// ErrBadSeq reports a sequenced run op (Commit/Credit/Grow) whose Seq
+	// is neither the next expected value nor an exact replay of the last
+	// applied one — the shard's run state has diverged from the caller's
+	// op log and must be rebuilt (End + Start + replay) before continuing.
+	ErrBadSeq = errors.New("shard: run op out of sequence")
 )
 
 // SparseCounts is a sparse per-node integer vector: node Nodes[i] carries
@@ -124,7 +129,9 @@ type PilotReply struct {
 
 // StartRequest opens a selection run: the shard builds one local coverage
 // collection per listed ad over its slice of the global prefix
-// [0, Thetas[i]).
+// [0, Thetas[i]). Start is level-triggered on RunID — re-opening an
+// already-open run id rebuilds it from scratch (deterministic streams make
+// the rebuilt state identical), so a retried or replayed Start is safe.
 type StartRequest struct {
 	// RunID names the run for subsequent Commit/Credit/Grow/Gains/End.
 	RunID string `json:"runId"`
@@ -165,6 +172,12 @@ type CommitRequest struct {
 	Ad int `json:"ad"`
 	// Node is the committed seed.
 	Node int32 `json:"node"`
+	// Seq, when > 0, makes the op level-triggered: the shard applies it
+	// only if Seq is exactly one past the run's last applied sequence
+	// number, answers an exact replay (Seq equal to the last applied) with
+	// the cached reply without re-applying, and rejects anything else with
+	// ErrBadSeq. 0 disables the guard (single-attempt callers).
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // CommitReply reports a commit's (or credit's) local effect: Covered newly
@@ -191,6 +204,8 @@ type CreditRequest struct {
 	Node int32 `json:"node"`
 	// FromGlobal is the global stream position growth started at.
 	FromGlobal int `json:"fromGlobal"`
+	// Seq is the run op sequence number (CommitRequest.Seq semantics).
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // GrowRequest extends one ad's run collection with the shard's slice of
@@ -204,6 +219,8 @@ type GrowRequest struct {
 	FromGlobal int `json:"fromGlobal"`
 	// ToGlobal is the new global θ.
 	ToGlobal int `json:"toGlobal"`
+	// Seq is the run op sequence number (CommitRequest.Seq semantics).
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // GrowReply reports the growth's local effect.

@@ -1,0 +1,447 @@
+// Tests for replica sets and deterministic fault injection: allocations
+// under scripted fault plans stay byte-identical to fault-free single-node
+// runs (the tentpole invariant), the sequence guard makes replayed run ops
+// level-triggered, a fully dead range surfaces ErrPartitionUnavailable
+// instead of hanging, and revived replicas are walked forward through
+// missed mutations before rejoining.
+
+package shard
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// mustEqualSemantic is mustEqualResults minus the sampling accounting:
+// failover legitimately re-samples on the adopting replica, so
+// TotalSetsSampled/SetsReused are replica-local bookkeeping while seeds,
+// revenues, θ evolution, and iteration count must not move by a bit.
+func mustEqualSemantic(t *testing.T, label string, want, got *core.TIRMResult) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Alloc.Seeds, got.Alloc.Seeds) {
+		t.Fatalf("%s: seeds diverged\n want %v\n  got %v", label, want.Alloc.Seeds, got.Alloc.Seeds)
+	}
+	if !reflect.DeepEqual(want.EstRevenue, got.EstRevenue) {
+		t.Fatalf("%s: revenues diverged\n want %v\n  got %v", label, want.EstRevenue, got.EstRevenue)
+	}
+	if !reflect.DeepEqual(want.FinalTheta, got.FinalTheta) {
+		t.Fatalf("%s: θ diverged\n want %v\n  got %v", label, want.FinalTheta, got.FinalTheta)
+	}
+	if !reflect.DeepEqual(want.FinalSeedTarget, got.FinalSeedTarget) {
+		t.Fatalf("%s: seed targets diverged\n want %v\n  got %v", label, want.FinalSeedTarget, got.FinalSeedTarget)
+	}
+	if want.Iterations != got.Iterations {
+		t.Fatalf("%s: iterations %d vs %d", label, want.Iterations, got.Iterations)
+	}
+}
+
+// TestReplicaClusterGoldenNoFaults pins the baseline: a replicated cluster
+// with nothing injected matches the single node exactly, accounting
+// included (no failovers means no divergence at all).
+func TestReplicaClusterGoldenNoFaults(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	const seed = 42
+
+	idx, err := core.BuildIndex(inst, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AllocateFromIndex(idx, core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4} {
+		coord, sets, _, err := NewReplicaCluster(inst, 0, seed, k, 2, Config{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Warm(context.Background(), opts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.Allocate(context.Background(), core.Request{Opts: opts})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		mustEqualResults(t, "replicated no-fault", want, got)
+		for slot, set := range sets {
+			if set.HealthyCount() != 2 {
+				t.Fatalf("K=%d slot %d: %d healthy replicas, want 2", k, slot, set.HealthyCount())
+			}
+		}
+	}
+}
+
+// TestReplicaFaultGolden is the tentpole acceptance pin: a K ∈ {2, 4}
+// cluster with R = 2 replicas per range, driven through a scripted fault
+// plan — dead connections, lost replies after the op applied, delays, and
+// deadline blackholes on specific calls of specific replicas — produces an
+// allocation semantically byte-identical to the fault-free single-node
+// run. Replica 0 of every range is wrapped directly under the ReplicaSet
+// (failover adoption path); the plan fires on errors, drop-after-send, a
+// delay, and a bounded timeout.
+func TestReplicaFaultGolden(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	const seed = 42
+
+	idx, err := core.BuildIndex(inst, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AllocateFromIndex(idx, core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{2, 4} {
+		// Only the preferred replica of each range faults, finitely, so the
+		// secondary is always a clean failover target (there is no retry
+		// layer in this variant — a single op must find a working replica).
+		var faults []*FaultClient
+		wrap := func(slot, rep int, cl Client) Client {
+			if rep != 0 {
+				return cl
+			}
+			var rules []FaultRule
+			switch slot {
+			case 0:
+				// Loses a commit reply after applying it, then refuses two
+				// gains sweeps — mid-run adoption with a lost-reply replay.
+				rules = []FaultRule{
+					{Op: "commit", From: 1, Count: 1, Kind: FaultDropAfterSend},
+					{Op: "gains", From: 3, Count: 2, Kind: FaultError},
+				}
+			case 1:
+				// Answers one gains slowly, then blackholes a pilot for 2ms.
+				rules = []FaultRule{
+					{Op: "gains", From: 2, Count: 1, Kind: FaultDelay, Delay: time.Millisecond},
+					{Op: "pilot", From: 1, Count: 1, Kind: FaultTimeout, Delay: 2 * time.Millisecond},
+				}
+			case 2:
+				rules = []FaultRule{{Op: "credit", From: 0, Count: 1, Kind: FaultError}}
+			case 3:
+				rules = []FaultRule{{Op: "start", From: 1, Count: 1, Kind: FaultError}}
+			}
+			fc := NewFaultClient(cl, uint64(1000+slot*10+rep), rules...)
+			faults = append(faults, fc)
+			return fc
+		}
+		coord, _, _, err := NewReplicaCluster(inst, 0, seed, k, 2, Config{}, wrap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Warm(context.Background(), opts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.Allocate(context.Background(), core.Request{Opts: opts})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		mustEqualSemantic(t, "faulted", want, got)
+		fired := 0
+		for _, fc := range faults {
+			for _, n := range fc.Fired() {
+				fired += n
+			}
+		}
+		if fired == 0 {
+			t.Fatalf("K=%d: fault plan never fired — the test exercised nothing", k)
+		}
+	}
+}
+
+// TestReplicaDropAfterSendWithRetry pins the sequence guard end to end:
+// with the retry layer under the replica layer, a lost commit reply is
+// replayed against the same replica, the shard answers from its cached
+// reply instead of double-applying, and the allocation still matches the
+// single node bit for bit — including sampling accounting, because no
+// failover ever happens.
+func TestReplicaDropAfterSendWithRetry(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	const seed, k = 42, 2
+
+	idx, err := core.BuildIndex(inst, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AllocateFromIndex(idx, core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var drops []*FaultClient
+	wrap := func(slot, rep int, cl Client) Client {
+		if rep != 0 {
+			return cl
+		}
+		fc := NewFaultClient(cl, uint64(slot+1),
+			FaultRule{Op: "commit", From: 1, Count: 2, Kind: FaultDropAfterSend},
+			FaultRule{Op: "credit", From: 0, Count: 1, Kind: FaultDropAfterSend},
+		)
+		drops = append(drops, fc)
+		return NewRetryClient(fc, RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: time.Microsecond,
+			MaxBackoff:  time.Microsecond,
+		}, nil)
+	}
+	coord, sets, _, err := NewReplicaCluster(inst, 0, seed, k, 2, Config{}, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Warm(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Allocate(context.Background(), core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "drop-after-send with retry", want, got)
+	fired := 0
+	for _, fc := range drops {
+		for _, n := range fc.Fired() {
+			fired += n
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no drop-after-send fault fired")
+	}
+	// Replays healed in place: the owner never changed, so every replica is
+	// still healthy.
+	for slot, set := range sets {
+		if set.HealthyCount() != 2 {
+			t.Fatalf("slot %d: %d healthy, want 2", slot, set.HealthyCount())
+		}
+	}
+}
+
+// TestShardSeqGuard unit-tests the level-triggered sequence window on a
+// run's op log: first-time seqs apply, an exact replay of the last applied
+// (same kind) answers without re-applying, a replay with a different op
+// kind and any gap or rewind are ErrBadSeq, and seq 0 disables the guard.
+func TestShardSeqGuard(t *testing.T) {
+	r := &shardRun{}
+	check := func(seq int64, kind uint8, wantReplay bool, wantErr bool) {
+		t.Helper()
+		replay, err := r.checkSeq(seq, kind)
+		if (err != nil) != wantErr {
+			t.Fatalf("checkSeq(%d, %d): err = %v, wantErr %v", seq, kind, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrBadSeq) {
+			t.Fatalf("checkSeq(%d, %d): err %v is not ErrBadSeq", seq, kind, err)
+		}
+		if replay != wantReplay {
+			t.Fatalf("checkSeq(%d, %d): replay = %v, want %v", seq, kind, replay, wantReplay)
+		}
+	}
+	check(0, opCommit, false, false) // guard disabled
+	check(1, opCommit, false, false) // next in sequence
+	r.storeCommit(1, opCommit, CommitReply{Covered: 7})
+	check(1, opCommit, true, false)  // exact replay
+	check(1, opCredit, false, true)  // replay with wrong kind
+	check(3, opCommit, false, true)  // gap
+	check(0, opGrow, false, false)   // unsequenced op rides along
+	check(2, opCredit, false, false) // next applies
+	r.lastSeq, r.lastKind = 2, opCredit
+	check(1, opCommit, false, true) // rewind
+
+	// The cached reply must be a deep copy: mutating the stored source
+	// after the fact must not corrupt the replay answer.
+	src := CommitReply{Covered: 9, Delta: SparseCounts{Nodes: []int32{1, 2}, Counts: []int32{3, 4}}}
+	r.storeCommit(3, opCommit, src)
+	src.Delta.Nodes[0] = 99
+	if r.lastCommit.Delta.Nodes[0] != 1 {
+		t.Fatal("cached commit reply aliases the caller's buffers")
+	}
+}
+
+// TestStartReplacesOpenRun pins Start's level-trigger: re-sending a
+// StartRequest for an already-open run id rebuilds the run instead of
+// erroring, which is what makes a retried or replayed Start harmless.
+func TestStartReplacesOpenRun(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	coord, _, shards, err := NewReplicaCluster(inst, 0, 42, 1, 1, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Warm(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	s := shards[0]
+	req := StartRequest{RunID: "run-a", Epoch: s.Info().Epoch, Ads: []int{0}, Thetas: []int{64}}
+	if _, err := s.Start(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(req); err != nil {
+		t.Fatalf("duplicate Start must replace, got %v", err)
+	}
+	if got := s.Info().OpenRuns; got != 1 {
+		t.Fatalf("open runs = %d, want 1 (replace, not accumulate)", got)
+	}
+	s.End("run-a")
+}
+
+// TestPartitionUnavailable pins total-loss semantics: when every replica
+// of one range fails, the allocation surfaces ErrPartitionUnavailable
+// promptly (no hang), and other ranges' health is untouched.
+func TestPartitionUnavailable(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	const seed, k = 42, 2
+
+	// Both replicas of range 0 refuse every selection op; Info stays alive
+	// so construction succeeds (the failure is at op time, the hard case).
+	wrap := func(slot, rep int, cl Client) Client {
+		if slot != 0 {
+			return cl
+		}
+		return NewFaultClient(cl, uint64(rep+1),
+			FaultRule{Op: "pilot", Kind: FaultError},
+			FaultRule{Op: "ensure", Kind: FaultError},
+			FaultRule{Op: "start", Kind: FaultError},
+		)
+	}
+	coord, sets, _, err := NewReplicaCluster(inst, 0, seed, k, 2, Config{}, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.Allocate(context.Background(), core.Request{Opts: opts})
+	if !errors.Is(err, ErrPartitionUnavailable) {
+		t.Fatalf("err = %v, want ErrPartitionUnavailable", err)
+	}
+	if sets[1].HealthyCount() != 2 {
+		t.Fatalf("range 1 health collateral damage: %d healthy, want 2", sets[1].HealthyCount())
+	}
+}
+
+// TestReplicaSetRejectsDivergentReplica pins registration validation: two
+// shards of the same range built from different seeds are different
+// deterministic universes and must be refused at construction.
+func TestReplicaSetRejectsDivergentReplica(t *testing.T) {
+	inst := testInstance()
+	p, err := NewPartitioner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewShard(inst, 0, 42, p.Range(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShard(inst, 0, 43, p.Range(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplicaSet(context.Background(), []Client{LocalClient{S: a}, LocalClient{S: b}}, ReplicaSetConfig{}); err == nil {
+		t.Fatal("replica set accepted replicas with divergent seeds")
+	}
+	c, err := NewShard(inst, 0, 42, p.Range(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplicaSet(context.Background(), []Client{LocalClient{S: a}, LocalClient{S: c}}, ReplicaSetConfig{}); err == nil {
+		t.Fatal("replica set accepted replicas serving different ranges")
+	}
+}
+
+// TestReplicaMutationRevive pins the re-warm path: a replica that misses a
+// campaign mutation is dropped from the rotation, and a Probe walks it
+// forward through the logged mutation and returns it — after which the
+// cluster still matches a single-node index with the identical history.
+func TestReplicaMutationRevive(t *testing.T) {
+	inst := testInstance()
+	opts := testOpts()
+	const seed, k = 7, 2
+	ctx := context.Background()
+
+	// Single node: 6 initial ads, then activate ad 6.
+	base := *inst
+	base.Ads = append([]core.Ad(nil), inst.Ads[:6]...)
+	idx, err := core.BuildIndex(&base, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.AddAd(inst.Ads[6], opts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AllocateFromIndex(idx, core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica 1 of range 0 fails its first addAd broadcast.
+	var dropper *FaultClient
+	wrap := func(slot, rep int, cl Client) Client {
+		if slot == 0 && rep == 1 {
+			dropper = NewFaultClient(cl, 9, FaultRule{Op: "addAd", Count: 1, Kind: FaultError})
+			return dropper
+		}
+		return cl
+	}
+	coord, sets, _, err := NewReplicaCluster(inst, 6, seed, k, 2, Config{}, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Warm(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.AddAdBase(ctx, 6, opts); err != nil {
+		t.Fatal(err)
+	}
+	if sets[0].HealthyCount() != 1 {
+		t.Fatalf("range 0 healthy = %d, want 1 (replica 1 missed the mutation)", sets[0].HealthyCount())
+	}
+	if n := dropper.Fired()[0]; n != 1 {
+		t.Fatalf("addAd fault fired %d times, want 1", n)
+	}
+
+	// Probe replays the missed mutation and revives the replica.
+	statuses := sets[0].Probe(ctx)
+	for _, st := range statuses {
+		if !st.Healthy {
+			t.Fatalf("replica %d still unhealthy after probe: %v", st.Replica, st.Err)
+		}
+	}
+
+	got, err := coord.Allocate(ctx, core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "post-revive", want, got)
+
+	// The revived replica can carry the range alone: kill replica 0
+	// outright and allocate again.
+	killed := 0
+	coord2, sets2, _, err := NewReplicaCluster(inst, 6, seed, k, 2, Config{}, func(slot, rep int, cl Client) Client {
+		if slot == 0 && rep == 0 {
+			killed++
+			return NewFaultClient(cl, 11, FaultRule{Op: "*", From: 30, Kind: FaultError})
+		}
+		return cl
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord2.Warm(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord2.AddAdBase(ctx, 6, opts); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := coord2.Allocate(ctx, core.Request{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualSemantic(t, "mid-life replica death", want, got2)
+	_ = killed
+	if sets2[0].HealthyCount() < 1 {
+		t.Fatal("range 0 lost all replicas")
+	}
+}

@@ -1,0 +1,324 @@
+// Deadline/retry/backoff decorator for shard clients. RetryClient is a
+// transport-blind sibling of InstrumentClient: every RPC gets a per-attempt
+// deadline sized to its op class (fast coverage ops vs sampling-heavy
+// ones), transient failures retry under capped exponential backoff with
+// deterministic seeded jitter, and terminal failures (stale epoch, bad
+// request, sequence gap) propagate immediately. Retrying a Commit/Credit/
+// Grow is safe because the requests carry sequence numbers and the shard's
+// run state is level-triggered (see CommitRequest.Seq): a replayed op whose
+// first attempt applied returns the cached reply instead of re-applying.
+// Pilot/Ensure/Start/Gains/Info are naturally idempotent — deterministic
+// streams make repeated sampling converge to identical state.
+
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// ErrorClass buckets RPC failures for the retry and failover layers.
+type ErrorClass int
+
+const (
+	// ClassRetryable marks transient failures — timeouts, connection
+	// errors, 5xx — worth retrying against the same replica.
+	ClassRetryable ErrorClass = iota
+	// ClassFailover marks failures the same replica cannot heal (it is
+	// draining, missing the run, or out of sequence) but another replica
+	// of the range can serve, possibly after a state replay.
+	ClassFailover
+	// ClassTerminal marks failures no retry or failover fixes: the request
+	// itself is stale or malformed (stale epoch, 4xx, cancellation).
+	ClassTerminal
+)
+
+// Classify buckets an RPC error. Transport-blind: sentinels and RPCError
+// survive the HTTP mapping (see errOf), and anything unrecognized — raw
+// connection errors, unexpected transport failures — defaults to
+// retryable, the safe bucket now that sequenced run ops are replay-proof.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassRetryable
+	case errors.Is(err, context.Canceled):
+		return ClassTerminal
+	case errors.Is(err, ErrStaleEpoch):
+		return ClassTerminal
+	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrBadSeq), errors.Is(err, ErrDraining):
+		return ClassFailover
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassRetryable
+	default:
+		var rpc *RPCError
+		if errors.As(err, &rpc) {
+			if rpc.Status >= 500 {
+				return ClassRetryable
+			}
+			return ClassTerminal
+		}
+		return ClassRetryable
+	}
+}
+
+// retryReason labels a retry for the shard_rpc_retries_total metric with
+// bounded cardinality: timeout, draining, server (5xx), or connection
+// (anything else transient).
+func retryReason(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	default:
+		var rpc *RPCError
+		if errors.As(err, &rpc) {
+			return "server"
+		}
+		return "connection"
+	}
+}
+
+// RetryPolicy shapes a RetryClient. The zero value is usable: every field
+// defaults via WithDefaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per RPC, first attempt included
+	// (default 3).
+	MaxAttempts int
+	// Timeout is the per-attempt deadline for fast ops — info, commit,
+	// credit, gains, end, removeAd, syncEstimates (default 30s).
+	Timeout time.Duration
+	// SamplingTimeout is the per-attempt deadline for ops that may draw
+	// fresh RR sets — pilot, ensure, start, grow, addAd — whose cost
+	// scales with θ (default 10× Timeout).
+	SamplingTimeout time.Duration
+	// BaseBackoff is the first retry's backoff ceiling; attempt i waits
+	// BaseBackoff·2^(i-1) capped at MaxBackoff, jittered into
+	// [½, 1)× deterministically (default 25ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Seed seeds the jitter stream; a fixed seed makes the whole backoff
+	// sequence deterministic (default 1).
+	Seed uint64
+}
+
+// WithDefaults fills unset fields with the documented defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 30 * time.Second
+	}
+	if p.SamplingTimeout <= 0 {
+		p.SamplingTimeout = 10 * p.Timeout
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// NewRetryClient wraps cl with the policy's deadline/retry/backoff
+// behavior. m, when non-nil, books each retry under
+// prefix_shard_rpc_retries_total{op,reason}. Wrap order in a replicated
+// stack is ReplicaSet(RetryClient(InstrumentClient(transport))): the
+// instrument layer then meters every attempt individually.
+func NewRetryClient(cl Client, p RetryPolicy, m *Metrics) Client {
+	return &retryClient{cl: cl, p: p.WithDefaults(), m: m, rng: xrand.New(p.WithDefaults().Seed)}
+}
+
+// retryClient decorates a Client with deadlines, retries, and backoff.
+type retryClient struct {
+	cl Client
+	p  RetryPolicy
+	m  *Metrics
+
+	mu  sync.Mutex // guards rng: concurrent RPCs share the jitter stream
+	rng *xrand.Rand
+}
+
+// backoff returns the wait before retry `attempt` (1-based): capped
+// exponential with deterministic jitter in [½, 1)× the cap.
+func (c *retryClient) backoff(attempt int) time.Duration {
+	d := c.p.BaseBackoff << uint(attempt-1)
+	if d <= 0 || d > c.p.MaxBackoff {
+		d = c.p.MaxBackoff
+	}
+	c.mu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// do runs one RPC under the retry loop. sampling selects the deadline
+// class.
+func (c *retryClient) do(ctx context.Context, op string, sampling bool, fn func(ctx context.Context) error) error {
+	timeout := c.p.Timeout
+	if sampling {
+		timeout = c.p.SamplingTimeout
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, timeout)
+		err = fn(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own context expired or was cancelled — not the
+			// per-attempt deadline. Never retry past it.
+			return err
+		}
+		if Classify(err) != ClassRetryable || attempt >= c.p.MaxAttempts {
+			return err
+		}
+		if c.m != nil {
+			c.m.retries.With(op, retryReason(err)).Inc()
+		}
+		select {
+		case <-time.After(c.backoff(attempt)):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// Info implements Client.
+func (c *retryClient) Info(ctx context.Context) (ShardInfo, error) {
+	var out ShardInfo
+	err := c.do(ctx, "info", false, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Info(ctx)
+		return err
+	})
+	return out, err
+}
+
+// Pilot implements Client.
+func (c *retryClient) Pilot(ctx context.Context, req PilotRequest) (PilotReply, error) {
+	var out PilotReply
+	err := c.do(ctx, "pilot", true, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Pilot(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Ensure implements Client.
+func (c *retryClient) Ensure(ctx context.Context, req EnsureRequest) (EnsureReply, error) {
+	var out EnsureReply
+	err := c.do(ctx, "ensure", true, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Ensure(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Start implements Client.
+func (c *retryClient) Start(ctx context.Context, req StartRequest) (StartReply, error) {
+	var out StartReply
+	err := c.do(ctx, "start", true, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Start(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Commit implements Client.
+func (c *retryClient) Commit(ctx context.Context, req CommitRequest) (CommitReply, error) {
+	var out CommitReply
+	err := c.do(ctx, "commit", false, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Commit(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Credit implements Client.
+func (c *retryClient) Credit(ctx context.Context, req CreditRequest) (CommitReply, error) {
+	var out CommitReply
+	err := c.do(ctx, "credit", false, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Credit(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Grow implements Client.
+func (c *retryClient) Grow(ctx context.Context, req GrowRequest) (GrowReply, error) {
+	var out GrowReply
+	err := c.do(ctx, "grow", true, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Grow(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Gains implements Client.
+func (c *retryClient) Gains(ctx context.Context, req GainsRequest) (GainsReply, error) {
+	var out GainsReply
+	err := c.do(ctx, "gains", false, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.Gains(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// End implements Client.
+func (c *retryClient) End(ctx context.Context, runID string) error {
+	return c.do(ctx, "end", false, func(ctx context.Context) error {
+		return c.cl.End(ctx, runID)
+	})
+}
+
+// AddAd implements Client.
+func (c *retryClient) AddAd(ctx context.Context, req AddAdRequest) (MutateReply, error) {
+	var out MutateReply
+	err := c.do(ctx, "addAd", true, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.AddAd(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// RemoveAd implements Client.
+func (c *retryClient) RemoveAd(ctx context.Context, req RemoveAdRequest) (MutateReply, error) {
+	var out MutateReply
+	err := c.do(ctx, "removeAd", false, func(ctx context.Context) error {
+		var err error
+		out, err = c.cl.RemoveAd(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// SyncEstimates implements Client.
+func (c *retryClient) SyncEstimates(ctx context.Context, req SyncEstimatesRequest) error {
+	return c.do(ctx, "syncEstimates", false, func(ctx context.Context) error {
+		return c.cl.SyncEstimates(ctx, req)
+	})
+}
+
+// Interface compliance.
+var _ Client = (*retryClient)(nil)

@@ -1,0 +1,184 @@
+// Tests for the deadline/retry/backoff layer: error classification over
+// every wire code, deterministic seeded backoff, retry-until-healed and
+// never-retry-terminal behavior, and the retry metrics.
+
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrorClass
+	}{
+		{"canceled", context.Canceled, ClassTerminal},
+		{"staleEpoch", ErrStaleEpoch, ClassTerminal},
+		{"staleEpochWrapped", fmt.Errorf("shard 3: %w", ErrStaleEpoch), ClassTerminal},
+		{"unknownRun", ErrUnknownRun, ClassFailover},
+		{"badSeq", ErrBadSeq, ClassFailover},
+		{"draining", ErrDraining, ClassFailover},
+		{"deadline", context.DeadlineExceeded, ClassRetryable},
+		{"deadlineWrapped", fmt.Errorf("post: %w", context.DeadlineExceeded), ClassRetryable},
+		{"rpc500", &RPCError{Status: 500, Msg: "boom"}, ClassRetryable},
+		{"rpc503", &RPCError{Status: 503, Msg: "overloaded"}, ClassRetryable},
+		{"rpc400", &RPCError{Status: 400, Msg: "bad body"}, ClassTerminal},
+		{"rpc404", &RPCError{Status: 404, Msg: "no route"}, ClassTerminal},
+		{"injected", ErrInjected, ClassRetryable},
+		{"connection", errors.New("dial tcp: connection refused"), ClassRetryable},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyWireCodes walks the full HTTP error mapping: every 4xx the
+// transport can hand back must be terminal or failover — never blind-retried
+// against the same replica — and plain 5xx must stay retryable.
+func TestClassifyWireCodes(t *testing.T) {
+	for status := 400; status < 500; status++ {
+		if got := Classify(errOf(status, "x")); got == ClassRetryable {
+			t.Errorf("status %d classified retryable", status)
+		}
+	}
+	for _, status := range []int{500, 502, 504} {
+		if got := Classify(errOf(status, "x")); got != ClassRetryable {
+			t.Errorf("status %d classified %d, want retryable", status, got)
+		}
+	}
+	// 503 is the drain signal: another replica can serve, the same one won't.
+	if got := Classify(errOf(503, "draining")); got != ClassFailover {
+		t.Errorf("status 503 classified %d, want failover", got)
+	}
+}
+
+// FuzzRetryClassification asserts the wire-blind invariant the retry loop
+// depends on: no 4xx response, whatever its body, ever classifies as
+// retryable (a client-side bug would otherwise hammer a shard with a
+// request it already rejected).
+func FuzzRetryClassification(f *testing.F) {
+	for _, status := range []int{400, 404, 409, 412, 422, 404, 451, 499, 500, 503} {
+		f.Add(status, "some error body")
+	}
+	f.Fuzz(func(t *testing.T, status int, msg string) {
+		if status < 400 || status > 599 {
+			t.Skip()
+		}
+		err := errOf(status, msg)
+		if status < 500 && Classify(err) == ClassRetryable {
+			t.Fatalf("status %d (%q) classified retryable", status, msg)
+		}
+	})
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 7}
+	a := NewRetryClient(nil, p, nil).(*retryClient)
+	b := NewRetryClient(nil, p, nil).(*retryClient)
+	other := NewRetryClient(nil, RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 8}, nil).(*retryClient)
+	var seqA, seqB, seqO []time.Duration
+	for i := 1; i <= 8; i++ {
+		seqA = append(seqA, a.backoff(i))
+		seqB = append(seqB, b.backoff(i))
+		seqO = append(seqO, other.backoff(i))
+	}
+	same := true
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, seqA[i], seqB[i])
+		}
+		if seqA[i] != seqO[i] {
+			same = false
+		}
+		// Bounds: jitter is [½, 1)× the capped exponential.
+		cap := p.BaseBackoff << uint(i)
+		if cap <= 0 || cap > p.MaxBackoff {
+			cap = p.MaxBackoff
+		}
+		if seqA[i] < cap/4 || seqA[i] >= cap {
+			t.Errorf("backoff(%d) = %v out of (%v, %v)", i+1, seqA[i], cap/4, cap)
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// errorClient fails one op a fixed number of times, then delegates.
+type errorClient struct {
+	Client
+	err   error
+	fails int
+	calls int
+}
+
+func (c *errorClient) Info(ctx context.Context) (ShardInfo, error) {
+	c.calls++
+	if c.calls <= c.fails || c.fails < 0 {
+		return ShardInfo{}, c.err
+	}
+	return ShardInfo{Shard: 0, NumShards: 1}, nil
+}
+
+func TestRetryHealsTransientFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, "test")
+	ec := &errorClient{err: &RPCError{Status: 500, Msg: "transient"}, fails: 2}
+	cl := NewRetryClient(ec, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}, m)
+	if _, err := cl.Info(context.Background()); err != nil {
+		t.Fatalf("Info after 2 transient failures: %v", err)
+	}
+	if ec.calls != 3 {
+		t.Fatalf("calls = %d, want 3", ec.calls)
+	}
+	if got := m.retries.With("info", "server").Value(); got != 2 {
+		t.Fatalf("retries{info,server} = %d, want 2", got)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	ec := &errorClient{err: errors.New("connection refused"), fails: -1}
+	cl := NewRetryClient(ec, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}, nil)
+	if _, err := cl.Info(context.Background()); err == nil {
+		t.Fatal("expected error after exhausting attempts")
+	}
+	if ec.calls != 3 {
+		t.Fatalf("calls = %d, want 3", ec.calls)
+	}
+}
+
+func TestRetryNeverRetriesTerminal(t *testing.T) {
+	for _, terminal := range []error{ErrStaleEpoch, &RPCError{Status: 400, Msg: "bad"}} {
+		ec := &errorClient{err: terminal, fails: -1}
+		cl := NewRetryClient(ec, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}, nil)
+		if _, err := cl.Info(context.Background()); err == nil {
+			t.Fatal("expected terminal error to propagate")
+		}
+		if ec.calls != 1 {
+			t.Fatalf("terminal %v retried: %d calls", terminal, ec.calls)
+		}
+	}
+}
+
+func TestRetryStopsOnCallerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := &errorClient{err: errors.New("refused"), fails: -1}
+	cl := NewRetryClient(ec, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}, nil)
+	if _, err := cl.Info(ctx); err == nil {
+		t.Fatal("expected error under cancelled context")
+	}
+	if ec.calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries past caller cancellation)", ec.calls)
+	}
+}

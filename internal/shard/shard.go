@@ -73,11 +73,34 @@ type Shard struct {
 	obsHTTP *obs.HTTPMetrics
 }
 
+// Run op kinds for the sequence guard's replay cache.
+const (
+	opCommit = iota + 1
+	opCredit
+	opGrow
+)
+
 // shardRun is one distributed selection run's shard-local state.
 type shardRun struct {
 	ep       core.EpochView
 	ads      map[int]*shardRunAd
 	lastUsed atomic.Int64 // unix nanos; written by run ops, read by the reaper
+
+	// opMu serializes the run's state-mutating ops. The coordinator is
+	// sequential per run by contract, but a retried RPC whose first
+	// attempt timed out client-side may still be executing here when the
+	// retry arrives — the lock makes the late duplicate queue behind it,
+	// where the sequence guard then answers it from cache.
+	opMu sync.Mutex
+
+	// Sequence guard (CommitRequest.Seq semantics): the last applied
+	// sequence number, its op kind, and a deep copy of its reply — an
+	// exact replay returns the copy without touching coverage state, so a
+	// retried commit whose first reply was lost is a no-op.
+	lastSeq    int64
+	lastKind   uint8
+	lastCommit CommitReply
+	lastGrow   GrowReply
 
 	// Per-call scratch, shared across the run's ads (run RPCs are
 	// sequential): stamp/pos drive sparse-count accumulation, nodes/counts
@@ -87,6 +110,57 @@ type shardRun struct {
 	pos      []int32
 	nodes    []int32
 	counts   []int32
+}
+
+// checkSeq gates one sequenced op: proceed (apply it), replay (answer from
+// cache), or fail with ErrBadSeq. Caller holds opMu. Seq 0 disables the
+// guard.
+func (r *shardRun) checkSeq(seq int64, kind uint8) (replay bool, err error) {
+	switch {
+	case seq == 0:
+		return false, nil
+	case seq == r.lastSeq:
+		if r.lastKind != kind {
+			return false, fmt.Errorf("%w: replay of seq %d with op kind %d, applied kind was %d", ErrBadSeq, seq, kind, r.lastKind)
+		}
+		return true, nil
+	case seq == r.lastSeq+1:
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: got seq %d, run is at %d", ErrBadSeq, seq, r.lastSeq)
+	}
+}
+
+// storeCommit records an applied Commit/Credit under the sequence guard,
+// deep-copying the reply (the live one aliases the run's reusable scratch
+// buffers). Caller holds opMu.
+func (r *shardRun) storeCommit(seq int64, kind uint8, reply CommitReply) {
+	if seq == 0 {
+		return
+	}
+	r.lastSeq, r.lastKind = seq, kind
+	r.lastCommit = CommitReply{Covered: reply.Covered, Delta: copySparse(reply.Delta, r.lastCommit.Delta)}
+}
+
+// storeGrow is storeCommit for Grow replies. Caller holds opMu.
+func (r *shardRun) storeGrow(seq int64, reply GrowReply) {
+	if seq == 0 {
+		return
+	}
+	r.lastSeq, r.lastKind = seq, opGrow
+	r.lastGrow = GrowReply{
+		Added:     copySparse(reply.Added, r.lastGrow.Added),
+		LocalSets: reply.LocalSets,
+		Fresh:     reply.Fresh,
+	}
+}
+
+// copySparse deep-copies src into dst's backing arrays (grown as needed).
+func copySparse(src, dst SparseCounts) SparseCounts {
+	return SparseCounts{
+		Nodes:  append(dst.Nodes[:0], src.Nodes...),
+		Counts: append(dst.Counts[:0], src.Counts...),
+	}
 }
 
 // shardRunAd is one ad's coverage state within a run.
@@ -303,14 +377,14 @@ func (s *Shard) Start(req StartRequest) (StartReply, error) {
 
 	s.mu.Lock()
 	s.reapLocked(time.Now())
-	if len(s.runs) >= maxOpenRuns {
+	if _, dup := s.runs[req.RunID]; !dup && len(s.runs) >= maxOpenRuns {
 		s.mu.Unlock()
 		return StartReply{}, fmt.Errorf("shard: %d runs already open", maxOpenRuns)
 	}
-	if _, dup := s.runs[req.RunID]; dup {
-		s.mu.Unlock()
-		return StartReply{}, fmt.Errorf("shard: run %q already open", req.RunID)
-	}
+	// Level-triggered: re-opening an existing run id replaces its state
+	// wholesale. The replacement is byte-identical to the original (the
+	// deterministic stream re-derives the same sets), so a retried Start —
+	// or a replica-set replay rebuilding a run after failover — is safe.
 	s.runs[req.RunID] = run
 	s.mu.Unlock()
 
@@ -365,10 +439,21 @@ func (s *Shard) Commit(req CommitRequest) (CommitReply, error) {
 	if err != nil {
 		return CommitReply{}, err
 	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	replay, err := r.checkSeq(req.Seq, opCommit)
+	if err != nil {
+		return CommitReply{}, err
+	}
+	if replay {
+		return r.lastCommit, nil
+	}
 	covered, nodes, decs := ra.col.CoverNodeDelta(req.Node, r.nodes, r.counts)
 	r.nodes, r.counts = nodes, decs
 	s.commits.Add(1)
-	return CommitReply{Covered: covered, Delta: SparseCounts{Nodes: nodes, Counts: decs}}, nil
+	reply := CommitReply{Covered: covered, Delta: SparseCounts{Nodes: nodes, Counts: decs}}
+	r.storeCommit(req.Seq, opCommit, reply)
+	return reply, nil
 }
 
 // Credit implements the Client surface shard-side.
@@ -377,10 +462,21 @@ func (s *Shard) Credit(req CreditRequest) (CommitReply, error) {
 	if err != nil {
 		return CommitReply{}, err
 	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	replay, err := r.checkSeq(req.Seq, opCredit)
+	if err != nil {
+		return CommitReply{}, err
+	}
+	if replay {
+		return r.lastCommit, nil
+	}
 	localFirst := s.part.LocalCount(req.FromGlobal)
 	covered, nodes, decs := ra.col.CountAndCoverFromDelta(req.Node, localFirst, r.nodes, r.counts)
 	r.nodes, r.counts = nodes, decs
-	return CommitReply{Covered: covered, Delta: SparseCounts{Nodes: nodes, Counts: decs}}, nil
+	reply := CommitReply{Covered: covered, Delta: SparseCounts{Nodes: nodes, Counts: decs}}
+	r.storeCommit(req.Seq, opCredit, reply)
+	return reply, nil
 }
 
 // Grow implements the Client surface shard-side.
@@ -389,6 +485,15 @@ func (s *Shard) Grow(req GrowRequest) (GrowReply, error) {
 	if err != nil {
 		return GrowReply{}, err
 	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	replay, err := r.checkSeq(req.Seq, opGrow)
+	if err != nil {
+		return GrowReply{}, err
+	}
+	if replay {
+		return r.lastGrow, nil
+	}
 	if req.FromGlobal != ra.theta {
 		return GrowReply{}, fmt.Errorf("shard: grow from θ=%d, run ad is at %d", req.FromGlobal, ra.theta)
 	}
@@ -396,7 +501,9 @@ func (s *Shard) Grow(req GrowRequest) (GrowReply, error) {
 	added := r.sparseFromView(r.ep.Inst().G.N(), v)
 	ra.col.AddFamily(v)
 	ra.theta = req.ToGlobal
-	return GrowReply{Added: added, LocalSets: v.Len(), Fresh: fresh}, nil
+	reply := GrowReply{Added: added, LocalSets: v.Len(), Fresh: fresh}
+	r.storeGrow(req.Seq, reply)
+	return reply, nil
 }
 
 // sparseFromView accumulates a view's per-node membership counts into the
@@ -426,10 +533,12 @@ func (r *shardRun) sparseFromView(n int, v rrset.FamilyView) SparseCounts {
 
 // Gains implements the Client surface shard-side.
 func (s *Shard) Gains(req GainsRequest) (GainsReply, error) {
-	_, ra, err := s.run(req.RunID, req.Ad)
+	r, ra, err := s.run(req.RunID, req.Ad)
 	if err != nil {
 		return GainsReply{}, err
 	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
 	out := make([]int32, len(req.Nodes))
 	for i, u := range req.Nodes {
 		out[i] = int32(ra.col.Coverage(u))

@@ -17,6 +17,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bandit"
 	"repro/internal/core"
@@ -66,6 +67,17 @@ type Config struct {
 	// distributed hot path replayed under the exact same workload, which
 	// TestLifecycleShardedMatchesSingleNode pins.
 	Shards int
+	// Replicas, when > 1 (with Shards ≥ 2), serves every partition range
+	// with that many in-process replicas behind failover ReplicaSets. The
+	// semantic trace (allocations, revenues, regret) stays bit-identical;
+	// only sampling accounting may shift when chaos forces failovers.
+	Replicas int
+	// ChaosSeed, when nonzero (with Shards ≥ 2), splices a deterministic
+	// fault injector under every replica client: each RPC fails with
+	// probability 5% from a stream seeded by (ChaosSeed, slot, replica),
+	// healed by the retry layer and replica failover. The semantic trace
+	// must match the fault-free run — TestLifecycleChaosMatches pins it.
+	ChaosSeed uint64
 	// Bandit, when non-empty, runs the lifecycle in online-CPE-learning
 	// mode with the named bandit policy ("ucb", "thompson", or the
 	// never-update baseline "frozen"). Each ad gets a hidden true
@@ -247,6 +259,28 @@ func (e *shardEngine) SetsSampled() (int64, error) {
 	return e.coord.SetsSampled(context.Background())
 }
 
+// chaosWrap builds the replica-client decorator for chaos mode: a
+// deterministic fault injector (5% of RPCs fail, from a per-replica
+// stream split off chaosSeed) under a fast retry layer, so the lifecycle
+// exercises retry + failover on every run while staying bit-reproducible.
+// A zero chaosSeed returns nil — plain replication, no faults.
+func chaosWrap(chaosSeed uint64) func(slot, rep int, cl shard.Client) shard.Client {
+	if chaosSeed == 0 {
+		return nil
+	}
+	return func(slot, rep int, cl shard.Client) shard.Client {
+		sub := xrand.New(chaosSeed).Split(uint64(slot)).Split(uint64(rep)).Seed()
+		fc := shard.NewFaultClient(cl, sub, shard.FaultRule{Op: "*", Kind: shard.FaultError, Prob: 0.05})
+		// In-process: backoff time is pure overhead, so keep it microscopic;
+		// determinism comes from the seeds, not the clock.
+		return shard.NewRetryClient(fc, shard.RetryPolicy{
+			BaseBackoff: time.Microsecond,
+			MaxBackoff:  time.Microsecond,
+			Seed:        sub + 1,
+		}, nil)
+	}
+}
+
 // banditState carries the online-learning side of a bandit-mode run: the
 // estimator under test, the feedback event stream, and the oracle's
 // standing allocation for the regret comparison.
@@ -305,7 +339,14 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 	queue := inst.Ads[cfg.InitialAds:]
 	var idx engine
 	if cfg.Shards >= 2 {
-		coord, _, err := shard.NewLocalCluster(inst, cfg.InitialAds, seed, cfg.Shards, shard.Config{})
+		var coord *shard.Coordinator
+		var err error
+		if cfg.Replicas > 1 || cfg.ChaosSeed != 0 {
+			coord, _, _, err = shard.NewReplicaCluster(inst, cfg.InitialAds, seed, cfg.Shards,
+				cfg.Replicas, shard.Config{}, chaosWrap(cfg.ChaosSeed))
+		} else {
+			coord, _, err = shard.NewLocalCluster(inst, cfg.InitialAds, seed, cfg.Shards, shard.Config{})
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -215,3 +215,52 @@ func TestLifecycleShardedMatchesSingleNode(t *testing.T) {
 		}
 	}
 }
+
+// TestLifecycleChaosMatches pins the robustness claim end to end: a
+// replicated cluster (K = 2, R = 2) with 5% of all RPCs failing from a
+// seeded chaos stream still reproduces the fault-free single-node
+// lifecycle trace in every semantic field — epochs, allocations, revenue,
+// spend, regret, churn events. Only the sampling accounting may move
+// (failover re-samples on the adopting replica), so SetsSampled is zeroed
+// on both sides before comparing.
+func TestLifecycleChaosMatches(t *testing.T) {
+	single, err := Run(flixsterTiny(), 11, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Shards = 2
+	cfg.Replicas = 2
+	cfg.ChaosSeed = 77
+	chaos, err := Run(flixsterTiny(), 11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrub := func(trace []RoundReport) []RoundReport {
+		out := append([]RoundReport(nil), trace...)
+		for i := range out {
+			out[i].SetsSampled = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(scrub(single.Trace), scrub(chaos.Trace)) {
+		t.Fatal("chaos trace diverged from fault-free single-node run in a semantic field")
+	}
+	if !reflect.DeepEqual(single.Ads, chaos.Ads) {
+		t.Fatal("chaos ad fates diverged from fault-free single-node run")
+	}
+	if single.FinalEpoch != chaos.FinalEpoch || single.Reallocations != chaos.Reallocations {
+		t.Fatalf("chaos run stats diverged: epoch %d vs %d, reallocs %d vs %d",
+			single.FinalEpoch, chaos.FinalEpoch, single.Reallocations, chaos.Reallocations)
+	}
+
+	// Chaos is itself deterministic: the same chaos seed replays the same
+	// fault schedule and the same (accounting included) result.
+	again, err := Run(flixsterTiny(), 11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(chaos.Trace, again.Trace) || chaos.TotalSetsSampled != again.TotalSetsSampled {
+		t.Fatal("chaos run is not reproducible for a fixed chaos seed")
+	}
+}
