@@ -8,14 +8,17 @@
 package socialads_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	socialads "repro"
 	"repro/internal/core"
 	"repro/internal/diffusion"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	obspkg "repro/internal/obs"
 	"repro/internal/rrset"
 	"repro/internal/xrand"
 )
@@ -508,6 +511,54 @@ func BenchmarkObsOverhead(b *testing.B) {
 			b.Fatalf("observer saw %d runs, want %d", obs.calls, b.N)
 		}
 	})
+	b.Run("traced", func(b *testing.B) {
+		// The full tracing bill: one root span per run plus the phase
+		// children and explain commit events the serve layer records for
+		// a traced request. The delta over "observed" prices span trees.
+		pool := &socialads.AllocWorkspacePool{}
+		tracer := obspkg.NewTracer(obspkg.TracerConfig{Capacity: 64})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, span := tracer.StartSpan(ctx, "alloc")
+			req := socialads.AllocRequest{
+				Opts: opts, Pool: pool, Explain: true,
+				Observer: &spanObserver{span: span},
+			}
+			if _, err := socialads.AllocateFromIndex(idx, req); err != nil {
+				b.Fatal(err)
+			}
+			span.End()
+		}
+	})
+}
+
+// spanObserver mirrors the serve layer's traced-request observer: phase
+// timings become synthetic child spans and explain commits become span
+// events, so BenchmarkObsOverhead/traced prices the whole rendering path.
+type spanObserver struct{ span *obspkg.Span }
+
+func (o *spanObserver) ObserveAllocation(t socialads.AllocPhaseTimings) {
+	o.span.SetInt("rounds", int64(t.Rounds))
+	var offset time.Duration
+	for p := socialads.AllocPhase(0); p < core.NumAllocPhases; p++ {
+		d := t.Phase[p]
+		if d <= 0 {
+			continue
+		}
+		o.span.AddChild("phase."+p.String(), offset, d)
+		offset += d
+	}
+}
+
+func (o *spanObserver) ObserveCommit(ev socialads.AllocCommitEvent) {
+	o.span.Event("commit",
+		obspkg.Int("round", int64(ev.Round)),
+		obspkg.Int("ad", int64(ev.Ad)),
+		obspkg.Int("node", int64(ev.Node)),
+		obspkg.Int("gainMicro", int64(ev.Gain*1e6)),
+		obspkg.Int("residualMicro", int64(ev.Residual*1e6)))
 }
 
 // countingObserver is the cheapest possible AllocObserver: it counts

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rrset"
 	"repro/internal/serve"
 )
@@ -57,6 +58,9 @@ func main() {
 		rpcTO     = flag.Duration("rpc-timeout", 30*time.Second, "per-attempt deadline for fast shard RPCs in coordinator mode (sampling-heavy ops get 10x)")
 		probeIvl  = flag.Duration("probe-interval", 15*time.Second, "background replica health probe period in coordinator mode (0 = probe only on /healthz)")
 		kernel    = flag.String("kernel", "", "coverage kernel for requests that don't pick their own: auto (density heuristic, the default), sparse, or bitset — changes sweep cost, never allocations")
+		traceCap  = flag.Int("trace-capacity", 0, "retained-trace ring size for /debug/traces (0 = default 256)")
+		traceLat  = flag.Duration("trace-latency", 0, "tail-retention threshold: traces at least this slow are always kept (0 = default 250ms)")
+		traceNth  = flag.Int("trace-sample", 0, "head-sample 1 in N of the traces no tail rule claims (0 = default 16)")
 	)
 	flag.Parse()
 	rrset.SetMaxWorkers(*workers)
@@ -72,6 +76,11 @@ func main() {
 		Replicas:      *replicas,
 		RPCTimeout:    *rpcTO,
 		ProbeInterval: *probeIvl,
+		Tracing: obs.TracerConfig{
+			Capacity:         *traceCap,
+			LatencyThreshold: *traceLat,
+			SampleEvery:      *traceNth,
+		},
 	}
 	if err := run(*addr, *preload, *pprofOn, *shards, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "adserver:", err)

@@ -1,0 +1,267 @@
+// Command tracedump inspects the span traces an adserver or adshard
+// retains (tail-based: slow, errored, retried, failed-over, or explicitly
+// sampled requests; see docs/OBSERVABILITY.md). Without a trace id it
+// lists the retained traces newest-first; with one it renders the full
+// span tree as an ASCII waterfall — one bar per span, scaled against the
+// trace duration, with retry/failover/commit events inlined at their
+// offsets.
+//
+// Usage:
+//
+//	tracedump -addr http://localhost:8080                 # list retained traces
+//	tracedump -addr http://localhost:8080 -min-ms 100     # ... at least 100ms long
+//	tracedump -addr http://localhost:8080 -error          # ... with a failed span
+//	tracedump -addr http://localhost:8080 <trace-id>      # waterfall one trace
+//
+// Force a request into the store to inspect it:
+//
+//	curl -s -H 'X-Trace-Id: my-debug-run' -H 'X-Trace-Flags: 1' \
+//	     -d "$BODY" http://localhost:8080/allocate
+//	tracedump -addr http://localhost:8080 my-debug-run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "adserver or adshard base URL")
+		minMS   = flag.Int("min-ms", 0, "list only traces at least this many milliseconds long")
+		onlyErr = flag.Bool("error", false, "list only traces containing a failed span")
+		limit   = flag.Int("limit", 20, "cap the listing (0 = all retained traces)")
+		width   = flag.Int("width", 48, "waterfall gutter width in characters")
+	)
+	flag.Parse()
+	var err error
+	switch flag.NArg() {
+	case 0:
+		err = list(*addr, *minMS, *onlyErr, *limit)
+	case 1:
+		err = waterfall(*addr, flag.Arg(0), *width)
+	default:
+		err = fmt.Errorf("at most one trace id, got %d args", flag.NArg())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+// get fetches one trace-store URL and decodes the JSON body into out.
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// list prints retained-trace summaries newest-first, one per line.
+func list(addr string, minMS int, onlyErr bool, limit int) error {
+	url := fmt.Sprintf("%s/debug/traces?min_ms=%d&limit=%d", addr, minMS, limit)
+	if onlyErr {
+		url += "&error=1"
+	}
+	var sums []obs.TraceSummary
+	if err := get(url, &sums); err != nil {
+		return err
+	}
+	if len(sums) == 0 {
+		fmt.Println("no retained traces match")
+		return nil
+	}
+	fmt.Printf("%-34s %-22s %-12s %10s %6s %-8s %s\n",
+		"TRACE", "ROOT", "START", "DURATION", "SPANS", "REASON", "ERR")
+	for _, s := range sums {
+		errMark := ""
+		if s.Error {
+			errMark = "!"
+		}
+		fmt.Printf("%-34s %-22s %-12s %10s %6d %-8s %s\n",
+			s.ID, s.Root,
+			time.Unix(0, s.StartUnixNano).Format("15:04:05.000"),
+			fmtDur(s.DurNs), s.Spans, s.Reason, errMark)
+	}
+	return nil
+}
+
+// waterfall renders one trace's span tree: depth-first in start order,
+// each span a bar positioned and scaled against the whole trace.
+func waterfall(addr, id string, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	var td obs.TraceData
+	if err := get(addr+"/debug/traces/"+id, &td); err != nil {
+		return err
+	}
+	fmt.Printf("trace %s  root=%s  start=%s  dur=%s  spans=%d  retained=%s\n\n",
+		td.ID, td.Root,
+		time.Unix(0, td.StartUnixNano).Format("15:04:05.000000"),
+		fmtDur(td.DurNs), len(td.Spans), td.Reason)
+
+	kids := map[string][]obs.SpanData{}
+	byID := map[string]bool{}
+	for _, s := range td.Spans {
+		byID[s.ID] = true
+	}
+	var roots []obs.SpanData
+	for _, s := range td.Spans {
+		// A span whose parent never landed in the store (dropped by the
+		// per-trace span cap) still renders, promoted to the top level.
+		if s.Parent == "" || !byID[s.Parent] {
+			roots = append(roots, s)
+		} else {
+			kids[s.Parent] = append(kids[s.Parent], s)
+		}
+	}
+	nameWidth := 0
+	for _, s := range td.Spans {
+		if n := len(s.Name) + 1; n > nameWidth {
+			nameWidth = n
+		}
+	}
+	if nameWidth < 20 {
+		nameWidth = 20
+	}
+	base := int64(0)
+	if len(roots) > 0 {
+		sortSpans(roots)
+		base = roots[0].StartNs
+	}
+	total := td.DurNs
+	if total <= 0 {
+		total = 1
+	}
+	for _, r := range roots {
+		printSpan(r, kids, 0, base, total, nameWidth, width)
+	}
+	return nil
+}
+
+// printSpan emits one span row (indent, name, duration, bar, attrs, error)
+// plus its events, then recurses into children in start order.
+func printSpan(s obs.SpanData, kids map[string][]obs.SpanData, depth int, base, total int64, nameWidth, width int) {
+	indent := strings.Repeat("  ", depth)
+	label := indent + s.Name
+	if len(label) > nameWidth {
+		label = label[:nameWidth]
+	}
+	fmt.Printf("%-*s %10s  |%s|%s%s\n",
+		nameWidth, label, fmtDur(s.DurNs),
+		bar(s.StartNs-base, s.DurNs, total, width),
+		attrSuffix(s.Attrs, s.Strs),
+		errSuffix(s.Error))
+	for _, ev := range s.Events {
+		fmt.Printf("%-*s %10s   @ %s%s\n",
+			nameWidth, indent+"  * "+ev.Name, "+"+fmtDur(ev.AtNs),
+			"", attrSuffix(ev.Attrs, nil))
+	}
+	children := kids[s.ID]
+	sortSpans(children)
+	for _, c := range children {
+		printSpan(c, kids, depth+1, base, total, nameWidth, width)
+	}
+}
+
+// sortSpans orders spans by start offset, then name for equal starts (the
+// store already sorts, but child buckets are rebuilt here).
+func sortSpans(spans []obs.SpanData) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		return spans[i].Name < spans[j].Name
+	})
+}
+
+// bar renders a span's interval as '#' characters inside a width-wide
+// gutter spanning the whole trace. Every live interval gets at least one
+// '#' so instant spans stay visible.
+func bar(offset, dur, total int64, width int) string {
+	if offset < 0 {
+		offset = 0
+	}
+	lead := int(offset * int64(width) / total)
+	fill := int(dur * int64(width) / total)
+	if fill < 1 {
+		fill = 1
+	}
+	if lead >= width {
+		lead = width - 1
+	}
+	if lead+fill > width {
+		fill = width - lead
+	}
+	return strings.Repeat(" ", lead) + strings.Repeat("#", fill) +
+		strings.Repeat(" ", width-lead-fill)
+}
+
+// attrSuffix formats integer and string attributes as "  k=v k=v", keys
+// sorted, strings first (they are the scarce, human-picked ones).
+func attrSuffix(attrs map[string]int64, strs map[string]string) string {
+	if len(attrs) == 0 && len(strs) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, k := range sortedKeys(strs) {
+		parts = append(parts, k+"="+strs[k])
+	}
+	for _, k := range sortedKeys(attrs) {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, attrs[k]))
+	}
+	return "  " + strings.Join(parts, " ")
+}
+
+// errSuffix marks a failed span with its recorded error.
+func errSuffix(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return "  ERROR: " + msg
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtDur renders nanoseconds with ~3 significant digits (12.3ms, 1.20s).
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -483,6 +483,12 @@ type Request struct {
 	// observer skips every clock read — the warm path stays
 	// allocation-identical with observation off.
 	Observer AllocObserver
+	// Explain, when set alongside an Observer implementing
+	// ExplainObserver, streams one CommitEvent per selection round (the
+	// chosen ad, seed node, marginal gain, and residual budget). Off by
+	// default because a run can commit thousands of seeds; explain never
+	// changes the allocation, only reports it.
+	Explain bool
 	// Kernel selects the coverage kernel for this run's per-ad cover
 	// sweeps: "" or "auto" lets each ad use the bitset kernel exactly when
 	// the index's density heuristic built its membership bitmap (see
@@ -661,8 +667,12 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 	observer := req.Observer
 	var timings PhaseTimings
 	var phaseStart time.Time
+	var explain ExplainObserver
 	if observer != nil {
 		phaseStart = time.Now()
+		if req.Explain {
+			explain, _ = observer.(ExplainObserver)
+		}
 	}
 
 	// Initialization (Algorithm 2 lines 1–3): s_j = 1, θ_j = L(s_j, ε),
@@ -821,6 +831,15 @@ func allocateEpoch(idx *Index, ep *indexEpoch, req Request) (*TIRMResult, error)
 		if observer != nil {
 			timings.Phase[PhaseCommit] += time.Since(phaseStart)
 			timings.Rounds++
+		}
+		if explain != nil {
+			explain.ObserveCommit(CommitEvent{
+				Round:    res.Iterations,
+				Ad:       a.j,
+				Node:     bestU,
+				Gain:     bestMg,
+				Residual: a.budget - a.revenue,
+			})
 		}
 
 		if len(a.seeds) >= maxSeeds {

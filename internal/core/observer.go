@@ -68,3 +68,34 @@ type AllocObserver interface {
 	// assembled but before AllocateFromIndex returns.
 	ObserveAllocation(PhaseTimings)
 }
+
+// CommitEvent is one committed selection round — the explain record of
+// which (ad, node) pair the regret-minimizing greedy chose and what it
+// was worth at that moment. Events are emitted in commit order, so a
+// run's event sequence replays its entire decision trace.
+type CommitEvent struct {
+	// Round is the 1-based selection round (equals Rounds so far).
+	Round int
+	// Ad is the committed ad's instance index.
+	Ad int
+	// Node is the committed seed node.
+	Node int32
+	// Gain is the seed's marginal revenue at commit time (the CELF
+	// marginal gain that won the cross-ad reduction).
+	Gain float64
+	// Residual is the ad's remaining budget after this commit
+	// (B_i − revenue so far): how far the ad still is from saturation.
+	Residual float64
+}
+
+// ExplainObserver is an AllocObserver that also wants the per-round
+// decision trace. Commit events fire only when Request.Explain is set
+// AND the observer implements this interface — the plain timing path
+// stays a single pointer test per phase boundary, and explain never
+// mutates the run (allocations are byte-identical with it on or off).
+type ExplainObserver interface {
+	AllocObserver
+	// ObserveCommit is called once per committed seed, between the
+	// commit bookkeeping and the next scan, in round order.
+	ObserveCommit(CommitEvent)
+}

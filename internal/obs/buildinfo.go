@@ -1,0 +1,23 @@
+// Build identity exposition: a constant gauge whose labels say what
+// binary is answering the scrape, so dashboards can correlate a metric
+// regression with the deploy that caused it.
+
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo registers {prefix}_build_info — a gauge fixed at 1 whose
+// labels carry the module version (from debug.ReadBuildInfo, "unknown"
+// for non-module builds) and the Go runtime version.
+func BuildInfo(r *Registry, prefix string) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	r.GaugeVec(prefix+"_build_info",
+		"Build identity of the serving binary: constant 1, labeled with the module version and Go runtime.",
+		"version", "go").With(version, runtime.Version()).Set(1)
+}

@@ -43,6 +43,10 @@ type InstrumentOptions struct {
 	// first path segment ("/ads/banner-3" → "ads"), which is bounded for
 	// mux-routed APIs.
 	Endpoint func(r *http.Request) string
+	// Tracer, when set, opens one server span ("http.<endpoint>") per
+	// request, adopting the remote parent declared by X-Span-Id /
+	// X-Trace-Flags; nil keeps the flat trace-id behaviour.
+	Tracer *Tracer
 }
 
 // Instrument wraps next so every request is metered into m, carries a
@@ -60,11 +64,28 @@ func Instrument(next http.Handler, m *HTTPMetrics, o InstrumentOptions) http.Han
 			trace = NewTraceID()
 		}
 		w.Header().Set(TraceHeader, trace)
-		r = r.WithContext(WithTrace(r.Context(), trace))
+		ctx := WithTrace(r.Context(), trace)
+		ep := endpoint(r)
+		var span *Span
+		if o.Tracer != nil {
+			if sc, ok := ExtractSpanContext(r.Header); ok {
+				ctx = WithRemote(ctx, sc)
+			}
+			ctx, span = o.Tracer.StartSpan(ctx, "http."+ep)
+			span.SetStr("method", r.Method)
+			span.SetStr("path", r.URL.Path)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(sw, r)
 		seconds := time.Since(start).Seconds()
-		ep := endpoint(r)
+		if span != nil {
+			span.SetInt("status", int64(sw.code))
+			if sw.code >= http.StatusInternalServerError {
+				span.SetError("http " + strconv.Itoa(sw.code))
+			}
+			span.End()
+		}
 		m.Requests.With(ep, strconv.Itoa(sw.code)).Inc()
 		m.Latency.With(ep).Observe(seconds)
 		if o.Logf != nil {

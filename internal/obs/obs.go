@@ -154,15 +154,28 @@ func (v *CounterVec) Snapshot() map[string]uint64 {
 	return out
 }
 
-// GaugeVec is a gauge family partitioned by a fixed set of label names;
-// the same cardinality rules as CounterVec apply (children live forever,
-// so label values must be bounded by construction — the serve layer keys
-// per-ad gauges on campaign names, which the server already caps).
+// GaugeVec is a gauge family partitioned by a fixed set of label names.
+// Unlike CounterVec, gauge children can be bounded two ways: SetMaxChildren
+// caps how many distinct label sets the exposition will ever hold, and
+// Delete retires a child whose label value left the system (an ad removed
+// from the campaign) — gauges describe current state, so a stale child is
+// a lie, not history.
 type GaugeVec struct {
 	labels []string
 
 	mu       sync.RWMutex
 	children map[string]*Gauge
+	maxKids  int
+}
+
+// SetMaxChildren caps the live child count (0 means unbounded). Once at
+// the cap, With for a new label set returns a detached gauge that is
+// never exposed — writes to it are safe no-ops as far as scrapes are
+// concerned — so a cardinality leak degrades the metric, not the process.
+func (v *GaugeVec) SetMaxChildren(n int) {
+	v.mu.Lock()
+	v.maxKids = n
+	v.mu.Unlock()
 }
 
 // With returns the child gauge for the given label values; cacheable
@@ -178,10 +191,24 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if g = v.children[key]; g == nil {
+		if v.maxKids > 0 && len(v.children) >= v.maxKids {
+			return &Gauge{} // detached: at cap, never exposed
+		}
 		g = &Gauge{}
 		v.children[key] = g
 	}
 	return g
+}
+
+// Delete removes the child for the given label values, dropping it from
+// future scrapes and freeing its cap slot. Deleting an absent child is a
+// no-op. Callers holding a cached child from With must drop that cache
+// too — writes to a deleted child are no longer exposed.
+func (v *GaugeVec) Delete(values ...string) {
+	key := vecKey(v.labels, values)
+	v.mu.Lock()
+	delete(v.children, key)
+	v.mu.Unlock()
 }
 
 // Snapshot returns the current child values keyed by their joined label

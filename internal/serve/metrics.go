@@ -111,6 +111,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.banditEstimate = reg.GaugeVec("adserver_bandit_estimate",
 		"Learned per-ad engagement estimate (Laplace-smoothed click-through mean) after the latest feedback batch.",
 		"ad")
+	// Per-ad gauge cardinality is bounded twice over: removal/eviction
+	// deletes children explicitly, and the cap catches anything that
+	// slips past (many cached entries sharing the vec). 16× the per-entry
+	// ad limit leaves room without letting a leak grow unbounded.
+	m.banditEstimate.SetMaxChildren(16 * s.opts.MaxAds)
 	m.banditExploration = reg.Histogram("adserver_bandit_exploration",
 		"Exploration share of each campaign ad's bandit index (index minus smoothed mean, clamped at 0) observed per feedback batch.",
 		explorationBuckets)
@@ -163,7 +168,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("adserver_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	obs.BuildInfo(reg, "adserver")
 	return m
+}
+
+// dropBanditEstimate retires one ad's learned-estimate gauge child — wired
+// to DELETE /ads/{name} and cache eviction so the per-ad family tracks the
+// live campaign instead of accreting every name ever seen.
+func (m *serverMetrics) dropBanditEstimate(name string) {
+	m.banditEstimate.Delete(name)
 }
 
 // ObserveAllocation feeds one run's phase breakdown into the histograms;

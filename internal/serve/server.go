@@ -130,6 +130,12 @@ type Options struct {
 	ProbeInterval time.Duration
 	// Logf receives operational messages (default log.Printf).
 	Logf func(format string, args ...any)
+	// Tracing shapes the server's span tracer: retained-trace ring
+	// capacity, tail-retention latency threshold, and head-sample rate.
+	// The zero value uses the obs defaults (256 traces, 250ms, 1-in-16).
+	// Tracing is always on — span cost is per-request and bounded — and
+	// never changes an allocation's bytes.
+	Tracing obs.TracerConfig
 }
 
 // Server is the allocation service. Create with New; serve via Handler.
@@ -140,6 +146,10 @@ type Server struct {
 	// metrics is the server's /metrics surface; it doubles as the
 	// core.AllocObserver local selection runs report phase timings to.
 	metrics *serverMetrics
+
+	// tracer assembles per-request span trees and retains them tail-based
+	// for GET /debug/traces (see internal/obs and docs/OBSERVABILITY.md).
+	tracer *obs.Tracer
 
 	// sharded is non-nil in coordinator mode (see ConnectShards).
 	sharded *shardedState
@@ -376,8 +386,14 @@ func New(opts Options) *Server {
 	}
 	s := &Server{opts: opts, start: time.Now(), entries: map[string]*entry{}}
 	s.metrics = newServerMetrics(s)
+	s.tracer = obs.NewTracer(opts.Tracing)
+	s.tracer.EnableMetrics(s.metrics.reg, "adserver")
 	return s
 }
+
+// Tracer exposes the server's span tracer (tests and embedding hosts
+// query retained traces through it).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Handler returns the service's HTTP routes, wrapped in the obs middleware
 // so every request is metered per endpoint, carries a trace id (minted
@@ -396,9 +412,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/spend", s.handleSpend)
 	mux.HandleFunc("/feedback", s.handleFeedback)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
+	mux.Handle("/debug/traces", s.tracer.Handler())
+	mux.Handle("/debug/traces/", s.tracer.Handler())
 	return obs.Instrument(mux, s.metrics.http, obs.InstrumentOptions{
 		Component: "adserver",
 		Logf:      s.opts.Logf,
+		Tracer:    s.tracer,
 	})
 }
 
@@ -512,6 +531,11 @@ func (s *Server) evictLocked(keep *entry) {
 			return
 		}
 		delete(s.entries, oldest.key)
+		if oldest.inst != nil {
+			for _, ad := range oldest.inst.Ads {
+				s.metrics.dropBanditEstimate(ad.Name)
+			}
+		}
 		s.opts.Logf("serve: evicted %s (LRU, cache cap %d)", oldest.key, s.opts.MaxEntries)
 	}
 }
@@ -878,8 +902,13 @@ type AllocateRequest struct {
 	Bandit bool `json:"bandit,omitempty"`
 	// Kernel selects the coverage kernel ("auto"/"sparse"/"bitset", see
 	// core.Request.Kernel); it changes sweep cost, never the allocation.
-	Kernel string     `json:"kernel,omitempty"`
-	Opts   TIRMParams `json:"opts,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
+	// Explain records the run's per-round decisions (chosen ad, seed
+	// node, marginal gain, residual budget) as events on the request's
+	// trace — retrieve them via GET /debug/traces/{id} with the request's
+	// X-Trace-Id. Off by default; never changes the allocation.
+	Explain bool       `json:"explain,omitempty"`
+	Opts    TIRMParams `json:"opts,omitempty"`
 }
 
 // TIRMParams is the JSON form of core.TIRMOptions (zero = default).
@@ -989,6 +1018,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		}
 		reqCPEs = cpes
 	}
+	_, observer, explain, allocSpan := s.allocObserverFor(r.Context(), req.Explain)
 	coreReq := core.Request{
 		Opts:     req.Opts.toOptions(s.opts.MaxTheta),
 		Ads:      req.Ads,
@@ -997,7 +1027,8 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		Lambda:   req.Lambda,
 		Epoch:    epoch,
 		Pool:     &e.pool,
-		Observer: s.metrics,
+		Observer: observer,
+		Explain:  explain,
 		Kernel:   s.kernelFor(req.Kernel),
 	}
 	if req.Kappa > 0 {
@@ -1009,6 +1040,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	objBefore, bytesBefore := heapAllocSample()
 	res, err := core.AllocateFromIndex(idx, coreReq)
+	allocSpan.EndErr(err)
 	objAfter, bytesAfter := heapAllocSample()
 	allocObjects, allocBytes := objAfter-objBefore, bytesAfter-bytesBefore
 	if err != nil {
@@ -1442,6 +1474,7 @@ func (s *Server) handleRemoveAd(w http.ResponseWriter, r *http.Request) {
 	delete(e.spent, name)
 	e.spendMu.Unlock()
 	s.adsRemoved.Add(1)
+	s.metrics.dropBanditEstimate(name)
 	s.opts.Logf("serve: %s removed ad %q (position %d), epoch %d", e.key, name, pos, idx.Epoch())
 	writeJSON(w, http.StatusOK, lifecycleResponse(e, idx, 0))
 }

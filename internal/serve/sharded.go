@@ -101,6 +101,7 @@ func (s *Server) ConnectShards(ctx context.Context) error {
 			reps[rep] = shard.NewRetryClient(cl, shard.RetryPolicy{
 				Timeout: s.opts.RPCTimeout,
 				Seed:    uint64(slot*r + rep + 1),
+				Label:   fmt.Sprintf("%d/%d", slot, rep),
 			}, s.metrics.shard)
 		}
 		set, err := shard.NewReplicaSet(ctx, reps, shard.ReplicaSetConfig{
@@ -245,9 +246,12 @@ func (s *Server) handleAllocateSharded(w http.ResponseWriter, r *http.Request, r
 	if req.Residual {
 		coreReq.SpentBudget = st.spendVector(curInst)
 	}
-	coreReq.Observer = s.metrics
+	actx, observer, explain, allocSpan := s.allocObserverFor(r.Context(), req.Explain)
+	coreReq.Observer = observer
+	coreReq.Explain = explain
 	started := time.Now()
-	res, err := st.coord.Allocate(r.Context(), coreReq)
+	res, err := st.coord.Allocate(actx, coreReq)
+	allocSpan.EndErr(err)
 	if err != nil {
 		if errors.Is(err, core.ErrStaleEpoch) {
 			s.metrics.failAlloc(failStaleEpoch)
@@ -383,6 +387,7 @@ func (s *Server) handleRemoveAdSharded(w http.ResponseWriter, r *http.Request, p
 	delete(st.spent, name)
 	st.mu.Unlock()
 	s.adsRemoved.Add(1)
+	s.metrics.dropBanditEstimate(name)
 	epoch, cur := st.coord.EpochInst()
 	names := make([]string, len(cur.Ads))
 	for i, ad := range cur.Ads {

@@ -1,0 +1,70 @@
+// Request-level tracing glue: the bridge between the HTTP middleware's
+// server span and the selection run. A traced /allocate gets one "alloc"
+// child span covering the selection call; the run's per-phase wall times
+// render as synthetic children of it, and — when the request asks for
+// explain — every committed round lands on it as a "commit" event. The
+// observer wraps (never replaces) the server metrics observer, so the
+// histograms see exactly what they always saw, and untraced requests keep
+// the bare metrics observer with zero extra cost.
+
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// allocObserverFor resolves the observer for one selection run: the bare
+// server metrics when the request carries no span, or a span-rendering
+// wrapper (plus its open "alloc" span, which the caller must End) when it
+// does. The returned context carries the alloc span, so coordinator
+// rounds passed this context nest under it. explain passes through only
+// when a span exists — explain events have nowhere to land otherwise.
+func (s *Server) allocObserverFor(ctx context.Context, explain bool) (context.Context, core.AllocObserver, bool, *obs.Span) {
+	sctx, span := obs.StartSpan(ctx, "alloc")
+	if span == nil {
+		return ctx, s.metrics, false, nil
+	}
+	return sctx, &allocSpanObserver{inner: s.metrics, span: span}, explain, span
+}
+
+// allocSpanObserver is a traced request's AllocObserver: it forwards every
+// callback to the server metrics and additionally renders the run onto the
+// request's span tree.
+type allocSpanObserver struct {
+	inner *serverMetrics
+	span  *obs.Span
+}
+
+// ObserveAllocation forwards the timings, then adds one synthetic child
+// span per phase, stacked in phase order. The children carry cumulative
+// per-phase time — phases interleave across rounds, so the stacking shows
+// proportions, not exact intervals.
+func (o *allocSpanObserver) ObserveAllocation(t core.PhaseTimings) {
+	o.inner.ObserveAllocation(t)
+	o.span.SetInt("rounds", int64(t.Rounds))
+	var offset time.Duration
+	for p := core.AllocPhase(0); p < core.NumAllocPhases; p++ {
+		d := t.Phase[p]
+		if d <= 0 {
+			continue
+		}
+		o.span.AddChild("phase."+p.String(), offset, d)
+		offset += d
+	}
+}
+
+// ObserveCommit renders one selection round as a "commit" event. Gain and
+// residual budget are floats; they ride the integer attribute channel in
+// micro-units (×1e6) so the event payload stays integer-only.
+func (o *allocSpanObserver) ObserveCommit(ev core.CommitEvent) {
+	o.span.Event("commit",
+		obs.Int("round", int64(ev.Round)),
+		obs.Int("ad", int64(ev.Ad)),
+		obs.Int("node", int64(ev.Node)),
+		obs.Int("gainMicro", int64(ev.Gain*1e6)),
+		obs.Int("residualMicro", int64(ev.Residual*1e6)))
+}

@@ -137,10 +137,10 @@ func (c *Coordinator) primePilots(ctx context.Context, inst *core.Instance, epoc
 		}
 		sort.Ints(ads)
 		pilots := make([]PilotReply, len(c.clients))
-		round := c.roundStart()
+		rctx, round := c.roundStart(ctx, "pilot")
 		err := c.scatter(func(k int, cl Client) error {
 			var err error
-			pilots[k], err = cl.Pilot(ctx, PilotRequest{Epoch: epoch, Ads: ads, Want: want})
+			pilots[k], err = cl.Pilot(rctx, PilotRequest{Epoch: epoch, Ads: ads, Want: want})
 			return err
 		})
 		c.roundDone("pilot", round)

@@ -227,21 +227,33 @@ func (c *Coordinator) scatter(fn func(k int, cl Client) error) error {
 	return nil
 }
 
-// roundStart reads the clock only when round metrics are on; paired with
-// roundDone around each scatter-gather round.
-func (c *Coordinator) roundStart() time.Time {
-	if c.metrics == nil {
-		return time.Time{}
-	}
-	return time.Now()
+// roundToken pairs one scatter-gather round's metric clock (read only
+// when round metrics are on) with its span (open only when the request is
+// traced); roundStart/roundDone bracket every round with it.
+type roundToken struct {
+	start time.Time
+	span  *obs.Span
 }
 
-// roundDone books one scatter round under its phase label.
-func (c *Coordinator) roundDone(phase string, start time.Time) {
-	if c.metrics == nil {
-		return
+// roundStart opens one scatter-gather round: a "round.<phase>" child span
+// when the request carries one (the returned context parents the round's
+// shard RPCs under it), plus the metric clock behind the nil check.
+func (c *Coordinator) roundStart(ctx context.Context, phase string) (context.Context, roundToken) {
+	var tok roundToken
+	if c.metrics != nil {
+		tok.start = time.Now()
 	}
-	c.metrics.roundSeconds.With(phase).Observe(time.Since(start).Seconds())
+	ctx, tok.span = obs.StartSpan(ctx, "round."+phase)
+	return ctx, tok
+}
+
+// roundDone books one scatter round under its phase label and ends its
+// span.
+func (c *Coordinator) roundDone(phase string, tok roundToken) {
+	if c.metrics != nil {
+		c.metrics.roundSeconds.With(phase).Observe(time.Since(tok.start).Seconds())
+	}
+	tok.span.End()
 }
 
 // coordAd is the coordinator's per-advertiser selection state — the
@@ -354,8 +366,12 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	observer := req.Observer
 	var timings core.PhaseTimings
 	var phaseStart time.Time
+	var explain core.ExplainObserver
 	if observer != nil {
 		phaseStart = time.Now()
+		if req.Explain {
+			explain, _ = observer.(core.ExplainObserver)
+		}
 	}
 
 	// Phase 1 — pilot scatter-gather: each shard ships its slice of every
@@ -367,10 +383,10 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	// the accounting identical to a cold coordinator).
 	cachedWidths := c.lookupWidths(epoch, activeIDs, opts.MinTheta)
 	pilots := make([]PilotReply, len(c.clients))
-	round := c.roundStart()
+	rctx, round := c.roundStart(ctx, "pilot")
 	err = c.scatter(func(k int, cl Client) error {
 		var err error
-		pilots[k], err = cl.Pilot(ctx, PilotRequest{
+		pilots[k], err = cl.Pilot(rctx, PilotRequest{
 			Epoch: epoch, Ads: activeIDs, Want: opts.MinTheta, SkipWidths: cachedWidths != nil,
 		})
 		return err
@@ -409,10 +425,10 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 	// collections; the coordinator sums the initial counts into one
 	// counter collection per ad. All integers, applied in shard order.
 	starts := make([]StartReply, len(c.clients))
-	round = c.roundStart()
+	rctx, round = c.roundStart(ctx, "start")
 	err = c.scatter(func(k int, cl Client) error {
 		var err error
-		starts[k], err = cl.Start(ctx, StartRequest{RunID: runID, Epoch: epoch, Ads: activeIDs, Thetas: thetas, Kernel: req.Kernel})
+		starts[k], err = cl.Start(rctx, StartRequest{RunID: runID, Epoch: epoch, Ads: activeIDs, Thetas: thetas, Kernel: req.Kernel})
 		return err
 	})
 	c.roundDone("start", round)
@@ -493,9 +509,9 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 
 		a := best
 		bestU, bestMg := a.candU, a.candMg
-		round = c.roundStart()
-		covered, err := c.scatterCover(ctx, a, func(cl Client) (CommitReply, error) {
-			return cl.Commit(ctx, CommitRequest{RunID: runID, Ad: a.j, Node: bestU})
+		rctx, round = c.roundStart(ctx, "commit")
+		covered, err := c.scatterCover(rctx, a, func(cl Client) (CommitReply, error) {
+			return cl.Commit(rctx, CommitRequest{RunID: runID, Ad: a.j, Node: bestU})
 		})
 		c.roundDone("commit", round)
 		if err != nil {
@@ -518,6 +534,15 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 		if observer != nil {
 			timings.Phase[core.PhaseCommit] += time.Since(phaseStart)
 			timings.Rounds++
+		}
+		if explain != nil {
+			explain.ObserveCommit(core.CommitEvent{
+				Round:    res.Iterations,
+				Ad:       a.j,
+				Node:     bestU,
+				Gain:     bestMg,
+				Residual: a.budget - a.revenue,
+			})
 		}
 
 		if len(a.seeds) >= maxSeeds {
@@ -548,10 +573,10 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 				}
 				boundary := a.col.NumSets()
 				grows := make([]GrowReply, len(c.clients))
-				round = c.roundStart()
+				rctx, round = c.roundStart(ctx, "grow")
 				err = c.scatter(func(k int, cl Client) error {
 					var err error
-					grows[k], err = cl.Grow(ctx, GrowRequest{RunID: runID, Ad: a.j, FromGlobal: a.theta, ToGlobal: want})
+					grows[k], err = cl.Grow(rctx, GrowRequest{RunID: runID, Ad: a.j, FromGlobal: a.theta, ToGlobal: want})
 					return err
 				})
 				c.roundDone("grow", round)
@@ -570,9 +595,9 @@ func (c *Coordinator) Allocate(ctx context.Context, req core.Request) (*core.TIR
 				a.theta = want
 				a.revenue = 0
 				for s, seed := range a.seeds {
-					round = c.roundStart()
-					covered, err := c.scatterCover(ctx, a, func(cl Client) (CommitReply, error) {
-						return cl.Credit(ctx, CreditRequest{RunID: runID, Ad: a.j, Node: seed, FromGlobal: boundary})
+					rctx, round = c.roundStart(ctx, "credit")
+					covered, err := c.scatterCover(rctx, a, func(cl Client) (CommitReply, error) {
+						return cl.Credit(rctx, CreditRequest{RunID: runID, Ad: a.j, Node: seed, FromGlobal: boundary})
 					})
 					c.roundDone("credit", round)
 					if err != nil {
@@ -669,10 +694,10 @@ func (c *Coordinator) scatterCover(ctx context.Context, a *coordAd, call func(cl
 func (c *Coordinator) verifyGains(ctx context.Context, runID string, a *coordAd) error {
 	sums := make([]int32, len(a.nodes))
 	gains := make([]GainsReply, len(c.clients))
-	round := c.roundStart()
+	rctx, round := c.roundStart(ctx, "gains")
 	err := c.scatter(func(k int, cl Client) error {
 		var err error
-		gains[k], err = cl.Gains(ctx, GainsRequest{RunID: runID, Ad: a.j, Nodes: a.nodes})
+		gains[k], err = cl.Gains(rctx, GainsRequest{RunID: runID, Ad: a.j, Nodes: a.nodes})
 		return err
 	})
 	c.roundDone("gains", round)

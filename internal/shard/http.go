@@ -49,6 +49,8 @@ func (s *Shard) Handler() http.Handler {
 	reg, httpMetrics := s.observability()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", s.obsTracer.Handler())
+	mux.Handle("/debug/traces/", s.obsTracer.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		shardWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -81,6 +83,7 @@ func (s *Shard) Handler() http.Handler {
 		// RPC routes all share the "shard" first path segment; label by the
 		// full (bounded) route so per-operation latency stays visible.
 		Endpoint: shardEndpoint,
+		Tracer:   s.obsTracer,
 	})
 }
 
@@ -242,9 +245,7 @@ func (c *HTTPClient) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if trace := obs.Trace(ctx); trace != "" {
-		req.Header.Set(obs.TraceHeader, trace)
-	}
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -269,9 +270,7 @@ func (c *HTTPClient) Info(ctx context.Context) (ShardInfo, error) {
 	if err != nil {
 		return ShardInfo{}, err
 	}
-	if trace := obs.Trace(ctx); trace != "" {
-		req.Header.Set(obs.TraceHeader, trace)
-	}
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return ShardInfo{}, err

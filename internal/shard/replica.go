@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ErrPartitionUnavailable reports that every replica of one partition
@@ -249,13 +251,23 @@ func (r *ReplicaSet) publishHealth() {
 	}
 }
 
-// notifyFailover books one failover on the range.
-func (r *ReplicaSet) notifyFailover(from, to int) {
+// notifyFailover books one failover on the range: metric, log line, and —
+// when the request carries a span — a "failover" event that flags the
+// whole trace for tail-retention (a request that changed replicas is
+// always worth keeping).
+func (r *ReplicaSet) notifyFailover(ctx context.Context, from, to int) {
 	if r.metrics != nil {
 		r.metrics.failovers.With(strconv.Itoa(r.slot)).Inc()
 	}
 	if r.logf != nil {
 		r.logf("shard: range %d failed over from replica %d to %d", r.slot, from, to)
+	}
+	if span := obs.ContextSpan(ctx); span != nil {
+		span.Event("failover",
+			obs.Int("range", int64(r.slot)),
+			obs.Int("from", int64(from)),
+			obs.Int("to", int64(to)))
+		span.Retain(obs.RetainFailover)
 	}
 }
 
@@ -267,7 +279,7 @@ func (r *ReplicaSet) unavailable(last error) error {
 // sweep runs fn against candidates in routing order until one succeeds.
 // Terminal failures propagate immediately (the request is the problem, not
 // the replica); other failures mark the replica and move on.
-func (r *ReplicaSet) sweep(fn func(i int, cl Client) error) error {
+func (r *ReplicaSet) sweep(ctx context.Context, fn func(i int, cl Client) error) error {
 	var lastErr error
 	first := -1
 	for _, i := range r.candidates() {
@@ -278,7 +290,7 @@ func (r *ReplicaSet) sweep(fn func(i int, cl Client) error) error {
 		if err == nil {
 			r.markSuccess(i)
 			if i != first {
-				r.notifyFailover(first, i)
+				r.notifyFailover(ctx, first, i)
 			}
 			return nil
 		}
@@ -295,7 +307,7 @@ func (r *ReplicaSet) sweep(fn func(i int, cl Client) error) error {
 // first answering replica.
 func (r *ReplicaSet) Info(ctx context.Context) (ShardInfo, error) {
 	var out ShardInfo
-	err := r.sweep(func(_ int, cl Client) error {
+	err := r.sweep(ctx, func(_ int, cl Client) error {
 		var err error
 		out, err = cl.Info(ctx)
 		return err
@@ -308,7 +320,7 @@ func (r *ReplicaSet) Info(ctx context.Context) (ShardInfo, error) {
 // sample lazily as needed.
 func (r *ReplicaSet) Pilot(ctx context.Context, req PilotRequest) (PilotReply, error) {
 	var out PilotReply
-	err := r.sweep(func(_ int, cl Client) error {
+	err := r.sweep(ctx, func(_ int, cl Client) error {
 		var err error
 		out, err = cl.Pilot(ctx, req)
 		return err
@@ -350,7 +362,7 @@ func (r *ReplicaSet) Ensure(ctx context.Context, req EnsureRequest) (EnsureReply
 func (r *ReplicaSet) Start(ctx context.Context, req StartRequest) (StartReply, error) {
 	run := &replicaRun{start: req}
 	var out StartReply
-	err := r.sweep(func(i int, cl Client) error {
+	err := r.sweep(ctx, func(i int, cl Client) error {
 		reply, err := cl.Start(ctx, req)
 		if err != nil {
 			return err
@@ -447,7 +459,7 @@ func (r *ReplicaSet) runOp(ctx context.Context, run *replicaRun) (CommitReply, G
 		if err == nil {
 			r.markSuccess(i)
 			if i != owner {
-				r.notifyFailover(owner, i)
+				r.notifyFailover(ctx, owner, i)
 				run.owner = i
 			}
 			return cr, gr, nil
@@ -545,7 +557,7 @@ func (r *ReplicaSet) Gains(ctx context.Context, req GainsRequest) (GainsReply, e
 		}
 		r.markSuccess(i)
 		if i != owner {
-			r.notifyFailover(owner, i)
+			r.notifyFailover(ctx, owner, i)
 			run.owner = i
 		}
 		return out, nil

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -105,6 +106,10 @@ type RetryPolicy struct {
 	// Seed seeds the jitter stream; a fixed seed makes the whole backoff
 	// sequence deterministic (default 1).
 	Seed uint64
+	// Label tags this client's RPC spans with a replica identity
+	// ("range/replica", e.g. "0/1") so a waterfall shows which replica
+	// served each attempt loop. Empty adds no attribute.
+	Label string
 }
 
 // WithDefaults fills unset fields with the documented defaults.
@@ -163,11 +168,18 @@ func (c *retryClient) backoff(attempt int) time.Duration {
 }
 
 // do runs one RPC under the retry loop. sampling selects the deadline
-// class.
+// class. One span ("rpc.<op>") covers the whole attempt loop — retries
+// land on it as "retry.<reason>" events (and flag the trace for
+// tail-retention), so a retry storm is visible inside the very trace it
+// slowed down.
 func (c *retryClient) do(ctx context.Context, op string, sampling bool, fn func(ctx context.Context) error) error {
 	timeout := c.p.Timeout
 	if sampling {
 		timeout = c.p.SamplingTimeout
+	}
+	ctx, span := obs.StartSpan(ctx, "rpc."+op)
+	if span != nil && c.p.Label != "" {
+		span.SetStr("replica", c.p.Label)
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -175,22 +187,29 @@ func (c *retryClient) do(ctx context.Context, op string, sampling bool, fn func(
 		err = fn(actx)
 		cancel()
 		if err == nil {
+			span.End()
 			return nil
 		}
 		if ctx.Err() != nil {
 			// The caller's own context expired or was cancelled — not the
 			// per-attempt deadline. Never retry past it.
+			span.EndErr(err)
 			return err
 		}
 		if Classify(err) != ClassRetryable || attempt >= c.p.MaxAttempts {
+			span.EndErr(err)
 			return err
 		}
+		reason := retryReason(err)
 		if c.m != nil {
-			c.m.retries.With(op, retryReason(err)).Inc()
+			c.m.retries.With(op, reason).Inc()
 		}
+		span.Event("retry."+reason, obs.Int("attempt", int64(attempt)))
+		span.Retain(obs.RetainRetry)
 		select {
 		case <-time.After(c.backoff(attempt)):
 		case <-ctx.Done():
+			span.EndErr(err)
 			return err
 		}
 	}

@@ -49,6 +49,11 @@ type Shard struct {
 	// change only local sweep cost — every reply integer is
 	// kernel-independent, so shards of one cluster may safely differ.
 	DefaultKernel string
+	// Tracing shapes the daemon's span tracer (ring capacity, latency
+	// threshold, head-sample rate); set before Handler is first called.
+	// The zero value uses the obs defaults — tracing is always on for the
+	// HTTP surface, since span cost is per-request and bounded.
+	Tracing obs.TracerConfig
 
 	lifeMu sync.Mutex // serializes campaign mutations with their epoch checks
 
@@ -68,9 +73,10 @@ type Shard struct {
 
 	// obsOnce guards the lazily built /metrics registry (Handler's first
 	// call); tests that never serve HTTP pay nothing for it.
-	obsOnce sync.Once
-	obsReg  *obs.Registry
-	obsHTTP *obs.HTTPMetrics
+	obsOnce   sync.Once
+	obsReg    *obs.Registry
+	obsHTTP   *obs.HTTPMetrics
+	obsTracer *obs.Tracer
 }
 
 // Run op kinds for the sequence guard's replay cache.
@@ -219,6 +225,9 @@ func (s *Shard) observability() (*obs.Registry, *obs.HTTPMetrics) {
 	s.obsOnce.Do(func() {
 		reg := obs.NewRegistry()
 		s.obsHTTP = obs.NewHTTPMetrics(reg, "adshard")
+		s.obsTracer = obs.NewTracer(s.Tracing)
+		s.obsTracer.EnableMetrics(reg, "adshard")
+		obs.BuildInfo(reg, "adshard")
 		reg.GaugeFunc("adshard_epoch",
 			"Campaign epoch the shard currently serves.",
 			func() float64 { return float64(s.idx.CurrentEpoch().Version()) })

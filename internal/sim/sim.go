@@ -22,6 +22,7 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/xrand"
 )
@@ -91,6 +92,14 @@ type Config struct {
 	// Shards setting. Empty keeps the classic known-CPE lifecycle,
 	// byte-identical to previous releases.
 	Bandit string
+	// Tracer, when non-nil (with Shards ≥ 2), opens one "sim.allocate"
+	// root span per sharded allocation so lifecycle runs leave
+	// inspectable span trees: retry and failover events raised inside
+	// the coordinator's round/RPC layers flag their trace for tail
+	// retention, which is how a chaos run proves its failovers were
+	// traced. Nil traces nothing; the semantic trace is identical
+	// either way.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults(numAds int) Config {
@@ -239,9 +248,12 @@ func (e *coreEngine) Allocate(req core.Request) (*core.TIRMResult, error) {
 }
 func (e *coreEngine) SetsSampled() (int64, error) { return e.idx.SetsSampled(), nil }
 
-// shardEngine drives an in-process sharded cluster.
+// shardEngine drives an in-process sharded cluster. A non-nil tracer
+// roots every allocation in a span so coordinator-level retry/failover
+// events have a trace to retain.
 type shardEngine struct {
-	coord *shard.Coordinator
+	coord  *shard.Coordinator
+	tracer *obs.Tracer
 }
 
 func (e *shardEngine) Inst() *core.Instance                { return e.coord.Inst() }
@@ -253,7 +265,14 @@ func (e *shardEngine) AddAd(rosterPos int, _ core.Ad, opts core.TIRMOptions) err
 }
 func (e *shardEngine) RemoveAd(pos int) error { return e.coord.RemoveAd(context.Background(), pos) }
 func (e *shardEngine) Allocate(req core.Request) (*core.TIRMResult, error) {
-	return e.coord.Allocate(context.Background(), req)
+	ctx := context.Background()
+	if e.tracer == nil {
+		return e.coord.Allocate(ctx, req)
+	}
+	ctx, span := e.tracer.StartSpan(ctx, "sim.allocate")
+	res, err := e.coord.Allocate(ctx, req)
+	span.EndErr(err)
+	return res, err
 }
 func (e *shardEngine) SetsSampled() (int64, error) {
 	return e.coord.SetsSampled(context.Background())
@@ -355,7 +374,7 @@ func Run(inst *core.Instance, seed uint64, cfg Config) (*Result, error) {
 		if err := coord.Warm(context.Background(), cfg.Opts); err != nil {
 			return nil, err
 		}
-		idx = &shardEngine{coord: coord}
+		idx = &shardEngine{coord: coord, tracer: cfg.Tracer}
 	} else {
 		base := *inst
 		base.Ads = initial

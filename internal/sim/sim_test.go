@@ -4,9 +4,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // fastCfg keeps the workload cheap enough for -race CI runs.
@@ -262,5 +264,103 @@ func TestLifecycleChaosMatches(t *testing.T) {
 	}
 	if !reflect.DeepEqual(chaos.Trace, again.Trace) || chaos.TotalSetsSampled != again.TotalSetsSampled {
 		t.Fatal("chaos run is not reproducible for a fixed chaos seed")
+	}
+}
+
+// TestChaosRunRetainsTailTraces pins the observability claim of a chaos
+// run: with a tracer attached and every volume-based retention rule
+// disabled (unreachable latency threshold, effectively-off head
+// sampling), the only traces that survive are the ones the tail rules
+// flag — and a 5% RPC fault stream over a replicated cluster must leave
+// retry-retained traces whose spans carry the healed attempts as
+// retry.* events. (Deterministic failover retention is pinned at the
+// serve layer, where a replica can be killed outright.) The semantic
+// result must not move an inch under tracing.
+func TestChaosRunRetainsTailTraces(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Shards = 2
+	cfg.Replicas = 2
+	cfg.ChaosSeed = 77
+	bare, err := Run(flixsterTiny(), 11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTracer(obs.TracerConfig{
+		Capacity:         64,
+		LatencyThreshold: time.Hour,
+		SampleEvery:      1 << 30,
+	})
+	cfg.Tracer = tr
+	traced, err := Run(flixsterTiny(), 11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Trace, traced.Trace) || !reflect.DeepEqual(bare.Ads, traced.Ads) {
+		t.Fatal("attaching a tracer changed the lifecycle result")
+	}
+
+	sums := tr.Summaries(0, false, 0)
+	if len(sums) == 0 {
+		t.Fatal("chaos run retained no traces at all")
+	}
+	retryTraces, retryEvents, heads := 0, 0, 0
+	for _, sum := range sums {
+		switch sum.Reason {
+		case "failover", "retry", "error":
+		case "head":
+			// The deterministic head sample always keeps the first
+			// unremarkable trace; with SampleEvery this large there can
+			// be only one.
+			if heads++; heads > 1 {
+				t.Fatalf("trace %s head-sampled twice with SampleEvery maxed out", sum.ID)
+			}
+		default:
+			t.Fatalf("trace %s retained for %q; only tail reasons possible here", sum.ID, sum.Reason)
+		}
+		if sum.Reason != "retry" {
+			continue
+		}
+		retryTraces++
+		td, ok := tr.Get(sum.ID)
+		if !ok {
+			t.Fatalf("summary lists %s but Get misses it", sum.ID)
+		}
+		if td.Root != "sim.allocate" {
+			t.Fatalf("trace %s rooted at %q, want sim.allocate", sum.ID, td.Root)
+		}
+		for _, s := range td.Spans {
+			for _, ev := range s.Events {
+				if strings.HasPrefix(ev.Name, "retry.") {
+					retryEvents++
+					if _, ok := ev.Attrs["attempt"]; !ok {
+						t.Fatalf("retry event missing attempt attr: %+v", ev)
+					}
+				}
+			}
+		}
+	}
+	if retryTraces == 0 || retryEvents == 0 {
+		t.Fatalf("chaos run retained %d retry traces with %d retry events; want both > 0 (reasons: %v)",
+			retryTraces, retryEvents, sums)
+	}
+
+	// A fault-free traced run retains at most the single head sample:
+	// tail retention stays quiet when nothing goes wrong.
+	quietTr := obs.NewTracer(obs.TracerConfig{
+		Capacity:         64,
+		LatencyThreshold: time.Hour,
+		SampleEvery:      1 << 30,
+	})
+	quiet := fastCfg()
+	quiet.Shards = 2
+	quiet.Tracer = quietTr
+	if _, err := Run(flixsterTiny(), 11, quiet); err != nil {
+		t.Fatal(err)
+	}
+	for _, sum := range quietTr.Summaries(0, false, 0) {
+		if sum.Reason != "head" {
+			t.Fatalf("fault-free run retained trace %s for %q, want head only", sum.ID, sum.Reason)
+		}
 	}
 }

@@ -101,6 +101,15 @@ type (
 	// (set one as AllocRequest.Observer); a nil observer costs nothing —
 	// no clocks are read and the allocation result is unchanged either way.
 	AllocObserver = core.AllocObserver
+	// AllocCommitEvent describes one committed selection round — the
+	// chosen ad, seed node, marginal gain, and the ad's residual budget
+	// afterwards (see AllocExplainObserver).
+	AllocCommitEvent = core.CommitEvent
+	// AllocExplainObserver extends AllocObserver with a per-round commit
+	// callback; it fires only when AllocRequest.Explain is set and the
+	// request's observer implements it, and never changes the
+	// allocation.
+	AllocExplainObserver = core.ExplainObserver
 	// GreedyOptions configures Algorithm 1.
 	GreedyOptions = core.GreedyOptions
 	// GreedyResult reports Algorithm 1's allocation.
